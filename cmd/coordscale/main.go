@@ -1,0 +1,35 @@
+// Command coordscale explores the scalability of the coordination
+// mechanisms to large many-core platforms — the paper's stated ongoing
+// work: a star topology through a central controller versus direct
+// (distributed) island-to-island coordination.
+//
+// Usage:
+//
+//	coordscale [-rate 200] [-hop 150us] [-hub 5us] [-duration 10s] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	rate := flag.Float64("rate", 200, "coordination messages/s per island")
+	hop := flag.Duration("hop", 150*time.Microsecond, "per-hop transport latency")
+	hub := flag.Duration("hub", 50*time.Microsecond, "central controller per-message cost")
+	duration := flag.Duration("duration", 10*time.Second, "simulated time per point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	points := repro.RunCoordScalability(repro.ScalabilityConfig{
+		Seed:          *seed,
+		RatePerIsland: *rate,
+		HopLatency:    *hop,
+		HubCost:       *hub,
+		Duration:      *duration,
+	})
+	fmt.Print(repro.FormatScalability(points))
+}

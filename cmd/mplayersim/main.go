@@ -1,0 +1,49 @@
+// Command mplayersim runs the MPlayer experiments: stream QoS under weight
+// configurations (Figure 6), the buffer-watermark trigger (Figure 7), and
+// trigger interference (Table 3).
+//
+// Usage:
+//
+//	mplayersim [-exp qos|trigger|interference] [-duration 60s] [-seed N]
+//	           [-csv] (trigger: dump the Figure 7 time series as CSV)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	exp := flag.String("exp", "qos", "experiment: qos, trigger, or interference")
+	duration := flag.Duration("duration", 0, "simulated run length (0 = experiment default)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "dump Figure 7 series as CSV (trigger only)")
+	flag.Parse()
+
+	switch *exp {
+	case "qos":
+		fmt.Print(repro.FormatFig6(repro.RunMplayerQoS(*seed, *duration)))
+	case "trigger":
+		base, coord := repro.RunMplayerTrigger(*seed, *duration)
+		fmt.Print(repro.FormatFig7(base, coord))
+		if *csv {
+			fmt.Println("\nseconds,coord_cpu_pct,coord_buffer_bytes")
+			n := len(coord.CPUUtil)
+			if len(coord.BufferIn) < n {
+				n = len(coord.BufferIn)
+			}
+			for i := 0; i < n; i++ {
+				fmt.Printf("%.1f,%.1f,%.0f\n",
+					coord.CPUUtil[i].Seconds, coord.CPUUtil[i].Value, coord.BufferIn[i].Value)
+			}
+		}
+	case "interference":
+		fmt.Print(repro.FormatTable3(repro.RunMplayerInterference(*seed, *duration)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

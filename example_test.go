@@ -1,0 +1,40 @@
+package repro_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// ExampleRunCoordScalability compares the central-controller (star) and
+// distributed (direct) coordination topologies at a small scale. The
+// simulation is deterministic, so the output is stable.
+func ExampleRunCoordScalability() {
+	points := repro.RunCoordScalability(repro.ScalabilityConfig{
+		Islands:    []int{2},
+		Duration:   time.Second,
+		HopLatency: 100 * time.Microsecond,
+		HubCost:    10 * time.Microsecond,
+	})
+	for _, p := range points {
+		fmt.Printf("%s islands=%d mean=%.0fus\n", p.Topology, p.Islands, p.MeanLatencyUs)
+	}
+	// Output:
+	// star islands=2 mean=210us
+	// direct islands=2 mean=100us
+}
+
+// ExampleCoordScheme shows the available RUBiS coordination policy
+// variants.
+func ExampleCoordScheme() {
+	for _, s := range []repro.CoordScheme{
+		repro.SchemeOutstanding, repro.SchemeLoadTrack, repro.SchemeClass,
+	} {
+		fmt.Println(s)
+	}
+	// Output:
+	// outstanding
+	// loadtrack
+	// class
+}

@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Results bundles every experiment's outcome for machine-readable export.
+// Fields are nil when the corresponding experiment was not run.
+type Results struct {
+	RubisBase    *RubisRun          `json:"rubis_base,omitempty"`
+	RubisCoord   *RubisRun          `json:"rubis_coord,omitempty"`
+	MplayerQoS   []MplayerQoSRow    `json:"mplayer_qos,omitempty"`
+	TriggerBase  *TriggerRun        `json:"trigger_base,omitempty"`
+	TriggerCoord *TriggerRun        `json:"trigger_coord,omitempty"`
+	Interference *InterferenceRun   `json:"interference,omitempty"`
+	PowerCap     *PowerCapRun       `json:"power_cap,omitempty"`
+	Scalability  []ScalabilityPoint `json:"scalability,omitempty"`
+}
+
+// ExportJSON renders the bundle as indented JSON.
+func (r *Results) ExportJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("repro: export: %w", err)
+	}
+	return out, nil
+}

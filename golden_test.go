@@ -1,0 +1,106 @@
+package repro
+
+// Golden regression test: locks the headline results of short deterministic
+// runs. Any change to the models or their calibration shows up here as an
+// explicit diff. Refresh with:
+//
+//	GOLDEN_UPDATE=1 go test -run TestGolden .
+//
+// The comparison is exact — the simulation is a pure function of its seed.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+type golden struct {
+	RubisBaseThroughput  float64 `json:"rubis_base_throughput"`
+	RubisCoordThroughput float64 `json:"rubis_coord_throughput"`
+	RubisBaseMeanMs      float64 `json:"rubis_base_mean_ms"`
+	RubisCoordMeanMs     float64 `json:"rubis_coord_mean_ms"`
+	RubisTunesSent       uint64  `json:"rubis_tunes_sent"`
+	QoSBaseDom2FPS       float64 `json:"qos_base_dom2_fps"`
+	QoSCoordDom2FPS      float64 `json:"qos_coord_dom2_fps"`
+	TriggerBaseFPS       float64 `json:"trigger_base_fps"`
+	TriggerCoordFPS      float64 `json:"trigger_coord_fps"`
+	Triggers             uint64  `json:"triggers"`
+}
+
+func measureGolden() golden {
+	cfg := RubisConfig{Seed: 1, Duration: 40 * time.Second, Warmup: 10 * time.Second}
+	base, coord := CompareRubis(cfg)
+	qos := RunMplayerQoS(1, 30*time.Second)
+	tb, tc := RunMplayerTrigger(1, 60*time.Second)
+	return golden{
+		RubisBaseThroughput:  base.Throughput,
+		RubisCoordThroughput: coord.Throughput,
+		RubisBaseMeanMs:      base.MeanOverTypes(),
+		RubisCoordMeanMs:     coord.MeanOverTypes(),
+		RubisTunesSent:       coord.TunesSent,
+		QoSBaseDom2FPS:       qos[0].Dom2FPS,
+		QoSCoordDom2FPS:      qos[1].Dom2FPS,
+		TriggerBaseFPS:       tb.Dom1FPS,
+		TriggerCoordFPS:      tc.Dom1FPS,
+		Triggers:             tc.Triggers,
+	}
+}
+
+func TestGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long golden run")
+	}
+	path := filepath.Join("testdata", "golden.json")
+	got := measureGolden()
+
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file refreshed: %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (run GOLDEN_UPDATE=1 go test -run TestGolden .): %v", err)
+	}
+	var want golden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("results drifted from golden file.\ngot:\n%s\nwant:\n%s", gotJSON, data)
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	r := &Results{
+		Scalability: RunCoordScalability(ScalabilityConfig{Islands: []int{2}, Duration: time.Second}),
+	}
+	out, err := r.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	if len(back.Scalability) != len(r.Scalability) {
+		t.Fatal("scalability points lost in round trip")
+	}
+	if back.RubisBase != nil {
+		t.Fatal("omitted field materialized")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Actuator translates incoming coordination messages into an island's
+// native resource-management actions. The x86 island's actuator adjusts
+// Xen credit weights and boosts runqueue positions; the IXP island's
+// actuator adjusts dequeue-thread allocations.
+type Actuator interface {
+	// ApplyTune translates a Tune delta for the entity into the island's
+	// scheduler terms, returning an error if the entity is unknown or the
+	// adjustment is not applicable.
+	ApplyTune(entity, delta int) error
+	// ApplyTrigger grants the entity resources as soon as possible.
+	ApplyTrigger(entity int) error
+}
+
+// AgentStats counts an agent's coordination traffic.
+type AgentStats struct {
+	TunesSent        uint64
+	TriggersSent     uint64
+	TunesApplied     uint64
+	TriggersApplied  uint64
+	ApplyErrors      uint64
+	RateLimitDropped uint64
+}
+
+// Agent is one island's coordination endpoint: it emits Tune/Trigger
+// requests toward remote islands through its uplink, and applies requests
+// arriving from remote islands to its local resource manager through the
+// Actuator.
+type Agent struct {
+	name     string
+	uplink   Transport // toward the controller; nil when co-located
+	route    func(Message)
+	actuator Actuator
+	limiter  *RateLimiter
+	stats    AgentStats
+
+	trace  func(Message) // optional message tap for tests/harness
+	tracer *trace.Tracer // optional structured-event trace
+}
+
+// AgentOption customizes an Agent.
+type AgentOption func(*Agent)
+
+// WithRateLimit drops outbound messages for an entity when they would
+// exceed one per minInterval (per entity, per kind). The paper applies
+// coordination per request; rate limiting is the practical damper for
+// oscillating request streams discussed in §3.1.
+func WithRateLimit(s *sim.Simulator, minInterval sim.Time) AgentOption {
+	return func(a *Agent) { a.limiter = NewRateLimiter(s, minInterval) }
+}
+
+// WithTrace installs fn as a tap on every message the agent sends or
+// applies.
+func WithTrace(fn func(Message)) AgentOption {
+	return func(a *Agent) { a.trace = fn }
+}
+
+// WithTracer records every sent and applied message into a structured
+// event trace (category CatCoord).
+func WithTracer(t *trace.Tracer) AgentOption {
+	return func(a *Agent) { a.tracer = t }
+}
+
+// NewAgent creates an island agent. For remote islands, uplink carries
+// messages to the controller and its reverse direction must be wired to
+// Deliver. For the island co-located with the controller, pass a nil
+// uplink and a route function (typically Controller.Route).
+func NewAgent(name string, uplink Transport, route func(Message), actuator Actuator, opts ...AgentOption) *Agent {
+	if name == "" {
+		panic("core: agent with empty name")
+	}
+	if (uplink == nil) == (route == nil) {
+		panic(fmt.Sprintf("core: agent %q must have exactly one of uplink and route", name))
+	}
+	a := &Agent{name: name, uplink: uplink, route: route, actuator: actuator}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Name returns the agent's island name.
+func (a *Agent) Name() string { return a.name }
+
+// Stats returns a snapshot of the agent's coordination counters.
+func (a *Agent) Stats() AgentStats { return a.stats }
+
+// SendTune emits a Tune request: adjust entity's resources in the target
+// island by delta (positive = increase). Returns false if rate-limited.
+func (a *Agent) SendTune(target string, entity, delta int) bool {
+	return a.send(Message{Kind: KindTune, From: a.name, Target: target, Entity: entity, Delta: delta})
+}
+
+// SendTrigger emits a Trigger request: allocate resources to entity in the
+// target island as soon as possible. Returns false if rate-limited.
+func (a *Agent) SendTrigger(target string, entity int) bool {
+	return a.send(Message{Kind: KindTrigger, From: a.name, Target: target, Entity: entity})
+}
+
+func (a *Agent) send(msg Message) bool {
+	if a.limiter != nil && !a.limiter.Allow(msg.Kind, msg.Entity) {
+		a.stats.RateLimitDropped++
+		return false
+	}
+	switch msg.Kind {
+	case KindTune:
+		a.stats.TunesSent++
+	case KindTrigger:
+		a.stats.TriggersSent++
+	}
+	if a.trace != nil {
+		a.trace(msg)
+	}
+	if a.tracer.Enabled(trace.CatCoord) {
+		a.tracer.Emit(trace.CatCoord, "send %v", msg)
+	}
+	if a.uplink != nil {
+		a.uplink.Send(msg)
+	} else {
+		a.route(msg)
+	}
+	return true
+}
+
+// Deliver applies an inbound coordination message to the local resource
+// manager. Wire it as the receiver of the island's downlink (or pass it as
+// IslandHandle.Local for co-located islands).
+func (a *Agent) Deliver(msg Message) {
+	if a.actuator == nil {
+		a.stats.ApplyErrors++
+		return
+	}
+	if a.trace != nil {
+		a.trace(msg)
+	}
+	if a.tracer.Enabled(trace.CatCoord) {
+		a.tracer.Emit(trace.CatCoord, "apply %v", msg)
+	}
+	var err error
+	switch msg.Kind {
+	case KindTune:
+		err = a.actuator.ApplyTune(msg.Entity, msg.Delta)
+		if err == nil {
+			a.stats.TunesApplied++
+		}
+	case KindTrigger:
+		err = a.actuator.ApplyTrigger(msg.Entity)
+		if err == nil {
+			a.stats.TriggersApplied++
+		}
+	default:
+		err = fmt.Errorf("core: agent %q cannot apply %v", a.name, msg.Kind)
+	}
+	if err != nil {
+		a.stats.ApplyErrors++
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IslandHandle is the controller's view of a registered scheduling island:
+// a name plus the downlink used to reach its agent. Islands co-located with
+// the controller (the x86 island in the prototype) register with a nil
+// downlink and a local delivery function instead.
+type IslandHandle struct {
+	Name     string
+	Downlink Transport     // nil for co-located islands
+	Local    func(Message) // delivery for co-located islands
+}
+
+// Controller is the global coordination controller: the first privileged
+// domain to boot registers it, every island and spanning entity registers
+// with it, and it routes coordination messages between islands (§2.3).
+type Controller struct {
+	islands  map[string]IslandHandle
+	entities map[int]Entity
+
+	routed    uint64
+	unroutble uint64
+}
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{
+		islands:  make(map[string]IslandHandle),
+		entities: make(map[int]Entity),
+	}
+}
+
+// RegisterIsland adds an island to the routing table. Exactly one of
+// h.Downlink and h.Local must be set.
+func (c *Controller) RegisterIsland(h IslandHandle) error {
+	if h.Name == "" {
+		return fmt.Errorf("core: island with empty name")
+	}
+	if _, dup := c.islands[h.Name]; dup {
+		return fmt.Errorf("core: island %q already registered", h.Name)
+	}
+	if (h.Downlink == nil) == (h.Local == nil) {
+		return fmt.Errorf("core: island %q must set exactly one of Downlink and Local", h.Name)
+	}
+	c.islands[h.Name] = h
+	return nil
+}
+
+// RegisterEntity records a platform-wide entity (e.g. a guest VM that will
+// send and receive traffic through the IXP).
+func (c *Controller) RegisterEntity(e Entity) error {
+	if _, dup := c.entities[e.ID]; dup {
+		return fmt.Errorf("core: entity %d already registered", e.ID)
+	}
+	if _, ok := c.islands[e.Home]; e.Home != "" && !ok {
+		return fmt.Errorf("core: entity %d names unknown home island %q", e.ID, e.Home)
+	}
+	c.entities[e.ID] = e
+	return nil
+}
+
+// Entity returns the registered entity with the given ID.
+func (c *Controller) Entity(id int) (Entity, bool) {
+	e, ok := c.entities[id]
+	return e, ok
+}
+
+// Islands returns the registered island names, sorted.
+func (c *Controller) Islands() []string {
+	names := make([]string, 0, len(c.islands))
+	for n := range c.islands {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Route delivers msg to its target island. Unknown targets and unknown
+// entities are counted and dropped — a coordination layer must tolerate
+// stale identifiers, not crash the control plane.
+func (c *Controller) Route(msg Message) {
+	h, ok := c.islands[msg.Target]
+	if !ok {
+		c.unroutble++
+		return
+	}
+	if _, ok := c.entities[msg.Entity]; !ok {
+		c.unroutble++
+		return
+	}
+	c.routed++
+	if h.Local != nil {
+		h.Local(msg)
+		return
+	}
+	h.Downlink.Send(msg)
+}
+
+// Routed returns the number of successfully routed messages.
+func (c *Controller) Routed() uint64 { return c.routed }
+
+// Unroutable returns messages dropped for unknown target or entity.
+func (c *Controller) Unroutable() uint64 { return c.unroutble }

@@ -1,0 +1,79 @@
+// Package core implements the paper's contribution: standard coordination
+// mechanisms and interfaces between the independent resource managers of a
+// heterogeneous platform's scheduling islands.
+//
+// The paper identifies two low-level mechanisms from which richer
+// coordination algorithms are composed (§3.3):
+//
+//   - Tune: a fine-grained resource-adjustment request for an entity in a
+//     remote island — a message carrying an entity identifier and a +/-
+//     numerical value, translated at the remote island into whatever its
+//     scheduler understands (credit-weight deltas in Xen, dequeue-thread or
+//     poll-interval adjustments on the IXP).
+//
+//   - Trigger: an immediate, interrupt-like notification requesting
+//     resources for an entity in a remote island as soon as possible, with
+//     preemptive semantics (a Xen runqueue boost).
+//
+// Architecture: at system initialization every scheduling island registers
+// with a GlobalController (hosted by the first privileged domain to boot,
+// Dom0 in the prototype). Entities (VMs) deployed across islands register
+// too, giving every island a shared namespace of entity identifiers.
+// Coordination messages travel island-to-island over Transports (the PCIe
+// mailbox in the prototype) and are routed by the controller.
+package core
+
+import "fmt"
+
+// Kind discriminates coordination message types.
+type Kind int
+
+// Message kinds.
+const (
+	KindTune Kind = iota
+	KindTrigger
+	KindRegister
+)
+
+// String names the message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTune:
+		return "tune"
+	case KindTrigger:
+		return "trigger"
+	case KindRegister:
+		return "register"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Message is a coordination message exchanged between islands.
+type Message struct {
+	Kind   Kind
+	From   string // source island
+	Target string // destination island
+	Entity int    // platform-wide entity (VM) identifier
+	Delta  int    // Tune only: +/- resource adjustment value
+}
+
+// String renders the message for tracing.
+func (m Message) String() string {
+	switch m.Kind {
+	case KindTune:
+		return fmt.Sprintf("tune{%s->%s entity=%d delta=%+d}", m.From, m.Target, m.Entity, m.Delta)
+	case KindTrigger:
+		return fmt.Sprintf("trigger{%s->%s entity=%d}", m.From, m.Target, m.Entity)
+	default:
+		return fmt.Sprintf("%s{%s->%s entity=%d}", m.Kind, m.From, m.Target, m.Entity)
+	}
+}
+
+// Entity is a platform-wide managed entity — in the prototype, a guest VM
+// that spans islands (scheduled by Xen, fed by the IXP).
+type Entity struct {
+	ID   int    // platform-wide identifier (the Xen domain ID in the prototype)
+	Name string // human-readable name
+	Home string // island owning the entity's primary abstraction
+}

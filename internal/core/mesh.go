@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mesh is the distributed alternative to the central Controller — the
+// paper's ongoing work on "distributed coordination algorithms across
+// multiple island resource managers" (§5). Every island keeps a replica of
+// the entity directory and addresses peer islands over direct transports,
+// removing the controller hop and its serialization (see the scalability
+// experiment for the quantitative comparison).
+type Mesh struct {
+	factory  func(from, to string) Transport
+	nodes    map[string]*meshNode
+	order    []string
+	entities map[int]Entity // replicated directory
+
+	routed     uint64
+	unroutable uint64
+}
+
+// meshNode is one island's endpoint: its agent plus direct links to peers.
+type meshNode struct {
+	name  string
+	agent *Agent
+	links map[string]Transport // keyed by peer island
+}
+
+// NewMesh builds a mesh whose island-to-island transports come from
+// factory (called once per ordered pair as islands join).
+func NewMesh(factory func(from, to string) Transport) *Mesh {
+	if factory == nil {
+		panic("core: mesh with nil transport factory")
+	}
+	return &Mesh{
+		factory:  factory,
+		nodes:    make(map[string]*meshNode),
+		entities: make(map[int]Entity),
+	}
+}
+
+// AddIsland joins an island to the mesh, creating direct transports to and
+// from every existing member, and returns its coordination agent.
+func (m *Mesh) AddIsland(name string, act Actuator, opts ...AgentOption) (*Agent, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: mesh island with empty name")
+	}
+	if _, dup := m.nodes[name]; dup {
+		return nil, fmt.Errorf("core: mesh island %q already joined", name)
+	}
+	node := &meshNode{name: name, links: make(map[string]Transport)}
+	route := func(msg Message) { m.route(node, msg) }
+	node.agent = NewAgent(name, nil, route, act, opts...)
+
+	for _, peerName := range m.order {
+		peer := m.nodes[peerName]
+		out := m.factory(name, peerName)
+		out.SetReceiver(peer.agent.Deliver)
+		node.links[peerName] = out
+		back := m.factory(peerName, name)
+		back.SetReceiver(node.agent.Deliver)
+		peer.links[name] = back
+	}
+	m.nodes[name] = node
+	m.order = append(m.order, name)
+	return node.agent, nil
+}
+
+// RegisterEntity replicates an entity into every island's directory.
+func (m *Mesh) RegisterEntity(e Entity) error {
+	if _, dup := m.entities[e.ID]; dup {
+		return fmt.Errorf("core: entity %d already registered", e.ID)
+	}
+	if e.Home != "" {
+		if _, ok := m.nodes[e.Home]; !ok {
+			return fmt.Errorf("core: entity %d names unknown home island %q", e.ID, e.Home)
+		}
+	}
+	m.entities[e.ID] = e
+	return nil
+}
+
+// Entity returns the replicated directory entry for id.
+func (m *Mesh) Entity(id int) (Entity, bool) {
+	e, ok := m.entities[id]
+	return e, ok
+}
+
+// Islands returns the member island names, sorted.
+func (m *Mesh) Islands() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	sort.Strings(out)
+	return out
+}
+
+// Agent returns the named island's agent, or nil.
+func (m *Mesh) Agent(name string) *Agent {
+	if n, ok := m.nodes[name]; ok {
+		return n.agent
+	}
+	return nil
+}
+
+// Routed and Unroutable mirror the Controller's counters.
+func (m *Mesh) Routed() uint64 { return m.routed }
+
+// Unroutable returns messages dropped for unknown target island or entity.
+func (m *Mesh) Unroutable() uint64 { return m.unroutable }
+
+// route sends msg from the originating node directly to the target island.
+func (m *Mesh) route(from *meshNode, msg Message) {
+	link, ok := from.links[msg.Target]
+	if !ok {
+		// A message to the local island applies locally — islands may use
+		// the same policy code regardless of where the entity lives.
+		if msg.Target == from.name {
+			m.routed++
+			from.agent.Deliver(msg)
+			return
+		}
+		m.unroutable++
+		return
+	}
+	if _, ok := m.entities[msg.Entity]; !ok {
+		m.unroutable++
+		return
+	}
+	m.routed++
+	link.Send(msg)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newTestMesh(s *sim.Simulator, latency sim.Time) *Mesh {
+	return NewMesh(func(from, to string) Transport {
+		return NewSimTransport(s, latency)
+	})
+}
+
+func TestMeshDirectDelivery(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMesh(s, 100*sim.Microsecond)
+	actA, actB := &fakeActuator{}, &fakeActuator{}
+	a, err := m.AddIsland("a", actA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddIsland("b", actB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterEntity(Entity{ID: 1, Home: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt sim.Time
+	s.At(0, func() { a.SendTune("b", 1, +7) })
+	s.At(200*sim.Microsecond, func() { deliveredAt = s.Now() })
+	s.Run()
+	_ = deliveredAt
+	if len(actB.tunes) != 1 || actB.tunes[0] != 7 {
+		t.Fatalf("b applied %v", actB.tunes)
+	}
+	if m.Routed() != 1 {
+		t.Fatalf("Routed = %d", m.Routed())
+	}
+}
+
+func TestMeshSingleHopLatency(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMesh(s, 150*sim.Microsecond)
+	var appliedAt sim.Time
+	tap := WithTrace(func(Message) { appliedAt = s.Now() })
+	a, _ := m.AddIsland("a", &fakeActuator{})
+	if _, err := m.AddIsland("b", &fakeActuator{}, tap); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterEntity(Entity{ID: 1, Home: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	a.SendTrigger("b", 1)
+	s.Run()
+	if appliedAt != 150*sim.Microsecond {
+		t.Fatalf("applied at %v, want one hop (150us)", appliedAt)
+	}
+}
+
+func TestMeshFullConnectivity(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMesh(s, sim.Microsecond)
+	acts := map[string]*fakeActuator{}
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		acts[n] = &fakeActuator{}
+		if _, err := m.AddIsland(n, acts[n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RegisterEntity(Entity{ID: 1, Home: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Every island tunes every other island.
+	for _, from := range names {
+		for _, to := range names {
+			if from != to {
+				m.Agent(from).SendTune(to, 1, 1)
+			}
+		}
+	}
+	s.Run()
+	for _, n := range names {
+		if got := len(acts[n].tunes); got != 3 {
+			t.Fatalf("island %s applied %d tunes, want 3", n, got)
+		}
+	}
+	if m.Routed() != 12 {
+		t.Fatalf("Routed = %d, want 12", m.Routed())
+	}
+	if got := m.Islands(); len(got) != 4 || got[0] != "a" || got[3] != "d" {
+		t.Fatalf("Islands = %v", got)
+	}
+}
+
+func TestMeshLocalTargetAppliesLocally(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMesh(s, sim.Microsecond)
+	act := &fakeActuator{}
+	a, _ := m.AddIsland("solo", act)
+	if err := m.RegisterEntity(Entity{ID: 5, Home: "solo"}); err != nil {
+		t.Fatal(err)
+	}
+	a.SendTune("solo", 5, 3)
+	s.Run()
+	if len(act.tunes) != 1 {
+		t.Fatalf("local apply missing: %v", act.tunes)
+	}
+}
+
+func TestMeshUnroutable(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMesh(s, sim.Microsecond)
+	a, _ := m.AddIsland("a", &fakeActuator{})
+	m.AddIsland("b", &fakeActuator{})
+	a.SendTune("ghost", 1, 1) // unknown island
+	a.SendTune("b", 99, 1)    // unknown entity
+	s.Run()
+	if m.Unroutable() != 2 {
+		t.Fatalf("Unroutable = %d", m.Unroutable())
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	s := sim.New(1)
+	m := newTestMesh(s, 0)
+	if _, err := m.AddIsland("", nil); err == nil {
+		t.Fatal("empty island name accepted")
+	}
+	if _, err := m.AddIsland("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddIsland("a", nil); err == nil {
+		t.Fatal("duplicate island accepted")
+	}
+	if err := m.RegisterEntity(Entity{ID: 1, Home: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterEntity(Entity{ID: 1}); err == nil {
+		t.Fatal("duplicate entity accepted")
+	}
+	if err := m.RegisterEntity(Entity{ID: 2, Home: "ghost"}); err == nil {
+		t.Fatal("unknown home accepted")
+	}
+	if _, ok := m.Entity(1); !ok {
+		t.Fatal("Entity lookup failed")
+	}
+	if m.Agent("ghost") != nil {
+		t.Fatal("ghost agent returned")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil factory did not panic")
+		}
+	}()
+	NewMesh(nil)
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ixp"
+)
+
+// RequestKind is the coarse resource classification of an application
+// request, as established by offline profiling of the multi-tier workload:
+// read (browsing) requests exercise the web tier, write (servlet) requests
+// exercise the database tier, and the application tier follows whichever is
+// active (§3.1).
+type RequestKind int
+
+// Request kinds.
+const (
+	NeutralRequest RequestKind = iota
+	ReadRequest
+	WriteRequest
+)
+
+// TierEntities names the platform-wide entity IDs of the three RUBiS tiers.
+type TierEntities struct {
+	Web, App, DB int
+}
+
+// RequestClassPolicy is the paper's RUBiS coordination scheme: the IXP's
+// request classifier reports each incoming request's kind, and the policy
+// emits weight-adjustment Tunes for the tier VMs in the x86 island —
+// browsing requests raise the web VM and lower the DB VM, write requests
+// raise the DB VM and lower the web VM, and the application VM is raised
+// with the active tier. Actions are applied per request, exactly as in the
+// prototype (which is what makes the scheme vulnerable to rapid read/write
+// oscillation under coordination-channel latency).
+type RequestClassPolicy struct {
+	agent  *Agent
+	target string
+	tiers  TierEntities
+	step   int
+
+	// The Tune messages carry "+/- numerical values" (§3.3); the magnitudes
+	// encode the offline-profiled demand asymmetry between classes: write
+	// requests imply much heavier database work than read requests imply
+	// database idleness, so the DB increase on a write is steeper than the
+	// DB decrease on a read. Values are multiples of step.
+	WriteDBUp    int // DB delta per write request (default +2*step)
+	ReadDBDown   int // DB delta per read request (default -step/2)
+	ReadWebUp    int // web delta per read request (default +step)
+	WriteWebDown int // web delta per write request (default -step)
+	AppUp        int // app delta per request of either class (default +step)
+
+	reads, writes uint64
+}
+
+// NewRequestClassPolicy builds the policy. step is the weight delta
+// magnitude per request (default 64 if <= 0).
+func NewRequestClassPolicy(agent *Agent, target string, tiers TierEntities, step int) *RequestClassPolicy {
+	if agent == nil {
+		panic("core: RequestClassPolicy with nil agent")
+	}
+	if step <= 0 {
+		step = 64
+	}
+	return &RequestClassPolicy{
+		agent:        agent,
+		target:       target,
+		tiers:        tiers,
+		step:         step,
+		WriteDBUp:    2 * step,
+		ReadDBDown:   -step / 2,
+		ReadWebUp:    step,
+		WriteWebDown: -step,
+		AppUp:        step,
+	}
+}
+
+// OnRequest reacts to one classified request.
+func (p *RequestClassPolicy) OnRequest(kind RequestKind) {
+	switch kind {
+	case ReadRequest:
+		p.reads++
+		p.agent.SendTune(p.target, p.tiers.Web, p.ReadWebUp)
+		p.agent.SendTune(p.target, p.tiers.App, p.AppUp)
+		p.agent.SendTune(p.target, p.tiers.DB, p.ReadDBDown)
+	case WriteRequest:
+		p.writes++
+		p.agent.SendTune(p.target, p.tiers.DB, p.WriteDBUp)
+		p.agent.SendTune(p.target, p.tiers.App, p.AppUp)
+		p.agent.SendTune(p.target, p.tiers.Web, p.WriteWebDown)
+	}
+}
+
+// Counts returns the number of read and write requests observed.
+func (p *RequestClassPolicy) Counts() (reads, writes uint64) { return p.reads, p.writes }
+
+// LoadTrackPolicy is the richer variant of the RUBiS coordination scheme:
+// instead of fixed per-class deltas, the IXP sends each tier a Tune whose
+// value is the request's offline-profiled CPU demand at that tier (scaled).
+// Combined with the x86 actuator's load-tracking translation (decaying
+// boost mass), each tier VM's weight converges to a value proportional to
+// its recently offered load — browsing phases raise the web VM and let the
+// DB VM decay, write phases raise the DB VM, and the app VM follows the
+// active class, exactly the behaviour the paper describes, but with stable
+// interior weights.
+type LoadTrackPolicy struct {
+	agent  *Agent
+	target string
+	tiers  TierEntities
+
+	// Scale converts profiled demand milliseconds into Tune delta units
+	// (default 1.0).
+	Scale float64
+
+	requests uint64
+}
+
+// NewLoadTrackPolicy builds the policy.
+func NewLoadTrackPolicy(agent *Agent, target string, tiers TierEntities) *LoadTrackPolicy {
+	if agent == nil {
+		panic("core: LoadTrackPolicy with nil agent")
+	}
+	return &LoadTrackPolicy{agent: agent, target: target, tiers: tiers, Scale: 1}
+}
+
+// Requests returns the number of classified requests observed.
+func (p *LoadTrackPolicy) Requests() uint64 { return p.requests }
+
+// OnRequest reports one classified request's profiled per-tier demands (in
+// milliseconds); the policy emits one demand-scaled Tune per loaded tier.
+func (p *LoadTrackPolicy) OnRequest(webMs, appMs, dbMs float64) {
+	p.requests++
+	send := func(entity int, ms float64) {
+		if d := int(ms*p.Scale + 0.5); d > 0 {
+			p.agent.SendTune(p.target, entity, d)
+		}
+	}
+	send(p.tiers.Web, webMs)
+	send(p.tiers.App, appMs)
+	send(p.tiers.DB, dbMs)
+}
+
+// OutstandingLoadPolicy is the coord-ixp-dom0 scheme used for the RUBiS
+// reproduction: because every VM's traffic transits the IXP in both
+// directions, the classifier can track the *outstanding* profiled demand
+// per tier — demand enters when a classified request is forwarded to the
+// host and leaves when the matching response is transmitted. Each change
+// emits a Tune whose value is the demand delta, so the x86 side holds each
+// tier VM's weight at base + k*(outstanding demand): the backlogged tier is
+// prioritized exactly while it is backlogged, which is what shortens the
+// write-burst queues the paper's Table 1 measures. Actions remain strictly
+// per-request (§3.1), and the scheme degrades under coordination-channel
+// latency the same way the paper reports.
+type OutstandingLoadPolicy struct {
+	agent  *Agent
+	target string
+	tiers  TierEntities
+
+	// Scale converts profiled demand milliseconds into Tune units
+	// (default 1.0).
+	Scale float64
+	// Per-tier urgency factors, multiplied into each tier's deltas. The
+	// front tiers serve short interactive requests, so a millisecond of
+	// web backlog is weighted more heavily than a millisecond of database
+	// backlog (defaults 3.0 / 1.5 / 1.0) — without this, the slow tier's
+	// raw backlog magnitude would monopolize the weights and static
+	// browsing would regress.
+	WebFactor, AppFactor, DBFactor float64
+
+	requests, responses uint64
+}
+
+// NewOutstandingLoadPolicy builds the policy.
+func NewOutstandingLoadPolicy(agent *Agent, target string, tiers TierEntities) *OutstandingLoadPolicy {
+	if agent == nil {
+		panic("core: OutstandingLoadPolicy with nil agent")
+	}
+	return &OutstandingLoadPolicy{
+		agent: agent, target: target, tiers: tiers,
+		Scale: 1, WebFactor: 3, AppFactor: 1.5, DBFactor: 1,
+	}
+}
+
+// Counts returns the requests and responses observed.
+func (p *OutstandingLoadPolicy) Counts() (requests, responses uint64) {
+	return p.requests, p.responses
+}
+
+// OnRequest reports a classified inbound request's profiled per-tier
+// demands (ms); outstanding demand rises.
+func (p *OutstandingLoadPolicy) OnRequest(webMs, appMs, dbMs float64) {
+	p.requests++
+	p.sendDeltas(webMs, appMs, dbMs, +1)
+}
+
+// OnResponse reports the matching outbound response; outstanding demand
+// falls.
+func (p *OutstandingLoadPolicy) OnResponse(webMs, appMs, dbMs float64) {
+	p.responses++
+	p.sendDeltas(webMs, appMs, dbMs, -1)
+}
+
+func (p *OutstandingLoadPolicy) sendDeltas(webMs, appMs, dbMs float64, sign int) {
+	send := func(entity int, ms, factor float64) {
+		if d := int(ms*p.Scale*factor + 0.5); d > 0 {
+			p.agent.SendTune(p.target, entity, sign*d)
+		}
+	}
+	send(p.tiers.Web, webMs, p.WebFactor)
+	send(p.tiers.App, appMs, p.AppFactor)
+	send(p.tiers.DB, dbMs, p.DBFactor)
+}
+
+// StreamQoSPolicy is the paper's first MPlayer scheme: when an RTSP session
+// is established the IXP records the stream's bit- and frame-rate per guest
+// VM, and the policy sends weight increases for high-rate streams and a
+// weight decrease for low-rate ones. Bitrate and frame rate contribute
+// separately, which is how the paper's two streams end up at weights 384
+// (high bitrate only) and 512 (high bitrate and high frame rate) from a
+// 256 base.
+type StreamQoSPolicy struct {
+	agent  *Agent
+	target string
+
+	// Rates at or above these thresholds classify a stream as "high".
+	HighBitrate   float64 // bits/s (default 250 kbit/s)
+	HighFrameRate float64 // frames/s (default 24)
+	// IncreaseStep is applied once per satisfied threshold; DecreaseStep is
+	// applied when neither is satisfied.
+	IncreaseStep int // default +128
+	DecreaseStep int // default -64
+}
+
+// NewStreamQoSPolicy builds the policy with the defaults above.
+func NewStreamQoSPolicy(agent *Agent, target string) *StreamQoSPolicy {
+	if agent == nil {
+		panic("core: StreamQoSPolicy with nil agent")
+	}
+	return &StreamQoSPolicy{
+		agent:         agent,
+		target:        target,
+		HighBitrate:   250e3,
+		HighFrameRate: 24,
+		IncreaseStep:  128,
+		DecreaseStep:  -64,
+	}
+}
+
+// DeltaFor returns the weight delta the policy applies for a stream.
+func (p *StreamQoSPolicy) DeltaFor(st ixp.StreamState) int {
+	delta := 0
+	if st.BitrateBn >= p.HighBitrate {
+		delta += p.IncreaseStep
+	}
+	if st.FrameRate >= p.HighFrameRate {
+		delta += p.IncreaseStep
+	}
+	if delta == 0 {
+		delta = p.DecreaseStep
+	}
+	return delta
+}
+
+// OnSession reacts to a newly established stream session for a VM.
+func (p *StreamQoSPolicy) OnSession(st ixp.StreamState) {
+	p.agent.SendTune(p.target, st.VMID, p.DeltaFor(st))
+}
+
+// BufferWatermarkPolicy is the paper's second MPlayer scheme (Figure 7):
+// purely system-level coordination. When a VM's packet queue in IXP DRAM
+// crosses a byte threshold, an immediate Trigger is sent so the x86 island
+// boosts the dequeuing VM before the frontend buffer overflows.
+type BufferWatermarkPolicy struct {
+	agent     *Agent
+	target    string
+	threshold int
+
+	fired uint64
+}
+
+// DefaultWatermark is the paper's 128 KB trigger threshold.
+const DefaultWatermark = 128 << 10
+
+// NewBufferWatermarkPolicy builds the policy; threshold <= 0 selects the
+// paper's 128 KB default.
+func NewBufferWatermarkPolicy(agent *Agent, target string, threshold int) *BufferWatermarkPolicy {
+	if agent == nil {
+		panic("core: BufferWatermarkPolicy with nil agent")
+	}
+	if threshold <= 0 {
+		threshold = DefaultWatermark
+	}
+	return &BufferWatermarkPolicy{agent: agent, target: target, threshold: threshold}
+}
+
+// Threshold returns the active byte threshold.
+func (p *BufferWatermarkPolicy) Threshold() int { return p.threshold }
+
+// Fired returns how many triggers the policy has sent.
+func (p *BufferWatermarkPolicy) Fired() uint64 { return p.fired }
+
+// Attach arms the watermark on each given VM's flow queue.
+func (p *BufferWatermarkPolicy) Attach(x *ixp.IXP, vmIDs ...int) error {
+	for _, vm := range vmIDs {
+		q := x.Flow(vm)
+		if q == nil {
+			return fmt.Errorf("core: no IXP flow for VM %d", vm)
+		}
+		vm := vm
+		q.SetHighWatermark(p.threshold, func(int) {
+			p.fired++
+			p.agent.SendTrigger(p.target, vm)
+		})
+	}
+	return nil
+}

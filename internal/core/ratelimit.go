@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RateLimiter enforces a minimum interval between coordination messages of
+// the same kind for the same entity. It damps the message storms that
+// per-packet policies would otherwise generate on rapidly oscillating
+// request streams.
+type RateLimiter struct {
+	sim      *sim.Simulator
+	interval sim.Time
+	last     map[[2]int]sim.Time
+	seen     map[[2]int]bool
+}
+
+// NewRateLimiter returns a limiter allowing one message per (kind, entity)
+// each minInterval. A zero interval allows everything.
+func NewRateLimiter(s *sim.Simulator, minInterval sim.Time) *RateLimiter {
+	if minInterval < 0 {
+		panic(fmt.Sprintf("core: negative rate-limit interval %v", minInterval))
+	}
+	return &RateLimiter{
+		sim:      s,
+		interval: minInterval,
+		last:     make(map[[2]int]sim.Time),
+		seen:     make(map[[2]int]bool),
+	}
+}
+
+// Allow reports whether a message of kind for entity may be sent now, and
+// records it if so.
+func (r *RateLimiter) Allow(kind Kind, entity int) bool {
+	if r.interval == 0 {
+		return true
+	}
+	key := [2]int{int(kind), entity}
+	now := r.sim.Now()
+	if r.seen[key] && now-r.last[key] < r.interval {
+		return false
+	}
+	r.seen[key] = true
+	r.last[key] = now
+	return true
+}
+
+// Interval returns the configured minimum interval.
+func (r *RateLimiter) Interval() sim.Time { return r.interval }

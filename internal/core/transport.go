@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// Transport carries coordination messages from one island toward the
+// controller (and back). Implementations define latency behaviour; the
+// prototype's transport is the PCIe mailbox.
+type Transport interface {
+	// Send conveys msg to the far side, invoking the receiver installed
+	// with SetReceiver there.
+	Send(msg Message)
+	// SetReceiver installs the far side's message consumer.
+	SetReceiver(fn func(Message))
+}
+
+// MailboxTransport adapts one direction of a pcie.Mailbox as a Transport:
+// device->host for the IXP agent's uplink, host->device for the downlink.
+type MailboxTransport struct {
+	mb     *pcie.Mailbox
+	toHost bool
+}
+
+// NewDeviceUplink returns the IXP-side transport sending toward the host
+// (where the controller lives).
+func NewDeviceUplink(mb *pcie.Mailbox) *MailboxTransport {
+	return &MailboxTransport{mb: mb, toHost: true}
+}
+
+// NewHostDownlink returns the host-side transport sending toward the device.
+func NewHostDownlink(mb *pcie.Mailbox) *MailboxTransport {
+	return &MailboxTransport{mb: mb, toHost: false}
+}
+
+// Send conveys msg over the mailbox after its one-way latency.
+func (t *MailboxTransport) Send(msg Message) {
+	if t.toHost {
+		t.mb.SendToHost(msg)
+	} else {
+		t.mb.SendToDevice(msg)
+	}
+}
+
+// SetReceiver installs the consumer on the receiving end of this direction.
+func (t *MailboxTransport) SetReceiver(fn func(Message)) {
+	h := func(m pcie.Message) {
+		cm, ok := m.(Message)
+		if !ok {
+			panic(fmt.Sprintf("core: non-coordination message %T on mailbox", m))
+		}
+		fn(cm)
+	}
+	if t.toHost {
+		t.mb.OnHostReceive(h)
+	} else {
+		t.mb.OnDeviceReceive(h)
+	}
+}
+
+// SimTransport is a standalone latency-modeled transport used for
+// scalability studies of the coordination mechanisms (the paper's future
+// work on large-scale multicores): it delivers messages after a fixed
+// one-way latency without a PCIe device behind it.
+type SimTransport struct {
+	sim     *sim.Simulator
+	latency sim.Time
+	recv    func(Message)
+	sent    uint64
+}
+
+// NewSimTransport returns a transport delivering after latency.
+func NewSimTransport(s *sim.Simulator, latency sim.Time) *SimTransport {
+	if latency < 0 {
+		panic(fmt.Sprintf("core: negative transport latency %v", latency))
+	}
+	return &SimTransport{sim: s, latency: latency}
+}
+
+// Send conveys msg after the configured latency.
+func (t *SimTransport) Send(msg Message) {
+	t.sent++
+	t.sim.After(t.latency, func() {
+		if t.recv != nil {
+			t.recv(msg)
+		}
+	})
+}
+
+// SetReceiver installs the message consumer.
+func (t *SimTransport) SetReceiver(fn func(Message)) { t.recv = fn }
+
+// Sent returns the number of messages sent.
+func (t *SimTransport) Sent() uint64 { return t.sent }

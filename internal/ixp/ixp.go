@@ -1,0 +1,329 @@
+// Package ixp models the paper's second scheduling island: an Intel IXP2850
+// network processor (on a Netronome i8000 card) acting as the programmable
+// network interface for all guest-VM traffic.
+//
+// The model keeps the pieces the paper's coordination schemes depend on:
+//
+//   - a receive pipeline (Rx microengine threads + classifier) that performs
+//     deep packet inspection and steers packets into per-VM flow queues
+//     backed by IXP DRAM buffers;
+//   - a software weighted scheduler on top of the hardware round-robin
+//     thread switching: each flow queue is served by a configurable number
+//     of dequeue threads with a configurable polling interval, which is the
+//     IXP-side resource-allocation knob ("by tuning the number of dequeuing
+//     threads per queue and their polling intervals, we can control the
+//     ingress and egress network bandwidth seen by the VM");
+//   - PCI-Rx / PCI-Tx engines bridging to the host message queues over the
+//     PCIe channel; and
+//   - the XScale control core where the IXP-side coordination agent runs
+//     (flow-state tracking, buffer watermark monitoring).
+//
+// Microengine arithmetic (16 MEs x 8 threads @ 1.4 GHz) bounds how many
+// threads the scheduler may hand out; per-packet costs are expressed as
+// thread-occupancy times derived from cycle counts at that clock.
+package ixp
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Hardware constants of the IXP2850 as described in the paper (§2.1).
+const (
+	NumMicroengines = 16
+	ThreadsPerME    = 8
+	ClockHz         = 1.4e9
+
+	// Microengines reserved for the PCIe descriptor engines (PCI-Rx and
+	// PCI-Tx in Figure 3), unavailable to the Rx/Tx/classify scheduler.
+	reservedMEs = 2
+)
+
+// MaxSchedulableThreads is the thread budget available to the Rx/Tx
+// weighted schedulers after the PCI engines take their microengines.
+const MaxSchedulableThreads = (NumMicroengines - reservedMEs) * ThreadsPerME
+
+// Cycles converts a microengine cycle count into simulated time at the
+// 1.4 GHz clock.
+func Cycles(n int) sim.Time {
+	return sim.Time(float64(n) / ClockHz * float64(sim.Second))
+}
+
+// Config tunes the IXP model. Zero fields take defaults chosen to
+// approximate the prototype.
+type Config struct {
+	ClassifyCost   sim.Time // DPI cost per received packet (default ~1.4us = 2000 cycles)
+	DequeueCost    sim.Time // per-packet dequeue+descriptor cost (default ~0.7us)
+	TxCost         sim.Time // per-packet transmit cost to the wire (default ~0.7us)
+	PollInterval   sim.Time // dequeue-thread polling interval when idle (default 50us)
+	ThreadsPerFlow int      // initial dequeue threads per VM flow queue (default 2)
+	BufferBytes    int      // DRAM buffer pool per flow queue (default 512 KB)
+
+	ClassifierThreads int // Rx classification pool size (default 8)
+	RxRingBytes       int // SRAM Rx ring ahead of classification (default 256 KB)
+}
+
+func (c *Config) applyDefaults() {
+	if c.ClassifyCost == 0 {
+		c.ClassifyCost = ClassifyProfile.ServiceTime()
+	}
+	if c.DequeueCost == 0 {
+		c.DequeueCost = DequeueProfile.ServiceTime()
+	}
+	if c.TxCost == 0 {
+		c.TxCost = TxProfile.ServiceTime()
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 50 * sim.Microsecond
+	}
+	if c.ThreadsPerFlow == 0 {
+		c.ThreadsPerFlow = 2
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 512 << 10
+	}
+	if c.ClassifierThreads == 0 {
+		c.ClassifierThreads = 8
+	}
+	if c.RxRingBytes == 0 {
+		c.RxRingBytes = 256 << 10
+	}
+}
+
+// DPI inspects a packet during classification and may rewrite its Class.
+// The RUBiS request classifier and the MPlayer stream classifier are DPIs.
+type DPI func(*netsim.Packet)
+
+// IXP is the network-processor island.
+type IXP struct {
+	sim    *sim.Simulator
+	cfg    Config
+	xsc    *XScale
+	dpis   []DPI
+	txDPIs []DPI
+	tracer *trace.Tracer
+
+	flows     map[int]*FlowQueue // keyed by destination VM
+	flowOrder []int              // deterministic iteration order
+
+	hostChan *pcie.Channel // IXP -> host (PCI-Tx direction)
+	toHost   func(*netsim.Packet)
+	hostGate func() bool // true when the host message ring is full
+
+	rx      *rxStage   // wire -> classification stage
+	txq     *FlowQueue // host -> wire transmit queue
+	toWire  func(*netsim.Packet)
+	threads int    // threads currently allocated (rx flows + tx)
+	mes     *MEMap // thread placement onto physical microengines
+
+	txThreads int
+
+	rxSeen    uint64
+	rxDropped uint64
+	txSeen    uint64
+}
+
+// New builds an IXP attached to the host via hostChan; packets it delivers
+// to the host arrive through deliver (the messaging driver's entry point).
+func New(s *sim.Simulator, cfg Config, hostChan *pcie.Channel, deliver func(*netsim.Packet)) *IXP {
+	cfg.applyDefaults()
+	x := &IXP{
+		sim:      s,
+		cfg:      cfg,
+		flows:    make(map[int]*FlowQueue),
+		hostChan: hostChan,
+		toHost:   deliver,
+	}
+	x.xsc = newXScale(x)
+	x.mes = NewMEMap()
+	x.txThreads = 2
+	x.threads = x.txThreads
+	if err := x.mes.Assign(x.txThreads); err != nil {
+		panic(err)
+	}
+	x.txq = newFlowQueue(x, -1, cfg.BufferBytes)
+	x.txq.setThreads(x.txThreads)
+	x.rx = newRxStage(x, cfg.RxRingBytes)
+	if err := x.mes.Assign(cfg.ClassifierThreads); err != nil {
+		panic(err)
+	}
+	x.threads += cfg.ClassifierThreads
+	x.rx.setThreads(cfg.ClassifierThreads)
+	return x
+}
+
+// Simulator returns the driving simulator.
+func (x *IXP) Simulator() *sim.Simulator { return x.sim }
+
+// Config returns the active (defaulted) configuration.
+func (x *IXP) Config() Config { return x.cfg }
+
+// XScale returns the control core, home of the IXP-side coordination agent.
+func (x *IXP) XScale() *XScale { return x.xsc }
+
+// SetTracer installs a structured-event tracer (nil disables tracing).
+func (x *IXP) SetTracer(t *trace.Tracer) { x.tracer = t }
+
+// AddDPI appends a deep-packet-inspection hook run during receive-side
+// classification (wire -> host traffic).
+func (x *IXP) AddDPI(d DPI) { x.dpis = append(x.dpis, d) }
+
+// AddTxDPI appends an inspection hook run on transmit traffic
+// (host -> wire). The coordination policies that correlate responses with
+// requests (outstanding-load tracking) observe both directions this way.
+func (x *IXP) AddTxDPI(d DPI) { x.txDPIs = append(x.txDPIs, d) }
+
+// RegisterFlow creates the per-VM flow queue for vmID with the default
+// thread allocation. Flows must be registered before traffic arrives (the
+// paper's VM registration with the global controller at deployment time).
+func (x *IXP) RegisterFlow(vmID int) *FlowQueue {
+	if _, ok := x.flows[vmID]; ok {
+		panic(fmt.Sprintf("ixp: flow for VM %d already registered", vmID))
+	}
+	q := newFlowQueue(x, vmID, x.cfg.BufferBytes)
+	x.flows[vmID] = q
+	x.flowOrder = append(x.flowOrder, vmID)
+	if err := x.SetFlowThreads(vmID, x.cfg.ThreadsPerFlow); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Flow returns the flow queue for vmID, or nil.
+func (x *IXP) Flow(vmID int) *FlowQueue { return x.flows[vmID] }
+
+// Flows returns the registered VM IDs in registration order.
+func (x *IXP) Flows() []int { return x.flowOrder }
+
+// ThreadsAllocated returns the total dequeue/tx threads currently assigned.
+func (x *IXP) ThreadsAllocated() int { return x.threads }
+
+// SetFlowThreads changes the number of dequeue threads serving vmID's flow
+// queue — the IXP-side actuation of the Tune mechanism. It fails if the
+// flow is unknown, n < 1, or the microengine thread budget would overflow.
+func (x *IXP) SetFlowThreads(vmID, n int) error {
+	q, ok := x.flows[vmID]
+	if !ok {
+		return fmt.Errorf("ixp: no flow for VM %d", vmID)
+	}
+	if n < 1 {
+		return fmt.Errorf("ixp: flow threads must be >= 1, got %d", n)
+	}
+	delta := n - q.threads
+	if delta > 0 {
+		if err := x.mes.Assign(delta); err != nil {
+			return err
+		}
+	} else if delta < 0 {
+		if err := x.mes.Release(-delta); err != nil {
+			return err
+		}
+	}
+	x.threads += delta
+	q.setThreads(n)
+	return nil
+}
+
+// SetFlowPollInterval overrides the dequeue-thread polling interval for
+// vmID's flow queue — the paper's second IXP-side tuning knob ("by tuning
+// the number of dequeuing threads per queue and their polling intervals").
+// A non-positive interval restores the global default.
+func (x *IXP) SetFlowPollInterval(vmID int, d sim.Time) error {
+	q, ok := x.flows[vmID]
+	if !ok {
+		return fmt.Errorf("ixp: no flow for VM %d", vmID)
+	}
+	if d < 0 {
+		d = 0
+	}
+	q.poll = d
+	return nil
+}
+
+// FlowPollInterval returns the effective polling interval for vmID, or 0
+// for unknown flows.
+func (x *IXP) FlowPollInterval(vmID int) sim.Time {
+	if q, ok := x.flows[vmID]; ok {
+		return q.PollInterval()
+	}
+	return 0
+}
+
+// MEOccupancy returns the per-microengine thread placement (-1 marks the
+// engines reserved for the PCI-Rx/PCI-Tx functions).
+func (x *IXP) MEOccupancy() [NumMicroengines]int { return x.mes.Occupancy() }
+
+// FlowThreads returns the dequeue threads currently serving vmID, or 0.
+func (x *IXP) FlowThreads(vmID int) int {
+	if q, ok := x.flows[vmID]; ok {
+		return q.threads
+	}
+	return 0
+}
+
+// Receive injects a packet arriving from the wire. The packet is classified
+// (DPI hooks run here) and steered into its destination VM's flow queue;
+// packets for unregistered VMs are dropped, as are packets overflowing the
+// queue's DRAM buffers.
+func (x *IXP) Receive(p *netsim.Packet) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	x.rxSeen++
+	// The packet lands in the Rx ring and waits for a classifier thread,
+	// which pays ClassifyCost, runs the DPI hooks, and steers it into its
+	// flow queue.
+	if !x.rx.enqueue(p) {
+		x.rxDropped++
+		if x.tracer.Enabled(trace.CatNet) {
+			x.tracer.Emit(trace.CatNet, "ixp drop: rx ring full (pkt %d)", p.ID)
+		}
+	}
+}
+
+// deliverToHost DMAs a packet descriptor+payload to the host message queue.
+func (x *IXP) deliverToHost(p *netsim.Packet) {
+	x.hostChan.Send(p.Size, func() {
+		if x.toHost != nil {
+			x.toHost(p)
+		}
+	})
+}
+
+// TransmitFromHost accepts a packet DMA'd from the host (PCI-Rx direction)
+// and queues it for transmission to the wire.
+func (x *IXP) TransmitFromHost(p *netsim.Packet) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	x.txSeen++
+	for _, d := range x.txDPIs {
+		d(p)
+	}
+	if !x.txq.enqueue(p) {
+		x.rxDropped++
+	}
+}
+
+// ConnectWire installs the egress callback (packets leaving toward external
+// clients).
+func (x *IXP) ConnectWire(fn func(*netsim.Packet)) { x.toWire = fn }
+
+// ConnectHostGate installs a host-ring-full predicate. While it returns
+// true, dequeue threads stop DMAing descriptors and packets accumulate in
+// IXP DRAM — the backpressure that makes the paper's Figure 7 buffer
+// monitoring meaningful.
+func (x *IXP) ConnectHostGate(fn func() bool) { x.hostGate = fn }
+
+// RxSeen returns packets received from the wire.
+func (x *IXP) RxSeen() uint64 { return x.rxSeen }
+
+// RxDropped returns packets dropped (unknown VM or buffer overflow).
+func (x *IXP) RxDropped() uint64 { return x.rxDropped }
+
+// TxSeen returns packets accepted from the host for transmission.
+func (x *IXP) TxSeen() uint64 { return x.txSeen }

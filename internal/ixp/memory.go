@@ -1,0 +1,140 @@
+package ixp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The IXP2850's memory hierarchy (§2.1 of the paper): each microengine has
+// 640 words of local memory and 256 general-purpose registers; 16 KB of
+// scratchpad, 256 MB of external SRAM (packet descriptor queues), and
+// 256 MB of external DRAM (packet payload) are shared, with increasing
+// access latencies at each level.
+const (
+	LocalMemWords  = 640
+	GPRsPerME      = 256
+	ScratchpadSize = 16 << 10
+	SRAMSize       = 256 << 20
+	DRAMSize       = 256 << 20
+)
+
+// Access latencies per level in microengine cycles (representative values
+// from the IXP2xxx programmer documentation).
+const (
+	LocalMemCycles   = 3
+	ScratchpadCycles = 60
+	SRAMCycles       = 90
+	DRAMCycles       = 120
+)
+
+// AccessProfile characterizes one packet-processing task's footprint: pure
+// compute cycles plus per-level memory references. The hardware switches a
+// microengine to the next ready thread on every memory reference, so the
+// profile determines both a single thread's service time and how well
+// additional threads hide the memory latency.
+type AccessProfile struct {
+	ComputeCycles int
+	LocalRefs     int
+	ScratchRefs   int
+	SRAMRefs      int
+	DRAMRefs      int
+}
+
+// MemoryCycles returns the profile's total memory-stall cycles.
+func (p AccessProfile) MemoryCycles() int {
+	return p.LocalRefs*LocalMemCycles +
+		p.ScratchRefs*ScratchpadCycles +
+		p.SRAMRefs*SRAMCycles +
+		p.DRAMRefs*DRAMCycles
+}
+
+// TotalCycles returns compute plus memory cycles — one thread's unshared
+// per-packet latency.
+func (p AccessProfile) TotalCycles() int { return p.ComputeCycles + p.MemoryCycles() }
+
+// ServiceTime returns one thread's per-packet occupancy as simulated time.
+func (p AccessProfile) ServiceTime() sim.Time { return Cycles(p.TotalCycles()) }
+
+// METhroughput returns the packets/second one microengine sustains with
+// the given number of threads running this profile. Hardware round-robin
+// switching on memory references overlaps one thread's stalls with
+// another's compute, so throughput scales with threads until the compute
+// pipeline saturates:
+//
+//	min(t / (compute+memory), 1 / compute) packets per cycle.
+func (p AccessProfile) METhroughput(threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	total := float64(p.TotalCycles())
+	if total == 0 {
+		return 0
+	}
+	latencyBound := float64(threads) / total
+	computeBound := 1.0 / float64(p.ComputeCycles)
+	perCycle := latencyBound
+	if p.ComputeCycles > 0 && computeBound < perCycle {
+		perCycle = computeBound
+	}
+	return perCycle * ClockHz
+}
+
+// SaturationThreads returns the thread count at which the microengine's
+// compute pipeline saturates for this profile (more threads add nothing).
+func (p AccessProfile) SaturationThreads() int {
+	if p.ComputeCycles <= 0 {
+		return ThreadsPerME
+	}
+	n := (p.TotalCycles() + p.ComputeCycles - 1) / p.ComputeCycles
+	if n > ThreadsPerME {
+		n = ThreadsPerME
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate reports an error for nonsensical profiles.
+func (p AccessProfile) Validate() error {
+	if p.ComputeCycles < 0 || p.LocalRefs < 0 || p.ScratchRefs < 0 || p.SRAMRefs < 0 || p.DRAMRefs < 0 {
+		return fmt.Errorf("ixp: negative fields in access profile %+v", p)
+	}
+	if p.TotalCycles() == 0 {
+		return fmt.Errorf("ixp: empty access profile")
+	}
+	return nil
+}
+
+// Standard task profiles for the pipeline stages of Figure 3. The derived
+// service times set the Config defaults.
+var (
+	// ClassifyProfile is deep packet inspection on the Rx path: header
+	// parse plus payload probes (scratch flow table, SRAM descriptor,
+	// DRAM payload reads).
+	ClassifyProfile = AccessProfile{
+		ComputeCycles: 800,
+		LocalRefs:     16,
+		ScratchRefs:   4,
+		SRAMRefs:      6,
+		DRAMRefs:      3,
+	}
+	// DequeueProfile is a weighted-scheduler thread moving one packet
+	// descriptor from a flow queue to the PCI-Tx ring.
+	DequeueProfile = AccessProfile{
+		ComputeCycles: 280,
+		LocalRefs:     8,
+		ScratchRefs:   2,
+		SRAMRefs:      4,
+		DRAMRefs:      2,
+	}
+	// TxProfile transmits one packet to the wire.
+	TxProfile = AccessProfile{
+		ComputeCycles: 300,
+		LocalRefs:     8,
+		ScratchRefs:   2,
+		SRAMRefs:      3,
+		DRAMRefs:      2,
+	}
+)

@@ -1,0 +1,97 @@
+package ixp
+
+import "fmt"
+
+// MEMap tracks how the weighted scheduler's software threads are placed
+// onto physical microengines. The PCI-Rx and PCI-Tx engines own two
+// microengines outright (Figure 3); the remaining fourteen are a pool the
+// Rx/Tx schedulers draw from, filled first-fit so co-located threads share
+// a microengine's compute pipeline.
+type MEMap struct {
+	// occupancy[i] is the number of scheduler threads on microengine i;
+	// reserved engines are marked with -1.
+	occupancy [NumMicroengines]int
+}
+
+// NewMEMap returns a map with the PCI engines' microengines reserved.
+func NewMEMap() *MEMap {
+	m := &MEMap{}
+	for i := 0; i < reservedMEs; i++ {
+		m.occupancy[i] = -1
+	}
+	return m
+}
+
+// Assign places n threads onto the least-loaded available microengines and
+// returns an error if the pool lacks capacity. Placement is deterministic.
+func (m *MEMap) Assign(n int) error {
+	if n < 0 {
+		return fmt.Errorf("ixp: assigning %d threads", n)
+	}
+	if m.Allocated()+n > MaxSchedulableThreads {
+		return fmt.Errorf("ixp: microengine pool exhausted (%d + %d > %d)",
+			m.Allocated(), n, MaxSchedulableThreads)
+	}
+	for k := 0; k < n; k++ {
+		best := -1
+		for i := reservedMEs; i < NumMicroengines; i++ {
+			if m.occupancy[i] >= ThreadsPerME {
+				continue
+			}
+			if best == -1 || m.occupancy[i] < m.occupancy[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return fmt.Errorf("ixp: no microengine with a free context")
+		}
+		m.occupancy[best]++
+	}
+	return nil
+}
+
+// Release removes n threads, draining the most-loaded microengines first.
+func (m *MEMap) Release(n int) error {
+	if n < 0 || n > m.Allocated() {
+		return fmt.Errorf("ixp: releasing %d of %d threads", n, m.Allocated())
+	}
+	for k := 0; k < n; k++ {
+		worst := -1
+		for i := reservedMEs; i < NumMicroengines; i++ {
+			if m.occupancy[i] <= 0 {
+				continue
+			}
+			if worst == -1 || m.occupancy[i] > m.occupancy[worst] {
+				worst = i
+			}
+		}
+		m.occupancy[worst]--
+	}
+	return nil
+}
+
+// Allocated returns the total scheduler threads currently placed.
+func (m *MEMap) Allocated() int {
+	total := 0
+	for i := reservedMEs; i < NumMicroengines; i++ {
+		if m.occupancy[i] > 0 {
+			total += m.occupancy[i]
+		}
+	}
+	return total
+}
+
+// Occupancy returns a copy of the per-microengine thread counts (-1 marks
+// the reserved PCI engines).
+func (m *MEMap) Occupancy() [NumMicroengines]int { return m.occupancy }
+
+// MaxOccupancy returns the most-loaded available microengine's count.
+func (m *MEMap) MaxOccupancy() int {
+	max := 0
+	for i := reservedMEs; i < NumMicroengines; i++ {
+		if m.occupancy[i] > max {
+			max = m.occupancy[i]
+		}
+	}
+	return max
+}

@@ -1,0 +1,66 @@
+package ixp
+
+import (
+	"repro/internal/sim"
+)
+
+// StreamState is per-VM RTSP session state kept by the XScale control core
+// for the MPlayer coordination scheme: when a session is established, the
+// IXP records the negotiated bit- and frame-rate for the hosting VM.
+type StreamState struct {
+	VMID      int
+	BitrateBn float64 // bits per second
+	FrameRate float64 // frames per second
+}
+
+// XScale is the IXP's ARM control core running Montavista Linux in the
+// prototype. It is where the IXP-side coordination agent lives: it tracks
+// per-VM stream state, runs periodic buffer monitoring, and is the
+// endpoint of the coordination channel on the device side.
+type XScale struct {
+	x       *IXP
+	streams map[int]StreamState
+	stops   []func()
+}
+
+func newXScale(x *IXP) *XScale {
+	return &XScale{x: x, streams: make(map[int]StreamState)}
+}
+
+// IXP returns the owning network processor.
+func (c *XScale) IXP() *IXP { return c.x }
+
+// RecordStream stores RTSP session state for a VM (called by the RTSP DPI
+// when a session is established).
+func (c *XScale) RecordStream(s StreamState) { c.streams[s.VMID] = s }
+
+// Stream returns the recorded stream state for a VM.
+func (c *XScale) Stream(vmID int) (StreamState, bool) {
+	s, ok := c.streams[vmID]
+	return s, ok
+}
+
+// ClearStream removes a VM's stream state (session teardown).
+func (c *XScale) ClearStream(vmID int) { delete(c.streams, vmID) }
+
+// MonitorBuffers samples every flow queue's occupancy each period and
+// reports it to fn. This is the "system buffer monitoring" input of the
+// trigger coordination scheme (Figure 7). The returned function stops the
+// monitor.
+func (c *XScale) MonitorBuffers(period sim.Time, fn func(vmID, bytes int)) (stop func()) {
+	s := c.x.sim.Ticker(period, func() {
+		for _, vmID := range c.x.flowOrder {
+			fn(vmID, c.x.flows[vmID].Bytes())
+		}
+	})
+	c.stops = append(c.stops, s)
+	return s
+}
+
+// Shutdown stops all periodic monitors.
+func (c *XScale) Shutdown() {
+	for _, s := range c.stops {
+		s()
+	}
+	c.stops = nil
+}

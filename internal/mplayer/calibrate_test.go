@@ -1,0 +1,37 @@
+package mplayer
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCalibrationQoS(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, pt := range RunQoSExperiment(QoSConfig{}) {
+		t.Logf("%-8s weights=(%d,%d) threads=%d | dom1=%.1f fps (target 20) dom2=%.1f fps (target 25)",
+			pt.Label, pt.Dom1Weight, pt.Dom2Weight, pt.Dom2IXPThreads, pt.Dom1FPS, pt.Dom2FPS)
+	}
+}
+
+func TestCalibrationTrigger(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	cfg := TriggerConfig{Duration: 120 * sim.Second}
+	base := RunTriggerExperiment(cfg, false)
+	coord := RunTriggerExperiment(cfg, true)
+	t.Logf("base:  dom1=%.1f fps drops=%d bufMax=%.0f", base.Dom1FPS, base.Dom1Drops, base.BufferIn.Max())
+	t.Logf("coord: dom1=%.1f fps drops=%d bufMax=%.0f triggers=%d", coord.Dom1FPS, coord.Dom1Drops, coord.BufferIn.Max(), coord.Triggers)
+}
+
+func TestCalibrationInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	r := RunInterferenceExperiment(TriggerConfig{Duration: 120 * sim.Second})
+	t.Logf("dom1 %.1f -> %.1f (%+.2f%%), dom2 %.1f -> %.1f (%+.2f%%)",
+		r.Dom1Base, r.Dom1Coord, r.Dom1Change, r.Dom2Base, r.Dom2Coord, r.Dom2Change)
+}

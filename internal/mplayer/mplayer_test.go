@@ -1,0 +1,272 @@
+package mplayer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ixp"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func TestStreamDefaults(t *testing.T) {
+	s := Stream{BitrateBn: 1e6, FrameRate: 25}
+	s.applyDefaults()
+	if s.PacketSize != 1316 || s.Codec != "h264" {
+		t.Fatalf("defaults = %+v", s)
+	}
+	if got := s.BytesPerFrame(); got != 5000 {
+		t.Fatalf("BytesPerFrame = %v, want 5000", got)
+	}
+	if (Stream{BitrateBn: 1e6}).BytesPerFrame() != 0 {
+		t.Fatal("zero frame rate should yield 0 bytes/frame")
+	}
+}
+
+func TestDefaultDecodeCostOrdering(t *testing.T) {
+	c1 := DefaultDecodeCost(Dom1Stream)
+	c2 := DefaultDecodeCost(Dom2Stream)
+	if c2 <= c1 {
+		t.Fatalf("higher-bitrate stream should cost at least as much: %v vs %v", c1, c2)
+	}
+	// Demands at native rates stay below one core each but above half.
+	d1 := float64(c1) * Dom1Stream.FrameRate / float64(sim.Second)
+	d2 := float64(c2) * Dom2Stream.FrameRate / float64(sim.Second)
+	if d1 < 0.5 || d1 > 1 || d2 < 0.5 || d2 > 1 {
+		t.Fatalf("decode demands = %.2f, %.2f cores", d1, d2)
+	}
+}
+
+func TestServerPacing(t *testing.T) {
+	s := sim.New(1)
+	p := platform.New(platform.Config{Seed: 1})
+	_ = s
+	d := p.AddGuest("vm", 256)
+	var got []*netsim.Packet
+	p.Host.Register(d.ID(), func(pkt *netsim.Packet) { got = append(got, pkt) })
+	srv := NewServer(p.Sim, p.IXP, d.ID(), Stream{BitrateBn: 1e6, FrameRate: 25})
+	srv.Start()
+	p.Sim.RunUntil(2 * sim.Second)
+	// 1 Mbit/s at 1316 B/packet = ~95 packets/s.
+	rate := float64(srv.Sent()) / 2
+	if rate < 85 || rate > 105 {
+		t.Fatalf("packet rate = %.1f/s, want ~95", rate)
+	}
+	if len(got) == 0 {
+		t.Fatal("no packets delivered to VM")
+	}
+	// First packet is the RTSP setup.
+	if got[0].Class != netsim.ClassRTSP {
+		t.Fatalf("first packet class = %q", got[0].Class)
+	}
+}
+
+func TestServerBurstRaisesRate(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddGuest("vm", 256)
+	p.Host.Register(d.ID(), func(*netsim.Packet) {})
+	srv := NewServer(p.Sim, p.IXP, d.ID(), Stream{BitrateBn: 1e6, FrameRate: 25})
+	srv.Start()
+	p.Sim.RunUntil(2 * sim.Second)
+	steady := srv.Sent()
+	srv.SetBurst(true, 4)
+	p.Sim.RunUntil(4 * sim.Second)
+	burst := srv.Sent() - steady
+	ratio := float64(burst) / float64(steady)
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("burst ratio = %.2f, want ~4", ratio)
+	}
+	srv.Stop()
+	at := srv.Sent()
+	p.Sim.RunUntil(5 * sim.Second)
+	if srv.Sent() != at {
+		t.Fatal("server kept sending after Stop")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid stream did not panic")
+		}
+	}()
+	NewServer(p.Sim, p.IXP, 1, Stream{})
+}
+
+func TestClassifierRecordsStreamState(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddGuest("vm", 256)
+	p.Host.Register(d.ID(), func(*netsim.Packet) {})
+	var sessions int
+	p.IXP.AddDPI(ClassifierDPI(p.IXP.XScale(), func(st ixp.StreamState) { sessions++ }))
+	NewServer(p.Sim, p.IXP, d.ID(), Stream{BitrateBn: 1e6, FrameRate: 25}).Start()
+	p.Sim.RunUntil(1 * sim.Second)
+	st, ok := p.IXP.XScale().Stream(d.ID())
+	if !ok || st.BitrateBn != 1e6 || st.FrameRate != 25 {
+		t.Fatalf("stream state = %+v, %v", st, ok)
+	}
+	if sessions != 1 {
+		t.Fatalf("session callback fired %d times", sessions)
+	}
+}
+
+func TestPlayerDecodesAtArrivalRateWhenUncontended(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddGuest("vm", 256)
+	strm := Stream{BitrateBn: 1e6, FrameRate: 25}
+	pl := NewPlayer(p.Sim, PlayerConfig{}, d, strm)
+	p.Host.Register(d.ID(), func(pkt *netsim.Packet) { pl.OnPacket(pkt) })
+	NewServer(p.Sim, p.IXP, d.ID(), strm).Start()
+	p.Sim.RunUntil(30 * sim.Second)
+	fps := pl.FPS(5*sim.Second, p.Sim.Now())
+	if fps < 24 || fps > 26 {
+		t.Fatalf("uncontended fps = %.1f, want ~25", fps)
+	}
+	if pl.Dropped() != 0 {
+		t.Fatalf("drops = %d on an uncontended run", pl.Dropped())
+	}
+}
+
+func TestDiskPlaybackIsCPUBound(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddLocalGuest("vm", 256)
+	pl := NewPlayer(p.Sim, PlayerConfig{DiskPlayback: true, DecodeCost: 10 * sim.Millisecond, Noise: -1}, d, Stream{BitrateBn: 5e5, FrameRate: 25})
+	p.Sim.RunUntil(10 * sim.Second)
+	fps := pl.FPS(2*sim.Second, p.Sim.Now())
+	// One full core at 10ms/frame = 100 fps.
+	if fps < 90 || fps > 105 {
+		t.Fatalf("disk playback fps = %.1f, want ~100", fps)
+	}
+}
+
+func TestPlayerSocketOverflowDrops(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddGuest("vm", 256)
+	strm := Stream{BitrateBn: 4e6, FrameRate: 25} // heavy stream
+	pl := NewPlayer(p.Sim, PlayerConfig{
+		SocketBuffer: 8 << 10,
+		DecodeCost:   200 * sim.Millisecond, // decoder can't keep up
+	}, d, strm)
+	p.Host.Register(d.ID(), func(pkt *netsim.Packet) { pl.OnPacket(pkt) })
+	NewServer(p.Sim, p.IXP, d.ID(), strm).Start()
+	p.Sim.RunUntil(10 * sim.Second)
+	if pl.Dropped() == 0 {
+		t.Fatal("expected socket-buffer drops")
+	}
+	if pl.BufferedBytes() > 8<<10 {
+		t.Fatalf("socket buffer exceeded cap: %d", pl.BufferedBytes())
+	}
+}
+
+func TestPlayerBackpressureRefusesInsteadOfDropping(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddGuest("vm", 256)
+	p.Host.SetRingCapacity(32)
+	strm := Stream{BitrateBn: 4e6, FrameRate: 25}
+	pl := NewPlayer(p.Sim, PlayerConfig{
+		SocketBuffer: 8 << 10,
+		DecodeCost:   200 * sim.Millisecond,
+	}, d, strm)
+	p.Host.RegisterBounded(d.ID(), pl.OnPacketBackpressure)
+	NewServer(p.Sim, p.IXP, d.ID(), strm).Start()
+	p.Sim.RunUntil(20 * sim.Second)
+	if pl.Dropped() != 0 {
+		t.Fatalf("backpressure player dropped %d packets", pl.Dropped())
+	}
+	if p.Host.Retries() == 0 {
+		t.Fatal("no ring retries despite full socket")
+	}
+	// Pressure must have reached the IXP DRAM queue.
+	if p.IXP.Flow(d.ID()).MaxBytes() < 64<<10 {
+		t.Fatalf("IXP buffer never backed up: max %d bytes", p.IXP.Flow(d.ID()).MaxBytes())
+	}
+}
+
+func TestPlayerString(t *testing.T) {
+	p := platform.New(platform.Config{Seed: 1})
+	d := p.AddGuest("vm", 256)
+	pl := NewPlayer(p.Sim, PlayerConfig{}, d, Dom1Stream)
+	if !strings.Contains(pl.String(), "vm") {
+		t.Fatalf("String = %q", pl.String())
+	}
+	if pl.Domain() != d {
+		t.Fatal("Domain() wrong")
+	}
+	pl.Shutdown()
+}
+
+func TestQoSExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	pts := RunQoSExperiment(QoSConfig{Duration: 40 * sim.Second})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	base, coord, third := pts[0], pts[1], pts[2]
+	if base.Label != "256-256" || coord.Label != "384-512" || third.Label != "384-640" {
+		t.Fatalf("labels = %v %v %v", base.Label, coord.Label, third.Label)
+	}
+	// Paper shape: with default weights Domain-2 misses its 25 fps target;
+	// after the policy's weight increases it meets it.
+	if base.Dom2FPS >= 24 {
+		t.Fatalf("base Dom2 fps = %.1f, should miss 25", base.Dom2FPS)
+	}
+	if coord.Dom2FPS < 24 {
+		t.Fatalf("coordinated Dom2 fps = %.1f, should meet ~25", coord.Dom2FPS)
+	}
+	// The policy produced exactly the paper's weights.
+	if coord.Dom1Weight != 384 || coord.Dom2Weight != 512 {
+		t.Fatalf("policy weights = %d-%d, want 384-512", coord.Dom1Weight, coord.Dom2Weight)
+	}
+	if third.Dom2Weight != 640 || third.Dom2IXPThreads != 4 {
+		t.Fatalf("third config = weight %d threads %d", third.Dom2Weight, third.Dom2IXPThreads)
+	}
+	// Domain-1 must stay at or above ~its share in the third config.
+	if third.Dom1FPS < 18 {
+		t.Fatalf("third config starved Dom1: %.1f fps", third.Dom1FPS)
+	}
+}
+
+func TestTriggerExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	cfg := TriggerConfig{Duration: 90 * sim.Second}
+	base := RunTriggerExperiment(cfg, false)
+	coord := RunTriggerExperiment(cfg, true)
+	if coord.Triggers == 0 {
+		t.Fatal("no triggers fired")
+	}
+	if base.Triggers != 0 {
+		t.Fatal("baseline fired triggers")
+	}
+	if coord.Dom1FPS <= base.Dom1FPS {
+		t.Fatalf("trigger coordination did not help: %.1f vs %.1f", coord.Dom1FPS, base.Dom1FPS)
+	}
+	// Figure 7 series exist and show buffer pressure above the threshold.
+	if coord.BufferIn.Max() < float64(cfg.Threshold) {
+		t.Fatalf("buffer never crossed threshold: max %.0f", coord.BufferIn.Max())
+	}
+	if coord.CPUUtil.Len() == 0 || base.CPUUtil.Len() == 0 {
+		t.Fatal("missing CPU utilization series")
+	}
+}
+
+func TestInterferenceExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r := RunInterferenceExperiment(TriggerConfig{Duration: 90 * sim.Second})
+	if r.Dom1Change <= 0 {
+		t.Fatalf("Dom1 change = %+.2f%%, want positive", r.Dom1Change)
+	}
+	if r.Dom2Change >= 0 {
+		t.Fatalf("Dom2 change = %+.2f%%, want negative (interference)", r.Dom2Change)
+	}
+	if r.Dom2Change < -25 {
+		t.Fatalf("Dom2 degradation = %+.2f%%, should be modest", r.Dom2Change)
+	}
+}

@@ -1,0 +1,168 @@
+// Package mplayer models the paper's second benchmark: MPlayer clients in
+// guest VMs decoding video streamed over RTSP/UDP from an external Darwin
+// streaming server, with all traffic transiting the IXP.
+//
+// The quality-of-service metric is decoded frames per second (the paper
+// disables video output and uses MPlayer's benchmark mode). A player's
+// frame rate is limited by (a) the stream's arrival rate, (b) the CPU share
+// its VM receives for decoding, and (c) losses: the stream is UDP with no
+// flow control, so whenever the decoding VM falls behind, finite buffers
+// along the path (the in-VM socket buffer, the host message ring, and
+// ultimately the per-VM packet queue in IXP DRAM) fill and packets are
+// dropped — the failure mode that the paper's buffer-watermark Trigger
+// scheme exists to prevent.
+package mplayer
+
+import (
+	"fmt"
+
+	"repro/internal/ixp"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Stream describes one video stream's negotiated parameters.
+type Stream struct {
+	Codec      string
+	BitrateBn  float64 // bits per second
+	FrameRate  float64 // frames per second
+	PacketSize int     // RTP/UDP payload bytes (default 1316)
+}
+
+func (s *Stream) applyDefaults() {
+	if s.PacketSize == 0 {
+		s.PacketSize = 1316
+	}
+	if s.Codec == "" {
+		s.Codec = "h264"
+	}
+}
+
+// BytesPerFrame returns the average encoded frame size.
+func (s Stream) BytesPerFrame() float64 {
+	if s.FrameRate <= 0 {
+		return 0
+	}
+	return s.BitrateBn / 8 / s.FrameRate
+}
+
+// SessionInfo is the payload of the RTSP session-setup packet; the IXP's
+// stream classifier (a DPI) reads it and records per-VM stream state on the
+// XScale core.
+type SessionInfo struct {
+	VM     int
+	Stream Stream
+}
+
+// Server is the external streaming server: it emits an RTSP setup packet
+// followed by UDP stream packets paced at the stream bitrate. Burst
+// periods (for the Figure 7 experiment) multiply the packet rate.
+type Server struct {
+	sim  *sim.Simulator
+	x    *ixp.IXP
+	vm   int
+	strm Stream
+
+	burstFactor float64 // rate multiplier while bursting (1 = steady)
+	bursting    bool
+
+	pktID   uint64
+	sent    uint64
+	stopped bool
+}
+
+// NewServer creates a streaming server for one VM. Call Start to establish
+// the session and begin streaming.
+func NewServer(s *sim.Simulator, x *ixp.IXP, vm int, strm Stream) *Server {
+	strm.applyDefaults()
+	if strm.BitrateBn <= 0 || strm.FrameRate <= 0 {
+		panic(fmt.Sprintf("mplayer: invalid stream %+v", strm))
+	}
+	return &Server{sim: s, x: x, vm: vm, strm: strm, burstFactor: 1}
+}
+
+// Stream returns the configured stream parameters.
+func (sv *Server) Stream() Stream { return sv.strm }
+
+// Sent returns the number of stream packets emitted.
+func (sv *Server) Sent() uint64 { return sv.sent }
+
+// Start sends the RTSP setup packet and begins paced streaming.
+func (sv *Server) Start() {
+	sv.pktID++
+	sv.x.Receive(&netsim.Packet{
+		ID:      sv.pktID,
+		Size:    400,
+		DstVM:   sv.vm,
+		SrcVM:   -1,
+		Class:   netsim.ClassRTSP,
+		Payload: &SessionInfo{VM: sv.vm, Stream: sv.strm},
+		Created: sv.sim.Now(),
+	})
+	sv.sim.After(sv.interval(), sv.emit)
+}
+
+// Stop ceases streaming.
+func (sv *Server) Stop() { sv.stopped = true }
+
+// SetBurst toggles burst mode: while on, packets are emitted at factor
+// times the nominal rate (a UDP bulk-transfer surge with no flow control).
+func (sv *Server) SetBurst(on bool, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	sv.bursting = on
+	sv.burstFactor = factor
+}
+
+// interval returns the current inter-packet gap.
+func (sv *Server) interval() sim.Time {
+	rate := sv.strm.BitrateBn / 8 / float64(sv.strm.PacketSize) // packets/s
+	if sv.bursting {
+		rate *= sv.burstFactor
+	}
+	return sim.Time(float64(sim.Second) / rate)
+}
+
+// emit sends one stream packet and schedules the next.
+func (sv *Server) emit() {
+	if sv.stopped {
+		return
+	}
+	sv.pktID++
+	sv.sent++
+	sv.x.Receive(&netsim.Packet{
+		ID:      sv.pktID,
+		Size:    sv.strm.PacketSize,
+		DstVM:   sv.vm,
+		SrcVM:   -1,
+		Class:   netsim.ClassStream,
+		Payload: &SessionInfo{VM: sv.vm, Stream: sv.strm},
+		Created: sv.sim.Now(),
+	})
+	sv.sim.After(sv.interval(), sv.emit)
+}
+
+// ClassifierDPI returns the IXP stream classifier: it records RTSP session
+// state on the XScale core and invokes onSession (which may be nil) — the
+// hook the stream-property coordination policy attaches to.
+func ClassifierDPI(xsc *ixp.XScale, onSession func(ixp.StreamState)) func(*netsim.Packet) {
+	return func(p *netsim.Packet) {
+		if p.Class != netsim.ClassRTSP {
+			return
+		}
+		info, ok := p.Payload.(*SessionInfo)
+		if !ok {
+			return
+		}
+		st := ixp.StreamState{
+			VMID:      info.VM,
+			BitrateBn: info.Stream.BitrateBn,
+			FrameRate: info.Stream.FrameRate,
+		}
+		xsc.RecordStream(st)
+		if onSession != nil {
+			onSession(st)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package netsim provides the network plumbing shared by both islands:
+// the packet representation, and the host-side receive/transmit path (the
+// vendor messaging driver, the IXP virtual interface, and the Xen bridge)
+// that connects the PCIe message queues to guest domains.
+//
+// Protocol behaviour is deliberately thin — what matters for the paper's
+// experiments is where packets queue and how much CPU each hop charges, not
+// TCP state machines.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Class labels a packet's traffic class as seen by deep packet inspection
+// on the IXP (e.g. a RUBiS request-type name, or "rtsp"/"udp-stream").
+type Class string
+
+// Common classes used by the workloads.
+const (
+	ClassUnknown Class = ""
+	ClassRTSP    Class = "rtsp"
+	ClassStream  Class = "udp-stream"
+)
+
+// Packet is one network packet, from the wire through the IXP to a guest
+// domain or back. The Payload carries the workload-level object (a request,
+// a media chunk); Size is what occupies buffers and wires.
+type Packet struct {
+	ID      uint64
+	Size    int   // bytes, including headers
+	DstVM   int   // destination domain ID for receive traffic (-1 external)
+	SrcVM   int   // source domain ID for transmit traffic (-1 external)
+	Class   Class // DPI classification hint
+	Payload interface{}
+	Created sim.Time // when the packet entered the simulation
+}
+
+// Validate reports an error for malformed packets; used at module
+// boundaries so bugs surface at injection rather than deep in a pipeline.
+func (p *Packet) Validate() error {
+	if p == nil {
+		return fmt.Errorf("netsim: nil packet")
+	}
+	if p.Size <= 0 {
+		return fmt.Errorf("netsim: packet %d with size %d", p.ID, p.Size)
+	}
+	return nil
+}

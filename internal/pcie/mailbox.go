@@ -1,0 +1,126 @@
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// lossModel drops messages with a fixed probability — fault injection for
+// the coordination channel. Real PCI config-space mailboxes lose messages
+// when the producer overruns the consumer; coordination policies must
+// tolerate it (the load-tracking translation's decay is what heals the
+// resulting drift).
+type lossModel struct {
+	rate float64
+	rng  *sim.Rand
+}
+
+func (l *lossModel) drop() bool {
+	return l != nil && l.rng.Bool(l.rate)
+}
+
+// Message is an opaque coordination payload carried by a Mailbox.
+type Message interface{}
+
+// Handler consumes messages on the receiving side of a Mailbox.
+type Handler func(Message)
+
+// Mailbox is the bidirectional coordination channel set up in the device's
+// PCI configuration space (paper §2.3). It is deliberately simple: small
+// fixed-cost messages, a configurable one-way latency, and FIFO delivery in
+// each direction. The per-message latency dominates behaviour, so no
+// bandwidth term is modeled.
+type Mailbox struct {
+	sim     *sim.Simulator
+	latency sim.Time
+
+	toHost   Handler
+	toDevice Handler
+
+	loss *lossModel
+
+	hostRx   uint64
+	deviceRx uint64
+	dropped  uint64
+}
+
+// NewMailbox returns a mailbox with the given one-way message latency.
+func NewMailbox(s *sim.Simulator, latency sim.Time) *Mailbox {
+	if latency < 0 {
+		panic(fmt.Sprintf("pcie: negative mailbox latency %v", latency))
+	}
+	return &Mailbox{sim: s, latency: latency}
+}
+
+// Latency returns the one-way message latency.
+func (m *Mailbox) Latency() sim.Time { return m.latency }
+
+// SetLatency changes the one-way latency (used by the latency-sweep
+// ablation). In-flight messages keep the latency they were sent with.
+func (m *Mailbox) SetLatency(l sim.Time) {
+	if l < 0 {
+		panic(fmt.Sprintf("pcie: negative mailbox latency %v", l))
+	}
+	m.latency = l
+}
+
+// OnHostReceive registers the host-side (x86/Dom0) message handler.
+func (m *Mailbox) OnHostReceive(h Handler) { m.toHost = h }
+
+// OnDeviceReceive registers the device-side (IXP XScale) message handler.
+func (m *Mailbox) OnDeviceReceive(h Handler) { m.toDevice = h }
+
+// SetLossRate enables fault injection: each message is independently
+// dropped with probability rate (0 disables). Drops are deterministic
+// given the rng stream.
+func (m *Mailbox) SetLossRate(rate float64, rng *sim.Rand) {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("pcie: loss rate %v out of [0, 1)", rate))
+	}
+	if rate == 0 {
+		m.loss = nil
+		return
+	}
+	if rng == nil {
+		panic("pcie: loss rate needs an rng")
+	}
+	m.loss = &lossModel{rate: rate, rng: rng}
+}
+
+// Dropped returns messages lost to fault injection.
+func (m *Mailbox) Dropped() uint64 { return m.dropped }
+
+// SendToHost delivers msg to the host handler after the one-way latency.
+func (m *Mailbox) SendToHost(msg Message) {
+	if m.loss.drop() {
+		m.dropped++
+		return
+	}
+	m.sim.After(m.latency, func() {
+		m.hostRx++
+		if m.toHost != nil {
+			m.toHost(msg)
+		}
+	})
+}
+
+// SendToDevice delivers msg to the device handler after the one-way latency.
+func (m *Mailbox) SendToDevice(msg Message) {
+	if m.loss.drop() {
+		m.dropped++
+		return
+	}
+	m.sim.After(m.latency, func() {
+		m.deviceRx++
+		if m.toDevice != nil {
+			m.toDevice(msg)
+		}
+	})
+}
+
+// HostReceived returns the number of messages delivered to the host side.
+func (m *Mailbox) HostReceived() uint64 { return m.hostRx }
+
+// DeviceReceived returns the number of messages delivered to the device side.
+func (m *Mailbox) DeviceReceived() uint64 { return m.deviceRx }

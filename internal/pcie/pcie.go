@@ -1,0 +1,111 @@
+// Package pcie models the interconnect joining the paper's two scheduling
+// islands: the host x86 platform and the Netronome i8000 (IXP2850) card.
+//
+// Two facilities ride on it in the prototype and are modeled here:
+//
+//   - bulk packet transfer via DMA between the IXP DRAM rings and the host
+//     message queues (Channel with bandwidth serialization), and
+//   - the low-rate coordination channel carved out of the device's PCI
+//     configuration space (Mailbox), whose one-way latency the paper calls
+//     out as the cause of occasional mis-coordination.
+//
+// Latency and bandwidth are explicit parameters so the benchmark harness
+// can sweep them (the "hardware considerations" discussion in the paper:
+// QPI/HTX-class interconnects would shrink these numbers).
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config describes one direction of a PCIe link.
+type Config struct {
+	Latency   sim.Time // one-way propagation + doorbell service latency
+	Bandwidth float64  // bytes per second of payload throughput; 0 = infinite
+}
+
+// DefaultConfig returns parameters representative of the prototype's PCIe
+// attachment: ~10us DMA engine latency and ~6 Gbit/s effective throughput
+// (PCIe x4 gen1 era hardware).
+func DefaultConfig() Config {
+	return Config{Latency: 10 * sim.Microsecond, Bandwidth: 750e6}
+}
+
+// Channel is an ordered, bandwidth-serialized simplex message channel. Each
+// message occupies the wire for size/bandwidth seconds; messages arrive in
+// FIFO order after the wire time plus the propagation latency.
+type Channel struct {
+	sim      *sim.Simulator
+	cfg      Config
+	name     string
+	busytill sim.Time
+
+	sent     uint64
+	bytes    uint64
+	maxDelay sim.Time
+}
+
+// NewChannel returns a channel driven by s. Name is used in diagnostics.
+func NewChannel(s *sim.Simulator, name string, cfg Config) *Channel {
+	if cfg.Latency < 0 {
+		panic(fmt.Sprintf("pcie: negative latency %v", cfg.Latency))
+	}
+	if cfg.Bandwidth < 0 {
+		panic(fmt.Sprintf("pcie: negative bandwidth %v", cfg.Bandwidth))
+	}
+	return &Channel{sim: s, cfg: cfg, name: name}
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Channel) Name() string { return c.name }
+
+// Config returns the channel's configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// Send transfers size bytes and invokes deliver when the last byte arrives
+// at the far side. It returns the delivery time.
+func (c *Channel) Send(size int, deliver func()) sim.Time {
+	if size < 0 {
+		panic(fmt.Sprintf("pcie: negative message size %d", size))
+	}
+	now := c.sim.Now()
+	start := now
+	if c.busytill > start {
+		start = c.busytill
+	}
+	var wire sim.Time
+	if c.cfg.Bandwidth > 0 {
+		wire = sim.Time(float64(size) / c.cfg.Bandwidth * float64(sim.Second))
+	}
+	c.busytill = start + wire
+	arrive := c.busytill + c.cfg.Latency
+	c.sent++
+	c.bytes += uint64(size)
+	if d := arrive - now; d > c.maxDelay {
+		c.maxDelay = d
+	}
+	if deliver != nil {
+		c.sim.At(arrive, deliver)
+	}
+	return arrive
+}
+
+// Sent returns the number of messages transferred.
+func (c *Channel) Sent() uint64 { return c.sent }
+
+// Bytes returns the total payload bytes transferred.
+func (c *Channel) Bytes() uint64 { return c.bytes }
+
+// MaxDelay returns the largest observed send-to-delivery delay (queueing
+// included).
+func (c *Channel) MaxDelay() sim.Time { return c.maxDelay }
+
+// Backlog returns how long a message sent now would wait for the wire.
+func (c *Channel) Backlog() sim.Time {
+	if b := c.busytill - c.sim.Now(); b > 0 {
+		return b
+	}
+	return 0
+}

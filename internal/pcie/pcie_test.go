@@ -1,0 +1,254 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestChannelLatencyOnly(t *testing.T) {
+	s := sim.New(1)
+	c := NewChannel(s, "test", Config{Latency: 10 * sim.Microsecond})
+	var arrived sim.Time
+	c.Send(1500, func() { arrived = s.Now() })
+	s.Run()
+	if arrived != 10*sim.Microsecond {
+		t.Fatalf("arrived at %v, want 10us (infinite bandwidth)", arrived)
+	}
+}
+
+func TestChannelBandwidthSerialization(t *testing.T) {
+	s := sim.New(1)
+	// 1e6 B/s: a 1000-byte message occupies the wire for 1ms.
+	c := NewChannel(s, "test", Config{Latency: 0, Bandwidth: 1e6})
+	var first, second sim.Time
+	c.Send(1000, func() { first = s.Now() })
+	c.Send(1000, func() { second = s.Now() })
+	s.Run()
+	if first != 1*sim.Millisecond {
+		t.Fatalf("first arrived at %v, want 1ms", first)
+	}
+	if second != 2*sim.Millisecond {
+		t.Fatalf("second arrived at %v, want 2ms (serialized)", second)
+	}
+}
+
+func TestChannelWireFreesOverTime(t *testing.T) {
+	s := sim.New(1)
+	c := NewChannel(s, "test", Config{Latency: 0, Bandwidth: 1e6})
+	c.Send(1000, nil)
+	if got := c.Backlog(); got != 1*sim.Millisecond {
+		t.Fatalf("backlog = %v, want 1ms", got)
+	}
+	var arrived sim.Time
+	s.At(5*sim.Millisecond, func() {
+		if got := c.Backlog(); got != 0 {
+			t.Errorf("backlog after idle = %v, want 0", got)
+		}
+		c.Send(1000, func() { arrived = s.Now() })
+	})
+	s.Run()
+	if arrived != 6*sim.Millisecond {
+		t.Fatalf("arrived at %v, want 6ms", arrived)
+	}
+}
+
+func TestChannelFIFOOrder(t *testing.T) {
+	s := sim.New(1)
+	c := NewChannel(s, "test", Config{Latency: 5 * sim.Microsecond, Bandwidth: 1e9})
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Send(100+i, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+}
+
+func TestChannelCounters(t *testing.T) {
+	s := sim.New(1)
+	c := NewChannel(s, "ctr", Config{Latency: sim.Microsecond, Bandwidth: 1e9})
+	c.Send(100, nil)
+	c.Send(200, nil)
+	s.Run()
+	if c.Sent() != 2 || c.Bytes() != 300 {
+		t.Fatalf("Sent/Bytes = %d/%d", c.Sent(), c.Bytes())
+	}
+	if c.MaxDelay() < sim.Microsecond {
+		t.Fatalf("MaxDelay = %v", c.MaxDelay())
+	}
+	if c.Name() != "ctr" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Config().Latency != sim.Microsecond {
+		t.Fatal("Config not returned")
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	s := sim.New(1)
+	for _, fn := range []func(){
+		func() { NewChannel(s, "x", Config{Latency: -1}) },
+		func() { NewChannel(s, "x", Config{Bandwidth: -1}) },
+		func() { NewChannel(s, "x", Config{}).Send(-1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid channel use did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestChannelDeliveryNeverBeforeLatencyQuick(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := sim.New(1)
+		cfg := Config{Latency: 7 * sim.Microsecond, Bandwidth: 1e8}
+		c := NewChannel(s, "q", cfg)
+		ok := true
+		for _, sz := range sizes {
+			sent := s.Now()
+			c.Send(int(sz), func() {
+				if s.Now()-sent < cfg.Latency {
+					ok = false
+				}
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Latency <= 0 || cfg.Bandwidth <= 0 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestMailboxRoundTrip(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMailbox(s, 150*sim.Microsecond)
+	var hostGot, deviceGot Message
+	var hostAt sim.Time
+	mb.OnHostReceive(func(m Message) { hostGot, hostAt = m, s.Now() })
+	mb.OnDeviceReceive(func(m Message) { deviceGot = m })
+	mb.SendToHost("tune")
+	mb.SendToDevice(42)
+	s.Run()
+	if hostGot != "tune" || deviceGot != 42 {
+		t.Fatalf("messages = %v, %v", hostGot, deviceGot)
+	}
+	if hostAt != 150*sim.Microsecond {
+		t.Fatalf("host delivery at %v, want 150us", hostAt)
+	}
+	if mb.HostReceived() != 1 || mb.DeviceReceived() != 1 {
+		t.Fatalf("counters = %d/%d", mb.HostReceived(), mb.DeviceReceived())
+	}
+	if mb.Latency() != 150*sim.Microsecond {
+		t.Fatalf("Latency = %v", mb.Latency())
+	}
+}
+
+func TestMailboxNoHandlerIsSafe(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMailbox(s, sim.Microsecond)
+	mb.SendToHost("dropped")
+	s.Run()
+	if mb.HostReceived() != 1 {
+		t.Fatal("message not counted")
+	}
+}
+
+func TestMailboxSetLatency(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMailbox(s, 100*sim.Microsecond)
+	mb.SetLatency(1 * sim.Microsecond)
+	var at sim.Time
+	mb.OnDeviceReceive(func(Message) { at = s.Now() })
+	mb.SendToDevice("x")
+	s.Run()
+	if at != 1*sim.Microsecond {
+		t.Fatalf("delivery at %v after SetLatency", at)
+	}
+}
+
+func TestMailboxValidation(t *testing.T) {
+	s := sim.New(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative mailbox latency did not panic")
+			}
+		}()
+		NewMailbox(s, -1)
+	}()
+	mb := NewMailbox(s, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative SetLatency did not panic")
+		}
+	}()
+	mb.SetLatency(-1)
+}
+
+func TestMailboxLossInjection(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMailbox(s, sim.Microsecond)
+	mb.SetLossRate(0.5, sim.NewRand(7))
+	received := 0
+	mb.OnHostReceive(func(Message) { received++ })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		mb.SendToHost(i)
+	}
+	s.Run()
+	if mb.Dropped() == 0 {
+		t.Fatal("no drops at 50% loss")
+	}
+	if received+int(mb.Dropped()) != n {
+		t.Fatalf("received %d + dropped %d != %d", received, mb.Dropped(), n)
+	}
+	frac := float64(mb.Dropped()) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("drop fraction = %.2f, want ~0.5", frac)
+	}
+	// Disable loss: everything flows again.
+	mb.SetLossRate(0, nil)
+	before := received
+	mb.SendToHost("x")
+	s.Run()
+	if received != before+1 {
+		t.Fatal("message lost after disabling loss")
+	}
+}
+
+func TestMailboxLossValidation(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMailbox(s, 0)
+	for _, fn := range []func(){
+		func() { mb.SetLossRate(-0.1, sim.NewRand(1)) },
+		func() { mb.SetLossRate(1.0, sim.NewRand(1)) },
+		func() { mb.SetLossRate(0.5, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid loss config accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

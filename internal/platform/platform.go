@@ -1,0 +1,219 @@
+// Package platform assembles the paper's prototype: a two-island
+// heterogeneous system joining an x86 host (Xen hypervisor, credit
+// scheduler, Dom0 + guest VMs) and an IXP2850 network processor over PCIe,
+// with the coordination layer registered between them.
+//
+// Figure 3 of the paper is the wiring diagram this package implements:
+// external traffic enters the IXP, is classified into per-VM flow queues,
+// crosses PCIe into the host messaging driver, traverses the Dom0 bridge,
+// and reaches guest VMs; coordination messages travel the PCI
+// configuration-space mailbox between the IXP's XScale agent and the
+// global controller in Dom0.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ixp"
+	"repro/internal/netsim"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xen"
+)
+
+// Island names used throughout the prototype.
+const (
+	X86Island = "x86"
+	IXPIsland = "ixp"
+)
+
+// Config parameterizes the testbed. Zero values take prototype defaults.
+type Config struct {
+	Seed         int64       // simulation seed (default 1)
+	Xen          xen.Options // x86 island configuration
+	IXP          ixp.Config  // IXP island configuration
+	HostNet      netsim.Config
+	PCIe         pcie.Config // bulk DMA channel parameters
+	CoordLatency sim.Time    // one-way coordination mailbox latency (default 150us)
+	Dom0Weight   int         // Dom0 credit weight (default 256)
+
+	// TuneRateLimit, when positive, rate-limits outbound coordination
+	// messages per (kind, entity) on the IXP agent.
+	TuneRateLimit sim.Time
+
+	// MinGuestWeight and MaxGuestWeight clamp Tune-driven weight changes
+	// (defaults 64 and 1024).
+	MinGuestWeight, MaxGuestWeight int
+
+	// Trace, when non-zero, records structured events of the given
+	// categories into Platform.Tracer (ring of TraceCapacity events,
+	// default 4096).
+	Trace         trace.Category
+	TraceCapacity int
+
+	// CoordLossRate injects coordination-message loss on the mailbox
+	// (0 = lossless). Policies must tolerate it.
+	CoordLossRate float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CoordLatency == 0 {
+		c.CoordLatency = 150 * sim.Microsecond
+	}
+	if c.Dom0Weight == 0 {
+		c.Dom0Weight = 256
+	}
+	if c.PCIe == (pcie.Config{}) {
+		c.PCIe = pcie.DefaultConfig()
+	}
+	if c.MinGuestWeight == 0 {
+		c.MinGuestWeight = 64
+	}
+	if c.MaxGuestWeight == 0 {
+		c.MaxGuestWeight = 1024
+	}
+}
+
+// Platform is the assembled testbed.
+type Platform struct {
+	Sim  *sim.Simulator
+	HV   *xen.Hypervisor
+	Dom0 *xen.Domain
+	Ctl  *xen.Ctl
+	IXP  *ixp.IXP
+	Host *netsim.HostStack
+
+	Mailbox    *pcie.Mailbox
+	Controller *core.Controller
+	X86Agent   *core.Agent
+	IXPAgent   *core.Agent
+	X86Act     *core.X86Actuator
+	Tracer     *trace.Tracer
+
+	cfg    Config
+	guests []*xen.Domain
+}
+
+// New assembles the two-island prototype and starts the hypervisor.
+func New(cfg Config) *Platform {
+	cfg.applyDefaults()
+	s := sim.New(cfg.Seed)
+
+	var tracer *trace.Tracer
+	if cfg.Trace != 0 {
+		tracer = trace.New(s, cfg.Trace, cfg.TraceCapacity)
+	}
+
+	hv := xen.New(s, cfg.Xen)
+	hv.SetTracer(tracer)
+	dom0 := hv.CreateDomain("Dom0", cfg.Dom0Weight, 1)
+	ctl := xen.NewCtl(hv)
+
+	// Bulk data path: one DMA channel per direction.
+	ixpToHost := pcie.NewChannel(s, "ixp->host", cfg.PCIe)
+	hostToIXP := pcie.NewChannel(s, "host->ixp", cfg.PCIe)
+
+	host := netsim.NewHostStack(s, dom0, hostToIXP, cfg.HostNet)
+	x := ixp.New(s, cfg.IXP, ixpToHost, host.DeliverFromIXP)
+	x.SetTracer(tracer)
+	host.ConnectIXPTransmit(x.TransmitFromHost)
+	x.ConnectHostGate(host.RingFull)
+
+	// Coordination plane: mailbox in PCI config space, controller in Dom0.
+	mb := pcie.NewMailbox(s, cfg.CoordLatency)
+	if cfg.CoordLossRate > 0 {
+		mb.SetLossRate(cfg.CoordLossRate, s.Rand().Fork())
+	}
+	ctrl := core.NewController()
+
+	x86Act := core.NewX86Actuator(ctl)
+	x86Act.MinWeight = cfg.MinGuestWeight
+	x86Act.MaxWeight = cfg.MaxGuestWeight
+	x86Agent := core.NewAgent(X86Island, nil, ctrl.Route, x86Act, core.WithTracer(tracer))
+	if err := ctrl.RegisterIsland(core.IslandHandle{Name: X86Island, Local: x86Agent.Deliver}); err != nil {
+		panic(err)
+	}
+
+	uplink := core.NewDeviceUplink(mb)
+	uplink.SetReceiver(ctrl.Route)
+	downlink := core.NewHostDownlink(mb)
+	var ixpOpts []core.AgentOption
+	if cfg.TuneRateLimit > 0 {
+		ixpOpts = append(ixpOpts, core.WithRateLimit(s, cfg.TuneRateLimit))
+	}
+	ixpOpts = append(ixpOpts, core.WithTracer(tracer))
+	ixpAgent := core.NewAgent(IXPIsland, uplink, nil, core.NewIXPActuator(s, x), ixpOpts...)
+	downlink.SetReceiver(ixpAgent.Deliver)
+	if err := ctrl.RegisterIsland(core.IslandHandle{Name: IXPIsland, Downlink: downlink}); err != nil {
+		panic(err)
+	}
+
+	hv.Start()
+	return &Platform{
+		Sim:        s,
+		Tracer:     tracer,
+		HV:         hv,
+		Dom0:       dom0,
+		Ctl:        ctl,
+		IXP:        x,
+		Host:       host,
+		Mailbox:    mb,
+		Controller: ctrl,
+		X86Agent:   x86Agent,
+		IXPAgent:   ixpAgent,
+		X86Act:     x86Act,
+		cfg:        cfg,
+	}
+}
+
+// AddGuest creates a single-VCPU guest VM, registers it as a platform-wide
+// entity with the global controller, and provisions its IXP flow queue —
+// the registration step of §2.3.
+func (p *Platform) AddGuest(name string, weight int) *xen.Domain {
+	d := p.HV.CreateDomain(name, weight, 1)
+	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
+		panic(err)
+	}
+	p.IXP.RegisterFlow(d.ID())
+	p.guests = append(p.guests, d)
+	return d
+}
+
+// AddLocalGuest creates a guest VM that does not use the IXP island at all
+// (e.g. the disk-playback MPlayer VM of Table 3): it is registered with the
+// controller but gets no IXP flow queue.
+func (p *Platform) AddLocalGuest(name string, weight int) *xen.Domain {
+	d := p.HV.CreateDomain(name, weight, 1)
+	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
+		panic(err)
+	}
+	p.guests = append(p.guests, d)
+	return d
+}
+
+// Guests returns the guest domains in creation order (excluding Dom0).
+func (p *Platform) Guests() []*xen.Domain { return p.guests }
+
+// Config returns the applied (defaulted) configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// TotalGuestUtilization sums the guests' mean CPU utilization (percent of
+// one CPU) since start.
+func (p *Platform) TotalGuestUtilization(start sim.Time) float64 {
+	return p.HV.TotalUtilization(start, p.guests...)
+}
+
+// GuestByName returns the guest domain with the given name.
+func (p *Platform) GuestByName(name string) (*xen.Domain, error) {
+	for _, d := range p.guests {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("platform: no guest %q", name)
+}

@@ -1,0 +1,174 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestNewWiresBothIslands(t *testing.T) {
+	p := New(Config{})
+	if p.Sim == nil || p.HV == nil || p.IXP == nil || p.Host == nil || p.Controller == nil {
+		t.Fatal("platform incompletely assembled")
+	}
+	if p.Dom0.ID() != 0 || p.Dom0.Name() != "Dom0" {
+		t.Fatalf("Dom0 = %d %q", p.Dom0.ID(), p.Dom0.Name())
+	}
+	islands := p.Controller.Islands()
+	if len(islands) != 2 || islands[0] != IXPIsland || islands[1] != X86Island {
+		t.Fatalf("islands = %v", islands)
+	}
+	if got := p.Config().CoordLatency; got != 150*sim.Microsecond {
+		t.Fatalf("default coord latency = %v", got)
+	}
+	if p.Config().MinGuestWeight != 64 || p.Config().MaxGuestWeight != 1024 {
+		t.Fatalf("default clamps = %d..%d", p.Config().MinGuestWeight, p.Config().MaxGuestWeight)
+	}
+}
+
+func TestAddGuestRegistersEverywhere(t *testing.T) {
+	p := New(Config{})
+	d := p.AddGuest("web", 256)
+	if d.ID() != 1 {
+		t.Fatalf("guest ID = %d", d.ID())
+	}
+	if _, ok := p.Controller.Entity(d.ID()); !ok {
+		t.Fatal("guest not registered with controller")
+	}
+	if p.IXP.Flow(d.ID()) == nil {
+		t.Fatal("guest has no IXP flow queue")
+	}
+	got, err := p.GuestByName("web")
+	if err != nil || got != d {
+		t.Fatalf("GuestByName = %v, %v", got, err)
+	}
+	if _, err := p.GuestByName("nope"); err == nil {
+		t.Fatal("GuestByName found ghost")
+	}
+	if len(p.Guests()) != 1 {
+		t.Fatalf("Guests() = %v", p.Guests())
+	}
+}
+
+func TestAddLocalGuestSkipsIXP(t *testing.T) {
+	p := New(Config{})
+	d := p.AddLocalGuest("disk", 256)
+	if _, ok := p.Controller.Entity(d.ID()); !ok {
+		t.Fatal("local guest not registered with controller")
+	}
+	if p.IXP.Flow(d.ID()) != nil {
+		t.Fatal("local guest should have no IXP flow")
+	}
+}
+
+func TestCoordinationRoundTripThroughMailbox(t *testing.T) {
+	p := New(Config{})
+	d := p.AddGuest("vm", 256)
+	// IXP-side agent tunes the x86 VM's weight over the mailbox.
+	if !p.IXPAgent.SendTune(X86Island, d.ID(), +64) {
+		t.Fatal("tune rejected")
+	}
+	p.Sim.RunUntil(sim.Millisecond)
+	if d.Weight() != 320 {
+		t.Fatalf("weight = %d after tune, want 320", d.Weight())
+	}
+	// And the reverse direction: x86 agent tunes the IXP flow's threads.
+	before := p.IXP.FlowThreads(d.ID())
+	p.X86Agent.SendTune(IXPIsland, d.ID(), +2)
+	p.Sim.RunUntil(2 * sim.Millisecond)
+	if got := p.IXP.FlowThreads(d.ID()); got != before+2 {
+		t.Fatalf("flow threads = %d, want %d", got, before+2)
+	}
+}
+
+func TestCoordinationLatencyHonored(t *testing.T) {
+	p := New(Config{CoordLatency: 5 * sim.Millisecond})
+	d := p.AddGuest("vm", 256)
+	p.IXPAgent.SendTune(X86Island, d.ID(), +64)
+	p.Sim.RunUntil(4 * sim.Millisecond)
+	if d.Weight() != 256 {
+		t.Fatal("tune applied before mailbox latency elapsed")
+	}
+	p.Sim.RunUntil(6 * sim.Millisecond)
+	if d.Weight() != 320 {
+		t.Fatalf("weight = %d after latency, want 320", d.Weight())
+	}
+}
+
+func TestTuneRateLimitOption(t *testing.T) {
+	p := New(Config{TuneRateLimit: 10 * sim.Millisecond})
+	d := p.AddGuest("vm", 256)
+	p.IXPAgent.SendTune(X86Island, d.ID(), +64)
+	p.IXPAgent.SendTune(X86Island, d.ID(), +64) // dropped
+	p.Sim.RunUntil(sim.Millisecond)
+	if got := p.IXPAgent.Stats().RateLimitDropped; got != 1 {
+		t.Fatalf("RateLimitDropped = %d", got)
+	}
+	if d.Weight() != 320 {
+		t.Fatalf("weight = %d, want a single tune applied", d.Weight())
+	}
+}
+
+func TestTotalGuestUtilization(t *testing.T) {
+	p := New(Config{})
+	a := p.AddGuest("a", 256)
+	var next func()
+	next = func() { a.SubmitFunc(5*sim.Millisecond, "hog", next) }
+	next()
+	p.Sim.RunUntil(2 * sim.Second)
+	u := p.TotalGuestUtilization(0)
+	if u < 90 {
+		t.Fatalf("TotalGuestUtilization = %.1f, want ~100", u)
+	}
+}
+
+func TestWeightClampsRespectedByTunes(t *testing.T) {
+	p := New(Config{MinGuestWeight: 100, MaxGuestWeight: 400})
+	d := p.AddGuest("vm", 256)
+	p.IXPAgent.SendTune(X86Island, d.ID(), +10000)
+	p.Sim.RunUntil(sim.Millisecond)
+	if d.Weight() != 400 {
+		t.Fatalf("weight = %d, want clamp 400", d.Weight())
+	}
+	p.IXPAgent.SendTune(X86Island, d.ID(), -10000)
+	p.Sim.RunUntil(2 * sim.Millisecond)
+	if d.Weight() != 100 {
+		t.Fatalf("weight = %d, want clamp 100", d.Weight())
+	}
+}
+
+func TestUnknownEntityTuneIsDropped(t *testing.T) {
+	p := New(Config{})
+	p.IXPAgent.SendTune(X86Island, 42, +64)
+	p.Sim.RunUntil(sim.Millisecond)
+	if got := p.Controller.Unroutable(); got != 1 {
+		t.Fatalf("Unroutable = %d", got)
+	}
+}
+
+func TestPlatformTracing(t *testing.T) {
+	p := New(Config{Trace: trace.CatCoord | trace.CatSched, TraceCapacity: 1024})
+	d := p.AddGuest("vm", 256)
+	d.SubmitFunc(5*sim.Millisecond, "work", nil)
+	p.IXPAgent.SendTune(X86Island, d.ID(), +64)
+	p.Sim.RunUntil(10 * sim.Millisecond)
+	if p.Tracer == nil {
+		t.Fatal("tracer not created")
+	}
+	if p.Tracer.Count() == 0 {
+		t.Fatal("no events recorded")
+	}
+	dump := p.Tracer.Dump(trace.CatAll)
+	for _, want := range []string{"send tune", "apply tune", "run vm/0"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("trace missing %q:\n%s", want, dump)
+		}
+	}
+	// Tracing off by default.
+	p2 := New(Config{})
+	if p2.Tracer != nil {
+		t.Fatal("tracer created without Trace config")
+	}
+}

@@ -1,0 +1,185 @@
+// Package power implements the paper's second motivating use case and its
+// stated future work (§1.2, §5): coordinated platform-level power
+// management across scheduling islands.
+//
+// Caps on total platform power cannot be enforced per island in isolation —
+// slowing one island's cores can ruin the performance of application
+// components on another, and an island acting alone cannot know how much of
+// the budget the rest of the platform consumes. The Budgeter below is a
+// coordination policy built from the same Tune mechanism as the CPU
+// schemes: a platform controller samples per-island power models and sends
+// throttle/restore Tunes to per-island power actuators (CPU caps on the
+// Xen island, dequeue-thread deallocation on the IXP island).
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/ixp"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xen"
+)
+
+// Model reports an island's current power draw in watts. Sample is called
+// periodically by the Budgeter; implementations may keep state between
+// calls (e.g. utilization deltas).
+type Model interface {
+	Name() string
+	Sample(now sim.Time) float64
+}
+
+// X86Model converts the Xen island's CPU utilization into power: an idle
+// floor plus a dynamic term linear in the utilization of the host's cores
+// (the usual server power proxy).
+type X86Model struct {
+	hv *xen.Hypervisor
+	// IdleWatts is drawn at zero utilization, BusyWatts at full utilization
+	// of every core. Defaults approximate the dual-core Xeon host: 60W idle
+	// to 140W flat out.
+	IdleWatts, BusyWatts float64
+
+	lastAt   sim.Time
+	lastBusy sim.Time
+}
+
+// NewX86Model returns a model for hv with the default envelope.
+func NewX86Model(hv *xen.Hypervisor) *X86Model {
+	return &X86Model{hv: hv, IdleWatts: 60, BusyWatts: 140}
+}
+
+// Name implements Model.
+func (m *X86Model) Name() string { return "x86" }
+
+// Sample implements Model: utilization is measured over the interval since
+// the previous call.
+func (m *X86Model) Sample(now sim.Time) float64 {
+	var busy sim.Time
+	for _, d := range m.hv.Domains() {
+		m.hv.TotalUtilization(0, d) // fold in-progress runs into the meter
+		busy += d.Meter().Busy()
+	}
+	window := now - m.lastAt
+	if window <= 0 {
+		return m.IdleWatts
+	}
+	delta := busy - m.lastBusy
+	m.lastAt, m.lastBusy = now, busy
+	util := float64(delta) / float64(window) / float64(len(m.hv.PCPUs()))
+	if util > 1 {
+		util = 1
+	}
+	return m.IdleWatts + (m.BusyWatts-m.IdleWatts)*util
+}
+
+// IXPModel converts the IXP island's thread allocation into power: network
+// processors burn roughly constant power per active hardware thread on top
+// of a fixed floor.
+type IXPModel struct {
+	x *ixp.IXP
+	// IdleWatts is the floor; WattsPerThread is added per allocated dequeue
+	// thread. Defaults approximate the IXP2850's ~25W envelope.
+	IdleWatts, WattsPerThread float64
+}
+
+// NewIXPModel returns a model for x with the default envelope.
+func NewIXPModel(x *ixp.IXP) *IXPModel {
+	return &IXPModel{x: x, IdleWatts: 18, WattsPerThread: 0.4}
+}
+
+// Name implements Model.
+func (m *IXPModel) Name() string { return "ixp" }
+
+// Sample implements Model.
+func (m *IXPModel) Sample(now sim.Time) float64 {
+	return m.IdleWatts + m.WattsPerThread*float64(m.x.ThreadsAllocated())
+}
+
+// CapActuator applies power Tunes on the Xen island: the Tune value is a
+// CPU-cap adjustment in percentage points for the entity (negative =
+// throttle). A cap of 0 means uncapped; the actuator materializes it as
+// 100% before adjusting, and never throttles below MinCap.
+type CapActuator struct {
+	ctl    *xen.Ctl
+	MinCap int // default 20 (percent of one CPU)
+}
+
+// NewCapActuator wraps a XenCtrl interface.
+func NewCapActuator(ctl *xen.Ctl) *CapActuator {
+	return &CapActuator{ctl: ctl, MinCap: 20}
+}
+
+// ApplyTune adjusts the entity's CPU cap by delta percentage points.
+func (a *CapActuator) ApplyTune(entity, delta int) error {
+	cur, err := a.capOf(entity)
+	if err != nil {
+		return err
+	}
+	next := cur + delta
+	if next < a.MinCap {
+		next = a.MinCap
+	}
+	if next >= 100 {
+		next = 0 // fully restored: uncap
+	}
+	return a.ctl.SetCap(entity, next)
+}
+
+// ApplyTrigger removes the entity's cap immediately (emergency restore,
+// e.g. an SLA violation signal from another island).
+func (a *CapActuator) ApplyTrigger(entity int) error {
+	return a.ctl.SetCap(entity, 0)
+}
+
+// capOf reads the entity's effective cap (100 when uncapped).
+func (a *CapActuator) capOf(entity int) (int, error) {
+	d, err := a.domain(entity)
+	if err != nil {
+		return 0, err
+	}
+	if d.Cap() == 0 {
+		return 100, nil
+	}
+	return d.Cap(), nil
+}
+
+func (a *CapActuator) domain(entity int) (*xen.Domain, error) {
+	for _, d := range a.ctlDomains() {
+		if d.ID() == entity {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("power: no domain %d", entity)
+}
+
+// ctlDomains exposes the hypervisor's domains through the control surface.
+func (a *CapActuator) ctlDomains() []*xen.Domain { return a.ctl.Domains() }
+
+// total sums model samples.
+func total(models []Model, now sim.Time) (float64, map[string]float64) {
+	sum := 0.0
+	per := make(map[string]float64, len(models))
+	for _, m := range models {
+		w := m.Sample(now)
+		per[m.Name()] = w
+		sum += w
+	}
+	return sum, per
+}
+
+// Series bundles the Budgeter's recorded telemetry.
+type Series struct {
+	Total     *stats.TimeSeries
+	PerIsland map[string]*stats.TimeSeries
+}
+
+func newSeries(models []Model) *Series {
+	s := &Series{
+		Total:     stats.NewTimeSeries("power-total"),
+		PerIsland: make(map[string]*stats.TimeSeries, len(models)),
+	}
+	for _, m := range models {
+		s.PerIsland[m.Name()] = stats.NewTimeSeries("power-" + m.Name())
+	}
+	return s
+}

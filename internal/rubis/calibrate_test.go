@@ -1,0 +1,34 @@
+package rubis
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCalibrationReport prints base-vs-coordinated numbers for manual
+// calibration against the paper's tables. Run with -v to inspect.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short mode")
+	}
+	run := func(coord bool) *Result {
+		return RunExperiment(ExperimentConfig{
+			Coordinated: coord,
+			Duration:    130 * sim.Second,
+		})
+	}
+	base := run(false)
+	coord := run(true)
+	t.Logf("base:  tput=%.1f req/s eff=%.2f util web=%.0f app=%.0f db=%.0f dom0=%.0f sessions=%d avgSess=%.1fs",
+		base.Throughput, base.Efficiency, base.WebUtil, base.AppUtil, base.DBUtil, base.Dom0Util,
+		base.Metrics.SessionsCompleted(), base.Metrics.AvgSessionTime())
+	t.Logf("coord: tput=%.1f req/s eff=%.2f util web=%.0f app=%.0f db=%.0f dom0=%.0f sessions=%d avgSess=%.1fs tunes=%d weights=%v",
+		coord.Throughput, coord.Efficiency, coord.WebUtil, coord.AppUtil, coord.DBUtil, coord.Dom0Util,
+		coord.Metrics.SessionsCompleted(), coord.Metrics.AvgSessionTime(), coord.TunesSent, coord.FinalWeights)
+	for _, rt := range AllRequestTypes() {
+		b, c := base.Metrics.TypeSummary(rt), coord.Metrics.TypeSummary(rt)
+		t.Logf("%-26s base n=%-4d avg=%6.0f max=%6.0f | coord n=%-4d avg=%6.0f max=%6.0f",
+			rt, b.Count(), b.Mean(), b.Max(), c.Count(), c.Mean(), c.Max())
+	}
+}

@@ -1,0 +1,262 @@
+package rubis
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xen"
+)
+
+// Scheme selects the coordination policy variant for RUBiS runs.
+type Scheme int
+
+// Coordination policy variants.
+const (
+	SchemeOutstanding Scheme = iota // backlog-tracking (default)
+	SchemeLoadTrack                 // offered-load tracking
+	SchemeClass                     // fixed-delta read/write rule
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeOutstanding:
+		return "outstanding"
+	case SchemeLoadTrack:
+		return "loadtrack"
+	case SchemeClass:
+		return "class"
+	default:
+		return "unknown"
+	}
+}
+
+// ExperimentConfig describes one RUBiS run on the two-island testbed.
+type ExperimentConfig struct {
+	Platform platform.Config
+	Server   ServerConfig
+	Client   ClientConfig
+
+	// Coordinated enables the paper's coord-ixp-dom0 scheme: the IXP's
+	// request classifier drives per-request weight Tunes for the tier VMs.
+	Coordinated bool
+	// Scheme selects the coordination policy when Coordinated is set:
+	// SchemeOutstanding (default) tracks per-tier outstanding demand from
+	// both traffic directions; SchemeLoadTrack tracks offered load only;
+	// SchemeClass is the simple fixed-delta read/write rule. The latter two
+	// exist for the policy ablation.
+	Scheme Scheme
+	// TuneStep is the weight delta per classified request for the class
+	// scheme (default 64).
+	TuneStep int
+	// LoadScale converts profiled demand ms into tune units for the
+	// load-tracking scheme (default 1.0).
+	LoadScale float64
+	// LoadTau is the decay time constant of the load-tracking translation
+	// (default 1s).
+	LoadTau sim.Time
+	// GuestWeight is the initial weight of each tier VM (default 256).
+	GuestWeight int
+
+	Warmup   sim.Time // measurement starts here (default 10s)
+	Duration sim.Time // total run length including warmup (default 70s)
+}
+
+// DefaultExperimentClient returns the calibrated client workload used for
+// the paper's RUBiS tables and figures: 80 concurrent sessions of the
+// read-write (bid) mix with population-level write surges every 8s.
+func DefaultExperimentClient() ClientConfig {
+	return ClientConfig{
+		Sessions:           80,
+		RequestsPerSession: 60,
+		ThinkTime:          400 * sim.Millisecond,
+		Phases:             true,
+		PhasePeriod:        8 * sim.Second,
+		PhaseWindow:        3 * sim.Second,
+		WriteBiasIn:        10,
+		WriteBiasOut:       0.05,
+		PhaseThinkFactor:   1, // composition surge only, no rate surge
+	}
+}
+
+func (c *ExperimentConfig) applyDefaults() {
+	if c.GuestWeight == 0 {
+		c.GuestWeight = 256
+	}
+	if c.Client == (ClientConfig{}) {
+		c.Client = DefaultExperimentClient()
+	}
+	if c.LoadScale == 0 {
+		c.LoadScale = 1
+	}
+	if c.LoadTau == 0 {
+		c.LoadTau = sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * sim.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 70 * sim.Second
+	}
+}
+
+// Result carries everything the paper's RUBiS tables and figures report.
+type Result struct {
+	Metrics *Metrics
+
+	// Per-tier mean CPU utilization over the measurement interval, percent
+	// of one CPU (Figure 5), plus Dom0 for completeness.
+	WebUtil, AppUtil, DBUtil, Dom0Util float64
+	// TotalUtil is the summed tier utilization (the paper's Table 2 basis).
+	TotalUtil float64
+	// Throughput in requests/second and the derived platform efficiency.
+	Throughput float64
+	Efficiency float64
+
+	// Coordination-plane counters.
+	TunesSent    uint64
+	TunesApplied uint64
+	// Final weights, to inspect where the policy drove the scheduler.
+	FinalWeights map[string]int
+}
+
+// utilWindow measures a domain's utilization over [from, to) using busy
+// snapshots, so pre-warmup activity is excluded.
+type utilWindow struct {
+	dom  *xen.Domain
+	at   sim.Time
+	busy sim.Time
+}
+
+func (w *utilWindow) snapshot(now sim.Time) {
+	w.at = now
+	w.busy = w.dom.Meter().Busy()
+}
+
+func (w *utilWindow) utilization(now sim.Time) float64 {
+	if now <= w.at {
+		return 0
+	}
+	return float64(w.dom.Meter().Busy()-w.busy) / float64(now-w.at) * 100
+}
+
+// RunExperiment assembles the testbed, deploys RUBiS, optionally arms the
+// coordination policy, runs to completion, and returns the measurements.
+func RunExperiment(cfg ExperimentConfig) *Result {
+	cfg.applyDefaults()
+	if cfg.Coordinated && cfg.Platform.MinGuestWeight == 0 {
+		// In the outstanding-load translation the weight floor is the base
+		// allocation; Tunes add transient priority on top of it, so an
+		// unloaded tier never drops below its uncoordinated share.
+		cfg.Platform.MinGuestWeight = cfg.GuestWeight
+		cfg.Platform.MaxGuestWeight = 2048
+	}
+	p := platform.New(cfg.Platform)
+	web := p.AddGuest("WebServer", cfg.GuestWeight)
+	app := p.AddGuest("AppServer", cfg.GuestWeight)
+	db := p.AddGuest("DBServer", cfg.GuestWeight)
+
+	srv := NewServer(p.Sim, cfg.Server, web, app, db, p.Host)
+	_ = srv
+
+	clientCfg := cfg.Client
+	clientCfg.WebVM = web.ID()
+	clientCfg.Warmup = cfg.Warmup
+	client := NewClient(p.Sim, clientCfg, p.IXP)
+
+	coordinating := false
+	if cfg.Coordinated {
+		coordinating = true
+		tiers := core.TierEntities{Web: web.ID(), App: app.ID(), DB: db.ID()}
+		catalog := DefaultCatalog()
+		demands := func(pkt *netsim.Packet) (webMs, appMs, dbMs float64, ok bool) {
+			req, isReq := pkt.Payload.(*Request)
+			if !isReq {
+				return 0, 0, 0, false
+			}
+			prof := catalog[req.Type]
+			return prof.Web.Milliseconds(), prof.App.Milliseconds(), prof.DB.Milliseconds(), true
+		}
+		switch cfg.Scheme {
+		case SchemeClass:
+			policy := core.NewRequestClassPolicy(p.IXPAgent, platform.X86Island, tiers, cfg.TuneStep)
+			p.IXP.AddDPI(func(pkt *netsim.Packet) {
+				req, ok := pkt.Payload.(*Request)
+				if !ok || pkt.SrcVM != -1 {
+					return // only classify inbound client requests
+				}
+				policy.OnRequest(catalog[req.Type].Kind)
+			})
+		case SchemeLoadTrack:
+			p.X86Act.EnableLoadTracking(p.Sim, cfg.LoadTau, 100*sim.Millisecond)
+			policy := core.NewLoadTrackPolicy(p.IXPAgent, platform.X86Island, tiers)
+			policy.Scale = cfg.LoadScale
+			p.IXP.AddDPI(func(pkt *netsim.Packet) {
+				if pkt.SrcVM != -1 {
+					return
+				}
+				if w, a, d, ok := demands(pkt); ok {
+					policy.OnRequest(w, a, d)
+				}
+			})
+		default: // SchemeOutstanding
+			// Slow decay heals any drift of the outstanding-demand estimate
+			// (e.g. responses whose requests predate coordination start).
+			p.X86Act.EnableLoadTracking(p.Sim, 20*sim.Second, 250*sim.Millisecond)
+			policy := core.NewOutstandingLoadPolicy(p.IXPAgent, platform.X86Island, tiers)
+			policy.Scale = cfg.LoadScale
+			p.IXP.AddDPI(func(pkt *netsim.Packet) {
+				if pkt.SrcVM != -1 {
+					return
+				}
+				if w, a, d, ok := demands(pkt); ok {
+					policy.OnRequest(w, a, d)
+				}
+			})
+			p.IXP.AddTxDPI(func(pkt *netsim.Packet) {
+				if w, a, d, ok := demands(pkt); ok {
+					policy.OnResponse(w, a, d)
+				}
+			})
+		}
+	}
+
+	// Utilization windows snapshot at warmup so Figure 5 reflects steady
+	// state only.
+	windows := []*utilWindow{{dom: web}, {dom: app}, {dom: db}, {dom: p.Dom0}}
+	p.Sim.At(cfg.Warmup, func() {
+		for _, w := range windows {
+			p.HV.TotalUtilization(0, w.dom) // folds in-progress run intervals into the meter
+			w.snapshot(p.Sim.Now())
+		}
+	})
+
+	client.Start()
+	p.Sim.RunUntil(cfg.Duration)
+	now := p.Sim.Now()
+	for _, w := range windows {
+		p.HV.TotalUtilization(0, w.dom)
+	}
+
+	res := &Result{
+		Metrics:      client.Metrics(),
+		WebUtil:      windows[0].utilization(now),
+		AppUtil:      windows[1].utilization(now),
+		DBUtil:       windows[2].utilization(now),
+		Dom0Util:     windows[3].utilization(now),
+		FinalWeights: map[string]int{},
+	}
+	res.TotalUtil = res.WebUtil + res.AppUtil + res.DBUtil
+	res.Throughput = client.Metrics().Throughput(now)
+	res.Efficiency = stats.PlatformEfficiency(res.Throughput, res.TotalUtil)
+	if coordinating {
+		res.TunesSent = p.IXPAgent.Stats().TunesSent
+		res.TunesApplied = p.X86Agent.Stats().TunesApplied
+	}
+	for _, d := range []*xen.Domain{web, app, db} {
+		res.FinalWeights[d.Name()] = d.Weight()
+	}
+	return res
+}

@@ -1,0 +1,74 @@
+package rubis
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Metrics collects the client-observed performance measures the paper
+// reports: per-request-type response-time distributions (Figures 2 and 4,
+// Table 1), request throughput, completed sessions and session times
+// (Table 2).
+type Metrics struct {
+	start     sim.Time
+	perType   [NumRequestTypes]stats.Sample
+	summaries [NumRequestTypes]stats.Summary
+	responses uint64
+
+	sessionTimes stats.Summary
+	completed    int
+}
+
+// NewMetrics returns metrics with measurement starting at start.
+func NewMetrics(start sim.Time) *Metrics {
+	return &Metrics{start: start}
+}
+
+// RecordResponse records one response latency for a request type.
+func (m *Metrics) RecordResponse(t RequestType, latency sim.Time) {
+	msVal := latency.Milliseconds()
+	m.perType[t].Add(msVal)
+	m.summaries[t].Add(msVal)
+	m.responses++
+}
+
+// RecordSession records one completed session and its duration.
+func (m *Metrics) RecordSession(duration sim.Time) {
+	m.sessionTimes.Add(duration.Seconds())
+	m.completed++
+}
+
+// Responses returns the total number of responses observed.
+func (m *Metrics) Responses() uint64 { return m.responses }
+
+// Throughput returns the request completion rate in requests/second over
+// [start, now).
+func (m *Metrics) Throughput(now sim.Time) float64 {
+	dur := (now - m.start).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(m.responses) / dur
+}
+
+// SessionsCompleted returns the number of full sessions finished.
+func (m *Metrics) SessionsCompleted() int { return m.completed }
+
+// AvgSessionTime returns the mean completed-session duration in seconds.
+func (m *Metrics) AvgSessionTime() float64 { return m.sessionTimes.Mean() }
+
+// TypeSummary returns the latency summary (milliseconds) for one type.
+func (m *Metrics) TypeSummary(t RequestType) *stats.Summary { return &m.summaries[t] }
+
+// TypeSample returns the raw latency sample (milliseconds) for one type.
+func (m *Metrics) TypeSample(t RequestType) *stats.Sample { return &m.perType[t] }
+
+// OverallMean returns the mean response time in milliseconds across all
+// request types, weighted by occurrence.
+func (m *Metrics) OverallMean() float64 {
+	var all stats.Summary
+	for i := range m.summaries {
+		all.Merge(&m.summaries[i])
+	}
+	return all.Mean()
+}

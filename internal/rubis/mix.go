@@ -1,0 +1,157 @@
+package rubis
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// writeKind aliases the write request class for brevity in the mix tables.
+const writeKind = core.WriteRequest
+
+// defaultCatalog is the shared read-only catalog used by biased draws.
+var defaultCatalog = DefaultCatalog()
+
+// transition is one weighted edge of the session state machine.
+type transition struct {
+	next   RequestType
+	weight float64
+}
+
+// Mix is a client workload: a session state machine whose probabilistic
+// transitions emulate user browsing behaviour, as in the standard RUBiS
+// client. Two mixes ship with the benchmark: browsing (read-only) and
+// bid/browse/sell (read-write).
+type Mix struct {
+	name  string
+	start []transition
+	trans map[RequestType][]transition
+}
+
+// Name returns the mix name.
+func (m *Mix) Name() string { return m.name }
+
+// First draws a session's first request type.
+func (m *Mix) First(r *sim.Rand) RequestType { return draw(r, m.start) }
+
+// Next draws the request type following cur.
+func (m *Mix) Next(r *sim.Rand, cur RequestType) RequestType {
+	return m.NextBiased(r, cur, 1)
+}
+
+// NextBiased draws the next request type with the weight of write-class
+// transitions multiplied by writeBias. A bias of 1 is the neutral mix;
+// biases above 1 emulate population-wide write surges (bid storms around
+// auction closings), biases below 1 suppress writes. The client uses this
+// to generate the read/write phase structure the paper's coordination
+// policy tracks.
+func (m *Mix) NextBiased(r *sim.Rand, cur RequestType, writeBias float64) RequestType {
+	edges, ok := m.trans[cur]
+	if !ok || len(edges) == 0 {
+		return m.First(r)
+	}
+	return drawBiased(r, edges, writeBias)
+}
+
+func draw(r *sim.Rand, edges []transition) RequestType {
+	return drawBiased(r, edges, 1)
+}
+
+func drawBiased(r *sim.Rand, edges []transition, writeBias float64) RequestType {
+	weights := make([]float64, len(edges))
+	for i, e := range edges {
+		w := e.weight
+		if writeBias != 1 && defaultCatalog[e.next].Kind == writeKind {
+			w *= writeBias
+		}
+		weights[i] = w
+	}
+	return edges[r.Choice(weights)].next
+}
+
+// validate checks that every referenced type is in range.
+func (m *Mix) validate() error {
+	check := func(edges []transition) error {
+		for _, e := range edges {
+			if e.next < 0 || int(e.next) >= NumRequestTypes {
+				return fmt.Errorf("rubis: mix %q references bad type %d", m.name, e.next)
+			}
+			if e.weight <= 0 {
+				return fmt.Errorf("rubis: mix %q has non-positive weight", m.name)
+			}
+		}
+		return nil
+	}
+	if err := check(m.start); err != nil {
+		return err
+	}
+	for _, edges := range m.trans {
+		if err := check(edges); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BrowsingMix returns the read-only mix: static pages and searches, no
+// writes at all. The paper uses it to show that coordination always wins
+// when there are no read/write transitions to mispredict.
+func BrowsingMix() *Mix {
+	m := &Mix{
+		name: "browsing",
+		start: []transition{
+			{Browse, 5}, {BrowseCategories, 3}, {BrowseRegions, 2},
+		},
+		trans: map[RequestType][]transition{
+			Browse:                   {{BrowseCategories, 4}, {BrowseRegions, 3}, {Browse, 1}},
+			BrowseCategories:         {{SearchItemsInCategory, 5}, {ViewItem, 2}, {Browse, 1}},
+			SearchItemsInCategory:    {{ViewItem, 5}, {SearchItemsInCategory, 2}, {BrowseCategories, 2}},
+			BrowseRegions:            {{BrowseCategoriesInRegion, 5}, {Browse, 1}},
+			BrowseCategoriesInRegion: {{SearchItemsInRegion, 5}, {BrowseRegions, 1}},
+			SearchItemsInRegion:      {{ViewItem, 4}, {SearchItemsInRegion, 2}, {Browse, 1}},
+			ViewItem:                 {{Browse, 3}, {BrowseCategories, 3}, {AboutMe, 1}},
+			AboutMe:                  {{Browse, 2}, {ViewItem, 1}},
+			SellItemForm:             {{Browse, 1}},
+		},
+	}
+	if err := m.validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BidMix returns the read-write (bid/browse/sell) mix: browsing
+// interleaved with authentication, bidding, buying, selling, and comment
+// storms. Its frequent read/write transitions are what expose the
+// coordination channel's latency in the paper's Figure 4.
+func BidMix() *Mix {
+	m := &Mix{
+		name: "bid",
+		start: []transition{
+			{Browse, 4}, {BrowseCategories, 3}, {Register, 1},
+		},
+		trans: map[RequestType][]transition{
+			Register:                 {{Browse, 3}, {SellItemForm, 1}},
+			Browse:                   {{BrowseCategories, 4}, {BrowseRegions, 2}, {AboutMe, 1}, {PutBidAuth, 1}},
+			BrowseCategories:         {{SearchItemsInCategory, 5}, {ViewItem, 2}, {PutBidAuth, 1}},
+			SearchItemsInCategory:    {{ViewItem, 5}, {SearchItemsInCategory, 1}, {PutBidAuth, 1}},
+			BrowseRegions:            {{BrowseCategoriesInRegion, 4}, {Browse, 1}, {PutBidAuth, 1}},
+			BrowseCategoriesInRegion: {{SearchItemsInRegion, 4}, {BrowseRegions, 1}},
+			SearchItemsInRegion:      {{ViewItem, 4}, {Browse, 1}, {PutBidAuth, 1}},
+			ViewItem:                 {{PutBidAuth, 4}, {BuyNow, 2}, {Browse, 2}, {PutComment, 1}},
+			BuyNow:                   {{Browse, 2}, {ViewItem, 1}},
+			PutBidAuth:               {{PutBid, 6}, {Browse, 1}},
+			PutBid:                   {{StoreBid, 6}, {ViewItem, 1}},
+			StoreBid:                 {{Browse, 2}, {ViewItem, 2}, {PutComment, 1}},
+			PutComment:               {{Browse, 2}, {AboutMe, 1}},
+			Sell:                     {{Browse, 1}, {SellItemForm, 1}},
+			SellItemForm:             {{Sell, 4}, {Browse, 1}},
+			AboutMe:                  {{Browse, 2}, {Sell, 1}, {ViewItem, 1}},
+		},
+	}
+	if err := m.validate(); err != nil {
+		panic(err)
+	}
+	return m
+}

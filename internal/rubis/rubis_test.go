@@ -1,0 +1,422 @@
+package rubis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func TestRequestTypeNames(t *testing.T) {
+	if Register.String() != "Register" || AboutMe.String() != "AboutMe" {
+		t.Fatal("type names wrong")
+	}
+	if got := RequestType(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("out-of-range name = %q", got)
+	}
+	if len(AllRequestTypes()) != 16 {
+		t.Fatalf("NumRequestTypes = %d, want 16 (Table 1)", NumRequestTypes)
+	}
+	seen := map[string]bool{}
+	for _, rt := range AllRequestTypes() {
+		if seen[rt.String()] {
+			t.Fatalf("duplicate name %s", rt)
+		}
+		seen[rt.String()] = true
+	}
+}
+
+func TestCatalogEncodesProfilingInsight(t *testing.T) {
+	cat := DefaultCatalog()
+	for _, rt := range AllRequestTypes() {
+		p := cat[rt]
+		if p.Web <= 0 || p.App <= 0 {
+			t.Fatalf("%s has non-positive web/app demand", rt)
+		}
+		if p.ReqBytes <= 0 || p.RespBytes <= 0 {
+			t.Fatalf("%s has non-positive packet sizes", rt)
+		}
+		if p.TotalDemand() != p.Web+p.App+p.DB {
+			t.Fatalf("%s TotalDemand wrong", rt)
+		}
+		switch p.Kind {
+		case core.WriteRequest:
+			// Writes drive app-database interactions: DB dominates.
+			if p.DB <= p.Web {
+				t.Fatalf("write type %s has DB (%v) <= Web (%v)", rt, p.DB, p.Web)
+			}
+		case core.ReadRequest:
+			// Browsing is web/app heavy with (nearly) no DB processing.
+			if p.DB > p.Web {
+				t.Fatalf("read type %s has DB (%v) > Web (%v)", rt, p.DB, p.Web)
+			}
+		default:
+			t.Fatalf("%s has no class", rt)
+		}
+	}
+	// Pure static content must have zero DB demand.
+	for _, rt := range []RequestType{Browse, BrowseCategories, BrowseRegions, BrowseCategoriesInRegion, SellItemForm} {
+		if cat[rt].DB != 0 {
+			t.Fatalf("static type %s has DB demand %v", rt, cat[rt].DB)
+		}
+	}
+}
+
+func TestMixesReachAllStates(t *testing.T) {
+	for _, m := range []*Mix{BrowsingMix(), BidMix()} {
+		r := sim.NewRand(3)
+		seen := map[RequestType]bool{}
+		cur := m.First(r)
+		for i := 0; i < 20000; i++ {
+			seen[cur] = true
+			cur = m.Next(r, cur)
+		}
+		if m.Name() == "bid" && len(seen) < 14 {
+			t.Fatalf("bid mix visited only %d states", len(seen))
+		}
+		if m.Name() == "browsing" {
+			cat := DefaultCatalog()
+			for rt := range seen {
+				if cat[rt].Kind == core.WriteRequest {
+					t.Fatalf("browsing mix produced write type %s", rt)
+				}
+			}
+		}
+	}
+}
+
+func TestBidMixWriteFraction(t *testing.T) {
+	m := BidMix()
+	r := sim.NewRand(5)
+	cat := DefaultCatalog()
+	writes := 0
+	const n = 20000
+	cur := m.First(r)
+	for i := 0; i < n; i++ {
+		if cat[cur].Kind == core.WriteRequest {
+			writes++
+		}
+		cur = m.Next(r, cur)
+	}
+	frac := float64(writes) / n
+	if frac < 0.15 || frac > 0.55 {
+		t.Fatalf("bid mix write fraction = %.2f, want a substantial minority", frac)
+	}
+}
+
+func TestMixWriteBias(t *testing.T) {
+	m := BidMix()
+	cat := DefaultCatalog()
+	frac := func(bias float64) float64 {
+		r := sim.NewRand(7)
+		writes := 0
+		const n = 20000
+		cur := m.First(r)
+		for i := 0; i < n; i++ {
+			if cat[cur].Kind == core.WriteRequest {
+				writes++
+			}
+			cur = m.NextBiased(r, cur, bias)
+		}
+		return float64(writes) / n
+	}
+	low, mid, high := frac(0.05), frac(1), frac(10)
+	if !(low < mid && mid < high) {
+		t.Fatalf("write bias not monotone: %.2f, %.2f, %.2f", low, mid, high)
+	}
+	if low > 0.15 {
+		t.Fatalf("damped write fraction = %.2f, want small", low)
+	}
+	if high < 0.4 {
+		t.Fatalf("surged write fraction = %.2f, want write-heavy", high)
+	}
+}
+
+func TestMixUnknownStateFallsBackToStart(t *testing.T) {
+	m := BrowsingMix()
+	r := sim.NewRand(1)
+	// PutBid has no transitions in the browsing mix.
+	next := m.Next(r, PutBid)
+	if int(next) < 0 || int(next) >= NumRequestTypes {
+		t.Fatalf("fallback produced invalid type %d", next)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	m := NewMetrics(0)
+	m.RecordResponse(Browse, 100*sim.Millisecond)
+	m.RecordResponse(Browse, 300*sim.Millisecond)
+	m.RecordResponse(PutBid, 1*sim.Second)
+	if m.Responses() != 3 {
+		t.Fatalf("Responses = %d", m.Responses())
+	}
+	s := m.TypeSummary(Browse)
+	if s.Count() != 2 || s.Mean() != 200 {
+		t.Fatalf("Browse summary = %v", s)
+	}
+	if m.TypeSample(PutBid).Count() != 1 {
+		t.Fatal("PutBid sample missing")
+	}
+	if got := m.Throughput(10 * sim.Second); got != 0.3 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	m.RecordSession(50 * sim.Second)
+	m.RecordSession(70 * sim.Second)
+	if m.SessionsCompleted() != 2 || m.AvgSessionTime() != 60 {
+		t.Fatalf("sessions = %d, avg = %v", m.SessionsCompleted(), m.AvgSessionTime())
+	}
+	// Overall mean weighted by counts: (100+300+1000)/3.
+	if got := m.OverallMean(); got < 466 || got > 467 {
+		t.Fatalf("OverallMean = %v", got)
+	}
+}
+
+func TestMetricsThroughputRespectsWarmup(t *testing.T) {
+	m := NewMetrics(10 * sim.Second)
+	m.RecordResponse(Browse, sim.Millisecond)
+	if got := m.Throughput(20 * sim.Second); got != 0.1 {
+		t.Fatalf("Throughput = %v, want 0.1 over 10s window", got)
+	}
+	if m.Throughput(5*sim.Second) != 0 {
+		t.Fatal("Throughput before warmup end should be 0")
+	}
+}
+
+// newSmallDeployment builds a minimal end-to-end RUBiS testbed.
+func newSmallDeployment(t *testing.T, seed int64) (*platform.Platform, *Server, *Client) {
+	t.Helper()
+	p := platform.New(platform.Config{Seed: seed})
+	web := p.AddGuest("WebServer", 256)
+	app := p.AddGuest("AppServer", 256)
+	db := p.AddGuest("DBServer", 256)
+	srv := NewServer(p.Sim, ServerConfig{}, web, app, db, p.Host)
+	client := NewClient(p.Sim, ClientConfig{
+		Sessions:           4,
+		RequestsPerSession: 5,
+		ThinkTime:          50 * sim.Millisecond,
+		WebVM:              web.ID(),
+	}, p.IXP)
+	return p, srv, client
+}
+
+func TestEndToEndRequestFlow(t *testing.T) {
+	p, srv, client := newSmallDeployment(t, 2)
+	client.Start()
+	p.Sim.RunUntil(20 * sim.Second)
+	if srv.Served() == 0 {
+		t.Fatal("no requests served")
+	}
+	if client.Metrics().Responses() != srv.Served() {
+		t.Fatalf("responses %d != served %d", client.Metrics().Responses(), srv.Served())
+	}
+	if client.Metrics().SessionsCompleted() == 0 {
+		t.Fatal("no sessions completed")
+	}
+	// Every response time is positive and below the run length.
+	for _, rt := range AllRequestTypes() {
+		s := client.Metrics().TypeSummary(rt)
+		if s.Count() > 0 && (s.Min() <= 0 || s.Max() > 20000) {
+			t.Fatalf("%s latency out of range: %v", rt, s)
+		}
+	}
+}
+
+func TestSessionsMaintainConstantPopulation(t *testing.T) {
+	p, _, client := newSmallDeployment(t, 3)
+	client.Start()
+	p.Sim.RunUntil(10 * sim.Second)
+	if got := client.ActiveSessions(); got != 4 {
+		t.Fatalf("ActiveSessions = %d, want constant 4", got)
+	}
+}
+
+func TestClientStopCeasesTraffic(t *testing.T) {
+	p, _, client := newSmallDeployment(t, 4)
+	client.Start()
+	p.Sim.RunUntil(5 * sim.Second)
+	client.Stop()
+	issued := client.Issued()
+	p.Sim.RunUntil(10 * sim.Second)
+	if client.Issued() != issued {
+		t.Fatalf("requests issued after Stop: %d -> %d", issued, client.Issued())
+	}
+}
+
+func TestServerPoolInvariant(t *testing.T) {
+	p, srv, client := newSmallDeployment(t, 5)
+	client.Start()
+	p.Sim.RunUntil(20 * sim.Second)
+	client.Stop()
+	p.Sim.RunUntil(40 * sim.Second) // drain in-flight requests
+	w, a, d := srv.PoolWaiting()
+	if w != 0 || a != 0 || d != 0 {
+		t.Fatalf("pool waiters after drain: %d/%d/%d", w, a, d)
+	}
+	if srv.webPool.free != srv.cfg.WebWorkers {
+		t.Fatalf("web workers leaked: %d of %d free", srv.webPool.free, srv.cfg.WebWorkers)
+	}
+	if srv.appPool.free != srv.cfg.AppWorkers || srv.dbPool.free != srv.cfg.DBWorkers {
+		t.Fatal("app/db workers leaked")
+	}
+}
+
+func TestPoolAcquireRelease(t *testing.T) {
+	pl := newPool(2)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		pl.acquire(func() { order = append(order, i) })
+	}
+	if len(order) != 2 || pl.Waiting() != 2 {
+		t.Fatalf("order=%v waiting=%d", order, pl.Waiting())
+	}
+	pl.release()
+	pl.release()
+	if len(order) != 4 || pl.Waiting() != 0 {
+		t.Fatalf("after release: order=%v waiting=%d", order, pl.Waiting())
+	}
+	pl.release()
+	pl.release()
+	if pl.free != 2 {
+		t.Fatalf("free = %d", pl.free)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	pl.release()
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	run := func() (float64, uint64) {
+		r := RunExperiment(ExperimentConfig{
+			Duration: 20 * sim.Second,
+			Warmup:   5 * sim.Second,
+			Client: ClientConfig{
+				Sessions: 10, RequestsPerSession: 10,
+				ThinkTime: 100 * sim.Millisecond, Phases: true,
+			},
+		})
+		return r.Throughput, r.Metrics.Responses()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 || n1 != n2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", t1, n1, t2, n2)
+	}
+}
+
+func TestCoordinatedExperimentSendsTunes(t *testing.T) {
+	r := RunExperiment(ExperimentConfig{
+		Coordinated: true,
+		Duration:    20 * sim.Second,
+		Warmup:      5 * sim.Second,
+		Client: ClientConfig{
+			Sessions: 10, RequestsPerSession: 10,
+			ThinkTime: 100 * sim.Millisecond, Phases: true,
+		},
+	})
+	if r.TunesSent == 0 || r.TunesApplied == 0 {
+		t.Fatalf("coordination inactive: sent=%d applied=%d", r.TunesSent, r.TunesApplied)
+	}
+	if len(r.FinalWeights) != 3 {
+		t.Fatalf("FinalWeights = %v", r.FinalWeights)
+	}
+	// Load tracking must have moved at least one weight off the default.
+	moved := false
+	for _, w := range r.FinalWeights {
+		if w != 256 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("weights never moved: %v", r.FinalWeights)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if SchemeOutstanding.String() != "outstanding" || SchemeClass.String() != "class" ||
+		SchemeLoadTrack.String() != "loadtrack" || Scheme(9).String() != "unknown" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestClassSchemeExperimentRuns(t *testing.T) {
+	r := RunExperiment(ExperimentConfig{
+		Coordinated: true,
+		Scheme:      SchemeClass,
+		Duration:    15 * sim.Second,
+		Warmup:      5 * sim.Second,
+		Client: ClientConfig{
+			Sessions: 8, RequestsPerSession: 10,
+			ThinkTime: 100 * sim.Millisecond, Phases: true,
+		},
+	})
+	if r.TunesSent == 0 {
+		t.Fatal("class scheme sent no tunes")
+	}
+}
+
+func TestLoadTrackSchemeExperimentRuns(t *testing.T) {
+	r := RunExperiment(ExperimentConfig{
+		Coordinated: true,
+		Scheme:      SchemeLoadTrack,
+		Duration:    15 * sim.Second,
+		Warmup:      5 * sim.Second,
+		Client: ClientConfig{
+			Sessions: 8, RequestsPerSession: 10,
+			ThinkTime: 100 * sim.Millisecond, Phases: true,
+		},
+	})
+	if r.TunesSent == 0 {
+		t.Fatal("loadtrack scheme sent no tunes")
+	}
+}
+
+func TestUtilizationWindowExcludesWarmup(t *testing.T) {
+	r := RunExperiment(ExperimentConfig{
+		Duration: 15 * sim.Second,
+		Warmup:   5 * sim.Second,
+		Client: ClientConfig{
+			Sessions: 6, RequestsPerSession: 10,
+			ThinkTime: 100 * sim.Millisecond,
+		},
+	})
+	for name, u := range map[string]float64{
+		"web": r.WebUtil, "app": r.AppUtil, "db": r.DBUtil, "dom0": r.Dom0Util,
+	} {
+		if u < 0 || u > 100 {
+			t.Fatalf("%s utilization = %v out of range", name, u)
+		}
+	}
+	if r.TotalUtil <= 0 {
+		t.Fatal("no utilization measured")
+	}
+	if r.Efficiency <= 0 {
+		t.Fatal("no efficiency computed")
+	}
+}
+
+func TestMixValidationQuick(t *testing.T) {
+	// Biased draws always return valid request types for any bias.
+	f := func(seed int64, biasRaw uint8) bool {
+		bias := 0.05 + float64(biasRaw)/8
+		m := BidMix()
+		r := sim.NewRand(seed)
+		cur := m.First(r)
+		for i := 0; i < 200; i++ {
+			cur = m.NextBiased(r, cur, bias)
+			if int(cur) < 0 || int(cur) >= NumRequestTypes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package rubis
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/xen"
+)
+
+// ServerConfig tunes the server-side deployment.
+type ServerConfig struct {
+	// Noise is the coefficient of variation applied to per-tier service
+	// demands (default 0.2; 0 disables variability).
+	Noise float64
+	// BridgeCost is the Dom0 CPU charged per inter-VM hop over the Xen
+	// bridge (default 150us).
+	BridgeCost sim.Time
+
+	// Worker-pool sizes. The tiers are synchronous, as in the real stack:
+	// an Apache worker is held for a request's whole lifetime, a Tomcat
+	// worker while the servlet (and any database call) runs, a MySQL
+	// connection while the query runs. Pool exhaustion is what couples the
+	// tiers — when the database falls behind, app workers block on it, web
+	// workers block on the app tier, and even static browsing stalls. This
+	// cascade is what the paper's coordination scheme interrupts.
+	WebWorkers int // default 128
+	AppWorkers int // default 64
+	DBWorkers  int // default 24
+}
+
+func (c *ServerConfig) applyDefaults() {
+	if c.Noise == 0 {
+		c.Noise = 0.2
+	}
+	if c.BridgeCost == 0 {
+		c.BridgeCost = 150 * sim.Microsecond
+	}
+	if c.WebWorkers == 0 {
+		c.WebWorkers = 128
+	}
+	if c.AppWorkers == 0 {
+		c.AppWorkers = 64
+	}
+	if c.DBWorkers == 0 {
+		c.DBWorkers = 24
+	}
+}
+
+// pool is a counted worker pool with a FIFO admission queue.
+type pool struct {
+	free  int
+	queue []func()
+	max   int
+}
+
+func newPool(n int) *pool { return &pool{free: n, max: n} }
+
+// acquire runs fn immediately if a worker is free, else queues it.
+func (p *pool) acquire(fn func()) {
+	if p.free > 0 {
+		p.free--
+		fn()
+		return
+	}
+	p.queue = append(p.queue, fn)
+}
+
+// release frees a worker, handing it straight to the next waiter if any.
+func (p *pool) release() {
+	if len(p.queue) > 0 {
+		next := p.queue[0]
+		copy(p.queue, p.queue[1:])
+		p.queue[len(p.queue)-1] = nil
+		p.queue = p.queue[:len(p.queue)-1]
+		next()
+		return
+	}
+	p.free++
+	if p.free > p.max {
+		panic("rubis: pool released more workers than it has")
+	}
+}
+
+// Waiting returns the number of queued admission requests.
+func (p *pool) Waiting() int { return len(p.queue) }
+
+// Server is the three-tier RUBiS deployment: web, application, and database
+// VMs, with inter-tier communication relayed through the Dom0 bridge. It
+// consumes request packets delivered by the host stack to the web VM and
+// transmits response packets back toward the client.
+type Server struct {
+	sim     *sim.Simulator
+	cfg     ServerConfig
+	web     *xen.Domain
+	app     *xen.Domain
+	db      *xen.Domain
+	host    *netsim.HostStack
+	catalog [NumRequestTypes]Profile
+	rng     *sim.Rand
+
+	webPool, appPool, dbPool *pool
+
+	served uint64
+}
+
+// NewServer wires the three tier domains behind the host stack's handler
+// for the web VM. All request traffic must carry a *Request payload.
+func NewServer(s *sim.Simulator, cfg ServerConfig, web, app, db *xen.Domain, host *netsim.HostStack) *Server {
+	cfg.applyDefaults()
+	srv := &Server{
+		sim:     s,
+		cfg:     cfg,
+		web:     web,
+		app:     app,
+		db:      db,
+		host:    host,
+		catalog: DefaultCatalog(),
+		rng:     s.Rand().Fork(),
+		webPool: newPool(cfg.WebWorkers),
+		appPool: newPool(cfg.AppWorkers),
+		dbPool:  newPool(cfg.DBWorkers),
+	}
+	host.Register(web.ID(), srv.onRequest)
+	return srv
+}
+
+// Catalog returns the server's request profiles (mutable for ablations).
+func (s *Server) Catalog() *[NumRequestTypes]Profile { return &s.catalog }
+
+// Served returns the number of requests fully processed.
+func (s *Server) Served() uint64 { return s.served }
+
+// Tiers returns the web, app, and db domains.
+func (s *Server) Tiers() (web, app, db *xen.Domain) { return s.web, s.app, s.db }
+
+// PoolWaiting returns the number of requests queued for admission at each
+// tier's worker pool — the visible symptom of the cross-tier cascade.
+func (s *Server) PoolWaiting() (web, app, db int) {
+	return s.webPool.Waiting(), s.appPool.Waiting(), s.dbPool.Waiting()
+}
+
+// demand draws a noisy service demand around mean.
+func (s *Server) demand(mean sim.Time) sim.Time {
+	if mean <= 0 {
+		return 0
+	}
+	if s.cfg.Noise <= 0 {
+		return mean
+	}
+	sd := mean.Scale(s.cfg.Noise)
+	min := mean.Scale(0.2)
+	return s.rng.TruncNormalTime(mean, sd, min)
+}
+
+// onRequest runs one request through the synchronous tier pipeline:
+// acquire a web worker -> web CPU -> (bridge) -> acquire an app worker ->
+// app CPU -> (bridge) -> acquire a DB connection -> DB CPU -> release all
+// -> respond. Tiers with zero profiled demand are skipped (browsing
+// requests touch the database only negligibly) and do not take workers.
+// Because workers are held across downstream calls, a backlogged database
+// exhausts the app pool and then the web pool, stalling unrelated requests
+// — the cross-tier cascade the coordination policy combats.
+func (s *Server) onRequest(p *netsim.Packet) {
+	req, ok := p.Payload.(*Request)
+	if !ok {
+		panic(fmt.Sprintf("rubis: packet %d without request payload", p.ID))
+	}
+	prof := s.catalog[req.Type]
+
+	finish := func() {
+		s.webPool.release()
+		s.served++
+		// Responses are segmented at the MTU; only the final segment
+		// carries the request payload, so the client (and the IXP's
+		// response-observing DPIs) see exactly one completion event per
+		// request, once the whole response has left the host.
+		const mtu = 1500
+		remaining := prof.RespBytes
+		for remaining > 0 {
+			size := remaining
+			if size > mtu {
+				size = mtu
+			}
+			remaining -= size
+			pkt := &netsim.Packet{
+				ID:      p.ID,
+				Size:    size,
+				SrcVM:   s.web.ID(),
+				DstVM:   -1,
+				Class:   netsim.Class(req.Type.String()),
+				Created: s.sim.Now(),
+			}
+			if remaining == 0 {
+				pkt.Payload = req
+			}
+			s.host.Transmit(pkt)
+		}
+	}
+
+	dbStage := func(done func()) {
+		d := s.demand(prof.DB)
+		if d <= 0 {
+			done()
+			return
+		}
+		s.dbPool.acquire(func() {
+			s.db.SubmitFunc(d, "db:"+req.Type.String(), func() {
+				s.dbPool.release()
+				done()
+			})
+		})
+	}
+	appStage := func(done func()) {
+		d := s.demand(prof.App)
+		if d <= 0 {
+			dbStage(done)
+			return
+		}
+		s.appPool.acquire(func() {
+			s.app.SubmitFunc(d, "app:"+req.Type.String(), func() {
+				s.bridgeHop(func() {
+					dbStage(func() {
+						s.appPool.release()
+						done()
+					})
+				})
+			})
+		})
+	}
+	s.webPool.acquire(func() {
+		webDemand := s.demand(prof.Web)
+		if webDemand <= 0 {
+			webDemand = sim.Millisecond / 2
+		}
+		s.web.SubmitFunc(webDemand, "web:"+req.Type.String(), func() {
+			s.bridgeHop(func() { appStage(finish) })
+		})
+	})
+}
+
+// bridgeHop charges Dom0 for relaying an inter-VM message over the Xen
+// bridge, then continues the pipeline.
+func (s *Server) bridgeHop(next func()) {
+	s.host.Dom0().SubmitFunc(s.cfg.BridgeCost, "bridge", next)
+}

@@ -1,0 +1,92 @@
+package sim
+
+// Event is a scheduled callback. Events are created by Simulator.At and
+// Simulator.After and may be cancelled before they fire. An Event must not
+// be reused after it has fired or been cancelled.
+type Event struct {
+	when      Time
+	seq       uint64 // FIFO tie-break among events at the same instant
+	fn        func()
+	index     int // position in the heap, -1 when not queued
+	cancelled bool
+}
+
+// When returns the virtual time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel is O(1); the event is
+// lazily discarded when it reaches the head of the queue.
+func (e *Event) Cancel() {
+	e.cancelled = true
+	e.fn = nil
+}
+
+// eventHeap is a binary min-heap ordered by (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.index = len(*h)
+	*h = append(*h, e)
+	h.up(e.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old.swap(0, n-1)
+	old[n-1] = nil
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}

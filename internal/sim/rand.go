@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is a deterministic pseudo-random source with the distribution helpers
+// the workload models need. It wraps a 64-bit SplitMix64/xorshift-style
+// generator rather than math/rand so that the sequence is stable across Go
+// releases.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a Rand seeded with seed. Two Rands with the same seed
+// produce identical sequences.
+func NewRand(seed int64) *Rand {
+	r := &Rand{state: uint64(seed)}
+	if r.state == 0 {
+		r.state = 0x9e3779b97f4a7c15
+	}
+	// Warm up so that small seeds diverge quickly.
+	for i := 0; i < 4; i++ {
+		r.Uint64()
+	}
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Intn with non-positive n %d", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniformly distributed float64 in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// ExpTime returns an exponentially distributed duration with the given mean.
+func (r *Rand) ExpTime(mean Time) Time {
+	return Time(r.Exp(float64(mean)))
+}
+
+// Normal returns a normally distributed value (Box-Muller).
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// TruncNormalTime returns a normally distributed duration truncated to
+// [min, +inf). Useful for service demands that must stay positive.
+func (r *Rand) TruncNormalTime(mean, stddev, min Time) Time {
+	v := Time(r.Normal(float64(mean), float64(stddev)))
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// Pareto returns a Pareto-distributed value with the given scale (minimum)
+// and shape alpha. It panics if alpha <= 0 or scale <= 0.
+func (r *Rand) Pareto(scale, alpha float64) float64 {
+	if alpha <= 0 || scale <= 0 {
+		panic("sim: Pareto requires positive scale and alpha")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale / math.Pow(u, 1/alpha)
+}
+
+// Choice returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. It panics if weights is empty or sums to <= 0.
+func (r *Rand) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("sim: Choice with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("sim: Choice with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("sim: Choice with zero total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork returns a new Rand seeded from this one, useful for giving each model
+// component an independent stream.
+func (r *Rand) Fork() *Rand {
+	return &Rand{state: r.Uint64()}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate sequence")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64RangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRangeQuick(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(11)
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(10)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Fatalf("Exp(10) empirical mean = %v", mean)
+	}
+}
+
+func TestExpTime(t *testing.T) {
+	r := NewRand(12)
+	sum := Time(0)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.ExpTime(Millisecond)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-float64(Millisecond)) > 0.05*float64(Millisecond) {
+		t.Fatalf("ExpTime(1ms) empirical mean = %vns", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(13)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestTruncNormalTimeFloor(t *testing.T) {
+	r := NewRand(14)
+	for i := 0; i < 10000; i++ {
+		v := r.TruncNormalTime(Millisecond, 5*Millisecond, 100*Microsecond)
+		if v < 100*Microsecond {
+			t.Fatalf("TruncNormalTime below floor: %v", v)
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRand(15)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(2, 1.5)
+		if v < 2 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0, 1) did not panic")
+		}
+	}()
+	r.Pareto(0, 1)
+}
+
+func TestChoiceDistribution(t *testing.T) {
+	r := NewRand(16)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if math.Abs(float64(counts[i])-want) > 0.05*n {
+			t.Fatalf("Choice counts %v do not match weights %v", counts, weights)
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	r := NewRand(1)
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Choice(%v) did not panic", weights)
+				}
+			}()
+			r.Choice(weights)
+		}()
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(17)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/n-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", float64(hits)/n)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(18)
+	a := r.Fork()
+	b := r.Fork()
+	diff := false
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("forked streams identical")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(19)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) = %v", v)
+		}
+	}
+}

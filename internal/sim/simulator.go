@@ -1,0 +1,148 @@
+package sim
+
+import "fmt"
+
+// Simulator owns the virtual clock and the pending-event queue. It is not
+// safe for concurrent use: all model code runs inside event callbacks on a
+// single goroutine, which is what makes runs deterministic.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *Rand
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Simulator whose clock starts at zero and whose random source
+// is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events not yet discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t and returns the event,
+// which may be cancelled. It panics if t is before the current time.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	s.queue.push(e)
+	return e
+}
+
+// After schedules fn to run d after the current time. A negative d panics.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event after negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed (false when the queue
+// is empty).
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := s.queue.pop()
+		if e.cancelled {
+			continue
+		}
+		s.now = e.when
+		fn := e.fn
+		e.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.running = true
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+	s.running = false
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if it is not already past). Events scheduled beyond the
+// deadline remain queued.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.running = true
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	s.running = false
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. It may be called from inside an event callback.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// peek returns the timestamp of the next live event.
+func (s *Simulator) peek() (Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			s.queue.pop()
+			continue
+		}
+		return s.queue[0].when, true
+	}
+	return 0, false
+}
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first invocation happens one period from now.
+func (s *Simulator) Ticker(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive ticker period %v", period))
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = s.After(period, tick)
+		}
+	}
+	ev = s.After(period, tick)
+	return func() {
+		stopped = true
+		if ev != nil {
+			ev.Cancel()
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", Second)
+	}
+	if Millisecond*1000 != Second {
+		t.Fatalf("1000ms != 1s")
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds() = %v, want 2", got)
+	}
+	if got := (1500 * Microsecond).Milliseconds(); got != 1.5 {
+		t.Fatalf("Milliseconds() = %v, want 1.5", got)
+	}
+	if got := (3 * Millisecond).Microseconds(); got != 3000 {
+		t.Fatalf("Microseconds() = %v, want 3000", got)
+	}
+	if got := FromDuration(time.Second); got != Second {
+		t.Fatalf("FromDuration(1s) = %v", got)
+	}
+	if got := Second.Duration(); got != time.Second {
+		t.Fatalf("Duration() = %v", got)
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	if got := (10 * Millisecond).Scale(0.5); got != 5*Millisecond {
+		t.Fatalf("Scale(0.5) = %v", got)
+	}
+	if got := Time(3).Scale(1.0 / 3.0); got != 1 {
+		t.Fatalf("Scale rounding = %v, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative scale did not panic")
+		}
+	}()
+	Time(1).Scale(-1)
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestEventFIFOAtSameInstant(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(10, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel is a no-op.
+	e.Cancel()
+}
+
+func TestSchedulingInsideEvent(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.At(10, func() {
+		times = append(times, s.Now())
+		s.After(5, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	s.At(1, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, tt := range []Time{10, 20, 30, 40} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 10 and 20", fired)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v after second RunUntil", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New(1)
+	s.RunUntil(50)
+	if s.Now() != 50 {
+		t.Fatalf("Now() = %v, want 50 with empty queue", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// Remaining events are still pending and can be resumed.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Fatal("Step() on empty queue returned true")
+	}
+	s.At(5, func() {})
+	if !s.Step() {
+		t.Fatal("Step() returned false with pending event")
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", s.Fired())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	stop := s.Ticker(10, func() { ticks = append(ticks, s.Now()) })
+	s.At(35, func() { stop() })
+	s.Run()
+	want := []Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var stop func()
+	stop = s.Ticker(10, func() {
+		count++
+		if count == 2 {
+			stop()
+		}
+	})
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ticker(0) did not panic")
+		}
+	}()
+	s.Ticker(0, func() {})
+}
+
+func TestHeapManyEvents(t *testing.T) {
+	s := New(42)
+	const n = 5000
+	var last Time = -1
+	monotonic := true
+	for i := 0; i < n; i++ {
+		at := Time(s.Rand().Intn(100000))
+		s.At(at, func() {
+			if s.Now() < last {
+				monotonic = false
+			}
+			last = s.Now()
+		})
+	}
+	s.Run()
+	if !monotonic {
+		t.Fatal("event timestamps not monotonically non-decreasing")
+	}
+	if s.Fired() != n {
+		t.Fatalf("Fired() = %d, want %d", s.Fired(), n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(7)
+		var out []Time
+		var step func()
+		step = func() {
+			out = append(out, s.Now())
+			if len(out) < 100 {
+				s.After(s.Rand().ExpTime(Millisecond), step)
+			}
+		}
+		s.After(0, step)
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCancelledEventsDiscardedFromPeek(t *testing.T) {
+	s := New(1)
+	e1 := s.At(10, func() {})
+	fired := false
+	s.At(20, func() { fired = true })
+	e1.Cancel()
+	s.RunUntil(15)
+	if fired {
+		t.Fatal("event at 20 fired before its time")
+	}
+	s.RunUntil(25)
+	if !fired {
+		t.Fatal("event at 20 did not fire")
+	}
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width buckets over [lo, hi).
+// Observations outside the range are counted in the underflow/overflow
+// buckets and still contribute to Count.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []uint64
+	underflow uint64
+	overflow  uint64
+	count     uint64
+}
+
+// NewHistogram returns a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: histogram with %d buckets", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v, %v)", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard against float rounding at hi
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the total number of observations, including out-of-range.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// NumBuckets returns the number of in-range buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketBounds returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Underflow returns the count of observations below the range.
+func (h *Histogram) Underflow() uint64 { return h.underflow }
+
+// Overflow returns the count of observations at or above the range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Quantile returns an approximate q-quantile (0..1) assuming observations
+// are uniform within each bucket. Out-of-range observations clamp to the
+// range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	cum := float64(h.underflow)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			blo, _ := h.BucketBounds(i)
+			frac := (target - cum) / float64(c)
+			return blo + frac*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// ASCII renders the histogram as a bar chart for harness output; width is
+// the maximum bar length in characters.
+func (h *Histogram) ASCII(width int) string {
+	var maxCount uint64
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.buckets {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = int(float64(c) / float64(maxCount) * float64(width))
+		}
+		fmt.Fprintf(&b, "[%10.2f, %10.2f) %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,387 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty summary not all-zero: %v", s.String())
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample variance with n-1: sum of squared deviations = 32, /7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("Variance = %v", s.Variance())
+	}
+	if math.Abs(s.Sum()-40) > 1e-9 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Min() != 3.5 || s.Max() != 3.5 || s.Mean() != 3.5 {
+		t.Fatalf("single-observation summary wrong: %s", s.String())
+	}
+	if s.Variance() != 0 {
+		t.Fatalf("Variance = %v for single observation", s.Variance())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 4, 7}
+	for i, x := range xs {
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Fatalf("merged variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Merge(&b) // both empty
+	if a.Count() != 0 {
+		t.Fatal("merge of empties not empty")
+	}
+	b.Add(4)
+	a.Merge(&b)
+	if a.Count() != 1 || a.Mean() != 4 {
+		t.Fatalf("merge into empty wrong: %s", a.String())
+	}
+	var c Summary
+	a.Merge(&c) // merging empty into non-empty
+	if a.Count() != 1 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestSummaryMergeQuick(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		// Filter out NaN/Inf which have no meaningful summary semantics.
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		cut := int(split) % len(clean)
+		var a, b, all Summary
+		for i, x := range clean {
+			all.Add(x)
+			if i < cut {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-6*scale &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var p Sample
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	if got := p.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := p.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := p.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := p.Percentile(90); math.Abs(got-90.1) > 1e-9 {
+		t.Fatalf("P90 = %v", got)
+	}
+	if p.Count() != 100 {
+		t.Fatalf("Count = %d", p.Count())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var p Sample
+	if p.Percentile(50) != 0 {
+		t.Fatal("empty sample percentile != 0")
+	}
+}
+
+func TestSamplePercentileMonotoneQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		var p Sample
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				p.Add(x)
+			}
+		}
+		if p.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 100; q += 5 {
+			v := p.Percentile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	if h.Bucket(0) != 2 { // 0 and 0.5
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(5) != 1 {
+		t.Fatalf("bucket 5 = %d", h.Bucket(5))
+	}
+	if h.Bucket(9) != 1 {
+		t.Fatalf("bucket 9 = %d", h.Bucket(9))
+	}
+	lo, hi := h.BucketBounds(3)
+	if lo != 3 || hi != 4 {
+		t.Fatalf("bounds(3) = [%v, %v)", lo, hi)
+	}
+	if h.NumBuckets() != 10 {
+		t.Fatalf("NumBuckets = %d", h.NumBuckets())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v", med)
+	}
+	if h.Quantile(0) != 0 {
+		t.Fatalf("Q0 = %v", h.Quantile(0))
+	}
+	if q := h.Quantile(1); q < 99 || q > 100 {
+		t.Fatalf("Q1 = %v", q)
+	}
+	// Clamped inputs.
+	if h.Quantile(-0.5) != h.Quantile(0) {
+		t.Fatal("negative quantile not clamped")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(10, 10, 5) },
+		func() { NewHistogram(10, 5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	out := h.ASCII(10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("ASCII missing full bar:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("ASCII line count wrong:\n%s", out)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("util")
+	if ts.Name() != "util" {
+		t.Fatalf("Name = %q", ts.Name())
+	}
+	ts.Add(1*sim.Second, 10)
+	ts.Add(2*sim.Second, 30)
+	ts.Add(3*sim.Second, 20)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if got := ts.At(2500 * sim.Millisecond); got != 30 {
+		t.Fatalf("At(2.5s) = %v", got)
+	}
+	if got := ts.At(500 * sim.Millisecond); got != 0 {
+		t.Fatalf("At(before first) = %v", got)
+	}
+	if got := ts.At(10 * sim.Second); got != 20 {
+		t.Fatalf("At(after last) = %v", got)
+	}
+	if ts.Max() != 30 {
+		t.Fatalf("Max = %v", ts.Max())
+	}
+	if math.Abs(ts.Mean()-20) > 1e-9 {
+		t.Fatalf("Mean = %v", ts.Mean())
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(5*sim.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	ts.Add(4*sim.Second, 2)
+}
+
+func TestTimeSeriesCSVAndSpark(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(1*sim.Second, 1)
+	ts.Add(2*sim.Second, 2)
+	csv := ts.CSV()
+	if !strings.HasPrefix(csv, "1.000,1.000\n") {
+		t.Fatalf("CSV = %q", csv)
+	}
+	if got := len(ts.Spark(8)); got != 8 {
+		t.Fatalf("Spark width = %d", got)
+	}
+	empty := NewTimeSeries("e")
+	if empty.Spark(5) != "" {
+		t.Fatal("Spark of empty series not empty")
+	}
+	if empty.Max() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+}
+
+func TestUtilizationMeter(t *testing.T) {
+	m := NewUtilizationMeter("dom", 0)
+	// Busy half of the first second.
+	m.Record(0, 500*sim.Millisecond)
+	m.Sample(1 * sim.Second)
+	if got := m.Series().At(1 * sim.Second); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("window util = %v, want 50", got)
+	}
+	// Fully busy second window.
+	m.Record(1*sim.Second, 2*sim.Second)
+	m.Sample(2 * sim.Second)
+	if got := m.Series().At(2 * sim.Second); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("window util = %v, want 100", got)
+	}
+	if got := m.MeanUtilization(0, 2*sim.Second); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("mean util = %v, want 75", got)
+	}
+	if m.Busy() != 1500*sim.Millisecond {
+		t.Fatalf("Busy = %v", m.Busy())
+	}
+}
+
+func TestUtilizationMeterIntervalSplitAcrossWindow(t *testing.T) {
+	m := NewUtilizationMeter("dom", 0)
+	m.Sample(1 * sim.Second) // empty first window
+	// Interval started before the current window; only the in-window part counts.
+	m.Record(500*sim.Millisecond, 1500*sim.Millisecond)
+	m.Sample(2 * sim.Second)
+	if got := m.Series().At(2 * sim.Second); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("window util = %v, want 50", got)
+	}
+	// Total busy still counts the full interval.
+	if m.Busy() != sim.Second {
+		t.Fatalf("Busy = %v", m.Busy())
+	}
+}
+
+func TestUtilizationMeterDegenerate(t *testing.T) {
+	m := NewUtilizationMeter("dom", 0)
+	m.Record(5, 5) // empty interval ignored
+	m.Record(7, 3) // inverted interval ignored
+	if m.Busy() != 0 {
+		t.Fatalf("Busy = %v", m.Busy())
+	}
+	m.Sample(0) // zero-length window ignored
+	if m.Series().Len() != 0 {
+		t.Fatal("sample recorded for empty window")
+	}
+	if m.MeanUtilization(5, 5) != 0 {
+		t.Fatal("mean utilization of empty interval not 0")
+	}
+}
+
+func TestPlatformEfficiency(t *testing.T) {
+	// The paper's Table 2: 68 req/s at 132.6% utilization = 51.28.
+	got := PlatformEfficiency(68, 132.6)
+	if math.Abs(got-51.28) > 0.01 {
+		t.Fatalf("PlatformEfficiency = %v, want ~51.28", got)
+	}
+	if PlatformEfficiency(10, 0) != 0 {
+		t.Fatal("zero utilization should yield 0")
+	}
+}

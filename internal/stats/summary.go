@@ -1,0 +1,159 @@
+// Package stats provides the measurement machinery used by the benchmark
+// harness: streaming summaries, histograms with percentiles, time series,
+// and CPU-utilization accounting that matches the arithmetic of the paper's
+// Table 2 ("platform efficiency").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming statistics over float64 observations using
+// Welford's algorithm for numerically stable variance.
+type Summary struct {
+	n        int
+	min, max float64
+	mean, m2 float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of observations recorded.
+func (s *Summary) Count() int { return s.n }
+
+// Min returns the smallest observation, or 0 if none were recorded.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 if none were recorded.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Mean returns the arithmetic mean, or 0 if no observations were recorded.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.mean
+}
+
+// Variance returns the sample variance (n-1 denominator), or 0 for fewer
+// than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Sum returns the sum of all observations.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Merge folds other into s, as if every observation in other had been added
+// to s directly (Chan et al. parallel-variance formula).
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	na, nb := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	total := na + nb
+	s.mean += delta * nb / total
+	s.m2 += other.m2 + delta*delta*na*nb/total
+	s.n += other.n
+}
+
+// String formats the summary for human-readable harness output.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3f mean=%.3f max=%.3f stddev=%.3f",
+		s.n, s.Min(), s.Mean(), s.Max(), s.StdDev())
+}
+
+// Sample collects raw observations so that exact percentiles can be
+// computed. Use Summary instead when only moments are needed.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (p *Sample) Add(x float64) {
+	p.xs = append(p.xs, x)
+	p.sorted = false
+}
+
+// Count returns the number of observations recorded.
+func (p *Sample) Count() int { return len(p.xs) }
+
+// Values returns the observations in insertion order. The caller must not
+// modify the returned slice.
+func (p *Sample) Values() []float64 { return p.xs }
+
+// Percentile returns the q-th percentile (0 <= q <= 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (p *Sample) Percentile(q float64) float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	if !p.sorted {
+		sort.Float64s(p.xs)
+		p.sorted = true
+	}
+	if q <= 0 {
+		return p.xs[0]
+	}
+	if q >= 100 {
+		return p.xs[len(p.xs)-1]
+	}
+	rank := q / 100 * float64(len(p.xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(p.xs) {
+		return p.xs[len(p.xs)-1]
+	}
+	// (1-frac)*a + frac*b rather than a + frac*(b-a): the difference of two
+	// near-extreme float64s can overflow even when the result is in range.
+	return (1-frac)*p.xs[lo] + frac*p.xs[lo+1]
+}
+
+// Median returns the 50th percentile.
+func (p *Sample) Median() float64 { return p.Percentile(50) }

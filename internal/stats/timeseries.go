@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Point is one sample in a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// TimeSeries records (time, value) samples, e.g. CPU utilization or IXP
+// buffer occupancy over a run (paper Figure 7).
+type TimeSeries struct {
+	name   string
+	points []Point
+}
+
+// NewTimeSeries returns an empty, named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{name: name} }
+
+// Name returns the series name.
+func (ts *TimeSeries) Name() string { return ts.name }
+
+// Add appends a sample. Samples should be appended in non-decreasing time
+// order; Add panics otherwise so that accidental reordering is caught.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	if n := len(ts.points); n > 0 && t < ts.points[n-1].T {
+		panic(fmt.Sprintf("stats: out-of-order sample at %v after %v", t, ts.points[n-1].T))
+	}
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the raw samples. The caller must not modify the slice.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// At returns the most recent value at or before t, or 0 if there is none.
+func (ts *TimeSeries) At(t sim.Time) float64 {
+	lo, hi := 0, len(ts.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ts.points[mid].T <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return ts.points[lo-1].V
+}
+
+// Max returns the maximum value in the series, or 0 for an empty series.
+func (ts *TimeSeries) Max() float64 {
+	m := 0.0
+	for i, p := range ts.points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the unweighted mean of the samples.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range ts.points {
+		sum += p.V
+	}
+	return sum / float64(len(ts.points))
+}
+
+// CSV renders the series as "seconds,value" lines.
+func (ts *TimeSeries) CSV() string {
+	var b strings.Builder
+	for _, p := range ts.points {
+		fmt.Fprintf(&b, "%.3f,%.3f\n", p.T.Seconds(), p.V)
+	}
+	return b.String()
+}
+
+// Spark renders a one-line sparkline-style view (for the harness output).
+func (ts *TimeSeries) Spark(width int) string {
+	if len(ts.points) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []byte(" .:-=+*#%@")
+	max := ts.Max()
+	if max == 0 {
+		max = 1
+	}
+	out := make([]byte, width)
+	for i := range out {
+		idx := i * len(ts.points) / width
+		frac := ts.points[idx].V / max
+		li := int(frac * float64(len(levels)-1))
+		if li < 0 {
+			li = 0
+		}
+		if li >= len(levels) {
+			li = len(levels) - 1
+		}
+		out[i] = levels[li]
+	}
+	return string(out)
+}

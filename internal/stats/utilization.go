@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"repro/internal/sim"
+)
+
+// UtilizationMeter accumulates busy time for one entity (a domain, a VCPU,
+// an IXP thread) and can report utilization over arbitrary intervals and as
+// a periodically sampled time series.
+//
+// Utilization is expressed in percent of one processor, so a two-VCPU
+// domain can legitimately report up to 200%.
+type UtilizationMeter struct {
+	busy        sim.Time // total busy time recorded
+	windowStart sim.Time // start of the current sampling window
+	windowBusy  sim.Time // busy time inside the current window
+	series      *TimeSeries
+}
+
+// NewUtilizationMeter returns a meter whose sampling window starts at start.
+func NewUtilizationMeter(name string, start sim.Time) *UtilizationMeter {
+	return &UtilizationMeter{windowStart: start, series: NewTimeSeries(name)}
+}
+
+// Record adds a busy interval [from, to).
+func (m *UtilizationMeter) Record(from, to sim.Time) {
+	if to <= from {
+		return
+	}
+	d := to - from
+	m.busy += d
+	// Attribute to the current window only the part inside it.
+	if from < m.windowStart {
+		from = m.windowStart
+	}
+	if to > from {
+		m.windowBusy += to - from
+	}
+}
+
+// Sample closes the current window at now, appends a utilization sample (in
+// percent of one CPU over the window), and opens a new window.
+func (m *UtilizationMeter) Sample(now sim.Time) {
+	window := now - m.windowStart
+	if window <= 0 {
+		return
+	}
+	util := float64(m.windowBusy) / float64(window) * 100
+	m.series.Add(now, util)
+	m.windowStart = now
+	m.windowBusy = 0
+}
+
+// Busy returns the total busy time recorded.
+func (m *UtilizationMeter) Busy() sim.Time { return m.busy }
+
+// MeanUtilization returns percent utilization over [start, now).
+func (m *UtilizationMeter) MeanUtilization(start, now sim.Time) float64 {
+	if now <= start {
+		return 0
+	}
+	return float64(m.busy) / float64(now-start) * 100
+}
+
+// Series returns the sampled utilization time series.
+func (m *UtilizationMeter) Series() *TimeSeries { return m.series }
+
+// PlatformEfficiency computes the paper's Table 2 metric: application
+// throughput divided by mean total CPU utilization expressed as a fraction
+// (e.g. 68 req/s at 132.6% total utilization -> 68/1.326 = 51.28).
+func PlatformEfficiency(throughput, totalUtilizationPercent float64) float64 {
+	if totalUtilizationPercent <= 0 {
+		return 0
+	}
+	return throughput / (totalUtilizationPercent / 100)
+}

@@ -1,0 +1,142 @@
+// Package trace provides a lightweight structured event trace for the
+// simulated platform: scheduling decisions, coordination messages, queue
+// events. Components emit into a shared Tracer; the harness and tests can
+// filter by category, keep a bounded ring of recent events, or stream to a
+// sink. A nil *Tracer is valid everywhere and costs one branch.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Category classifies events; categories can be enabled independently.
+type Category uint32
+
+// Event categories.
+const (
+	CatSched Category = 1 << iota // hypervisor scheduling (run/preempt/boost)
+	CatCoord                      // coordination messages and actuations
+	CatNet                        // packet drops, watermarks, backpressure
+	CatPower                      // power budgeter actions
+	CatAll   Category = 0xffffffff
+)
+
+// String names the category set.
+func (c Category) String() string {
+	if c == CatAll {
+		return "all"
+	}
+	var parts []string
+	for _, e := range []struct {
+		bit  Category
+		name string
+	}{{CatSched, "sched"}, {CatCoord, "coord"}, {CatNet, "net"}, {CatPower, "power"}} {
+		if c&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Event is one trace record.
+type Event struct {
+	T   sim.Time
+	Cat Category
+	Msg string
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12.6fs [%s] %s", e.T.Seconds(), e.Cat, e.Msg)
+}
+
+// Tracer collects events. The zero value is disabled; use New.
+type Tracer struct {
+	sim     *sim.Simulator
+	mask    Category
+	ring    []Event
+	next    int
+	wrapped bool
+	sink    func(Event)
+	count   uint64
+}
+
+// New returns a tracer recording the given categories into a ring of
+// capacity events (capacity <= 0 selects 4096).
+func New(s *sim.Simulator, mask Category, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{sim: s, mask: mask, ring: make([]Event, capacity)}
+}
+
+// Enabled reports whether cat would be recorded; use it to avoid building
+// expensive messages that would be dropped. Nil-safe.
+func (t *Tracer) Enabled(cat Category) bool {
+	return t != nil && t.mask&cat != 0
+}
+
+// SetSink streams every recorded event to fn as well as the ring.
+func (t *Tracer) SetSink(fn func(Event)) { t.sink = fn }
+
+// Emit records an event if its category is enabled. Nil-safe.
+func (t *Tracer) Emit(cat Category, format string, args ...interface{}) {
+	if !t.Enabled(cat) {
+		return
+	}
+	e := Event{T: t.sim.Now(), Cat: cat, Msg: fmt.Sprintf(format, args...)}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.count++
+	if t.sink != nil {
+		t.sink(e)
+	}
+}
+
+// Count returns the total events recorded (including ones evicted from the
+// ring).
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.count
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump renders the retained events, optionally filtered by category.
+func (t *Tracer) Dump(filter Category) string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		if e.Cat&filter == 0 {
+			continue
+		}
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

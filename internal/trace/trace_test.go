@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(CatSched, "ignored %d", 1)
+	if tr.Enabled(CatSched) {
+		t.Fatal("nil tracer enabled")
+	}
+	if tr.Count() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+}
+
+func TestEmitRespectsMask(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, CatSched|CatCoord, 16)
+	tr.Emit(CatSched, "run vcpu %d", 1)
+	tr.Emit(CatNet, "dropped")
+	tr.Emit(CatCoord, "tune")
+	if tr.Count() != 2 {
+		t.Fatalf("Count = %d, want 2 (net masked)", tr.Count())
+	}
+	if !tr.Enabled(CatSched) || tr.Enabled(CatNet) {
+		t.Fatal("Enabled wrong")
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Msg != "run vcpu 1" || evs[1].Cat != CatCoord {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, CatAll, 4)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(sim.Time(i), func() { tr.Emit(CatSched, "e%d", i) })
+	}
+	s.Run()
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Msg != "e6" || evs[3].Msg != "e9" {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+func TestSinkStreams(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, CatAll, 4)
+	var got []Event
+	tr.SetSink(func(e Event) { got = append(got, e) })
+	tr.Emit(CatPower, "throttle")
+	if len(got) != 1 || got[0].Msg != "throttle" {
+		t.Fatalf("sink got %v", got)
+	}
+}
+
+func TestDumpFilters(t *testing.T) {
+	s := sim.New(1)
+	tr := New(s, CatAll, 16)
+	tr.Emit(CatSched, "sched-ev")
+	tr.Emit(CatNet, "net-ev")
+	out := tr.Dump(CatNet)
+	if strings.Contains(out, "sched-ev") || !strings.Contains(out, "net-ev") {
+		t.Fatalf("Dump = %q", out)
+	}
+	full := tr.Dump(CatAll)
+	if !strings.Contains(full, "sched-ev") {
+		t.Fatalf("full dump missing events: %q", full)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatAll.String() != "all" {
+		t.Fatal("all name")
+	}
+	if got := (CatSched | CatNet).String(); got != "sched|net" {
+		t.Fatalf("combo = %q", got)
+	}
+	if Category(0).String() != "none" {
+		t.Fatal("zero name")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: 1500 * sim.Millisecond, Cat: CatCoord, Msg: "hello"}
+	s := e.String()
+	if !strings.Contains(s, "1.5") || !strings.Contains(s, "coord") || !strings.Contains(s, "hello") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New(sim.New(1), CatAll, 0)
+	if len(tr.ring) != 4096 {
+		t.Fatalf("default capacity = %d", len(tr.ring))
+	}
+}

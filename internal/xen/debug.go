@@ -1,0 +1,24 @@
+package xen
+
+import "fmt"
+
+// DebugVCPU prints internal scheduling state (test helper).
+func (hv *Hypervisor) DebugVCPU(d *Domain) string {
+	out := ""
+	for _, v := range d.vcpus {
+		cur := "nil"
+		if v.current != nil {
+			cur = fmt.Sprintf("%s rem=%v", v.current.Label, v.current.remaining)
+		}
+		out += fmt.Sprintf("vcpu%d state=%d prio=%v credits=%v cur=%s runStart=%v", v.id, v.state, v.prio, v.credits, cur, v.runStart)
+	}
+	out += fmt.Sprintf(" runq=[%d %d %d]", len(hv.runq[0]), len(hv.runq[1]), len(hv.runq[2]))
+	for _, p := range hv.pcpus {
+		c := "idle"
+		if p.current != nil {
+			c = p.current.dom.name
+		}
+		out += fmt.Sprintf(" pcpu%d=%s", p.id, c)
+	}
+	return out
+}

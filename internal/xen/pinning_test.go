@@ -1,0 +1,162 @@
+package xen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPinVCPURestrictsPlacement(t *testing.T) {
+	s, hv := newTestHV(t, 2)
+	a := hv.CreateDomain("pinned", 256, 1)
+	b := hv.CreateDomain("free", 256, 1)
+	ctl := NewCtl(hv)
+	if err := ctl.PinVCPU(a.ID(), 0, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	hv.Start()
+	saturate(s, a, 5*sim.Millisecond)
+	saturate(s, b, 5*sim.Millisecond)
+	// Track where the pinned VCPU runs.
+	violations := 0
+	stop := s.Ticker(sim.Millisecond, func() {
+		v := a.VCPUs()[0]
+		if v.Running() && v.pcpu.ID() != 1 {
+			violations++
+		}
+	})
+	s.RunUntil(3 * sim.Second)
+	stop()
+	if violations != 0 {
+		t.Fatalf("pinned VCPU observed on forbidden PCPU %d times", violations)
+	}
+	// Both domains still make full progress (one core each).
+	hv.syncRunMeter(a)
+	ua := a.Meter().MeanUtilization(0, s.Now())
+	if math.Abs(ua-100) > 5 {
+		t.Fatalf("pinned domain utilization = %.1f%%, want ~100", ua)
+	}
+}
+
+func TestPinTwoDomainsToOneCPUShare(t *testing.T) {
+	s, hv := newTestHV(t, 2)
+	a := hv.CreateDomain("a", 256, 1)
+	b := hv.CreateDomain("b", 256, 1)
+	ctl := NewCtl(hv)
+	if err := ctl.PinVCPU(a.ID(), 0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.PinVCPU(b.ID(), 0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	hv.Start()
+	saturate(s, a, 5*sim.Millisecond)
+	saturate(s, b, 5*sim.Millisecond)
+	s.RunUntil(10 * sim.Second)
+	hv.syncRunMeter(a)
+	hv.syncRunMeter(b)
+	ua := a.Meter().MeanUtilization(0, s.Now())
+	ub := b.Meter().MeanUtilization(0, s.Now())
+	// Both squeezed onto PCPU 0: ~50% each, PCPU 1 idle.
+	if math.Abs(ua-50) > 6 || math.Abs(ub-50) > 6 {
+		t.Fatalf("pinned shares = %.1f%%, %.1f%%, want ~50/50", ua, ub)
+	}
+}
+
+func TestPinRunningVCPUMigratesImmediately(t *testing.T) {
+	s, hv := newTestHV(t, 2)
+	a := hv.CreateDomain("a", 256, 1)
+	ctl := NewCtl(hv)
+	hv.Start()
+	saturate(s, a, 50*sim.Millisecond)
+	s.RunUntil(5 * sim.Millisecond)
+	v := a.VCPUs()[0]
+	if !v.Running() {
+		t.Fatal("vcpu not running")
+	}
+	current := v.pcpu.ID()
+	other := 1 - current
+	if err := ctl.PinVCPU(a.ID(), 0, []int{other}); err != nil {
+		t.Fatal(err)
+	}
+	// The VCPU was preempted off the forbidden CPU and redispatched.
+	s.RunUntil(6 * sim.Millisecond)
+	if v.Running() && v.pcpu.ID() != other {
+		t.Fatalf("vcpu still on forbidden pcpu %d", v.pcpu.ID())
+	}
+	if !v.Pinned() {
+		t.Fatal("Pinned() = false")
+	}
+	if err := ctl.UnpinVCPU(a.ID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Pinned() {
+		t.Fatal("Pinned() = true after unpin")
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	_, hv := newTestHV(t, 2)
+	hv.CreateDomain("a", 256, 1)
+	ctl := NewCtl(hv)
+	if err := ctl.PinVCPU(9, 0, []int{0}); err == nil {
+		t.Fatal("unknown domain accepted")
+	}
+	if err := ctl.PinVCPU(0, 5, []int{0}); err == nil {
+		t.Fatal("unknown vcpu accepted")
+	}
+	if err := ctl.PinVCPU(0, 0, nil); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+	if err := ctl.PinVCPU(0, 0, []int{7}); err == nil {
+		t.Fatal("out-of-range pcpu accepted")
+	}
+	if err := ctl.UnpinVCPU(9, 0); err == nil {
+		t.Fatal("unknown domain unpin accepted")
+	}
+	if err := ctl.UnpinVCPU(0, 5); err == nil {
+		t.Fatal("unknown vcpu unpin accepted")
+	}
+}
+
+func TestAllowedOnDefaults(t *testing.T) {
+	_, hv := newTestHV(t, 2)
+	d := hv.CreateDomain("a", 256, 1)
+	v := d.VCPUs()[0]
+	if !v.AllowedOn(0) || !v.AllowedOn(1) {
+		t.Fatal("unpinned vcpu not allowed everywhere")
+	}
+	if v.Pinned() {
+		t.Fatal("fresh vcpu pinned")
+	}
+}
+
+func TestLabeledBusyBreakdown(t *testing.T) {
+	s, hv := newTestHV(t, 1)
+	d := hv.CreateDomain("dom", 256, 1)
+	hv.Start()
+	d.SubmitFunc(30*sim.Millisecond, "net-rx", nil)
+	d.SubmitFunc(20*sim.Millisecond, "bridge", nil)
+	d.SubmitFunc(50*sim.Millisecond, "app", nil)
+	s.RunUntil(1 * sim.Second)
+	busy := d.LabeledBusy()
+	if busy["net-rx"] != 30*sim.Millisecond {
+		t.Fatalf("net-rx = %v", busy["net-rx"])
+	}
+	if busy["bridge"] != 20*sim.Millisecond {
+		t.Fatalf("bridge = %v", busy["bridge"])
+	}
+	if busy["app"] != 50*sim.Millisecond {
+		t.Fatalf("app = %v", busy["app"])
+	}
+	// The per-label sum equals the meter total.
+	var sum sim.Time
+	for _, v := range busy {
+		sum += v
+	}
+	hv.syncRunMeter(d)
+	if sum != d.Meter().Busy() {
+		t.Fatalf("label sum %v != meter %v", sum, d.Meter().Busy())
+	}
+}

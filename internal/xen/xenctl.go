@@ -1,0 +1,134 @@
+package xen
+
+import "fmt"
+
+// Ctl is the hypervisor's management interface, standing in for the
+// user-space "XenCtrl interface" hosted by Dom0 in the paper: it tunes
+// credit-scheduler behavior and adjusts processor allocation of guest VMs.
+// The coordination layer's x86-island agent drives it in response to Tune
+// and Trigger messages from remote islands.
+type Ctl struct {
+	hv *Hypervisor
+}
+
+// NewCtl returns a control interface for hv.
+func NewCtl(hv *Hypervisor) *Ctl { return &Ctl{hv: hv} }
+
+// Weight returns the current credit weight of domain id.
+func (c *Ctl) Weight(id int) (int, error) {
+	d, err := c.domain(id)
+	if err != nil {
+		return 0, err
+	}
+	return d.weight, nil
+}
+
+// SetWeight sets the credit weight of domain id. The new weight takes
+// effect at the next accounting period, exactly as with the real tool.
+func (c *Ctl) SetWeight(id, weight int) error {
+	if weight <= 0 {
+		return fmt.Errorf("xen: invalid weight %d for domain %d", weight, id)
+	}
+	d, err := c.domain(id)
+	if err != nil {
+		return err
+	}
+	d.weight = weight
+	return nil
+}
+
+// AdjustWeight changes the weight of domain id by delta, clamped to
+// [min, max]. It returns the new weight. This is the natural target of the
+// paper's "weight increase"/"weight decrease" Tune messages.
+func (c *Ctl) AdjustWeight(id, delta, min, max int) (int, error) {
+	d, err := c.domain(id)
+	if err != nil {
+		return 0, err
+	}
+	w := d.weight + delta
+	if w < min {
+		w = min
+	}
+	if w > max {
+		w = max
+	}
+	d.weight = w
+	return w, nil
+}
+
+// SetCap sets the CPU cap of domain id in percent of one CPU (0 = uncapped).
+func (c *Ctl) SetCap(id, cap int) error {
+	if cap < 0 {
+		return fmt.Errorf("xen: invalid cap %d for domain %d", cap, id)
+	}
+	d, err := c.domain(id)
+	if err != nil {
+		return err
+	}
+	d.cap = cap
+	return nil
+}
+
+// Boost immediately raises domain id's VCPUs to BOOST priority (the Trigger
+// mechanism's actuation on the x86 island).
+func (c *Ctl) Boost(id int) error {
+	d, err := c.domain(id)
+	if err != nil {
+		return err
+	}
+	c.hv.Boost(d)
+	return nil
+}
+
+// PinVCPU restricts domain id's VCPU vcpu to the given physical CPUs (the
+// xm vcpu-pin equivalent). The change takes effect at the next scheduling
+// decision; a VCPU currently running on a now-forbidden PCPU is preempted.
+func (c *Ctl) PinVCPU(id, vcpu int, pcpus []int) error {
+	d, err := c.domain(id)
+	if err != nil {
+		return err
+	}
+	if vcpu < 0 || vcpu >= len(d.vcpus) {
+		return fmt.Errorf("xen: domain %d has no VCPU %d", id, vcpu)
+	}
+	if len(pcpus) == 0 {
+		return fmt.Errorf("xen: empty affinity for domain %d VCPU %d", id, vcpu)
+	}
+	mask := make([]bool, len(c.hv.pcpus))
+	for _, p := range pcpus {
+		if p < 0 || p >= len(mask) {
+			return fmt.Errorf("xen: no physical CPU %d", p)
+		}
+		mask[p] = true
+	}
+	v := d.vcpus[vcpu]
+	v.affinity = mask
+	if v.state == stateRunning && !v.AllowedOn(v.pcpu.id) {
+		c.hv.preempt(v.pcpu)
+	}
+	return nil
+}
+
+// UnpinVCPU removes domain id's VCPU affinity mask.
+func (c *Ctl) UnpinVCPU(id, vcpu int) error {
+	d, err := c.domain(id)
+	if err != nil {
+		return err
+	}
+	if vcpu < 0 || vcpu >= len(d.vcpus) {
+		return fmt.Errorf("xen: domain %d has no VCPU %d", id, vcpu)
+	}
+	d.vcpus[vcpu].affinity = nil
+	c.hv.maybePreempt()
+	return nil
+}
+
+// Domains lists the hypervisor's domains (Dom0 first).
+func (c *Ctl) Domains() []*Domain { return c.hv.domains }
+
+func (c *Ctl) domain(id int) (*Domain, error) {
+	if id < 0 || id >= len(c.hv.domains) {
+		return nil, fmt.Errorf("xen: no domain %d", id)
+	}
+	return c.hv.domains[id], nil
+}

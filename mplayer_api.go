@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/mplayer"
+	"repro/internal/stats"
+)
+
+// MplayerQoSRow is one weight configuration of Figure 6.
+type MplayerQoSRow struct {
+	Label          string
+	Dom1Weight     int
+	Dom2Weight     int
+	Dom2IXPThreads int
+	Dom1FPS        float64 // target: 20
+	Dom2FPS        float64 // target: 25
+}
+
+// RunMplayerQoS reproduces Figure 6: stream QoS under the three weight
+// configurations (256-256 baseline, 384-512 from the stream-property
+// policy, 384-640 plus IXP threads).
+func RunMplayerQoS(seed int64, duration time.Duration) []MplayerQoSRow {
+	cfg := mplayer.QoSConfig{Seed: seed}
+	if duration > 0 {
+		cfg.Duration = toSim(duration)
+	}
+	var rows []MplayerQoSRow
+	for _, p := range mplayer.RunQoSExperiment(cfg) {
+		rows = append(rows, MplayerQoSRow{
+			Label:          p.Label,
+			Dom1Weight:     p.Dom1Weight,
+			Dom2Weight:     p.Dom2Weight,
+			Dom2IXPThreads: p.Dom2IXPThreads,
+			Dom1FPS:        p.Dom1FPS,
+			Dom2FPS:        p.Dom2FPS,
+		})
+	}
+	return rows
+}
+
+// SeriesPoint is one sample of a Figure 7 time series.
+type SeriesPoint struct {
+	Seconds float64
+	Value   float64
+}
+
+// TriggerRun is one arm (baseline or coordinated) of Figure 7.
+type TriggerRun struct {
+	Coordinated bool
+	Dom1FPS     float64
+	Dom2FPS     float64
+	Triggers    uint64
+
+	CPUUtil  []SeriesPoint // Dom-1 CPU utilization, percent
+	BufferIn []SeriesPoint // IXP buffer occupancy, bytes
+}
+
+func seriesPoints(ts *stats.TimeSeries) []SeriesPoint {
+	out := make([]SeriesPoint, 0, ts.Len())
+	for _, p := range ts.Points() {
+		out = append(out, SeriesPoint{Seconds: p.T.Seconds(), Value: p.V})
+	}
+	return out
+}
+
+// RunMplayerTrigger reproduces Figure 7: the bursty UDP stream with and
+// without the 128 KB buffer-watermark Trigger coordination.
+func RunMplayerTrigger(seed int64, duration time.Duration) (base, coord *TriggerRun) {
+	cfg := mplayer.TriggerConfig{Seed: seed}
+	if duration > 0 {
+		cfg.Duration = toSim(duration)
+	}
+	conv := func(r *mplayer.TriggerResult) *TriggerRun {
+		return &TriggerRun{
+			Coordinated: r.Coordinated,
+			Dom1FPS:     r.Dom1FPS,
+			Dom2FPS:     r.Dom2FPS,
+			Triggers:    r.Triggers,
+			CPUUtil:     seriesPoints(r.CPUUtil),
+			BufferIn:    seriesPoints(r.BufferIn),
+		}
+	}
+	return conv(mplayer.RunTriggerExperiment(cfg, false)),
+		conv(mplayer.RunTriggerExperiment(cfg, true))
+}
+
+// InterferenceRun is Table 3.
+type InterferenceRun struct {
+	Dom1BaseFPS, Dom1CoordFPS float64
+	Dom2BaseFPS, Dom2CoordFPS float64
+	Dom1ChangePct             float64
+	Dom2ChangePct             float64
+}
+
+// RunMplayerInterference reproduces Table 3: the trigger scheme's effect on
+// the streaming VM and on a colocated VM that uses no IXP resources.
+func RunMplayerInterference(seed int64, duration time.Duration) *InterferenceRun {
+	cfg := mplayer.TriggerConfig{Seed: seed}
+	if duration > 0 {
+		cfg.Duration = toSim(duration)
+	}
+	r := mplayer.RunInterferenceExperiment(cfg)
+	return &InterferenceRun{
+		Dom1BaseFPS:   r.Dom1Base,
+		Dom1CoordFPS:  r.Dom1Coord,
+		Dom2BaseFPS:   r.Dom2Base,
+		Dom2CoordFPS:  r.Dom2Coord,
+		Dom1ChangePct: r.Dom1Change,
+		Dom2ChangePct: r.Dom2Change,
+	}
+}

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/rubis"
+)
+
+// RubisConfig shapes a RUBiS experiment run (Figures 2, 4, 5 and Tables 1,
+// 2 of the paper). Zero values take the calibrated defaults.
+type RubisConfig struct {
+	Seed     int64
+	Duration time.Duration // total run (default 130s)
+	Warmup   time.Duration // measurement starts here (default 10s)
+
+	Scheme       CoordScheme   // coordination policy variant (coordinated runs)
+	CoordLatency time.Duration // one-way coordination-channel latency (default 150us)
+
+	Sessions int    // concurrent client sessions (default 80)
+	Mix      string // "bid" (default, read-write) or "browsing" (read-only)
+
+	// IntrModeration, when positive, enables the IXP's host-interrupt
+	// moderation at that period (packets batch until the interrupt fires).
+	IntrModeration time.Duration
+
+	// CoordLossRate injects coordination-message loss on the PCIe mailbox
+	// (fault injection; 0 = lossless).
+	CoordLossRate float64
+}
+
+// RequestStats is one row of Table 1 / Figure 2 / Figure 4.
+type RequestStats struct {
+	Name     string
+	Count    int
+	MinMs    float64
+	AvgMs    float64
+	MaxMs    float64
+	StdDevMs float64
+	P95Ms    float64
+	P99Ms    float64
+}
+
+// RubisRun is the outcome of one RUBiS run.
+type RubisRun struct {
+	Coordinated bool
+	Scheme      CoordScheme
+
+	PerType []RequestStats // Table 1 order
+
+	// Table 2 metrics.
+	Throughput        float64 // requests/second
+	SessionsCompleted int
+	AvgSessionSec     float64
+	Efficiency        float64 // throughput / (total util / 100)
+
+	// Figure 5 metrics (percent of one CPU).
+	WebUtil, AppUtil, DBUtil, Dom0Util, TotalUtil float64
+
+	// Coordination-plane counters (coordinated runs only).
+	TunesSent    uint64
+	TunesApplied uint64
+	FinalWeights map[string]int
+}
+
+// internalRubisConfig translates the public config.
+func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
+	ec := rubis.ExperimentConfig{
+		Coordinated: coordinated,
+		Scheme:      c.Scheme.internal(),
+	}
+	ec.Platform.Seed = c.Seed
+	if c.CoordLatency > 0 {
+		ec.Platform.CoordLatency = toSim(c.CoordLatency)
+	}
+	if c.IntrModeration > 0 {
+		ec.Platform.HostNet.IntrPeriod = toSim(c.IntrModeration)
+	}
+	ec.Platform.CoordLossRate = c.CoordLossRate
+	if c.Duration > 0 {
+		ec.Duration = toSim(c.Duration)
+	}
+	if c.Warmup > 0 {
+		ec.Warmup = toSim(c.Warmup)
+	}
+	client := rubis.DefaultExperimentClient()
+	if c.Sessions > 0 {
+		client.Sessions = c.Sessions
+	}
+	if c.Mix == "browsing" {
+		client.Mix = rubis.BrowsingMix()
+		client.Phases = false
+	}
+	ec.Client = client
+	return ec
+}
+
+// RunRubis executes one RUBiS run, with or without coordination.
+func RunRubis(cfg RubisConfig, coordinated bool) *RubisRun {
+	res := rubis.RunExperiment(cfg.internal(coordinated))
+	run := &RubisRun{
+		Coordinated:       coordinated,
+		Scheme:            cfg.Scheme,
+		Throughput:        res.Throughput,
+		SessionsCompleted: res.Metrics.SessionsCompleted(),
+		AvgSessionSec:     res.Metrics.AvgSessionTime(),
+		Efficiency:        res.Efficiency,
+		WebUtil:           res.WebUtil,
+		AppUtil:           res.AppUtil,
+		DBUtil:            res.DBUtil,
+		Dom0Util:          res.Dom0Util,
+		TotalUtil:         res.TotalUtil,
+		TunesSent:         res.TunesSent,
+		TunesApplied:      res.TunesApplied,
+		FinalWeights:      res.FinalWeights,
+	}
+	for _, rt := range rubis.AllRequestTypes() {
+		s := res.Metrics.TypeSummary(rt)
+		sample := res.Metrics.TypeSample(rt)
+		run.PerType = append(run.PerType, RequestStats{
+			Name:     rt.String(),
+			Count:    s.Count(),
+			MinMs:    s.Min(),
+			AvgMs:    s.Mean(),
+			MaxMs:    s.Max(),
+			StdDevMs: s.StdDev(),
+			P95Ms:    sample.Percentile(95),
+			P99Ms:    sample.Percentile(99),
+		})
+	}
+	return run
+}
+
+// CompareRubis runs the baseline and the coordinated case on identical
+// workloads, the comparison every RUBiS table and figure is built from.
+func CompareRubis(cfg RubisConfig) (base, coord *RubisRun) {
+	return RunRubis(cfg, false), RunRubis(cfg, true)
+}
+
+// MeanOverTypes returns the count-weighted mean response time across all
+// request types, in milliseconds.
+func (r *RubisRun) MeanOverTypes() float64 {
+	var sum float64
+	var n int
+	for _, t := range r.PerType {
+		sum += t.AvgMs * float64(t.Count)
+		n += t.Count
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxOverTypes returns the largest per-type maximum response time (ms).
+func (r *RubisRun) MaxOverTypes() float64 {
+	max := 0.0
+	for _, t := range r.PerType {
+		if t.MaxMs > max {
+			max = t.MaxMs
+		}
+	}
+	return max
+}

@@ -1,0 +1,153 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ScalabilityConfig parameterizes the coordination-mechanism scalability
+// study — the paper's ongoing work (§5): how do the Tune/Trigger mechanisms
+// behave as platforms grow to many islands, and when does distributing
+// coordination beat the prototype's central controller?
+type ScalabilityConfig struct {
+	Seed          int64
+	Islands       []int         // island counts to sweep (default 2..64 doubling)
+	RatePerIsland float64       // coordination messages/s per island (default 200)
+	Duration      time.Duration // simulated time per point (default 10s)
+	HopLatency    time.Duration // per-hop transport latency (default 150us, the PCIe mailbox)
+	HubCost       time.Duration // controller's per-message routing cost (default 50us)
+}
+
+func (c *ScalabilityConfig) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Islands) == 0 {
+		c.Islands = []int{2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	if c.RatePerIsland == 0 {
+		c.RatePerIsland = 200
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 150 * time.Microsecond
+	}
+	if c.HubCost == 0 {
+		c.HubCost = 50 * time.Microsecond
+	}
+}
+
+// ScalabilityPoint is one (topology, island count) measurement.
+type ScalabilityPoint struct {
+	Topology      string // "star" (central controller) or "direct" (distributed)
+	Islands       int
+	OfferedPerSec float64
+	RoutedPerSec  float64
+	MeanLatencyUs float64
+	P99LatencyUs  float64
+	MaxLatencyUs  float64
+}
+
+// RunCoordScalability sweeps island counts for both topologies. In the
+// star topology every Tune crosses two transport hops and a serializing
+// central controller; in the direct (distributed) topology islands address
+// each other over a single hop. The crossover — where the hub's queueing
+// dominates the extra complexity of distribution — motivates the paper's
+// call for distributed coordination on large many-cores.
+func RunCoordScalability(cfg ScalabilityConfig) []ScalabilityPoint {
+	cfg.applyDefaults()
+	var out []ScalabilityPoint
+	for _, n := range cfg.Islands {
+		for _, topo := range []string{"star", "direct"} {
+			out = append(out, runScalabilityPoint(cfg, n, topo))
+		}
+	}
+	return out
+}
+
+func runScalabilityPoint(cfg ScalabilityConfig, islands int, topo string) ScalabilityPoint {
+	s := sim.New(cfg.Seed)
+	hop := toSim(cfg.HopLatency)
+	hubCost := toSim(cfg.HubCost)
+	duration := toSim(cfg.Duration)
+
+	var lat stats.Sample
+	var sent, routed uint64
+
+	// deliver records end-to-end latency at the destination island.
+	deliver := func(sentAt sim.Time) {
+		routed++
+		lat.Add((s.Now() - sentAt).Microseconds())
+	}
+
+	// In the star topology, a central hub serializes routing: each message
+	// occupies it for hubCost before the second hop begins.
+	var hubBusy sim.Time
+	routeViaHub := func(sentAt sim.Time) {
+		start := s.Now()
+		if hubBusy > start {
+			start = hubBusy
+		}
+		hubBusy = start + hubCost
+		s.At(hubBusy, func() {
+			s.After(hop, func() { deliver(sentAt) })
+		})
+	}
+
+	// Each island emits Poisson coordination traffic to random peers.
+	rng := s.Rand().Fork()
+	interval := sim.Time(float64(sim.Second) / cfg.RatePerIsland)
+	for i := 0; i < islands; i++ {
+		var emit func()
+		emit = func() {
+			if s.Now() >= duration {
+				return
+			}
+			sent++
+			at := s.Now()
+			switch topo {
+			case "star":
+				s.After(hop, func() { routeViaHub(at) })
+			default: // direct
+				s.After(hop, func() { deliver(at) })
+			}
+			s.After(rng.ExpTime(interval), emit)
+		}
+		s.After(rng.ExpTime(interval), emit)
+	}
+	s.RunUntil(duration + 10*sim.Second) // drain in-flight messages
+
+	secs := duration.Seconds()
+	return ScalabilityPoint{
+		Topology:      topo,
+		Islands:       islands,
+		OfferedPerSec: float64(sent) / secs,
+		RoutedPerSec:  float64(routed) / secs,
+		MeanLatencyUs: mean(&lat),
+		P99LatencyUs:  lat.Percentile(99),
+		MaxLatencyUs:  lat.Percentile(100),
+	}
+}
+
+func mean(sample *stats.Sample) float64 {
+	vs := sample.Values()
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// String renders the point for harness output.
+func (p ScalabilityPoint) String() string {
+	return fmt.Sprintf("%-6s islands=%-3d offered=%8.0f/s routed=%8.0f/s mean=%7.1fus p99=%8.1fus max=%8.1fus",
+		p.Topology, p.Islands, p.OfferedPerSec, p.RoutedPerSec, p.MeanLatencyUs, p.P99LatencyUs, p.MaxLatencyUs)
+}
