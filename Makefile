@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet lint bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint: vet
+	$(GO) run ./cmd/reprolint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# check is the full tier-1 gate: what CI runs on every push.
+check: build test lint

@@ -1,0 +1,126 @@
+// Command reprolint runs the repro tree's static-analysis suite: custom
+// analyzers that keep the simulation bit-for-bit deterministic and the
+// coordination protocol exhaustively handled. It is part of tier-1
+// verification and must exit 0 on a clean tree.
+//
+// Usage:
+//
+//	reprolint [-list] [-disable name,name] [packages...]
+//
+// With no package arguments it analyzes ./... of the enclosing module.
+// Findings print as file:line:col: message (analyzer) and any finding makes
+// the exit status 1. See docs/linting.md for the analyzers, their
+// rationale, and the //lint:ignore suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-list] [-disable name,name] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *disable != "" {
+		analyzers = filterAnalyzers(analyzers, strings.Split(*disable, ","))
+	}
+
+	// The source importer resolves module-local import paths through the
+	// go command, which needs the working directory inside the module.
+	if err := chdirModuleRoot(); err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := lint.NewLoader()
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(loader.Fset(), pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func filterAnalyzers(all []*lint.Analyzer, skip []string) []*lint.Analyzer {
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	skipSet := map[string]bool{}
+	for _, s := range skip {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if !known[s] {
+			fatal(fmt.Errorf("unknown analyzer %q (try -list)", s))
+		}
+		skipSet[s] = true
+	}
+	var kept []*lint.Analyzer
+	for _, a := range all {
+		if !skipSet[a.Name] {
+			kept = append(kept, a)
+		}
+	}
+	return kept
+}
+
+// chdirModuleRoot walks up from the working directory to the nearest go.mod.
+func chdirModuleRoot() error {
+	dir, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return os.Chdir(dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return fmt.Errorf("reprolint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reprolint:", err)
+	os.Exit(1)
+}

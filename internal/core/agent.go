@@ -115,6 +115,8 @@ func (a *Agent) send(msg Message) bool {
 		a.stats.TunesSent++
 	case KindTrigger:
 		a.stats.TriggersSent++
+	case KindRegister:
+		// Registration is controller-driven; agents forward it uncounted.
 	}
 	if a.trace != nil {
 		a.trace(msg)

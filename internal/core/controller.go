@@ -22,8 +22,8 @@ type Controller struct {
 	islands  map[string]IslandHandle
 	entities map[int]Entity
 
-	routed    uint64
-	unroutble uint64
+	routed     uint64
+	unroutable uint64
 }
 
 // NewController returns an empty controller.
@@ -85,11 +85,11 @@ func (c *Controller) Islands() []string {
 func (c *Controller) Route(msg Message) {
 	h, ok := c.islands[msg.Target]
 	if !ok {
-		c.unroutble++
+		c.unroutable++
 		return
 	}
 	if _, ok := c.entities[msg.Entity]; !ok {
-		c.unroutble++
+		c.unroutable++
 		return
 	}
 	c.routed++
@@ -104,4 +104,4 @@ func (c *Controller) Route(msg Message) {
 func (c *Controller) Routed() uint64 { return c.routed }
 
 // Unroutable returns messages dropped for unknown target or entity.
-func (c *Controller) Unroutable() uint64 { return c.unroutble }
+func (c *Controller) Unroutable() uint64 { return c.unroutable }

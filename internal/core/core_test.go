@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -88,6 +89,78 @@ func TestControllerRouting(t *testing.T) {
 	}
 	if c.Routed() != 1 {
 		t.Fatalf("Routed = %d", c.Routed())
+	}
+}
+
+func TestRouteDropPaths(t *testing.T) {
+	c := NewController()
+	var local []Message
+	if err := c.RegisterIsland(IslandHandle{Name: "x86", Local: func(m Message) { local = append(local, m) }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterEntity(Entity{ID: 1, Name: "vm", Home: "x86"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown target island: dropped before the entity is even checked.
+	c.Route(Message{Kind: KindTune, Target: "gpu", Entity: 1})
+	if len(local) != 0 {
+		t.Fatalf("unknown-target message delivered: %v", local)
+	}
+	if got, want := c.Unroutable(), uint64(1); got != want {
+		t.Fatalf("after unknown target: Unroutable = %d, want %d", got, want)
+	}
+	if c.Routed() != 0 {
+		t.Fatalf("after unknown target: Routed = %d, want 0", c.Routed())
+	}
+
+	// Known target but unregistered entity: dropped too.
+	c.Route(Message{Kind: KindTrigger, Target: "x86", Entity: 99})
+	if len(local) != 0 {
+		t.Fatalf("unknown-entity message delivered: %v", local)
+	}
+	if got, want := c.Unroutable(), uint64(2); got != want {
+		t.Fatalf("after unknown entity: Unroutable = %d, want %d", got, want)
+	}
+	if c.Routed() != 0 {
+		t.Fatalf("after unknown entity: Routed = %d, want 0", c.Routed())
+	}
+
+	// A routable message still goes through and leaves the drop counter
+	// untouched.
+	c.Route(Message{Kind: KindTune, Target: "x86", Entity: 1, Delta: 7})
+	if len(local) != 1 || local[0].Delta != 7 {
+		t.Fatalf("routable message delivery = %v", local)
+	}
+	if c.Routed() != 1 || c.Unroutable() != 2 {
+		t.Fatalf("final counters: Routed = %d, Unroutable = %d", c.Routed(), c.Unroutable())
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	names := map[Kind]string{
+		KindTune:     "tune",
+		KindTrigger:  "trigger",
+		KindRegister: "register",
+	}
+	seen := map[string]Kind{}
+	for k, want := range names {
+		got := k.String()
+		if got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("kinds %d and %d share the name %q", int(prev), int(k), got)
+		}
+		seen[got] = k
+	}
+	// Out-of-range kinds must stay distinguishable: the fallback embeds the
+	// numeric value instead of collapsing to one opaque name.
+	for _, k := range []Kind{Kind(-1), Kind(3), Kind(42)} {
+		got := k.String()
+		if want := fmt.Sprintf("Kind(%d)", int(k)); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
 	}
 }
 

@@ -88,6 +88,8 @@ func (p *RequestClassPolicy) OnRequest(kind RequestKind) {
 		p.agent.SendTune(p.target, p.tiers.DB, p.WriteDBUp)
 		p.agent.SendTune(p.target, p.tiers.App, p.AppUp)
 		p.agent.SendTune(p.target, p.tiers.Web, p.WriteWebDown)
+	case NeutralRequest:
+		// Unclassified traffic (static content) carries no tier signal.
 	}
 }
 

@@ -143,13 +143,13 @@ func New(s *sim.Simulator, cfg Config, hostChan *pcie.Channel, deliver func(*net
 	x.txThreads = 2
 	x.threads = x.txThreads
 	if err := x.mes.Assign(x.txThreads); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ixp: assigning Tx microengine threads: %v", err))
 	}
 	x.txq = newFlowQueue(x, -1, cfg.BufferBytes)
 	x.txq.setThreads(x.txThreads)
 	x.rx = newRxStage(x, cfg.RxRingBytes)
 	if err := x.mes.Assign(cfg.ClassifierThreads); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ixp: assigning classifier microengine threads: %v", err))
 	}
 	x.threads += cfg.ClassifierThreads
 	x.rx.setThreads(cfg.ClassifierThreads)
@@ -188,7 +188,7 @@ func (x *IXP) RegisterFlow(vmID int) *FlowQueue {
 	x.flows[vmID] = q
 	x.flowOrder = append(x.flowOrder, vmID)
 	if err := x.SetFlowThreads(vmID, x.cfg.ThreadsPerFlow); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ixp: provisioning flow for VM %d: %v", vmID, err))
 	}
 	return q
 }
@@ -271,7 +271,7 @@ func (x *IXP) FlowThreads(vmID int) int {
 // queue's DRAM buffers.
 func (x *IXP) Receive(p *netsim.Packet) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ixp: invalid packet: %v", err))
 	}
 	x.rxSeen++
 	// The packet lands in the Rx ring and waits for a classifier thread,
@@ -298,7 +298,7 @@ func (x *IXP) deliverToHost(p *netsim.Packet) {
 // and queues it for transmission to the wire.
 func (x *IXP) TransmitFromHost(p *netsim.Packet) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ixp: invalid packet: %v", err))
 	}
 	x.txSeen++
 	for _, d := range x.txDPIs {

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetNonDet(t *testing.T) { linttest.Run(t, lint.DetNonDet, "detnondet") }
+
+func TestMapOrder(t *testing.T) { linttest.Run(t, lint.MapOrder, "maporder") }
+
+func TestKindSwitch(t *testing.T) { linttest.Run(t, lint.KindSwitch, "kindswitch") }
+
+func TestFloatEq(t *testing.T) { linttest.Run(t, lint.FloatEq, "floateq") }
+
+func TestPanicFree(t *testing.T) { linttest.Run(t, lint.PanicFree, "panicfree") }

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockFuncs are the package-level time functions that read or depend
+// on the wall clock. time.Duration arithmetic and the duration constants
+// are deterministic and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// DetNonDet flags nondeterminism sources inside the simulation packages:
+// wall-clock time (time.Now and friends) and math/rand. The simulation's
+// entire evidence chain — golden files, reprobench, EXPERIMENTS.md — rests
+// on bit-for-bit reproducibility, so all time must come from the simulated
+// clock (internal/sim.Simulator) and all randomness from the seeded,
+// Go-release-stable PRNG (internal/sim.Rand).
+var DetNonDet = &Analyzer{
+	Name:          "detnondet",
+	Doc:           "flags wall-clock time and math/rand inside simulation packages, which must use internal/sim's seeded clock and PRNG",
+	AppliesTo:     inRepro,
+	SkipTestFiles: true,
+	Run:           runDetNonDet,
+}
+
+func runDetNonDet(pass *Pass) error {
+	for _, file := range pass.Files {
+		file := file
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of %s in a simulation package; use the seeded repro/internal/sim.Rand instead", path)
+			case "time":
+				if imp.Name != nil && imp.Name.Name == "." {
+					pass.Reportf(imp.Pos(), "dot-import of time hides wall-clock calls from this analyzer; import it qualified")
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.PkgNameOf(file, sel.X) != "time" {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a simulation package; use the simulated clock (repro/internal/sim.Simulator) instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

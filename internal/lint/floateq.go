@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point (or complex) operands in the
+// statistics and report packages that feed golden files. Exact float
+// equality is almost never the intended predicate there: a value that is
+// "zero" after accumulation may be 1e-17, and a comparison that happens to
+// hold on one platform's FMA contraction may fail on another, producing
+// golden-file diffs that look like simulation regressions. Compare against
+// a tolerance, or restructure so the sentinel is an integer (a count, an
+// index) rather than a float. Comparisons where both operands are
+// compile-time constants are exact by definition and stay allowed.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point values in stats and report paths that feed golden files",
+	AppliesTo: func(path string) bool {
+		switch path {
+		case "repro", "repro/internal/stats", "repro/cmd/reprobench":
+			return true
+		}
+		return false
+	},
+	SkipTestFiles: true,
+	Run:           runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(pass, be.X) && !isFloatExpr(pass, be.Y) {
+				return true
+			}
+			if isConstExpr(pass, be.X) && isConstExpr(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "floating-point %s comparison; use a tolerance or an integer sentinel (exact float equality breaks golden-file reproducibility)", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	if pass.Info == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

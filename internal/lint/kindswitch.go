@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch checks exhaustiveness of switches over enum-like named types:
+// a named type with an integer or string underlying type and at least two
+// package-level constants of exactly that type (core.Kind, core.RequestKind,
+// xen.Priority, rubis.Scheme, ...). A switch over such a type must either
+// list every declared constant or carry a default case — otherwise adding a
+// coordination message kind (or VCPU state, or policy scheme) silently falls
+// through agents and actuators. Prefer explicit no-op cases over defaults in
+// protocol code: a default hides exactly the fall-through this analyzer
+// exists to catch.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "flags switches over enum-like named types that neither cover all declared constants nor have a default case",
+	Run:  runKindSwitch,
+}
+
+func runKindSwitch(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkEnumSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	t := pass.TypeOf(sw.Tag)
+	if t == nil {
+		return
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	if basic.Info()&(types.IsInteger|types.IsString) == 0 || basic.Info()&types.IsBoolean != 0 {
+		return
+	}
+
+	consts := enumConstants(named)
+	if len(consts) < 2 {
+		return // not an enum-like type
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default case present: non-exhaustive by design
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // dynamic case expression: exhaustiveness is undecidable
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s has no default case and is missing: %s",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants returns the package-level constants declared with exactly
+// the named type, in declaration order.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+	// Aliased constants (B = A) share a value; keep one name per value so
+	// that "missing" lists don't double-count.
+	seen := map[string]bool{}
+	uniq := consts[:0]
+	for _, c := range consts {
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, c)
+	}
+	return uniq
+}

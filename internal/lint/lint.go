@@ -1,0 +1,199 @@
+// Package lint implements the repro tree's static-analysis suite: a small
+// go/analysis-shaped framework plus the analyzers that keep the simulation
+// deterministic and the coordination protocol exhaustively handled.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so that a future migration to the upstream
+// multichecker is mechanical, but it depends only on the standard library:
+// packages are loaded with `go list` and type-checked from source, so the
+// suite runs in hermetic environments with no module downloads.
+//
+// Analyzers:
+//
+//   - detnondet:  wall-clock time and math/rand in simulation packages
+//   - maporder:   map iteration feeding order-sensitive sinks without a sort
+//   - kindswitch: non-exhaustive switches over enum-like named types
+//   - floateq:    ==/!= on floating-point values in golden-file paths
+//   - panicfree:  panics in library code that are not diagnosable misuse guards
+//
+// Suppression policy: a finding can be silenced with a directive comment on
+// the same line or the line directly above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported. The
+// directive name "all" silences every analyzer for that line. See
+// docs/linting.md for each analyzer's rationale and examples.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+
+	// AppliesTo, if non-nil, restricts the driver to packages for which it
+	// returns true (by import path). The test harness ignores it so that
+	// fixtures exercise the analyzer logic directly.
+	AppliesTo func(pkgPath string) bool
+
+	// SkipTestFiles suppresses diagnostics located in _test.go files.
+	SkipTestFiles bool
+
+	// Run executes the check on one package and reports findings through
+	// the pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked package under
+// analysis and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgNameOf resolves e to the import path of the package an identifier
+// names, or "" if e is not a package qualifier. It prefers type information
+// and falls back to matching the file's import table syntactically.
+func (p *Pass) PkgNameOf(file *ast.File, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if p.Info != nil {
+		if pn, ok := p.Info.ObjectOf(id).(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		if p.Info.ObjectOf(id) != nil {
+			return "" // resolved to a non-package object (e.g. a shadowing local)
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// AnalyzePackage runs one analyzer over an already-loaded package and
+// returns its diagnostics sorted by position. It applies SkipTestFiles but
+// not AppliesTo or suppression directives, which are driver concerns.
+func AnalyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	if a.SkipTestFiles {
+		kept := diags[:0]
+		for _, d := range diags {
+			if !strings.HasSuffix(fset.Position(d.Pos).Filename, "_test.go") {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetNonDet,
+		MapOrder,
+		KindSwitch,
+		FloatEq,
+		PanicFree,
+	}
+}
+
+// exprString renders an expression for diagnostics.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// inRepro reports whether path is the root module package or one of its
+// internal simulation packages (the determinism perimeter). The lint
+// tooling itself is excluded: it runs at the edge of the tree and is
+// allowed to, e.g., shell out with deadlines.
+func inRepro(path string) bool {
+	if path == "repro" {
+		return true
+	}
+	return strings.HasPrefix(path, "repro/internal/") && path != "repro/internal/lint" &&
+		!strings.HasPrefix(path, "repro/internal/lint/")
+}

@@ -1,0 +1,161 @@
+// Package linttest is an analysistest-style harness for the lint suite:
+// it runs one analyzer over a fixture package under testdata/src and
+// compares the diagnostics against `// want "regex"` comments in the
+// fixture source. It mirrors golang.org/x/tools/go/analysis/analysistest
+// closely enough that fixtures would port unchanged.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRE extracts the quoted regular expressions of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each fixture package from testdata/src/<name>, applies the
+// analyzer, and checks its diagnostics against the fixture's want
+// comments. Unexpected diagnostics and unmatched expectations are test
+// errors. The analyzer's AppliesTo scope is deliberately ignored so that
+// fixtures exercise the analyzer logic itself.
+func Run(t *testing.T, a *lint.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, filepath.Join("testdata", "src", name))
+		})
+	}
+}
+
+func runOne(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture %s does not type-check: %v", dir, err)
+	}
+	diags, err := lint.AnalyzePackage(fset, files, pkg, info, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+	got := map[string][]string{} // "file:line" -> messages
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+
+	for key, rxs := range wants {
+		msgs := got[key]
+		for _, rx := range rxs {
+			re, err := regexp.Compile(rx)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", key, rx, err)
+			}
+			idx := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s: no diagnostic matching %q (got %q)", key, rx, msgs)
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		if len(msgs) > 0 {
+			t.Errorf("%s: unexpected extra diagnostics %q", key, msgs)
+		}
+		delete(got, key)
+	}
+	var leftover []string
+	for key, msgs := range got {
+		for _, m := range msgs {
+			leftover = append(leftover, fmt.Sprintf("%s: %s", key, m))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("unexpected diagnostic: %s", l)
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// collectWants maps "file:line" to the want regexes declared there.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]string {
+	t.Helper()
+	wants := map[string][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					rx := m[1]
+					if rx == "" {
+						rx = m[2]
+					}
+					wants[key] = append(wants[key], rx)
+				}
+				if len(wants[key]) == 0 {
+					t.Fatalf("%s: malformed want comment %q", key, c.Text)
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and type-checked compilation unit. The
+// in-package test files are folded into the same unit; external _test
+// packages load as their own unit with an ImportPath suffixed "_test".
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// Loader loads packages for analysis. It shells out to `go list` for
+// package metadata and type-checks everything from source with the
+// standard library's source importer, so it works without a module cache
+// or network access. The process working directory must be inside the
+// module being analyzed (the source importer resolves module-local import
+// paths through the go command).
+type Loader struct {
+	// IncludeTests folds *_test.go files (both in-package and external
+	// test packages) into the analysis. Default true in NewLoader.
+	IncludeTests bool
+
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet and importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		IncludeTests: true,
+		fset:         fset,
+		imp:          importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Fset returns the FileSet all loaded packages share.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns (e.g. "./...") to packages and type-checks them.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Dir == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := append(append([]string(nil), lp.GoFiles...), lp.CgoFiles...)
+		if l.IncludeTests {
+			files = append(files, lp.TestGoFiles...)
+		}
+		p, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+		if l.IncludeTests && len(lp.XTestGoFiles) > 0 {
+			xp, err := l.check(lp.ImportPath+"_test", lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xp)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Dir: dir, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Run executes the analyzers over the loaded packages, honoring each
+// analyzer's AppliesTo scope and the //lint:ignore suppression directives,
+// and returns the surviving diagnostics sorted by position. The import
+// path of an external test package is matched against AppliesTo without
+// its "_test" suffix.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, p := range pkgs {
+		scopePath := strings.TrimSuffix(p.ImportPath, "_test")
+		dirs := directives(fset, p.Files)
+		all = append(all, dirs.malformed...)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(scopePath) {
+				continue
+			}
+			diags, err := AnalyzePackage(fset, p.Files, p.Pkg, p.Info, a)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				if !dirs.suppresses(fset.Position(d.Pos), a.Name) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	sortDiagnostics(fset, all)
+	return all, nil
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)(\s+(.*))?$`)
+
+type directiveSet struct {
+	// byLine maps "filename:line" to the analyzer names silenced there.
+	byLine    map[string][]string
+	malformed []Diagnostic
+}
+
+func directives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if strings.TrimSpace(m[3]) == "" {
+					ds.malformed = append(ds.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "//lint:ignore directive is missing a reason",
+						Analyzer: "lint",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				ds.byLine[key] = append(ds.byLine[key], strings.Split(m[1], ",")...)
+			}
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether a directive on the diagnostic's line, or on
+// the line directly above it, names the analyzer (or "all").
+func (ds *directiveSet) suppresses(pos token.Position, analyzer string) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range ds.byLine[fmt.Sprintf("%s:%d", pos.Filename, line)] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// emitNames are method/function names that send a value out of the current
+// goroutine or process: emitting from inside a map iteration makes the
+// emission order nondeterministic.
+var emitNames = map[string]bool{
+	"Send":    true,
+	"Emit":    true,
+	"Route":   true,
+	"Deliver": true,
+	"Publish": true,
+}
+
+// fmtPrintNames are the fmt printers; printing from inside a map iteration
+// makes report/golden output nondeterministic.
+var fmtPrintNames = map[string]bool{
+	"Print":    true,
+	"Printf":   true,
+	"Println":  true,
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+// sortPkgs are the packages whose calls count as establishing a
+// deterministic order for an accumulated slice.
+var sortPkgs = map[string]bool{"sort": true, "slices": true}
+
+// MapOrder flags `for range` over a map whose iteration feeds an
+// order-sensitive sink without an intervening sort. Go randomizes map
+// iteration order on purpose; any value that escapes the loop in iteration
+// order — an early return, a message emission, a printed line, a
+// non-commutative accumulator, or a slice that is never sorted — is a
+// reproducibility bug waiting for a different seed of the runtime's map
+// hash. The accepted pattern is the one Controller.Islands uses: collect
+// the keys (or values), sort them, then act in sorted order. Writes keyed
+// by the loop variables (m2[k] = v, counters per key) are order-insensitive
+// and stay allowed, as are integer accumulators.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration that feeds a return value, emission, print, or order-sensitive accumulator without an intervening sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		file := file
+		// funcStack tracks enclosing function bodies so that the sort
+		// search for an accumulated slice is confined to the innermost
+		// function containing the loop.
+		var funcStack []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcStack = append(funcStack, n.Body)
+					ast.Inspect(n.Body, walk)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if len(funcStack) > 0 && isMapType(pass.TypeOf(n.X)) {
+					checkMapRange(pass, file, n, funcStack[len(funcStack)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	loopVars := rangeVarObjects(pass, rs)
+
+	// appendTargets collects outer-scope slices appended to inside the
+	// loop, to be cross-checked against sort calls after the loop.
+	appendTargets := map[types.Object]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure defined inside the loop has its own control flow;
+			// analyzing it here would misattribute its returns.
+			return false
+		case *ast.ReturnStmt:
+			pass.Reportf(n.Pos(), "return inside iteration over map %s selects an arbitrary element; iterate sorted keys instead", exprString(rs.X))
+			return true
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside iteration over map %s emits in nondeterministic order; iterate sorted keys instead", exprString(rs.X))
+			return true
+		case *ast.CallExpr:
+			if name, isEmit := emitCallName(pass, file, n); isEmit {
+				pass.Reportf(n.Pos(), "%s inside iteration over map %s emits in nondeterministic order; iterate sorted keys instead", name, exprString(rs.X))
+			}
+			return true
+		case *ast.AssignStmt:
+			checkAccumulator(pass, n, rs, loopVars)
+			if call, ok := singleAppendAssign(n); ok {
+				if obj, pos, ok := appendAssignTarget(pass, n, call, rs); ok {
+					if _, dup := appendTargets[obj]; !dup {
+						appendTargets[obj] = pos
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	for obj, pos := range appendTargets {
+		if !sortedAfter(pass, enclosing, obj, rs.End()) {
+			pass.Reportf(pos, "slice %s accumulates elements of map %s but is never sorted in this function; sort it (the Controller.Islands pattern) or iterate sorted keys", obj.Name(), exprString(rs.X))
+		}
+	}
+}
+
+// rangeVarObjects returns the objects bound to the range statement's key
+// and value variables.
+func rangeVarObjects(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || pass.Info == nil {
+			continue
+		}
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// emitCallName reports whether call is an emission: a method named like a
+// message send, or an fmt printer.
+func emitCallName(pass *Pass, file *ast.File, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pass.PkgNameOf(file, sel.X) == "fmt" && fmtPrintNames[sel.Sel.Name] {
+		return "fmt." + sel.Sel.Name, true
+	}
+	if emitNames[sel.Sel.Name] && pass.PkgNameOf(file, sel.X) == "" {
+		return exprString(sel.X) + "." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// singleAppendAssign matches `dst = append(dst, ...)` / `dst := append(...)`.
+func singleAppendAssign(as *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+// appendAssignTarget resolves the destination object of an append
+// assignment when that object is declared outside the loop.
+func appendAssignTarget(pass *Pass, as *ast.AssignStmt, call *ast.CallExpr, rs *ast.RangeStmt) (types.Object, token.Pos, bool) {
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || pass.Info == nil {
+		return nil, token.NoPos, false
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return nil, token.NoPos, false
+	}
+	// Only slices declared outside the loop can carry order out of it.
+	if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+		return nil, token.NoPos, false
+	}
+	return obj, as.Pos(), true
+}
+
+// checkAccumulator flags non-commutative accumulation into an outer
+// variable: compound float arithmetic (addition order changes the rounding)
+// and string concatenation (order changes the value). Accumulation indexed
+// by the loop variables (m2[k] += v) is per-key and stays allowed, as do
+// integer accumulators.
+func checkAccumulator(pass *Pass, as *ast.AssignStmt, rs *ast.RangeStmt, loopVars map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[0]
+	if exprUsesObjects(pass, lhs, loopVars) {
+		return // per-key accumulation, order-insensitive
+	}
+	t := pass.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0:
+		pass.Reportf(as.Pos(), "floating-point accumulation %s %s ... inside map iteration is order-sensitive (float addition is not associative); iterate sorted keys", exprString(lhs), as.Tok)
+	case b.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+		pass.Reportf(as.Pos(), "string concatenation into %s inside map iteration is order-sensitive; iterate sorted keys", exprString(lhs))
+	}
+}
+
+func exprUsesObjects(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	if pass.Info == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether a sort/slices call referencing obj appears in
+// body at a position after pos.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || !sortPkgs[pkgID.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprUsesObjects(pass, arg, map[types.Object]bool{obj: true}) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PanicFree polices panics in library packages. A library panic is
+// acceptable only as a constructor/argument-misuse guard, and a guard must
+// be diagnosable: its message must be a constant string (or a fmt.Sprintf
+// with a constant format) prefixed with the package name, stdlib-style —
+// `panic("sim: Intn with non-positive n")`. Everything else is flagged, in
+// particular `panic(err)`, which crashes the control plane with a bare
+// error that identifies neither the package nor the violated invariant;
+// such sites should either return the error or wrap it into a prefixed
+// message. Test files may panic freely.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "forbids panics in library packages unless they are package-prefixed misuse guards",
+	AppliesTo: func(path string) bool {
+		return inRepro(path)
+	},
+	SkipTestFiles: true,
+	Run:           runPanicFree,
+}
+
+func runPanicFree(pass *Pass) error {
+	prefix := pass.Pkg.Name() + ": "
+	for _, file := range pass.Files {
+		file := file
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if pass.Info != nil {
+				if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+					return true // a local function shadowing panic
+				}
+			}
+			if len(call.Args) != 1 || !isMisuseGuardArg(pass, file, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic in library code must be a misuse guard with a constant %q-prefixed message; return an error or wrap the message", prefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMisuseGuardArg reports whether e is a diagnosable guard message:
+// a string literal starting with the package prefix, a concatenation whose
+// leftmost operand is one, or fmt.Sprintf with such a format literal.
+func isMisuseGuardArg(pass *Pass, file *ast.File, e ast.Expr, prefix string) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.STRING && strings.HasPrefix(strings.Trim(e.Value, "`\""), prefix)
+	case *ast.BinaryExpr:
+		return e.Op == token.ADD && isMisuseGuardArg(pass, file, e.X, prefix)
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || pass.PkgNameOf(file, sel.X) != "fmt" || sel.Sel.Name != "Sprintf" {
+			return false
+		}
+		if len(e.Args) == 0 {
+			return false
+		}
+		return isMisuseGuardArg(pass, file, e.Args[0], prefix)
+	}
+	return false
+}

@@ -1,0 +1,31 @@
+package detnondet
+
+import (
+	mrand "math/rand" // want `import of math/rand in a simulation package`
+	"time"
+)
+
+func bad() time.Duration {
+	t0 := time.Now()             // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	_ = mrand.Int()
+	<-time.After(time.Second)       // want `time.After reads the wall clock`
+	_ = time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock`
+	return time.Since(t0)           // want `time.Since reads the wall clock`
+}
+
+// Duration arithmetic and constants are deterministic and allowed.
+func good() time.Duration {
+	d := 5 * time.Millisecond
+	return d * 2
+}
+
+type fake struct{}
+
+func (fake) Now() int { return 0 }
+
+// A local identifier shadowing the package name is not the wall clock.
+func shadowed() int {
+	time := fake{}
+	return time.Now()
+}

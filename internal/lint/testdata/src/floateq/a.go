@@ -1,0 +1,33 @@
+package floateq
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNeq(a float32) bool {
+	return a != 0 // want `floating-point != comparison`
+}
+
+func badMixed(a float64) bool {
+	if a == 1.5 { // want `floating-point == comparison`
+		return true
+	}
+	return false
+}
+
+func intsOK(a, b int) bool { return a == b }
+
+const eps = 1e-9
+
+// Both operands constant: the comparison is exact by definition.
+func constOK() bool {
+	return eps == 1e-9
+}
+
+func toleranceOK(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,81 @@
+package kindswitch
+
+type Kind int
+
+const (
+	KindTune Kind = iota
+	KindTrigger
+	KindRegister
+)
+
+// KindAlias shares KindTune's value; covering the value covers both names.
+const KindAlias = KindTune
+
+func missing(k Kind) int {
+	switch k { // want `switch over Kind has no default case and is missing: KindRegister`
+	case KindTune:
+		return 1
+	case KindTrigger:
+		return 2
+	}
+	return 0
+}
+
+func withDefault(k Kind) int {
+	switch k {
+	case KindTune:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func exhaustive(k Kind) int {
+	switch k {
+	case KindTune, KindTrigger:
+		return 1
+	case KindRegister:
+		return 2
+	}
+	return 0
+}
+
+type notEnum int
+
+const single notEnum = 1
+
+// A type with fewer than two constants is not an enum.
+func notEnumSwitch(v notEnum) {
+	switch v {
+	case single:
+	}
+}
+
+// A non-constant case makes exhaustiveness undecidable; skipped.
+func dynamicCase(k, other Kind) {
+	switch k {
+	case other:
+	}
+}
+
+type Mode string
+
+const (
+	ModeA Mode = "a"
+	ModeB Mode = "b"
+)
+
+func stringEnum(m Mode) {
+	switch m { // want `switch over Mode has no default case and is missing: ModeB`
+	case ModeA:
+	}
+}
+
+// Untagged switches are ordinary if/else chains; skipped.
+func untagged(k Kind) int {
+	switch {
+	case k == KindTune:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func returnInside(m map[string]int) int {
+	for _, v := range m {
+		return v // want `return inside iteration over map m`
+	}
+	return 0
+}
+
+func sendInside(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside iteration over map m`
+	}
+}
+
+type emitter struct{}
+
+func (emitter) Send(int) {}
+
+func emitInside(m map[string]int, e emitter) {
+	for _, v := range m {
+		e.Send(v) // want `e.Send inside iteration over map m`
+	}
+}
+
+func printInside(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println inside iteration over map m`
+	}
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys accumulates elements of map m but is never sorted`
+	}
+	return keys
+}
+
+// The Controller.Islands pattern: collect, sort, then use.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation sum \+= ... inside map iteration`
+	}
+	return sum
+}
+
+// Integer accumulation is associative and commutative: allowed.
+func intAccum(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Writes keyed by the loop variables are per-key and order-insensitive.
+func perKey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func stringAccum(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `string concatenation into s inside map iteration`
+	}
+	return s
+}
+
+// A closure defined inside the loop has its own control flow; its return
+// is not the enclosing function's.
+func closureOK(m map[string]int) map[string]func() int {
+	fns := make(map[string]func() int, len(m))
+	for k, v := range m {
+		v := v
+		fns[k] = func() int { return v }
+	}
+	return fns
+}
+
+// Ranging over a slice is ordered; nothing to report.
+func sliceOK(xs []int, ch chan int) {
+	for _, v := range xs {
+		ch <- v
+	}
+}

@@ -1,0 +1,38 @@
+package panicfree
+
+import (
+	"errors"
+	"fmt"
+)
+
+func guardOK(n int) {
+	if n <= 0 {
+		panic("panicfree: non-positive n")
+	}
+}
+
+func sprintfOK(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("panicfree: bad n %d", n))
+	}
+}
+
+func concatOK(msg string) {
+	panic("panicfree: " + msg)
+}
+
+func errBad() {
+	panic(errors.New("boom")) // want `panic in library code must be a misuse guard`
+}
+
+func unprefixedBad() {
+	panic("boom") // want `panic in library code must be a misuse guard`
+}
+
+func valueBad(v interface{}) {
+	panic(v) // want `panic in library code must be a misuse guard`
+}
+
+func sprintfUnprefixedBad(n int) {
+	panic(fmt.Sprintf("bad n %d", n)) // want `panic in library code must be a misuse guard`
+}

@@ -1,0 +1,22 @@
+package suppress
+
+func sameLine() {
+	panic("boom") //lint:ignore panicfree fixture exercising same-line suppression
+}
+
+func lineAbove() {
+	//lint:ignore all fixture exercising line-above suppression
+	panic("boom")
+}
+
+func unsuppressed() {
+	panic("boom")
+}
+
+func wrongName() {
+	panic("boom") //lint:ignore maporder suppressing the wrong analyzer does nothing
+}
+
+func missingReason() {
+	panic("boom") //lint:ignore panicfree
+}

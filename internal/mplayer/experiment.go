@@ -1,6 +1,8 @@
 package mplayer
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/platform"
@@ -95,7 +97,7 @@ func RunQoSExperiment(cfg QoSConfig) []QoSPoint {
 			p.Sim.At(sim.Second/2, func() {
 				for _, d := range p.Guests() {
 					if err := p.Ctl.SetWeight(d.ID(), 256); err != nil {
-						panic(err)
+						panic(fmt.Sprintf("mplayer: resetting weight for %s: %v", d.Name(), err))
 					}
 				}
 			})
@@ -109,13 +111,13 @@ func RunQoSExperiment(cfg QoSConfig) []QoSPoint {
 			p.Sim.At(sim.Second, func() {
 				d2, err := p.GuestByName("Domain-2")
 				if err != nil {
-					panic(err)
+					panic(fmt.Sprintf("mplayer: looking up Domain-2: %v", err))
 				}
 				if err := p.Ctl.SetWeight(d2.ID(), 640); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("mplayer: escalating Domain-2 weight: %v", err))
 				}
 				if err := p.IXP.SetFlowThreads(d2.ID(), 4); err != nil {
-					panic(err)
+					panic(fmt.Sprintf("mplayer: escalating Domain-2 dequeue threads: %v", err))
 				}
 			})
 		}},
@@ -216,7 +218,7 @@ func RunTriggerExperiment(cfg TriggerConfig, coordinated bool) *TriggerResult {
 		p.X86Act.EnableTriggerSurge(p.Sim, 1.8, 150*sim.Millisecond)
 		policy = core.NewBufferWatermarkPolicy(p.IXPAgent, platform.X86Island, cfg.Threshold)
 		if err := policy.Attach(p.IXP, d1.ID()); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("mplayer: arming buffer watermark: %v", err))
 		}
 		// Level-triggered re-arm: while the buffer stays above threshold,
 		// the XScale monitor keeps re-triggering so the boost persists for

@@ -183,7 +183,7 @@ func (h *HostStack) ConnectIXPTransmit(fn func(*Packet)) { h.onTxIXP = fn }
 // packet only after Dom0 has run the messaging-driver/bridge code.
 func (h *HostStack) DeliverFromIXP(p *Packet) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("netsim: invalid packet: %v", err))
 	}
 	if h.cfg.IntrPeriod > 0 {
 		h.staging = append(h.staging, p)
@@ -238,7 +238,7 @@ func (h *HostStack) scheduleRxBatch() {
 // Dom0 the transmit path cost, then DMAs the packet over the PCIe channel.
 func (h *HostStack) Transmit(p *Packet) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("netsim: invalid packet: %v", err))
 	}
 	h.dom0.SubmitFunc(h.cfg.TxCostPerPacket, "net-tx", func() {
 		h.txCount++

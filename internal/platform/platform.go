@@ -136,7 +136,7 @@ func New(cfg Config) *Platform {
 	x86Act.MaxWeight = cfg.MaxGuestWeight
 	x86Agent := core.NewAgent(X86Island, nil, ctrl.Route, x86Act, core.WithTracer(tracer))
 	if err := ctrl.RegisterIsland(core.IslandHandle{Name: X86Island, Local: x86Agent.Deliver}); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("platform: registering x86 island: %v", err))
 	}
 
 	uplink := core.NewDeviceUplink(mb)
@@ -150,7 +150,7 @@ func New(cfg Config) *Platform {
 	ixpAgent := core.NewAgent(IXPIsland, uplink, nil, core.NewIXPActuator(s, x), ixpOpts...)
 	downlink.SetReceiver(ixpAgent.Deliver)
 	if err := ctrl.RegisterIsland(core.IslandHandle{Name: IXPIsland, Downlink: downlink}); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("platform: registering IXP island: %v", err))
 	}
 
 	hv.Start()
@@ -177,7 +177,7 @@ func New(cfg Config) *Platform {
 func (p *Platform) AddGuest(name string, weight int) *xen.Domain {
 	d := p.HV.CreateDomain(name, weight, 1)
 	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("platform: registering guest %q: %v", name, err))
 	}
 	p.IXP.RegisterFlow(d.ID())
 	p.guests = append(p.guests, d)
@@ -190,7 +190,7 @@ func (p *Platform) AddGuest(name string, weight int) *xen.Domain {
 func (p *Platform) AddLocalGuest(name string, weight int) *xen.Domain {
 	d := p.HV.CreateDomain(name, weight, 1)
 	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("platform: registering guest %q: %v", name, err))
 	}
 	p.guests = append(p.guests, d)
 	return d

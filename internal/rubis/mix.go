@@ -2,6 +2,7 @@ package rubis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -86,8 +87,15 @@ func (m *Mix) validate() error {
 	if err := check(m.start); err != nil {
 		return err
 	}
-	for _, edges := range m.trans {
-		if err := check(edges); err != nil {
+	// Iterate sorted keys so that which validation error surfaces first is
+	// deterministic across runs.
+	froms := make([]RequestType, 0, len(m.trans))
+	for from := range m.trans {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
+	for _, from := range froms {
+		if err := check(m.trans[from]); err != nil {
 			return err
 		}
 	}
@@ -116,7 +124,7 @@ func BrowsingMix() *Mix {
 		},
 	}
 	if err := m.validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rubis: built-in mix table is invalid: %v", err))
 	}
 	return m
 }
@@ -151,7 +159,7 @@ func BidMix() *Mix {
 		},
 	}
 	if err := m.validate(); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rubis: built-in mix table is invalid: %v", err))
 	}
 	return m
 }

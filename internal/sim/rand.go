@@ -9,6 +9,14 @@ import (
 // the workload models need. It wraps a 64-bit SplitMix64/xorshift-style
 // generator rather than math/rand so that the sequence is stable across Go
 // releases.
+//
+// All randomness in the simulation must flow through a Rand reached from
+// the experiment's seed (directly or via Fork) — never math/rand or any
+// other ambient source — so that a run is a pure function of its
+// configuration. The detnondet analyzer (see docs/linting.md) enforces
+// this across the tree, and TestRandPinnedSequence pins the generator's
+// exact output so an accidental algorithm change cannot silently
+// invalidate published results.
 type Rand struct {
 	state uint64
 }

@@ -97,7 +97,7 @@ func (ts *TimeSeries) Spark(width int) string {
 	}
 	levels := []byte(" .:-=+*#%@")
 	max := ts.Max()
-	if max == 0 {
+	if max <= 0 {
 		max = 1
 	}
 	out := make([]byte, width)

@@ -430,6 +430,9 @@ func (hv *Hypervisor) Boost(d *Domain) {
 			// force it regardless of credits by pre-setting priority.
 			v.prio = PrioBoost
 			v.boostRan = 0
+		case stateParked:
+			// Cap enforcement outranks a boost: a parked VCPU stays parked
+			// until its domain drops back under its cap.
 		}
 	}
 	hv.maybePreempt()
@@ -616,6 +619,10 @@ func (hv *Hypervisor) parkDomain(d *Domain) {
 			v.pcpu = nil
 			v.state = stateParked
 			hv.dispatch()
+		case stateBlocked, stateParked:
+			// Not on a runqueue or a PCPU; there is nothing to remove. A
+			// blocked VCPU that wakes while the domain is over cap runs
+			// until the next accounting period parks it again.
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"strconv"
 	"time"
 
@@ -25,7 +26,7 @@ func (c *PowerCapConfig) applyDefaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.CapWatts == 0 {
+	if c.CapWatts <= 0 {
 		c.CapWatts = 120
 	}
 	if c.Duration == 0 {
@@ -71,7 +72,7 @@ func RunPowerCap(cfg PowerCapConfig) *PowerCapRun {
 		act := power.NewCapActuator(p.Ctl)
 		agent := core.NewAgent("x86-power", nil, p.Controller.Route, act)
 		if err := p.Controller.RegisterIsland(core.IslandHandle{Name: "x86-power", Local: agent.Deliver}); err != nil {
-			panic(err)
+			panic(fmt.Sprintf("repro: registering x86 power island: %v", err))
 		}
 		var targets []power.Target
 		for _, g := range guests {

@@ -176,7 +176,7 @@ func FormatFig7(base, coord *TriggerRun) string {
 				max = p.Value
 			}
 		}
-		if max == 0 || len(pts) == 0 {
+		if max <= 0 || len(pts) == 0 {
 			return ""
 		}
 		out := make([]byte, width)

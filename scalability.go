@@ -28,7 +28,7 @@ func (c *ScalabilityConfig) applyDefaults() {
 	if len(c.Islands) == 0 {
 		c.Islands = []int{2, 4, 8, 16, 32, 64, 128, 256}
 	}
-	if c.RatePerIsland == 0 {
+	if c.RatePerIsland <= 0 {
 		c.RatePerIsland = 200
 	}
 	if c.Duration == 0 {
