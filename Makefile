@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench check
+.PHONY: all build test race vet lint bench chaos check
 
 all: check
 
@@ -21,6 +21,12 @@ lint: vet
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# chaos runs the fault-injection suites: the root RUBiS chaos tests plus
+# the coordination-plane protocol tests under the race detector.
+chaos:
+	$(GO) test -run 'TestChaos' .
+	$(GO) test -race ./internal/core/... ./internal/pcie/...
 
 # check is the full tier-1 gate: what CI runs on every push.
 check: build test lint

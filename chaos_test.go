@@ -1,0 +1,177 @@
+package repro
+
+// Chaos tests: the reliable coordination plane must make coordination safe
+// to leave on. Under injected faults — loss, duplication, reordering,
+// bursts, partitions, even island crashes — a coordinated run must never
+// end up materially worse than simply not coordinating, and the whole run
+// must stay deterministic.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func chaosRubisCfg(seed int64) RubisConfig {
+	return RubisConfig{Seed: seed, Duration: 40 * time.Second, Warmup: 10 * time.Second}
+}
+
+// chaosBaseline caches the uncoordinated run shared by the chaos tests
+// (they all compare against the same fault-free baseline).
+var chaosBaseline *RubisRun
+
+func chaosBase(t *testing.T) *RubisRun {
+	t.Helper()
+	if chaosBaseline == nil {
+		chaosBaseline = RunRubis(chaosRubisCfg(1), false)
+	}
+	return chaosBaseline
+}
+
+// Under every fault plan in the matrix the reliable plane must keep the
+// coordinated run from falling below the uncoordinated baseline: worst
+// case, degradation reverts to baseline behaviour, so "never more than 5%
+// worse" on both throughput and mean response time.
+func TestChaosCoordinationNeverHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	matrix := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"chaos-mix", FaultPlan{
+			LossRate: 0.2, DupRate: 0.1, ReorderRate: 0.1,
+			SpikeRate: 0.05, JitterMax: 100 * time.Microsecond,
+			BurstRate: 0.01, BurstLen: 8,
+		}},
+		{"two-partitions", FaultPlan{Partitions: []Partition{
+			{Start: 12 * time.Second, Duration: 4 * time.Second},
+			{Start: 25 * time.Second, Duration: 4 * time.Second},
+		}}},
+		{"crash-restart", FaultPlan{Crashes: []CrashWindow{
+			{Island: "ixp", Start: 15 * time.Second, Duration: 5 * time.Second},
+		}}},
+	}
+	base := chaosBase(t)
+	for _, sc := range matrix {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := chaosRubisCfg(1)
+			cfg.Robust = true
+			plan := sc.plan
+			cfg.Faults = &plan
+			coord := RunRubis(cfg, true)
+
+			if coord.MeanOverTypes() > base.MeanOverTypes()*1.05 {
+				t.Errorf("mean response under faults %.0f ms, >5%% worse than uncoordinated %.0f ms",
+					coord.MeanOverTypes(), base.MeanOverTypes())
+			}
+			if coord.Throughput < base.Throughput*0.95 {
+				t.Errorf("throughput under faults %.1f r/s, >5%% below uncoordinated %.1f r/s",
+					coord.Throughput, base.Throughput)
+			}
+			// The run completed with the plane reconverged: Tunes applied and
+			// (for lossy plans) really exercised the reliability machinery.
+			rb := coord.Robustness
+			if coord.TunesApplied == 0 {
+				t.Error("no Tunes applied; coordination never (re)converged")
+			}
+			if sc.plan.LossRate > 0 {
+				if rb.FaultDrops == 0 {
+					t.Error("fault plan injected no drops; assertion is vacuous")
+				}
+				if rb.Retransmits == 0 {
+					t.Error("no retransmits despite injected loss")
+				}
+				if rb.DupDrops == 0 {
+					t.Error("no duplicate drops despite injected duplication")
+				}
+				if rb.AcksReceived == 0 {
+					t.Error("reliable plane exchanged no acks")
+				}
+			}
+			if len(sc.plan.Partitions) > 0 && rb.FaultDrops == 0 {
+				t.Error("partitions dropped nothing; assertion is vacuous")
+			}
+			if len(sc.plan.Crashes) > 0 && rb.LeaseExpiries == 0 {
+				t.Error("crash window never expired the lease")
+			}
+		})
+	}
+}
+
+// An IXP crash mid-run must walk the whole degradation ladder — lease
+// expiry, quarantine-side revert to baseline weights, agent-side
+// suppression — and then rejoin and reconverge, still ending within 5% of
+// the uncoordinated baseline.
+func TestChaosCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	base := chaosBase(t)
+	cfg := chaosRubisCfg(1)
+	cfg.Robust = true
+	cfg.Faults = &FaultPlan{Crashes: []CrashWindow{
+		{Island: "ixp", Start: 15 * time.Second, Duration: 5 * time.Second},
+	}}
+	coord := RunRubis(cfg, true)
+
+	rb := coord.Robustness
+	if rb.LeaseExpiries < 1 {
+		t.Error("crash did not expire the IXP lease")
+	}
+	if rb.Rejoins < 1 {
+		t.Error("restarted island never rejoined")
+	}
+	if rb.BaselineReverts < 1 {
+		t.Error("actuator never reverted to baseline weights")
+	}
+	if rb.Degradations < 1 || rb.Recoveries < 1 {
+		t.Errorf("agent degradations=%d recoveries=%d, want >=1 each",
+			rb.Degradations, rb.Recoveries)
+	}
+	if rb.CrashDrops < 1 {
+		t.Error("crashed agent dropped no inbound messages")
+	}
+	if rb.SuppressedCrashed < 1 {
+		t.Error("crashed agent suppressed no outbound messages")
+	}
+	// Coordination resumed after the crash window: Tunes flowed again.
+	if rb.Heartbeats == 0 || coord.TunesApplied == 0 {
+		t.Errorf("heartbeats=%d tunesApplied=%d: plane did not reconverge",
+			rb.Heartbeats, coord.TunesApplied)
+	}
+	if coord.MeanOverTypes() > base.MeanOverTypes()*1.05 {
+		t.Errorf("mean response with crash %.0f ms, >5%% worse than uncoordinated %.0f ms",
+			coord.MeanOverTypes(), base.MeanOverTypes())
+	}
+	if coord.Throughput < base.Throughput*0.95 {
+		t.Errorf("throughput with crash %.1f r/s, >5%% below uncoordinated %.1f r/s",
+			coord.Throughput, base.Throughput)
+	}
+}
+
+// Whole-run determinism: same seed, same fault plan, same reliable plane
+// — byte-identical results, robustness counters included.
+func TestChaosDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	run := func() *RubisRun {
+		cfg := chaosRubisCfg(1)
+		cfg.Robust = true
+		cfg.Faults = &FaultPlan{
+			Seed: 7, LossRate: 0.15, DupRate: 0.05, ReorderRate: 0.05,
+			Partitions: []Partition{{Start: 15 * time.Second, Duration: 3 * time.Second}},
+		}
+		return RunRubis(cfg, true)
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("identical chaos runs diverged:\n first: %+v\nsecond: %+v", first, second)
+	}
+	if first.Robustness.FaultDrops == 0 {
+		t.Fatal("chaos plan injected nothing; determinism check is vacuous")
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	reprobench [-exp all|fig2|fig4|table1|table2|fig5|fig6|fig7|table3|
 //	            powercap|scalability|ablation-latency|ablation-mechanisms|
-//	            ablation-threshold] [-seed N] [-quick]
+//	            ablation-threshold|ablation-interrupt|ablation-loss|
+//	            ablation-faults] [-seed N] [-quick]
 //
 // -quick shortens runs by ~4x for smoke testing; published numbers should
 // use the defaults.
@@ -97,11 +98,12 @@ func main() {
 		"ablation-threshold":  func() { ablationThreshold(*seed, trigDur) },
 		"ablation-interrupt":  func() { ablationInterrupt(*seed, rubisDur) },
 		"ablation-loss":       func() { ablationLoss(*seed, rubisDur) },
+		"ablation-faults":     func() { ablationFaults(*seed, rubisDur) },
 	}
 
 	order := []string{"fig2", "fig4", "table1", "table2", "fig5", "fig6", "fig7", "table3",
 		"powercap", "scalability", "ablation-latency", "ablation-mechanisms", "ablation-threshold",
-		"ablation-interrupt", "ablation-loss"}
+		"ablation-interrupt", "ablation-loss", "ablation-faults"}
 
 	writeJSON := func() {
 		if *jsonPath == "" {
@@ -193,6 +195,54 @@ func ablationLoss(seed int64, dur time.Duration) {
 	for _, rate := range []float64{0, 0.1, 0.3, 0.6} {
 		r := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur, CoordLossRate: rate}, true)
 		fmt.Printf("%9.0f%% | %10.1f %10.0f\n", rate*100, r.Throughput, r.MeanOverTypes())
+	}
+}
+
+// ablationFaults runs the coordination plane through a matrix of injected
+// fault scenarios, comparing the fragile (fire-and-forget) wiring against
+// the reliable plane (ack/retry + heartbeats + graceful degradation). The
+// robustness claim: under every scenario the coordinated run with the
+// reliable plane stays close to — and under heavy faults degrades
+// gracefully toward — the uncoordinated baseline rather than collapsing
+// below it.
+func ablationFaults(seed int64, dur time.Duration) {
+	scenarios := []struct {
+		name string
+		plan *repro.FaultPlan
+	}{
+		{"clean", nil},
+		{"loss 30%", &repro.FaultPlan{LossRate: 0.3}},
+		{"bursts", &repro.FaultPlan{LossRate: 0.05, BurstRate: 0.02, BurstLen: 16}},
+		{"chaos mix", &repro.FaultPlan{
+			LossRate: 0.15, DupRate: 0.1, ReorderRate: 0.1,
+			SpikeRate: 0.05, JitterMax: 100 * time.Microsecond,
+		}},
+		{"partition", &repro.FaultPlan{Partitions: []repro.Partition{
+			{Start: dur / 4, Duration: dur / 4},
+		}}},
+		{"ixp crash", &repro.FaultPlan{Crashes: []repro.CrashWindow{
+			{Island: "ixp", Start: dur / 4, Duration: dur / 8},
+		}}},
+	}
+
+	fmt.Println("Ablation: fault matrix (RUBiS; fragile vs reliable coordination plane)")
+	base := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur}, false)
+	fmt.Printf("uncoordinated baseline: %.1f r/s, mean %.0f ms\n\n", base.Throughput, base.MeanOverTypes())
+	fmt.Printf("%-12s | %-8s | %9s %9s | %8s %8s %8s %8s\n",
+		"scenario", "plane", "tput(r/s)", "mean(ms)", "retrans", "expired", "degrade", "revert")
+	for _, sc := range scenarios {
+		for _, robust := range []bool{false, true} {
+			cfg := repro.RubisConfig{Seed: seed, Duration: dur, Faults: sc.plan, Robust: robust}
+			r := repro.RunRubis(cfg, true)
+			plane := "fragile"
+			if robust {
+				plane = "reliable"
+			}
+			rb := r.Robustness
+			fmt.Printf("%-12s | %-8s | %9.1f %9.0f | %8d %8d %8d %8d\n",
+				sc.name, plane, r.Throughput, r.MeanOverTypes(),
+				rb.Retransmits, rb.Expired, rb.Degradations, rb.BaselineReverts)
+		}
 	}
 }
 

@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/pcie"
+	"repro/internal/platform"
+)
+
+// FaultPlan is the public face of the deterministic fault-injection
+// harness: a seeded, declarative description of everything the
+// coordination channel can suffer during a run. The same plan and seeds
+// always reproduce the same fault schedule. Rates are independent
+// per-message probabilities in [0, 1); zero values disable a process.
+type FaultPlan struct {
+	// Seed drives the stochastic fault processes (default 1), separate
+	// from the workload seed so fault schedules can be pinned
+	// independently.
+	Seed int64
+
+	LossRate float64 // iid drop probability
+	DupRate  float64 // iid duplication probability (one extra copy)
+
+	// ReorderRate holds a message back for ReorderDelay so later messages
+	// overtake it (default 500us).
+	ReorderRate  float64
+	ReorderDelay time.Duration
+
+	// SpikeRate adds SpikeLatency to a message's one-way latency (default
+	// spike 2ms).
+	SpikeRate    float64
+	SpikeLatency time.Duration
+
+	// JitterMax adds a uniform extra delay in [0, JitterMax) to every
+	// message.
+	JitterMax time.Duration
+
+	// BurstRate starts a correlated loss burst dropping BurstLen
+	// consecutive messages (default length 8).
+	BurstRate float64
+	BurstLen  int
+
+	// Partitions are timed total-loss windows on the coordination link.
+	Partitions []Partition
+
+	// Crashes are island crash/restart windows: the named island's agent
+	// goes silent (its lease expires) and drops all input for the window.
+	Crashes []CrashWindow
+}
+
+// Partition is a timed total-loss window. An empty Channels list cuts
+// every coordination channel; otherwise only the named channels
+// ("mailbox:to-host", "mailbox:to-device").
+type Partition struct {
+	Start    time.Duration
+	Duration time.Duration
+	Channels []string
+}
+
+// CrashWindow crashes an island ("ixp" or "x86") for the window.
+type CrashWindow struct {
+	Island   string
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// internal converts the plan to the pcie layer's representation.
+func (p *FaultPlan) internal() *pcie.FaultPlan {
+	if p == nil {
+		return nil
+	}
+	fp := &pcie.FaultPlan{
+		Seed:         p.Seed,
+		LossRate:     p.LossRate,
+		DupRate:      p.DupRate,
+		ReorderRate:  p.ReorderRate,
+		ReorderDelay: toSim(p.ReorderDelay),
+		SpikeRate:    p.SpikeRate,
+		SpikeLatency: toSim(p.SpikeLatency),
+		JitterMax:    toSim(p.JitterMax),
+		BurstRate:    p.BurstRate,
+		BurstLen:     p.BurstLen,
+	}
+	for _, w := range p.Partitions {
+		fp.Partitions = append(fp.Partitions, pcie.Partition{
+			Start:    toSim(w.Start),
+			Duration: toSim(w.Duration),
+			Channels: append([]string(nil), w.Channels...),
+		})
+	}
+	for _, c := range p.Crashes {
+		fp.Crashes = append(fp.Crashes, pcie.CrashWindow{
+			Island:   c.Island,
+			Start:    toSim(c.Start),
+			Duration: toSim(c.Duration),
+		})
+	}
+	return fp
+}
+
+// Validate reports the first configuration error in the plan.
+func (p FaultPlan) Validate() error {
+	return p.internal().Validate()
+}
+
+// RobustnessReport surfaces the coordination plane's reliability counters
+// for one run: what the fault harness injected and how each defensive
+// layer responded.
+type RobustnessReport struct {
+	// Reliability layer (both mailbox endpoints summed; zero unless the
+	// run used RubisConfig.Robust).
+	DataSent     uint64
+	Retransmits  uint64
+	Expired      uint64 // at-most-once Tunes abandoned at their deadline
+	GaveUp       uint64 // messages abandoned after max retries
+	AcksSent     uint64
+	AcksReceived uint64
+	DupDrops     uint64
+	StaleDrops   uint64
+	GapSkips     uint64
+	LinkDowns    uint64
+	LinkUps      uint64
+
+	// Fault harness (what the plan actually injected).
+	FaultDrops uint64 // mailbox messages consumed by loss/burst/partition
+	Duplicated uint64
+	Reordered  uint64
+	Spiked     uint64
+
+	// Liveness plane.
+	Heartbeats    uint64
+	LeaseExpiries uint64
+	Rejoins       uint64
+
+	// Routing drops by reason.
+	UnknownTarget uint64
+	UnknownEntity uint64
+	Quarantined   uint64
+
+	// Graceful degradation.
+	Degradations       uint64
+	Recoveries         uint64
+	SuppressedDegraded uint64
+	SuppressedCrashed  uint64
+	CrashDrops         uint64
+	BaselineReverts    uint64
+}
+
+// robustnessReport folds the platform's layered counters into the public
+// report, summing the two mailbox endpoints.
+func robustnessReport(r platform.Robustness) RobustnessReport {
+	return RobustnessReport{
+		DataSent:     r.Uplink.DataSent + r.Downlink.DataSent,
+		Retransmits:  r.Uplink.Retransmits + r.Downlink.Retransmits,
+		Expired:      r.Uplink.Expired + r.Downlink.Expired,
+		GaveUp:       r.Uplink.GaveUp + r.Downlink.GaveUp,
+		AcksSent:     r.Uplink.AcksSent + r.Downlink.AcksSent,
+		AcksReceived: r.Uplink.AcksReceived + r.Downlink.AcksReceived,
+		DupDrops:     r.Uplink.DupDrops + r.Downlink.DupDrops,
+		StaleDrops:   r.Uplink.StaleDrops + r.Downlink.StaleDrops,
+		GapSkips:     r.Uplink.GapSkips + r.Downlink.GapSkips,
+		LinkDowns:    r.Uplink.Downs + r.Downlink.Downs,
+		LinkUps:      r.Uplink.Ups + r.Downlink.Ups,
+
+		FaultDrops: r.MailboxDropped,
+		Duplicated: r.Faults.Duplicated,
+		Reordered:  r.Faults.Reordered,
+		Spiked:     r.Faults.Spiked,
+
+		Heartbeats:    r.Heartbeats,
+		LeaseExpiries: r.LeaseExpiries,
+		Rejoins:       r.Rejoins,
+
+		UnknownTarget: r.UnknownTarget,
+		UnknownEntity: r.UnknownEntity,
+		Quarantined:   r.Quarantined,
+
+		Degradations:       r.Degradations,
+		Recoveries:         r.Recoveries,
+		SuppressedDegraded: r.SuppressedDegraded,
+		SuppressedCrashed:  r.SuppressedCrashed,
+		CrashDrops:         r.CrashDrops,
+		BaselineReverts:    r.BaselineRevert,
+	}
+}

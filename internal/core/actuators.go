@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/ixp"
 	"repro/internal/sim"
@@ -31,6 +32,9 @@ type X86Actuator struct {
 	MinWeight int // default 64
 	MaxWeight int // default 4096
 
+	baselines map[int]int
+	reverts   uint64
+
 	tracking  bool
 	mass      map[int]float64
 	stopDecay func()
@@ -49,8 +53,42 @@ type surgeState struct {
 
 // NewX86Actuator wraps a XenCtrl interface with default clamps.
 func NewX86Actuator(ctl *xen.Ctl) *X86Actuator {
-	return &X86Actuator{ctl: ctl, MinWeight: 64, MaxWeight: 4096}
+	return &X86Actuator{ctl: ctl, MinWeight: 64, MaxWeight: 4096, baselines: make(map[int]int)}
 }
+
+// SetBaseline records entity's safe-harbor weight, the value
+// RevertToBaseline restores when the coordination plane is lost. The
+// platform records each guest's initial weight here at registration.
+func (x *X86Actuator) SetBaseline(entity, weight int) {
+	x.baselines[entity] = weight
+}
+
+// RevertToBaseline abandons all coordination-derived state — in-flight
+// trigger surges and accumulated boost mass — and restores every entity
+// with a recorded baseline to that weight. The graceful-degradation path
+// calls it after the hold-down timer: stale policy decisions must not
+// outlive the uplink that justified them.
+func (x *X86Actuator) RevertToBaseline() {
+	x.reverts++
+	ids := make([]int, 0, len(x.baselines))
+	for e := range x.baselines {
+		ids = append(ids, e)
+	}
+	sort.Ints(ids)
+	for _, e := range ids {
+		if st, ok := x.surges[e]; ok {
+			st.expire.Cancel()
+			delete(x.surges, e)
+		}
+		if x.tracking {
+			x.mass[e] = 0
+		}
+		_ = x.ctl.SetWeight(e, x.baselines[e]) // unknown entities are a no-op
+	}
+}
+
+// Reverts returns how many times RevertToBaseline ran.
+func (x *X86Actuator) Reverts() uint64 { return x.reverts }
 
 // EnableLoadTracking switches the actuator to the load-tracking
 // translation: every period, each entity's accumulated boost mass decays

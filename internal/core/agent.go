@@ -28,6 +28,39 @@ type AgentStats struct {
 	TriggersApplied  uint64
 	ApplyErrors      uint64
 	RateLimitDropped uint64
+
+	// Robustness counters.
+	HeartbeatsSent     uint64
+	HeartbeatsSeen     uint64 // controller pings observed on the downlink
+	SuppressedDegraded uint64 // outbound messages withheld while degraded
+	SuppressedCrashed  uint64 // outbound messages withheld while crashed
+	CrashDrops         uint64 // inbound messages dropped while crashed
+	Degradations       uint64 // healthy -> degraded transitions
+	Recoveries         uint64 // degraded -> healthy transitions
+}
+
+// DegradeConfig parameterizes an agent's uplink-health monitor
+// (EnableDegradation).
+type DegradeConfig struct {
+	// CheckPeriod is the monitor interval (default 250ms).
+	CheckPeriod sim.Time
+	// LeaseTimeout degrades the agent after this much silence from the
+	// controller (no pings seen on the downlink; default 4x CheckPeriod).
+	LeaseTimeout sim.Time
+
+	// OnDegrade/OnRecover are optional transition hooks (the platform uses
+	// them to revert actuators to baseline after a hold-down).
+	OnDegrade func()
+	OnRecover func()
+}
+
+func (c *DegradeConfig) applyDefaults() {
+	if c.CheckPeriod == 0 {
+		c.CheckPeriod = 250 * sim.Millisecond
+	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 4 * c.CheckPeriod
+	}
 }
 
 // Agent is one island's coordination endpoint: it emits Tune/Trigger
@@ -44,6 +77,14 @@ type Agent struct {
 
 	trace  func(Message) // optional message tap for tests/harness
 	tracer *trace.Tracer // optional structured-event trace
+
+	// Robustness state.
+	crashed   bool // island crash window: nothing in, nothing out
+	degraded  bool // uplink believed dead: policies silenced
+	dsim      *sim.Simulator
+	dcfg      DegradeConfig
+	lastHeard sim.Time // last controller ping on the downlink
+	health    LinkHealth
 }
 
 // AgentOption customizes an Agent.
@@ -81,6 +122,9 @@ func NewAgent(name string, uplink Transport, route func(Message), actuator Actua
 		panic(fmt.Sprintf("core: agent %q must have exactly one of uplink and route", name))
 	}
 	a := &Agent{name: name, uplink: uplink, route: route, actuator: actuator}
+	if h, ok := uplink.(LinkHealth); ok {
+		a.health = h
+	}
 	for _, o := range opts {
 		o(a)
 	}
@@ -92,6 +136,91 @@ func (a *Agent) Name() string { return a.name }
 
 // Stats returns a snapshot of the agent's coordination counters.
 func (a *Agent) Stats() AgentStats { return a.stats }
+
+// EnableHeartbeat starts emitting liveness beacons toward the controller
+// every interval. Heartbeats bypass the rate limiter and degradation
+// suppression (they are how the lease recovers) but are silenced during a
+// crash window. It returns a stop function cancelling the ticker.
+func (a *Agent) EnableHeartbeat(s *sim.Simulator, interval sim.Time) (stop func()) {
+	if s == nil {
+		panic(fmt.Sprintf("core: agent %q heartbeat needs a simulator", a.name))
+	}
+	if interval <= 0 {
+		panic(fmt.Sprintf("core: agent %q heartbeat interval %v must be positive", a.name, interval))
+	}
+	return s.Ticker(interval, func() {
+		if a.crashed {
+			return
+		}
+		a.stats.HeartbeatsSent++
+		msg := Message{Kind: KindHeartbeat, From: a.name}
+		if a.uplink != nil {
+			a.uplink.Send(msg)
+		} else {
+			a.route(msg)
+		}
+	})
+}
+
+// EnableDegradation starts the uplink-health monitor: the agent degrades
+// (policies silenced, actuators revertible to baseline via OnDegrade) when
+// the controller goes silent past LeaseTimeout or the uplink's LinkHealth
+// reports down, and recovers as soon as either signal returns. It returns a
+// stop function cancelling the monitor.
+func (a *Agent) EnableDegradation(s *sim.Simulator, cfg DegradeConfig) (stop func()) {
+	if s == nil {
+		panic(fmt.Sprintf("core: agent %q degradation monitor needs a simulator", a.name))
+	}
+	cfg.applyDefaults()
+	a.dsim = s
+	a.dcfg = cfg
+	a.lastHeard = s.Now()
+	return s.Ticker(cfg.CheckPeriod, a.healthCheck)
+}
+
+// healthCheck evaluates the uplink-health signals and transitions the
+// degraded flag.
+func (a *Agent) healthCheck() {
+	silent := a.dsim.Now()-a.lastHeard > a.dcfg.LeaseTimeout
+	linkDown := a.health != nil && !a.health.Up()
+	a.setDegraded(silent || linkDown)
+}
+
+// setDegraded transitions the degradation state and fires hooks.
+func (a *Agent) setDegraded(d bool) {
+	if a.degraded == d {
+		return
+	}
+	a.degraded = d
+	if d {
+		a.stats.Degradations++
+		if a.tracer.Enabled(trace.CatCoord) {
+			a.tracer.Emit(trace.CatCoord, "agent %s degraded: uplink believed dead", a.name)
+		}
+		if a.dcfg.OnDegrade != nil {
+			a.dcfg.OnDegrade()
+		}
+		return
+	}
+	a.stats.Recoveries++
+	if a.tracer.Enabled(trace.CatCoord) {
+		a.tracer.Emit(trace.CatCoord, "agent %s recovered: uplink healthy", a.name)
+	}
+	if a.dcfg.OnRecover != nil {
+		a.dcfg.OnRecover()
+	}
+}
+
+// Degraded reports whether the agent currently believes its uplink dead.
+func (a *Agent) Degraded() bool { return a.degraded }
+
+// SetCrashed simulates an island crash window: while crashed the agent
+// sends nothing (heartbeats included, so its controller lease expires) and
+// drops everything inbound. Clearing it models the island restarting.
+func (a *Agent) SetCrashed(crashed bool) { a.crashed = crashed }
+
+// Crashed reports whether the agent is inside a crash window.
+func (a *Agent) Crashed() bool { return a.crashed }
 
 // SendTune emits a Tune request: adjust entity's resources in the target
 // island by delta (positive = increase). Returns false if rate-limited.
@@ -106,6 +235,17 @@ func (a *Agent) SendTrigger(target string, entity int) bool {
 }
 
 func (a *Agent) send(msg Message) bool {
+	if a.crashed {
+		a.stats.SuppressedCrashed++
+		return false
+	}
+	if a.degraded {
+		// Graceful degradation: a policy output computed against a stale
+		// view of the platform is worse than none; withhold it until the
+		// uplink recovers.
+		a.stats.SuppressedDegraded++
+		return false
+	}
 	if a.limiter != nil && !a.limiter.Allow(msg.Kind, msg.Entity) {
 		a.stats.RateLimitDropped++
 		return false
@@ -115,8 +255,9 @@ func (a *Agent) send(msg Message) bool {
 		a.stats.TunesSent++
 	case KindTrigger:
 		a.stats.TriggersSent++
-	case KindRegister:
-		// Registration is controller-driven; agents forward it uncounted.
+	case KindRegister, KindAck, KindHeartbeat:
+		// Registration is controller-driven and protocol messages are
+		// emitted by their own paths; agents forward them uncounted.
 	}
 	if a.trace != nil {
 		a.trace(msg)
@@ -136,6 +277,24 @@ func (a *Agent) send(msg Message) bool {
 // manager. Wire it as the receiver of the island's downlink (or pass it as
 // IslandHandle.Local for co-located islands).
 func (a *Agent) Deliver(msg Message) {
+	if a.crashed {
+		a.stats.CrashDrops++
+		return
+	}
+	switch msg.Kind {
+	case KindHeartbeat:
+		// Controller ping: evidence the uplink is alive.
+		a.stats.HeartbeatsSeen++
+		if a.dsim != nil {
+			a.lastHeard = a.dsim.Now()
+			a.setDegraded(false)
+		}
+		return
+	case KindAck:
+		// Reliability-layer leakage; the endpoint consumes acks, so one
+		// arriving here is counted as an apply error below.
+	case KindTune, KindTrigger, KindRegister:
+	}
 	if a.actuator == nil {
 		a.stats.ApplyErrors++
 		return

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/sim"
 )
 
 // IslandHandle is the controller's view of a registered scheduling island:
@@ -15,6 +17,109 @@ type IslandHandle struct {
 	Local    func(Message) // delivery for co-located islands
 }
 
+// UnrouteReason classifies why a coordination message could not be routed.
+type UnrouteReason int
+
+// Unroutable-message reasons.
+const (
+	// UnrouteUnknownTarget: the message names an island that never
+	// registered.
+	UnrouteUnknownTarget UnrouteReason = iota
+	// UnrouteUnknownEntity: the message names an entity that never
+	// registered.
+	UnrouteUnknownEntity
+	// UnrouteQuarantined: the target island (or the entity's home island)
+	// holds an expired lease; its entities are quarantined until it
+	// rejoins.
+	UnrouteQuarantined
+)
+
+// unrouteReasonCount is the number of declared reasons (array sizing).
+const unrouteReasonCount = 3
+
+// String names the reason.
+func (r UnrouteReason) String() string {
+	switch r {
+	case UnrouteUnknownTarget:
+		return "unknown-target"
+	case UnrouteUnknownEntity:
+		return "unknown-entity"
+	case UnrouteQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("UnrouteReason(%d)", int(r))
+	}
+}
+
+// UnrouteReasons lists every declared reason in declaration (and reporting)
+// order.
+func UnrouteReasons() []UnrouteReason {
+	return []UnrouteReason{UnrouteUnknownTarget, UnrouteUnknownEntity, UnrouteQuarantined}
+}
+
+// LeaseState is an island's liveness as judged by the heartbeat watchdog.
+type LeaseState int
+
+// Lease states. The machine is Alive -> Suspect -> Dead on heartbeat
+// silence, and any heartbeat returns the island to Alive (a Dead->Alive
+// transition is a rejoin).
+const (
+	LeaseAlive LeaseState = iota
+	LeaseSuspect
+	LeaseDead
+)
+
+// String names the lease state.
+func (s LeaseState) String() string {
+	switch s {
+	case LeaseAlive:
+		return "alive"
+	case LeaseSuspect:
+		return "suspect"
+	case LeaseDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("LeaseState(%d)", int(s))
+	}
+}
+
+// lease tracks one island's heartbeat liveness.
+type lease struct {
+	lastHeard sim.Time
+	state     LeaseState
+}
+
+// WatchdogConfig parameterizes the controller's heartbeat watchdog.
+type WatchdogConfig struct {
+	// CheckPeriod is the sweep (and downlink ping) interval (default
+	// 250ms).
+	CheckPeriod sim.Time
+	// SuspectAfter marks an island suspect after this much heartbeat
+	// silence (default 3x CheckPeriod).
+	SuspectAfter sim.Time
+	// DeadAfter expires the island's lease after this much silence
+	// (default 8x CheckPeriod): its entities are quarantined until it
+	// rejoins.
+	DeadAfter sim.Time
+
+	// OnSuspect/OnDead/OnRejoin are optional transition hooks.
+	OnSuspect func(island string)
+	OnDead    func(island string)
+	OnRejoin  func(island string)
+}
+
+func (c *WatchdogConfig) applyDefaults() {
+	if c.CheckPeriod == 0 {
+		c.CheckPeriod = 250 * sim.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 3 * c.CheckPeriod
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 8 * c.CheckPeriod
+	}
+}
+
 // Controller is the global coordination controller: the first privileged
 // domain to boot registers it, every island and spanning entity registers
 // with it, and it routes coordination messages between islands (§2.3).
@@ -23,7 +128,16 @@ type Controller struct {
 	entities map[int]Entity
 
 	routed     uint64
-	unroutable uint64
+	unroutable [unrouteReasonCount]uint64
+
+	// Heartbeat/lease watchdog state (EnableWatchdog).
+	wsim          *sim.Simulator
+	wcfg          WatchdogConfig
+	leases        map[string]*lease
+	heartbeats    uint64
+	strayAcks     uint64
+	leaseExpiries uint64
+	rejoins       uint64
 }
 
 // NewController returns an empty controller.
@@ -31,6 +145,7 @@ func NewController() *Controller {
 	return &Controller{
 		islands:  make(map[string]IslandHandle),
 		entities: make(map[int]Entity),
+		leases:   make(map[string]*lease),
 	}
 }
 
@@ -79,17 +194,131 @@ func (c *Controller) Islands() []string {
 	return names
 }
 
-// Route delivers msg to its target island. Unknown targets and unknown
-// entities are counted and dropped — a coordination layer must tolerate
-// stale identifiers, not crash the control plane.
-func (c *Controller) Route(msg Message) {
-	h, ok := c.islands[msg.Target]
-	if !ok {
-		c.unroutable++
+// EnableWatchdog starts the heartbeat/lease watchdog: islands that have
+// heartbeated at least once are tracked through the Alive -> Suspect ->
+// Dead lease machine; a Dead island's entities are quarantined (routing to
+// them counts as UnrouteQuarantined) until a new heartbeat rejoins it. Each
+// sweep the controller also pings every remote island's downlink with a
+// heartbeat so agents can detect a dead uplink symmetrically. It returns a
+// stop function cancelling the sweep.
+func (c *Controller) EnableWatchdog(s *sim.Simulator, cfg WatchdogConfig) (stop func()) {
+	if s == nil {
+		panic("core: controller watchdog needs a simulator")
+	}
+	cfg.applyDefaults()
+	c.wsim = s
+	c.wcfg = cfg
+	return s.Ticker(cfg.CheckPeriod, c.watchdogSweep)
+}
+
+// watchdogSweep advances lease states and pings remote islands.
+func (c *Controller) watchdogSweep() {
+	now := c.wsim.Now()
+	for _, name := range c.Islands() {
+		l, ok := c.leases[name]
+		if !ok {
+			continue // never heartbeated: not lease-managed
+		}
+		silence := now - l.lastHeard
+		switch l.state {
+		case LeaseAlive:
+			if silence > c.wcfg.SuspectAfter {
+				l.state = LeaseSuspect
+				if c.wcfg.OnSuspect != nil {
+					c.wcfg.OnSuspect(name)
+				}
+			}
+		case LeaseSuspect:
+			if silence > c.wcfg.DeadAfter {
+				l.state = LeaseDead
+				c.leaseExpiries++
+				if c.wcfg.OnDead != nil {
+					c.wcfg.OnDead(name)
+				}
+			}
+		case LeaseDead:
+			// Stays dead until a heartbeat rejoins it.
+		}
+	}
+	for _, name := range c.Islands() {
+		if h := c.islands[name]; h.Downlink != nil {
+			h.Downlink.Send(Message{Kind: KindHeartbeat, Target: name})
+		}
+	}
+}
+
+// observeHeartbeat renews the island's lease, rejoining it if dead.
+func (c *Controller) observeHeartbeat(island string) {
+	c.heartbeats++
+	if c.wsim == nil || island == "" {
 		return
 	}
-	if _, ok := c.entities[msg.Entity]; !ok {
-		c.unroutable++
+	if _, ok := c.islands[island]; !ok {
+		return // heartbeat from an unregistered island: ignored
+	}
+	l, ok := c.leases[island]
+	if !ok {
+		c.leases[island] = &lease{lastHeard: c.wsim.Now(), state: LeaseAlive}
+		return
+	}
+	if l.state == LeaseDead {
+		c.rejoins++
+		if c.wcfg.OnRejoin != nil {
+			c.wcfg.OnRejoin(island)
+		}
+	}
+	l.state = LeaseAlive
+	l.lastHeard = c.wsim.Now()
+}
+
+// LeaseOf returns the island's lease state. Islands that never heartbeated
+// (or predate the watchdog) report LeaseAlive and false.
+func (c *Controller) LeaseOf(island string) (LeaseState, bool) {
+	if l, ok := c.leases[island]; ok {
+		return l.state, true
+	}
+	return LeaseAlive, false
+}
+
+// leaseDead reports whether the island's lease has expired.
+func (c *Controller) leaseDead(island string) bool {
+	l, ok := c.leases[island]
+	return ok && l.state == LeaseDead
+}
+
+// Route delivers msg to its target island. Heartbeats renew the sender's
+// lease and are consumed here. Unknown targets, unknown entities, and
+// quarantined (lease-expired) islands are counted per reason and dropped —
+// a coordination layer must tolerate stale identifiers, not crash the
+// control plane.
+func (c *Controller) Route(msg Message) {
+	switch msg.Kind {
+	case KindHeartbeat:
+		c.observeHeartbeat(msg.From)
+		return
+	case KindAck:
+		// Acks belong to the reliability layer below the controller; one
+		// surfacing here is a wiring bug, counted rather than routed.
+		c.strayAcks++
+		return
+	case KindTune, KindTrigger, KindRegister:
+	}
+	h, ok := c.islands[msg.Target]
+	if !ok {
+		c.unroutable[UnrouteUnknownTarget]++
+		return
+	}
+	if c.leaseDead(msg.Target) {
+		c.unroutable[UnrouteQuarantined]++
+		return
+	}
+	e, ok := c.entities[msg.Entity]
+	if !ok {
+		c.unroutable[UnrouteUnknownEntity]++
+		return
+	}
+	if e.Home != "" && c.leaseDead(e.Home) {
+		c.unroutable[UnrouteQuarantined]++
 		return
 	}
 	c.routed++
@@ -103,5 +332,51 @@ func (c *Controller) Route(msg Message) {
 // Routed returns the number of successfully routed messages.
 func (c *Controller) Routed() uint64 { return c.routed }
 
-// Unroutable returns messages dropped for unknown target or entity.
-func (c *Controller) Unroutable() uint64 { return c.unroutable }
+// Unroutable returns the total messages dropped across every reason.
+func (c *Controller) Unroutable() uint64 {
+	var total uint64
+	for _, n := range c.unroutable {
+		total += n
+	}
+	return total
+}
+
+// UnroutableFor returns messages dropped for one reason.
+func (c *Controller) UnroutableFor(r UnrouteReason) uint64 {
+	if r < 0 || int(r) >= unrouteReasonCount {
+		return 0
+	}
+	return c.unroutable[r]
+}
+
+// UnroutableByReason returns every reason's drop count in declaration
+// order — deterministic reporting for harness output.
+func (c *Controller) UnroutableByReason() []struct {
+	Reason UnrouteReason
+	Count  uint64
+} {
+	out := make([]struct {
+		Reason UnrouteReason
+		Count  uint64
+	}, 0, unrouteReasonCount)
+	for _, r := range UnrouteReasons() {
+		out = append(out, struct {
+			Reason UnrouteReason
+			Count  uint64
+		}{r, c.unroutable[r]})
+	}
+	return out
+}
+
+// Heartbeats returns heartbeat messages observed.
+func (c *Controller) Heartbeats() uint64 { return c.heartbeats }
+
+// StrayAcks returns reliability-layer acks that erroneously reached the
+// controller.
+func (c *Controller) StrayAcks() uint64 { return c.strayAcks }
+
+// LeaseExpiries returns islands whose lease expired (suspect -> dead).
+func (c *Controller) LeaseExpiries() uint64 { return c.leaseExpiries }
+
+// Rejoins returns dead islands that re-registered via a fresh heartbeat.
+func (c *Controller) Rejoins() uint64 { return c.rejoins }

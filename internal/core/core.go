@@ -33,6 +33,13 @@ const (
 	KindTune Kind = iota
 	KindTrigger
 	KindRegister
+	// KindAck is a reliability-layer acknowledgment: Seq carries the
+	// acknowledged sequence number, Ack the cumulative high-water mark.
+	KindAck
+	// KindHeartbeat is a liveness beacon: islands emit them toward the
+	// controller (which renews their lease) and the controller pings
+	// islands back (which renews the agents' view of the uplink).
+	KindHeartbeat
 )
 
 // String names the message kind.
@@ -44,8 +51,60 @@ func (k Kind) String() string {
 		return "trigger"
 	case KindRegister:
 		return "register"
+	case KindAck:
+		return "ack"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DeliveryClass is a message kind's reliability contract when carried over
+// a ReliableEndpoint.
+type DeliveryClass int
+
+// Delivery classes.
+const (
+	// ClassBestEffort messages are sent once, unsequenced, and never
+	// retransmitted (acks, heartbeats).
+	ClassBestEffort DeliveryClass = iota
+	// ClassAtMostOnce messages are retransmitted until acknowledged or a
+	// configurable deadline passes, and are never replayed after newer
+	// state has been delivered (Tunes: a stale delta applied late is worse
+	// than a lost one).
+	ClassAtMostOnce
+	// ClassAtLeastOnce messages are retransmitted until acknowledged, with
+	// receiver-side dedup (Triggers and registrations: losing one loses an
+	// overload episode).
+	ClassAtLeastOnce
+)
+
+// String names the delivery class.
+func (c DeliveryClass) String() string {
+	switch c {
+	case ClassBestEffort:
+		return "best-effort"
+	case ClassAtMostOnce:
+		return "at-most-once"
+	case ClassAtLeastOnce:
+		return "at-least-once"
+	default:
+		return fmt.Sprintf("DeliveryClass(%d)", int(c))
+	}
+}
+
+// ClassFor returns the delivery class of a message kind.
+func ClassFor(k Kind) DeliveryClass {
+	switch k {
+	case KindTune:
+		return ClassAtMostOnce
+	case KindTrigger, KindRegister:
+		return ClassAtLeastOnce
+	case KindAck, KindHeartbeat:
+		return ClassBestEffort
+	default:
+		return ClassBestEffort
 	}
 }
 
@@ -56,6 +115,12 @@ type Message struct {
 	Target string // destination island
 	Entity int    // platform-wide entity (VM) identifier
 	Delta  int    // Tune only: +/- resource adjustment value
+
+	// Reliability-layer fields, stamped by ReliableEndpoint. Seq is the
+	// per-link sequence number (0 = unsequenced best-effort); on a KindAck
+	// message Seq acknowledges one delivery and Ack is cumulative.
+	Seq uint64
+	Ack uint64
 }
 
 // String renders the message for tracing.

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/sim"
 )
 
 // Mesh is the distributed alternative to the central Controller — the
@@ -11,6 +13,11 @@ import (
 // the entity directory and addresses peer islands over direct transports,
 // removing the controller hop and its serialization (see the scalability
 // experiment for the quantitative comparison).
+//
+// The mesh shares the Controller's robustness surface: per-reason
+// unroutable counters, a heartbeat/lease watchdog (EnableWatchdog, fed by
+// agents' EnableHeartbeat beacons broadcast to every peer), and optional
+// ack/retry links (EnableReliableLinks).
 type Mesh struct {
 	factory  func(from, to string) Transport
 	nodes    map[string]*meshNode
@@ -18,7 +25,21 @@ type Mesh struct {
 	entities map[int]Entity // replicated directory
 
 	routed     uint64
-	unroutable uint64
+	unroutable [unrouteReasonCount]uint64
+
+	// Reliable-link decoration (EnableReliableLinks).
+	rsim *sim.Simulator
+	rcfg ReliableConfig
+	rel  bool
+	eps  []*ReliableEndpoint
+
+	// Heartbeat/lease watchdog state (EnableWatchdog).
+	wsim          *sim.Simulator
+	wcfg          WatchdogConfig
+	leases        map[string]*lease
+	heartbeats    uint64
+	leaseExpiries uint64
+	rejoins       uint64
 }
 
 // meshNode is one island's endpoint: its agent plus direct links to peers.
@@ -38,7 +59,24 @@ func NewMesh(factory func(from, to string) Transport) *Mesh {
 		factory:  factory,
 		nodes:    make(map[string]*meshNode),
 		entities: make(map[int]Entity),
+		leases:   make(map[string]*lease),
 	}
+}
+
+// EnableReliableLinks decorates every island-to-island link created from
+// now on with a pair of ReliableEndpoints (sequence numbers, ack/retry,
+// dedup/reorder delivery). Call it before AddIsland; joining islands first
+// is a wiring bug and panics.
+func (m *Mesh) EnableReliableLinks(s *sim.Simulator, cfg ReliableConfig) {
+	if s == nil {
+		panic("core: mesh reliable links need a simulator")
+	}
+	if len(m.nodes) > 0 {
+		panic("core: EnableReliableLinks must precede AddIsland")
+	}
+	m.rsim = s
+	m.rcfg = cfg
+	m.rel = true
 }
 
 // AddIsland joins an island to the mesh, creating direct transports to and
@@ -57,15 +95,39 @@ func (m *Mesh) AddIsland(name string, act Actuator, opts ...AgentOption) (*Agent
 	for _, peerName := range m.order {
 		peer := m.nodes[peerName]
 		out := m.factory(name, peerName)
-		out.SetReceiver(peer.agent.Deliver)
-		node.links[peerName] = out
 		back := m.factory(peerName, name)
-		back.SetReceiver(node.agent.Deliver)
+		if m.rel {
+			// Each endpoint sends on its own outbound direction and
+			// consumes the reverse one; acks ride the reverse direction.
+			epOut := NewReliableEndpoint(m.rsim, name+"->"+peerName, out, back, m.rcfg)
+			epOut.SetReceiver(m.receiver(node))
+			epBack := NewReliableEndpoint(m.rsim, peerName+"->"+name, back, out, m.rcfg)
+			epBack.SetReceiver(m.receiver(peer))
+			m.eps = append(m.eps, epOut, epBack)
+			node.links[peerName] = epOut
+			peer.links[name] = epBack
+			continue
+		}
+		out.SetReceiver(m.receiver(peer))
+		node.links[peerName] = out
+		back.SetReceiver(m.receiver(node))
 		peer.links[name] = back
 	}
 	m.nodes[name] = node
 	m.order = append(m.order, name)
 	return node.agent, nil
+}
+
+// receiver returns the delivery function for messages arriving at node:
+// heartbeats renew the sender's lease in the shared table before the
+// node's agent sees them.
+func (m *Mesh) receiver(node *meshNode) func(Message) {
+	return func(msg Message) {
+		if msg.Kind == KindHeartbeat {
+			m.observeHeartbeat(msg.From)
+		}
+		node.agent.Deliver(msg)
+	}
 }
 
 // RegisterEntity replicates an entity into every island's directory.
@@ -104,14 +166,141 @@ func (m *Mesh) Agent(name string) *Agent {
 	return nil
 }
 
+// Endpoints returns the reliable endpoints decorating the mesh links, in
+// creation order (empty unless EnableReliableLinks was used).
+func (m *Mesh) Endpoints() []*ReliableEndpoint {
+	out := make([]*ReliableEndpoint, len(m.eps))
+	copy(out, m.eps)
+	return out
+}
+
+// EnableWatchdog starts the lease watchdog over the shared lease table:
+// islands that have heartbeated at least once move Alive -> Suspect ->
+// Dead on silence, and a dead island's entities are quarantined until a
+// fresh heartbeat rejoins it. It returns a stop function.
+func (m *Mesh) EnableWatchdog(s *sim.Simulator, cfg WatchdogConfig) (stop func()) {
+	if s == nil {
+		panic("core: mesh watchdog needs a simulator")
+	}
+	cfg.applyDefaults()
+	m.wsim = s
+	m.wcfg = cfg
+	return s.Ticker(cfg.CheckPeriod, m.watchdogSweep)
+}
+
+// watchdogSweep advances lease states (sorted iteration for determinism).
+func (m *Mesh) watchdogSweep() {
+	now := m.wsim.Now()
+	for _, name := range m.Islands() {
+		l, ok := m.leases[name]
+		if !ok {
+			continue // never heartbeated: not lease-managed
+		}
+		silence := now - l.lastHeard
+		switch l.state {
+		case LeaseAlive:
+			if silence > m.wcfg.SuspectAfter {
+				l.state = LeaseSuspect
+				if m.wcfg.OnSuspect != nil {
+					m.wcfg.OnSuspect(name)
+				}
+			}
+		case LeaseSuspect:
+			if silence > m.wcfg.DeadAfter {
+				l.state = LeaseDead
+				m.leaseExpiries++
+				if m.wcfg.OnDead != nil {
+					m.wcfg.OnDead(name)
+				}
+			}
+		case LeaseDead:
+			// Stays dead until a heartbeat rejoins it.
+		}
+	}
+}
+
+// observeHeartbeat renews the island's lease in the shared table.
+func (m *Mesh) observeHeartbeat(island string) {
+	m.heartbeats++
+	if m.wsim == nil || island == "" {
+		return
+	}
+	if _, ok := m.nodes[island]; !ok {
+		return
+	}
+	l, ok := m.leases[island]
+	if !ok {
+		m.leases[island] = &lease{lastHeard: m.wsim.Now(), state: LeaseAlive}
+		return
+	}
+	if l.state == LeaseDead {
+		m.rejoins++
+		if m.wcfg.OnRejoin != nil {
+			m.wcfg.OnRejoin(island)
+		}
+	}
+	l.state = LeaseAlive
+	l.lastHeard = m.wsim.Now()
+}
+
+// LeaseOf returns the island's lease state; false if it never heartbeated.
+func (m *Mesh) LeaseOf(island string) (LeaseState, bool) {
+	if l, ok := m.leases[island]; ok {
+		return l.state, true
+	}
+	return LeaseAlive, false
+}
+
+// leaseDead reports whether the island's lease has expired.
+func (m *Mesh) leaseDead(island string) bool {
+	l, ok := m.leases[island]
+	return ok && l.state == LeaseDead
+}
+
 // Routed and Unroutable mirror the Controller's counters.
 func (m *Mesh) Routed() uint64 { return m.routed }
 
-// Unroutable returns messages dropped for unknown target island or entity.
-func (m *Mesh) Unroutable() uint64 { return m.unroutable }
+// Unroutable returns the total messages dropped across every reason.
+func (m *Mesh) Unroutable() uint64 {
+	var total uint64
+	for _, n := range m.unroutable {
+		total += n
+	}
+	return total
+}
+
+// UnroutableFor returns messages dropped for one reason.
+func (m *Mesh) UnroutableFor(r UnrouteReason) uint64 {
+	if r < 0 || int(r) >= unrouteReasonCount {
+		return 0
+	}
+	return m.unroutable[r]
+}
+
+// Heartbeats returns heartbeat messages observed across all links.
+func (m *Mesh) Heartbeats() uint64 { return m.heartbeats }
+
+// LeaseExpiries returns islands whose lease expired (suspect -> dead).
+func (m *Mesh) LeaseExpiries() uint64 { return m.leaseExpiries }
+
+// Rejoins returns dead islands that rejoined via a fresh heartbeat.
+func (m *Mesh) Rejoins() uint64 { return m.rejoins }
 
 // route sends msg from the originating node directly to the target island.
+// An agent heartbeat (no target) is broadcast to every peer so each
+// island's view of the sender stays fresh.
 func (m *Mesh) route(from *meshNode, msg Message) {
+	if msg.Kind == KindHeartbeat {
+		peers := make([]string, 0, len(from.links))
+		for p := range from.links {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			from.links[p].Send(msg)
+		}
+		return
+	}
 	link, ok := from.links[msg.Target]
 	if !ok {
 		// A message to the local island applies locally — islands may use
@@ -121,11 +310,20 @@ func (m *Mesh) route(from *meshNode, msg Message) {
 			from.agent.Deliver(msg)
 			return
 		}
-		m.unroutable++
+		m.unroutable[UnrouteUnknownTarget]++
 		return
 	}
-	if _, ok := m.entities[msg.Entity]; !ok {
-		m.unroutable++
+	if m.leaseDead(msg.Target) {
+		m.unroutable[UnrouteQuarantined]++
+		return
+	}
+	e, ok := m.entities[msg.Entity]
+	if !ok {
+		m.unroutable[UnrouteUnknownEntity]++
+		return
+	}
+	if e.Home != "" && m.leaseDead(e.Home) {
+		m.unroutable[UnrouteQuarantined]++
 		return
 	}
 	m.routed++

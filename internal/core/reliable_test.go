@@ -1,0 +1,322 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// scriptedTransport records sends and lets the test deliver inbound
+// messages by hand — full control over ordering, loss, and duplication.
+type scriptedTransport struct {
+	recv func(Message)
+	sent []Message
+}
+
+func (t *scriptedTransport) Send(m Message)               { t.sent = append(t.sent, m) }
+func (t *scriptedTransport) SetReceiver(fn func(Message)) { t.recv = fn }
+func (t *scriptedTransport) deliver(m Message) {
+	if t.recv != nil {
+		t.recv(m)
+	}
+}
+
+// duplexPair wires two reliable endpoints over two SimTransports, with
+// optional fault processes per direction.
+func duplexPair(s *sim.Simulator, cfg ReliableConfig, plan *pcie.FaultPlan) (a, b *ReliableEndpoint, a2b, b2a *SimTransport) {
+	a2b = NewSimTransport(s, 100*sim.Microsecond)
+	b2a = NewSimTransport(s, 100*sim.Microsecond)
+	if plan != nil {
+		inj := pcie.NewInjector(*plan)
+		a2b.SetFaults(inj.Channel("a2b"))
+		b2a.SetFaults(inj.Channel("b2a"))
+	}
+	a = NewReliableEndpoint(s, "a", a2b, b2a, cfg)
+	b = NewReliableEndpoint(s, "b", b2a, a2b, cfg)
+	return a, b, a2b, b2a
+}
+
+func TestReliableLosslessInOrder(t *testing.T) {
+	s := sim.New(1)
+	a, b, _, _ := duplexPair(s, ReliableConfig{}, nil)
+	var got []Message
+	b.SetReceiver(func(m Message) { got = append(got, m) })
+	for i := 1; i <= 5; i++ {
+		a.Send(Message{Kind: KindTune, Target: "b", Entity: 1, Delta: i})
+	}
+	s.Run()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d, want 5", len(got))
+	}
+	for i, m := range got {
+		if m.Delta != i+1 || m.Seq != uint64(i+1) {
+			t.Fatalf("out of order at %d: %+v", i, m)
+		}
+	}
+	st := a.Stats()
+	if st.Retransmits != 0 {
+		t.Fatalf("retransmits on a lossless link: %d", st.Retransmits)
+	}
+	if st.AcksReceived == 0 || a.Outstanding() != 0 {
+		t.Fatalf("acks not flowing: %+v outstanding=%d", st, a.Outstanding())
+	}
+	if bs := b.Stats(); bs.Delivered != 5 || bs.AcksSent != 5 {
+		t.Fatalf("receiver stats %+v", bs)
+	}
+	if !a.Up() || !b.Up() {
+		t.Fatal("healthy link reported down")
+	}
+}
+
+func TestReliableRetransmitRecoversLoss(t *testing.T) {
+	s := sim.New(1)
+	// 30% loss in both directions: at-least-once triggers must all land,
+	// exactly once, via retransmission and receiver dedup.
+	a, b, _, _ := duplexPair(s, ReliableConfig{}, &pcie.FaultPlan{Seed: 11, LossRate: 0.3})
+	var got []Message
+	b.SetReceiver(func(m Message) { got = append(got, m) })
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i)*sim.Millisecond, func() {
+			a.Send(Message{Kind: KindTrigger, Target: "b", Entity: i})
+		})
+	}
+	s.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d (at-least-once must survive loss)", len(got), n)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range got {
+		if seen[m.Seq] {
+			t.Fatalf("seq %d delivered twice", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+	if a.Stats().Retransmits == 0 {
+		t.Fatal("no retransmits despite 30% loss")
+	}
+}
+
+func TestReliableDupAndReorderAbsorbed(t *testing.T) {
+	s := sim.New(1)
+	plan := &pcie.FaultPlan{Seed: 4, DupRate: 0.4, ReorderRate: 0.4, ReorderDelay: 700 * sim.Microsecond}
+	a, b, _, _ := duplexPair(s, ReliableConfig{}, plan)
+	var got []Message
+	b.SetReceiver(func(m Message) { got = append(got, m) })
+	const n = 60
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i)*200*sim.Microsecond, func() {
+			a.Send(Message{Kind: KindTrigger, Target: "b", Entity: i})
+		})
+	}
+	s.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d", len(got), n)
+	}
+	for i, m := range got {
+		if m.Seq != uint64(i+1) {
+			t.Fatalf("application saw seq %d at position %d: reordering leaked through", m.Seq, i)
+		}
+	}
+	st := b.Stats()
+	if st.DupDrops == 0 && st.StaleDrops == 0 {
+		t.Fatalf("40%% duplication produced no dedup drops: %+v", st)
+	}
+	if st.OutOfOrder == 0 {
+		t.Fatalf("40%% reordering never buffered out of order: %+v", st)
+	}
+}
+
+func TestReliableAtMostOnceExpiresNotReplayed(t *testing.T) {
+	s := sim.New(1)
+	out := &scriptedTransport{}
+	in := &scriptedTransport{}
+	cfg := ReliableConfig{RTO: sim.Millisecond, TuneDeadline: 5 * sim.Millisecond}
+	e := NewReliableEndpoint(s, "tx", out, in, cfg)
+	e.Send(Message{Kind: KindTune, Target: "b", Entity: 1, Delta: 3})
+	// No ack ever arrives; the deadline must stop the retries.
+	s.Run()
+	st := e.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("no retransmits before the deadline")
+	}
+	if e.Outstanding() != 0 {
+		t.Fatal("expired message still outstanding")
+	}
+	last := out.sent[len(out.sent)-1]
+	if got := s.Now() - cfg.TuneDeadline; last.Seq != 1 || got > sim.Millisecond*2 {
+		t.Logf("final send %+v at %v", last, s.Now())
+	}
+}
+
+func TestReliableGapSkipAndStaleDrop(t *testing.T) {
+	s := sim.New(1)
+	out := &scriptedTransport{}
+	in := &scriptedTransport{}
+	cfg := ReliableConfig{ReorderHold: 2 * sim.Millisecond}
+	e := NewReliableEndpoint(s, "rx", out, in, cfg)
+	var got []Message
+	e.SetReceiver(func(m Message) { got = append(got, m) })
+
+	// Seq 1 is missing (sender expired it). Seqs 2 and 3 arrive and wait.
+	in.deliver(Message{Kind: KindTune, Seq: 2, Delta: 20})
+	in.deliver(Message{Kind: KindTune, Seq: 3, Delta: 30})
+	if len(got) != 0 {
+		t.Fatalf("delivered %v before the gap resolved", got)
+	}
+	s.Run() // ReorderHold elapses: the gap is skipped
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("after gap skip: %v", got)
+	}
+	st := e.Stats()
+	if st.GapSkips != 1 {
+		t.Fatalf("GapSkips = %d, want 1", st.GapSkips)
+	}
+	// The expired seq 1 finally limps in: newer state has been delivered,
+	// so it must be discarded, not applied.
+	in.deliver(Message{Kind: KindTune, Seq: 1, Delta: 10})
+	if len(got) != 2 {
+		t.Fatalf("stale seq 1 was replayed: %v", got)
+	}
+	if e.Stats().StaleDrops != 1 {
+		t.Fatalf("StaleDrops = %d, want 1", e.Stats().StaleDrops)
+	}
+	// Every arrival was acked (selective + cumulative).
+	acks := 0
+	for _, m := range out.sent {
+		if m.Kind == KindAck {
+			acks++
+		}
+	}
+	if acks != 3 {
+		t.Fatalf("acks sent = %d, want 3", acks)
+	}
+}
+
+func TestReliableLinkDownAfterRetriesAndRecovers(t *testing.T) {
+	s := sim.New(1)
+	// Partition the forward direction for 400ms: the first send exhausts
+	// its retries and marks the link down; after healing, traffic restores
+	// it.
+	plan := &pcie.FaultPlan{Partitions: []pcie.Partition{{
+		Start: 0, Duration: 400 * sim.Millisecond, Channels: []string{"a2b"},
+	}}}
+	cfg := ReliableConfig{RTO: sim.Millisecond, MaxRTO: 20 * sim.Millisecond, MaxRetries: 5}
+	a, b, _, _ := duplexPair(s, cfg, plan)
+	var got []Message
+	b.SetReceiver(func(m Message) { got = append(got, m) })
+
+	var downAt, upAt sim.Time
+	a.OnStateChange(func(up bool) {
+		if up {
+			upAt = s.Now()
+		} else {
+			downAt = s.Now()
+		}
+	})
+	a.Send(Message{Kind: KindTrigger, Target: "b", Entity: 1})
+	s.At(500*sim.Millisecond, func() {
+		a.Send(Message{Kind: KindTrigger, Target: "b", Entity: 2})
+	})
+	s.Run()
+	st := a.Stats()
+	if st.GaveUp != 1 || st.Downs != 1 {
+		t.Fatalf("GaveUp = %d Downs = %d, want 1/1", st.GaveUp, st.Downs)
+	}
+	if downAt == 0 || downAt >= 400*sim.Millisecond {
+		t.Fatalf("down at %v, want inside the partition", downAt)
+	}
+	if st.Ups != 1 || upAt < 500*sim.Millisecond {
+		t.Fatalf("Ups = %d at %v, want recovery after healing", st.Ups, upAt)
+	}
+	if !a.Up() {
+		t.Fatal("link still down after recovery")
+	}
+	// Message 2 got through; message 1 died with the partition.
+	if len(got) != 1 || got[0].Entity != 2 {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestReliableBestEffortUnsequenced(t *testing.T) {
+	s := sim.New(1)
+	out := &scriptedTransport{}
+	in := &scriptedTransport{}
+	e := NewReliableEndpoint(s, "hb", out, in, ReliableConfig{})
+	e.Send(Message{Kind: KindHeartbeat, From: "ixp"})
+	e.Send(Message{Kind: KindTune, Target: "b", Entity: 1, Delta: 1})
+	if out.sent[0].Seq != 0 {
+		t.Fatalf("heartbeat was sequenced: %+v", out.sent[0])
+	}
+	if out.sent[1].Seq != 1 {
+		t.Fatalf("first data message seq = %d, want 1", out.sent[1].Seq)
+	}
+	if e.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1 (heartbeat untracked)", e.Outstanding())
+	}
+	// Inbound heartbeats pass straight to the application.
+	var got []Message
+	e.SetReceiver(func(m Message) { got = append(got, m) })
+	in.deliver(Message{Kind: KindHeartbeat, From: "ctl"})
+	if len(got) != 1 || got[0].Kind != KindHeartbeat {
+		t.Fatalf("heartbeat delivery = %v", got)
+	}
+}
+
+func TestReliableEndpointValidation(t *testing.T) {
+	s := sim.New(1)
+	tr := &scriptedTransport{}
+	for _, fn := range []func(){
+		func() { NewReliableEndpoint(nil, "x", tr, tr, ReliableConfig{}) },
+		func() { NewReliableEndpoint(s, "x", nil, tr, ReliableConfig{}) },
+		func() { NewReliableEndpoint(s, "x", tr, nil, ReliableConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid endpoint construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	var nilEP *ReliableEndpoint
+	if nilEP.Stats() != (ReliableStats{}) {
+		t.Fatal("nil endpoint Stats not zero")
+	}
+}
+
+func TestDeliveryClassMapping(t *testing.T) {
+	want := map[Kind]DeliveryClass{
+		KindTune:      ClassAtMostOnce,
+		KindTrigger:   ClassAtLeastOnce,
+		KindRegister:  ClassAtLeastOnce,
+		KindAck:       ClassBestEffort,
+		KindHeartbeat: ClassBestEffort,
+	}
+	for k, c := range want {
+		if got := ClassFor(k); got != c {
+			t.Errorf("ClassFor(%v) = %v, want %v", k, got, c)
+		}
+	}
+	if ClassFor(Kind(99)) != ClassBestEffort {
+		t.Error("unknown kind not best-effort")
+	}
+	names := map[string]bool{}
+	for _, c := range []DeliveryClass{ClassBestEffort, ClassAtMostOnce, ClassAtLeastOnce} {
+		s := c.String()
+		if s == "" || names[s] {
+			t.Errorf("class %d bad name %q", int(c), s)
+		}
+		names[s] = true
+	}
+	if DeliveryClass(9).String() == "" {
+		t.Error("unknown class has empty name")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Transport carries coordination messages from one island toward the
@@ -23,6 +24,9 @@ type Transport interface {
 type MailboxTransport struct {
 	mb     *pcie.Mailbox
 	toHost bool
+
+	tracer   *trace.Tracer
+	nonCoord uint64
 }
 
 // NewDeviceUplink returns the IXP-side transport sending toward the host
@@ -36,6 +40,13 @@ func NewHostDownlink(mb *pcie.Mailbox) *MailboxTransport {
 	return &MailboxTransport{mb: mb, toHost: false}
 }
 
+// SetTracer records dropped foreign messages into a structured trace.
+func (t *MailboxTransport) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+
+// NonCoordDropped returns how many non-coordination messages arrived on the
+// mailbox and were discarded.
+func (t *MailboxTransport) NonCoordDropped() uint64 { return t.nonCoord }
+
 // Send conveys msg over the mailbox after its one-way latency.
 func (t *MailboxTransport) Send(msg Message) {
 	if t.toHost {
@@ -46,11 +57,17 @@ func (t *MailboxTransport) Send(msg Message) {
 }
 
 // SetReceiver installs the consumer on the receiving end of this direction.
+// A payload that is not a coordination message is counted and dropped — a
+// hostile or corrupt mailbox message must not crash the control plane.
 func (t *MailboxTransport) SetReceiver(fn func(Message)) {
 	h := func(m pcie.Message) {
 		cm, ok := m.(Message)
 		if !ok {
-			panic(fmt.Sprintf("core: non-coordination message %T on mailbox", m))
+			t.nonCoord++
+			if t.tracer.Enabled(trace.CatCoord) {
+				t.tracer.Emit(trace.CatCoord, "drop non-coordination mailbox message %T", m)
+			}
+			return
 		}
 		fn(cm)
 	}
@@ -64,12 +81,19 @@ func (t *MailboxTransport) SetReceiver(fn func(Message)) {
 // SimTransport is a standalone latency-modeled transport used for
 // scalability studies of the coordination mechanisms (the paper's future
 // work on large-scale multicores): it delivers messages after a fixed
-// one-way latency without a PCIe device behind it.
+// one-way latency without a PCIe device behind it. An optional
+// pcie.ChannelFaults process makes it faultable the same way the mailbox
+// is, so Mesh and cmd/coordscale runs can be chaos-tested too.
 type SimTransport struct {
 	sim     *sim.Simulator
 	latency sim.Time
 	recv    func(Message)
-	sent    uint64
+	faults  *pcie.ChannelFaults
+	tracer  *trace.Tracer
+
+	sent      uint64
+	dropped   uint64 // messages with no receiver installed
+	faultLost uint64 // messages consumed by fault injection
 }
 
 // NewSimTransport returns a transport delivering after latency.
@@ -80,14 +104,33 @@ func NewSimTransport(s *sim.Simulator, latency sim.Time) *SimTransport {
 	return &SimTransport{sim: s, latency: latency}
 }
 
-// Send conveys msg after the configured latency.
+// SetFaults arms a fault process on the transport (nil disarms).
+func (t *SimTransport) SetFaults(f *pcie.ChannelFaults) { t.faults = f }
+
+// SetTracer records dropped messages into a structured trace.
+func (t *SimTransport) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+
+// Send conveys msg after the configured latency. A message sent while no
+// receiver is installed is counted in Dropped instead of vanishing.
 func (t *SimTransport) Send(msg Message) {
 	t.sent++
-	t.sim.After(t.latency, func() {
-		if t.recv != nil {
+	v := t.faults.Apply(t.sim.Now())
+	if v.Drop {
+		t.faultLost++
+		return
+	}
+	for i := 0; i < v.Copies; i++ {
+		t.sim.After(t.latency+v.Delay, func() {
+			if t.recv == nil {
+				t.dropped++
+				if t.tracer.Enabled(trace.CatCoord) {
+					t.tracer.Emit(trace.CatCoord, "drop (no receiver) %v", msg)
+				}
+				return
+			}
 			t.recv(msg)
-		}
-	})
+		})
+	}
 }
 
 // SetReceiver installs the message consumer.
@@ -95,3 +138,9 @@ func (t *SimTransport) SetReceiver(fn func(Message)) { t.recv = fn }
 
 // Sent returns the number of messages sent.
 func (t *SimTransport) Sent() uint64 { return t.sent }
+
+// Dropped returns messages discarded because no receiver was installed.
+func (t *SimTransport) Dropped() uint64 { return t.dropped }
+
+// FaultLost returns messages consumed by the fault process.
+func (t *SimTransport) FaultLost() uint64 { return t.faultLost }

@@ -1,0 +1,378 @@
+package pcie
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// FaultKind discriminates the independent fault processes a FaultPlan can
+// arm on a channel. It is used for counters and trace output.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultLoss      FaultKind = iota // independent per-message drop
+	FaultBurst                      // correlated drop run (consumer overrun)
+	FaultPartition                  // timed total-loss window on the link
+	FaultDup                        // message delivered twice
+	FaultReorder                    // message held back so successors overtake
+	FaultSpike                      // latency spike on one message
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLoss:
+		return "loss"
+	case FaultBurst:
+		return "burst"
+	case FaultPartition:
+		return "partition"
+	case FaultDup:
+		return "dup"
+	case FaultReorder:
+		return "reorder"
+	case FaultSpike:
+		return "spike"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Partition is a timed total-loss window on coordination channels: every
+// message offered during [Start, Start+Duration) is dropped. An empty
+// Channels list partitions every channel of the injector; otherwise only
+// the named channels are cut.
+type Partition struct {
+	Start    sim.Time
+	Duration sim.Time
+	Channels []string
+}
+
+func (p Partition) contains(now sim.Time) bool {
+	return now >= p.Start && now < p.Start+p.Duration
+}
+
+// CrashWindow marks an island as crashed for [Start, Start+Duration): its
+// agent neither sends, receives, nor heartbeats, and it restarts (and must
+// rejoin) when the window closes. The injector only records the schedule;
+// the platform harness wires it to the island's agent.
+type CrashWindow struct {
+	Island   string
+	Start    sim.Time
+	Duration sim.Time
+}
+
+func (w CrashWindow) contains(now sim.Time) bool {
+	return now >= w.Start && now < w.Start+w.Duration
+}
+
+// FaultPlan is a declarative, seeded description of every fault the
+// coordination channel can suffer. The same plan and seed always produce
+// the same per-message decisions, independent of how many channels exist or
+// the order they are created in: each channel derives its own random
+// substream from the plan seed and the channel's name.
+//
+// Rates are independent per-message probabilities in [0, 1). Zero values
+// disable the corresponding process.
+type FaultPlan struct {
+	// Seed drives the stochastic fault processes (default 1). It is
+	// deliberately separate from the simulation seed so fault schedules can
+	// be varied and pinned independently of the workload.
+	Seed int64
+
+	LossRate float64 // iid drop probability
+	DupRate  float64 // iid duplication probability (one extra copy)
+
+	// ReorderRate holds a message back for ReorderDelay so that later
+	// messages overtake it (default delay 500us).
+	ReorderRate  float64
+	ReorderDelay sim.Time
+
+	// SpikeRate adds SpikeLatency to a message's one-way latency
+	// (default spike 2ms).
+	SpikeRate    float64
+	SpikeLatency sim.Time
+
+	// JitterMax adds a uniform extra delay in [0, JitterMax) to every
+	// message (0 = no jitter).
+	JitterMax sim.Time
+
+	// BurstRate is the per-message probability of starting a loss burst in
+	// which this and the next BurstLen-1 messages are dropped (default
+	// length 8) — the mailbox's consumer-overrun failure mode.
+	BurstRate float64
+	BurstLen  int
+
+	// Partitions are timed total-loss windows.
+	Partitions []Partition
+
+	// Crashes are island crash/restart windows.
+	Crashes []CrashWindow
+}
+
+// Empty reports whether the plan injects no channel faults at all
+// (crash windows are island-level, not channel-level).
+func (p FaultPlan) Empty() bool {
+	return p.LossRate == 0 && p.DupRate == 0 && p.ReorderRate == 0 &&
+		p.SpikeRate == 0 && p.JitterMax == 0 && p.BurstRate == 0 &&
+		len(p.Partitions) == 0
+}
+
+func (p *FaultPlan) applyDefaults() {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.ReorderDelay == 0 {
+		p.ReorderDelay = 500 * sim.Microsecond
+	}
+	if p.SpikeLatency == 0 {
+		p.SpikeLatency = 2 * sim.Millisecond
+	}
+	if p.BurstLen == 0 {
+		p.BurstLen = 8
+	}
+}
+
+// Validate reports the first configuration error in the plan.
+func (p FaultPlan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"LossRate", p.LossRate}, {"DupRate", p.DupRate},
+		{"ReorderRate", p.ReorderRate}, {"SpikeRate", p.SpikeRate},
+		{"BurstRate", p.BurstRate},
+	} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("pcie: fault plan %s %v out of [0, 1)", r.name, r.v)
+		}
+	}
+	if p.ReorderDelay < 0 || p.SpikeLatency < 0 || p.JitterMax < 0 {
+		return fmt.Errorf("pcie: fault plan with negative delay")
+	}
+	if p.BurstLen < 0 {
+		return fmt.Errorf("pcie: fault plan BurstLen %d negative", p.BurstLen)
+	}
+	for _, w := range p.Partitions {
+		if w.Start < 0 || w.Duration <= 0 {
+			return fmt.Errorf("pcie: partition window [%v +%v] invalid", w.Start, w.Duration)
+		}
+	}
+	for _, c := range p.Crashes {
+		if c.Island == "" {
+			return fmt.Errorf("pcie: crash window with empty island name")
+		}
+		if c.Start < 0 || c.Duration <= 0 {
+			return fmt.Errorf("pcie: crash window [%v +%v] for %q invalid", c.Start, c.Duration, c.Island)
+		}
+	}
+	return nil
+}
+
+// Verdict is the injector's decision for one offered message.
+type Verdict struct {
+	Drop   bool
+	Why    FaultKind // valid when Drop is set
+	Copies int       // deliveries (1 normally, 2 when duplicated)
+	Delay  sim.Time  // extra one-way delay (reorder/spike/jitter)
+}
+
+// FaultStats counts one channel's injected faults.
+type FaultStats struct {
+	Offered        uint64
+	Dropped        uint64 // all causes
+	LossDrops      uint64
+	BurstDrops     uint64
+	PartitionDrops uint64
+	Duplicated     uint64
+	Reordered      uint64
+	Spiked         uint64
+}
+
+func (s *FaultStats) add(o FaultStats) {
+	s.Offered += o.Offered
+	s.Dropped += o.Dropped
+	s.LossDrops += o.LossDrops
+	s.BurstDrops += o.BurstDrops
+	s.PartitionDrops += o.PartitionDrops
+	s.Duplicated += o.Duplicated
+	s.Reordered += o.Reordered
+	s.Spiked += o.Spiked
+}
+
+// Injector compiles a FaultPlan into per-channel fault processes. Channels
+// are identified by name; asking for the same name twice returns the same
+// process, and a channel's random substream depends only on (plan seed,
+// name), never on creation order.
+type Injector struct {
+	plan  FaultPlan
+	chans map[string]*ChannelFaults
+}
+
+// NewInjector returns an injector for the plan. It panics on an invalid
+// plan (constructor misuse guard); use FaultPlan.Validate to check first.
+func NewInjector(plan FaultPlan) *Injector {
+	if err := plan.Validate(); err != nil {
+		panic(fmt.Sprintf("pcie: invalid fault plan: %v", err))
+	}
+	plan.applyDefaults()
+	return &Injector{plan: plan, chans: make(map[string]*ChannelFaults)}
+}
+
+// Plan returns the (defaulted) plan the injector was built from.
+func (in *Injector) Plan() FaultPlan { return in.plan }
+
+// Channel returns the named channel's fault process, creating it on first
+// use.
+func (in *Injector) Channel(name string) *ChannelFaults {
+	if c, ok := in.chans[name]; ok {
+		return c
+	}
+	var parts []Partition
+	for _, w := range in.plan.Partitions {
+		if len(w.Channels) == 0 {
+			parts = append(parts, w)
+			continue
+		}
+		for _, n := range w.Channels {
+			if n == name {
+				parts = append(parts, w)
+				break
+			}
+		}
+	}
+	c := &ChannelFaults{
+		name:       name,
+		plan:       in.plan,
+		partitions: parts,
+		rng:        sim.NewRand(channelSeed(in.plan.Seed, name)),
+	}
+	in.chans[name] = c
+	return c
+}
+
+// Channels returns the names of the channels created so far, sorted.
+func (in *Injector) Channels() []string {
+	names := make([]string, 0, len(in.chans))
+	for n := range in.chans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalStats sums the fault statistics of every channel.
+func (in *Injector) TotalStats() FaultStats {
+	var total FaultStats
+	for _, n := range in.Channels() {
+		total.add(in.chans[n].Stats())
+	}
+	return total
+}
+
+// IslandDown reports whether the island is inside one of its crash windows
+// at the given time.
+func (in *Injector) IslandDown(island string, now sim.Time) bool {
+	for _, c := range in.plan.Crashes {
+		if c.Island == island && c.contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashesFor returns the island's crash windows in plan order.
+func (in *Injector) CrashesFor(island string) []CrashWindow {
+	var out []CrashWindow
+	for _, c := range in.plan.Crashes {
+		if c.Island == island {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// channelSeed derives a channel's rng seed from the plan seed and the
+// channel name (FNV-1a), so substreams are independent of creation order.
+func channelSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// ChannelFaults is one channel's compiled fault process. Apply is called
+// once per offered message; draws happen in a fixed order (burst, loss,
+// dup, reorder, spike, jitter) so a plan's decisions are reproducible.
+type ChannelFaults struct {
+	name       string
+	plan       FaultPlan
+	partitions []Partition
+	rng        *sim.Rand
+	burstLeft  int
+	stats      FaultStats
+}
+
+// Name returns the channel's name.
+func (c *ChannelFaults) Name() string { return c.name }
+
+// Stats returns a snapshot of the channel's fault counters. Nil-safe.
+func (c *ChannelFaults) Stats() FaultStats {
+	if c == nil {
+		return FaultStats{}
+	}
+	return c.stats
+}
+
+// Apply decides the fate of one message offered at virtual time now. A nil
+// receiver (no faults armed) passes everything through untouched.
+func (c *ChannelFaults) Apply(now sim.Time) Verdict {
+	if c == nil {
+		return Verdict{Copies: 1}
+	}
+	c.stats.Offered++
+	for _, w := range c.partitions {
+		if w.contains(now) {
+			c.stats.Dropped++
+			c.stats.PartitionDrops++
+			return Verdict{Drop: true, Why: FaultPartition}
+		}
+	}
+	if c.burstLeft > 0 {
+		c.burstLeft--
+		c.stats.Dropped++
+		c.stats.BurstDrops++
+		return Verdict{Drop: true, Why: FaultBurst}
+	}
+	if c.plan.BurstRate > 0 && c.rng.Bool(c.plan.BurstRate) {
+		c.burstLeft = c.plan.BurstLen - 1
+		c.stats.Dropped++
+		c.stats.BurstDrops++
+		return Verdict{Drop: true, Why: FaultBurst}
+	}
+	if c.plan.LossRate > 0 && c.rng.Bool(c.plan.LossRate) {
+		c.stats.Dropped++
+		c.stats.LossDrops++
+		return Verdict{Drop: true, Why: FaultLoss}
+	}
+	v := Verdict{Copies: 1}
+	if c.plan.DupRate > 0 && c.rng.Bool(c.plan.DupRate) {
+		v.Copies = 2
+		c.stats.Duplicated++
+	}
+	if c.plan.ReorderRate > 0 && c.rng.Bool(c.plan.ReorderRate) {
+		v.Delay += c.plan.ReorderDelay
+		c.stats.Reordered++
+	}
+	if c.plan.SpikeRate > 0 && c.rng.Bool(c.plan.SpikeRate) {
+		v.Delay += c.plan.SpikeLatency
+		c.stats.Spiked++
+	}
+	if c.plan.JitterMax > 0 {
+		v.Delay += sim.Time(c.rng.Float64() * float64(c.plan.JitterMax))
+	}
+	return v
+}

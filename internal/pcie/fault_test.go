@@ -1,0 +1,283 @@
+package pcie
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFaultPlanEmpty(t *testing.T) {
+	if !(FaultPlan{}).Empty() {
+		t.Fatal("zero plan not Empty")
+	}
+	// Crash windows alone inject no channel faults.
+	if !(FaultPlan{Crashes: []CrashWindow{{Island: "ixp", Start: 0, Duration: sim.Second}}}).Empty() {
+		t.Fatal("crash-only plan not Empty")
+	}
+	for _, p := range []FaultPlan{
+		{LossRate: 0.1}, {DupRate: 0.1}, {ReorderRate: 0.1}, {SpikeRate: 0.1},
+		{JitterMax: sim.Microsecond}, {BurstRate: 0.1},
+		{Partitions: []Partition{{Start: 0, Duration: sim.Second}}},
+	} {
+		if p.Empty() {
+			t.Errorf("plan %+v reported Empty", p)
+		}
+	}
+}
+
+func TestChannelFaultsNilPassthrough(t *testing.T) {
+	var c *ChannelFaults
+	v := c.Apply(0)
+	if v.Drop || v.Copies != 1 || v.Delay != 0 {
+		t.Fatalf("nil Apply = %+v, want clean pass", v)
+	}
+	if c.Stats() != (FaultStats{}) {
+		t.Fatal("nil Stats not zero")
+	}
+}
+
+func TestChannelFaultsLossRate(t *testing.T) {
+	ch := NewInjector(FaultPlan{Seed: 3, LossRate: 0.3}).Channel("x")
+	const n = 5000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if ch.Apply(0).Drop {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("loss fraction %.3f, want ~0.3", frac)
+	}
+	st := ch.Stats()
+	if st.Offered != n || st.Dropped != uint64(drops) || st.LossDrops != uint64(drops) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChannelFaultsBurst(t *testing.T) {
+	ch := NewInjector(FaultPlan{Seed: 5, BurstRate: 0.01, BurstLen: 6}).Channel("x")
+	// Bursts drop runs of exactly BurstLen consecutive messages.
+	run, runs := 0, []int{}
+	for i := 0; i < 20000; i++ {
+		if ch.Apply(0).Drop {
+			run++
+			continue
+		}
+		if run > 0 {
+			runs = append(runs, run)
+			run = 0
+		}
+	}
+	if len(runs) == 0 {
+		t.Fatal("no bursts at 1% burst rate")
+	}
+	for _, r := range runs {
+		// Runs are multiples of 6 (back-to-back bursts can concatenate).
+		if r%6 != 0 {
+			t.Fatalf("burst run of %d messages, want multiple of 6", r)
+		}
+	}
+	if st := ch.Stats(); st.BurstDrops == 0 || st.BurstDrops != st.Dropped {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChannelFaultsPartitionWindow(t *testing.T) {
+	plan := FaultPlan{Partitions: []Partition{{Start: 10 * sim.Millisecond, Duration: 5 * sim.Millisecond}}}
+	ch := NewInjector(plan).Channel("x")
+	if v := ch.Apply(9 * sim.Millisecond); v.Drop {
+		t.Fatal("dropped before the partition")
+	}
+	for _, at := range []sim.Time{10 * sim.Millisecond, 12 * sim.Millisecond, 14*sim.Millisecond + 999*sim.Microsecond} {
+		if v := ch.Apply(at); !v.Drop || v.Why != FaultPartition {
+			t.Fatalf("at %v: %+v, want partition drop", at, v)
+		}
+	}
+	if v := ch.Apply(15 * sim.Millisecond); v.Drop {
+		t.Fatal("dropped after the partition healed")
+	}
+	if st := ch.Stats(); st.PartitionDrops != 3 {
+		t.Fatalf("PartitionDrops = %d, want 3", st.PartitionDrops)
+	}
+}
+
+func TestPartitionChannelScoping(t *testing.T) {
+	plan := FaultPlan{Partitions: []Partition{{
+		Start: 0, Duration: sim.Second, Channels: []string{"cut"},
+	}}}
+	inj := NewInjector(plan)
+	if v := inj.Channel("cut").Apply(0); !v.Drop {
+		t.Fatal("named channel not partitioned")
+	}
+	if v := inj.Channel("spared").Apply(0); v.Drop {
+		t.Fatal("unnamed channel partitioned")
+	}
+}
+
+func TestChannelFaultsDupReorderSpikeJitter(t *testing.T) {
+	plan := FaultPlan{
+		Seed: 9, DupRate: 0.5, ReorderRate: 0.5, ReorderDelay: 300 * sim.Microsecond,
+		SpikeRate: 0.5, SpikeLatency: 4 * sim.Millisecond, JitterMax: 10 * sim.Microsecond,
+	}
+	ch := NewInjector(plan).Channel("x")
+	var dups, reorders, spikes, jittered int
+	for i := 0; i < 2000; i++ {
+		v := ch.Apply(0)
+		if v.Drop {
+			t.Fatal("drop from a plan with no loss processes")
+		}
+		if v.Copies == 2 {
+			dups++
+		}
+		d := v.Delay
+		if d >= 4*sim.Millisecond {
+			spikes++
+			d -= 4 * sim.Millisecond
+		}
+		if d >= 300*sim.Microsecond {
+			reorders++
+			d -= 300 * sim.Microsecond
+		}
+		if d > 0 {
+			jittered++
+		}
+		if d >= 10*sim.Microsecond {
+			t.Fatalf("residual delay %v exceeds JitterMax", d)
+		}
+	}
+	for name, n := range map[string]int{"dups": dups, "reorders": reorders, "spikes": spikes, "jitter": jittered} {
+		if n == 0 {
+			t.Errorf("no %s in 2000 draws at 50%% rates", name)
+		}
+	}
+	st := ch.Stats()
+	if st.Duplicated != uint64(dups) || st.Spiked != uint64(spikes) {
+		t.Fatalf("stats %+v vs observed dups=%d spikes=%d", st, dups, spikes)
+	}
+}
+
+// Same plan, same channel name => identical verdict sequence, regardless of
+// the order channels were created in. This is the property that makes whole
+// chaos runs reproducible.
+func TestInjectorDeterminismAcrossCreationOrder(t *testing.T) {
+	plan := FaultPlan{
+		Seed: 42, LossRate: 0.1, DupRate: 0.05, ReorderRate: 0.05,
+		SpikeRate: 0.02, JitterMax: 20 * sim.Microsecond, BurstRate: 0.01,
+	}
+	a := NewInjector(plan)
+	b := NewInjector(plan)
+	// Create in opposite orders; substreams must not care.
+	a.Channel("alpha")
+	chA := a.Channel("beta")
+	chB := b.Channel("beta")
+	b.Channel("alpha")
+	var seqA, seqB []Verdict
+	for i := 0; i < 500; i++ {
+		seqA = append(seqA, chA.Apply(0))
+		seqB = append(seqB, chB.Apply(0))
+	}
+	if !reflect.DeepEqual(seqA, seqB) {
+		t.Fatal("verdict sequences diverge across creation order")
+	}
+	// Distinct channels draw independent substreams.
+	chA2 := a.Channel("alpha")
+	var seqA2 []Verdict
+	for i := 0; i < 500; i++ {
+		seqA2 = append(seqA2, chA2.Apply(0))
+	}
+	if reflect.DeepEqual(seqA, seqA2) {
+		t.Fatal("distinct channels produced identical substreams")
+	}
+}
+
+func TestInjectorChannelIdentityAndNames(t *testing.T) {
+	inj := NewInjector(FaultPlan{LossRate: 0.5})
+	if inj.Channel("x") != inj.Channel("x") {
+		t.Fatal("same name returned distinct processes")
+	}
+	inj.Channel("b")
+	inj.Channel("a")
+	got := inj.Channels()
+	want := []string{"a", "b", "x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Channels() = %v, want %v", got, want)
+	}
+	if inj.Channel("x").Name() != "x" {
+		t.Fatal("channel name mismatch")
+	}
+}
+
+func TestInjectorTotalStats(t *testing.T) {
+	inj := NewInjector(FaultPlan{Seed: 1, LossRate: 0.5})
+	for i := 0; i < 100; i++ {
+		inj.Channel("a").Apply(0)
+		inj.Channel("b").Apply(0)
+	}
+	total := inj.TotalStats()
+	if total.Offered != 200 {
+		t.Fatalf("Offered = %d, want 200", total.Offered)
+	}
+	if total.Dropped != inj.Channel("a").Stats().Dropped+inj.Channel("b").Stats().Dropped {
+		t.Fatal("TotalStats does not sum channels")
+	}
+}
+
+func TestInjectorCrashWindows(t *testing.T) {
+	plan := FaultPlan{Crashes: []CrashWindow{
+		{Island: "ixp", Start: 2 * sim.Second, Duration: sim.Second},
+		{Island: "ixp", Start: 8 * sim.Second, Duration: sim.Second},
+		{Island: "x86", Start: 4 * sim.Second, Duration: sim.Second},
+	}}
+	inj := NewInjector(plan)
+	if !inj.IslandDown("ixp", 2500*sim.Millisecond) {
+		t.Fatal("ixp not down inside its window")
+	}
+	if inj.IslandDown("ixp", 3*sim.Second) {
+		t.Fatal("window end is exclusive")
+	}
+	if inj.IslandDown("x86", 2500*sim.Millisecond) {
+		t.Fatal("x86 down inside ixp's window")
+	}
+	if got := len(inj.CrashesFor("ixp")); got != 2 {
+		t.Fatalf("CrashesFor(ixp) = %d windows, want 2", got)
+	}
+	if got := len(inj.CrashesFor("arm")); got != 0 {
+		t.Fatalf("CrashesFor(arm) = %d windows, want 0", got)
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	kinds := []FaultKind{FaultLoss, FaultBurst, FaultPartition, FaultDup, FaultReorder, FaultSpike}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad/duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if FaultKind(99).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+}
+
+func TestMailboxDuplicationAndDelay(t *testing.T) {
+	s := sim.New(1)
+	mb := NewMailbox(s, 100*sim.Microsecond)
+	mb.SetFaults(NewInjector(FaultPlan{Seed: 2, DupRate: 0.5}))
+	received := 0
+	mb.OnDeviceReceive(func(Message) { received++ })
+	const n = 500
+	for i := 0; i < n; i++ {
+		mb.SendToDevice(i)
+	}
+	s.Run()
+	if received <= n {
+		t.Fatalf("received %d, want > %d with 50%% duplication", received, n)
+	}
+	if int(mb.DeviceReceived()) != received {
+		t.Fatalf("DeviceReceived %d != handler count %d", mb.DeviceReceived(), received)
+	}
+}

@@ -6,31 +6,27 @@ import (
 	"repro/internal/sim"
 )
 
-// lossModel drops messages with a fixed probability — fault injection for
-// the coordination channel. Real PCI config-space mailboxes lose messages
-// when the producer overruns the consumer; coordination policies must
-// tolerate it (the load-tracking translation's decay is what heals the
-// resulting drift).
-type lossModel struct {
-	rate float64
-	rng  *sim.Rand
-}
-
-func (l *lossModel) drop() bool {
-	return l != nil && l.rng.Bool(l.rate)
-}
-
 // Message is an opaque coordination payload carried by a Mailbox.
 type Message interface{}
 
 // Handler consumes messages on the receiving side of a Mailbox.
 type Handler func(Message)
 
+// Injector channel names for the two mailbox directions.
+const (
+	MailboxToHost   = "mailbox:to-host"
+	MailboxToDevice = "mailbox:to-device"
+)
+
 // Mailbox is the bidirectional coordination channel set up in the device's
 // PCI configuration space (paper §2.3). It is deliberately simple: small
 // fixed-cost messages, a configurable one-way latency, and FIFO delivery in
 // each direction. The per-message latency dominates behaviour, so no
 // bandwidth term is modeled.
+//
+// Fault injection is armed with SetFaults: each direction becomes an
+// injector channel (MailboxToHost / MailboxToDevice) whose FaultPlan can
+// drop, duplicate, delay, and reorder messages deterministically.
 type Mailbox struct {
 	sim     *sim.Simulator
 	latency sim.Time
@@ -38,7 +34,8 @@ type Mailbox struct {
 	toHost   Handler
 	toDevice Handler
 
-	loss *lossModel
+	hostFaults   *ChannelFaults // device->host direction
+	deviceFaults *ChannelFaults // host->device direction
 
 	hostRx   uint64
 	deviceRx uint64
@@ -71,33 +68,36 @@ func (m *Mailbox) OnHostReceive(h Handler) { m.toHost = h }
 // OnDeviceReceive registers the device-side (IXP XScale) message handler.
 func (m *Mailbox) OnDeviceReceive(h Handler) { m.toDevice = h }
 
-// SetLossRate enables fault injection: each message is independently
-// dropped with probability rate (0 disables). Drops are deterministic
-// given the rng stream.
-func (m *Mailbox) SetLossRate(rate float64, rng *sim.Rand) {
-	if rate < 0 || rate >= 1 {
-		panic(fmt.Sprintf("pcie: loss rate %v out of [0, 1)", rate))
-	}
-	if rate == 0 {
-		m.loss = nil
+// SetFaults arms fault injection on both mailbox directions from the
+// injector's plan (nil disarms). Decisions are deterministic: same plan,
+// same message sequence, same faults.
+func (m *Mailbox) SetFaults(inj *Injector) {
+	if inj == nil {
+		m.hostFaults, m.deviceFaults = nil, nil
 		return
 	}
-	if rng == nil {
-		panic("pcie: loss rate needs an rng")
-	}
-	m.loss = &lossModel{rate: rate, rng: rng}
+	m.hostFaults = inj.Channel(MailboxToHost)
+	m.deviceFaults = inj.Channel(MailboxToDevice)
 }
 
-// Dropped returns messages lost to fault injection.
+// Dropped returns messages lost to fault injection (both directions).
 func (m *Mailbox) Dropped() uint64 { return m.dropped }
 
-// SendToHost delivers msg to the host handler after the one-way latency.
-func (m *Mailbox) SendToHost(msg Message) {
-	if m.loss.drop() {
+// send runs one direction's fault process and schedules the deliveries.
+func (m *Mailbox) send(msg Message, faults *ChannelFaults, deliver func(Message)) {
+	v := faults.Apply(m.sim.Now())
+	if v.Drop {
 		m.dropped++
 		return
 	}
-	m.sim.After(m.latency, func() {
+	for i := 0; i < v.Copies; i++ {
+		m.sim.After(m.latency+v.Delay, func() { deliver(msg) })
+	}
+}
+
+// SendToHost delivers msg to the host handler after the one-way latency.
+func (m *Mailbox) SendToHost(msg Message) {
+	m.send(msg, m.hostFaults, func(msg Message) {
 		m.hostRx++
 		if m.toHost != nil {
 			m.toHost(msg)
@@ -107,11 +107,7 @@ func (m *Mailbox) SendToHost(msg Message) {
 
 // SendToDevice delivers msg to the device handler after the one-way latency.
 func (m *Mailbox) SendToDevice(msg Message) {
-	if m.loss.drop() {
-		m.dropped++
-		return
-	}
-	m.sim.After(m.latency, func() {
+	m.send(msg, m.deviceFaults, func(msg Message) {
 		m.deviceRx++
 		if m.toDevice != nil {
 			m.toDevice(msg)

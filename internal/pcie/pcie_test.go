@@ -206,7 +206,7 @@ func TestMailboxValidation(t *testing.T) {
 func TestMailboxLossInjection(t *testing.T) {
 	s := sim.New(1)
 	mb := NewMailbox(s, sim.Microsecond)
-	mb.SetLossRate(0.5, sim.NewRand(7))
+	mb.SetFaults(NewInjector(FaultPlan{Seed: 7, LossRate: 0.5}))
 	received := 0
 	mb.OnHostReceive(func(Message) { received++ })
 	const n = 2000
@@ -224,31 +224,37 @@ func TestMailboxLossInjection(t *testing.T) {
 	if frac < 0.45 || frac > 0.55 {
 		t.Fatalf("drop fraction = %.2f, want ~0.5", frac)
 	}
-	// Disable loss: everything flows again.
-	mb.SetLossRate(0, nil)
+	// Disarm: everything flows again.
+	mb.SetFaults(nil)
 	before := received
 	mb.SendToHost("x")
 	s.Run()
 	if received != before+1 {
-		t.Fatal("message lost after disabling loss")
+		t.Fatal("message lost after disarming faults")
 	}
 }
 
 func TestMailboxLossValidation(t *testing.T) {
-	s := sim.New(1)
-	mb := NewMailbox(s, 0)
-	for _, fn := range []func(){
-		func() { mb.SetLossRate(-0.1, sim.NewRand(1)) },
-		func() { mb.SetLossRate(1.0, sim.NewRand(1)) },
-		func() { mb.SetLossRate(0.5, nil) },
+	for _, plan := range []FaultPlan{
+		{LossRate: -0.1},
+		{LossRate: 1.0},
+		{DupRate: 2},
+		{BurstRate: 0.1, BurstLen: -1},
+		{JitterMax: -sim.Microsecond},
+		{Partitions: []Partition{{Start: 0, Duration: 0}}},
+		{Crashes: []CrashWindow{{Island: "", Start: 0, Duration: sim.Second}}},
 	} {
+		plan := plan
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Error("invalid loss config accepted")
+					t.Errorf("invalid fault plan %+v accepted", plan)
 				}
 			}()
-			fn()
+			NewInjector(plan)
 		}()
+		if plan.Validate() == nil {
+			t.Errorf("Validate accepted %+v", plan)
+		}
 	}
 }

@@ -53,9 +53,36 @@ type Config struct {
 	Trace         trace.Category
 	TraceCapacity int
 
-	// CoordLossRate injects coordination-message loss on the mailbox
-	// (0 = lossless). Policies must tolerate it.
+	// CoordLossRate injects uniform coordination-message loss on the
+	// mailbox (0 = lossless). It is legacy shorthand for a CoordFaults
+	// plan containing only LossRate and is ignored when CoordFaults is
+	// set.
 	CoordLossRate float64
+
+	// CoordFaults arms the full deterministic fault-injection harness on
+	// the coordination mailbox: loss, bursts, duplication, reordering,
+	// latency spikes, timed partitions, and island crash windows (which
+	// the platform schedules against the named island's agent).
+	CoordFaults *pcie.FaultPlan
+
+	// Reliable decorates both mailbox directions with ReliableEndpoints
+	// (sequence numbers, ack/retry with capped exponential backoff,
+	// receiver-side dedup and reordering; see core.ClassFor for the
+	// per-kind delivery classes).
+	Reliable    bool
+	ReliableCfg core.ReliableConfig
+
+	// HeartbeatInterval, when positive, makes the IXP agent emit liveness
+	// beacons and starts the controller's lease watchdog plus the agent's
+	// uplink-health monitor at that period.
+	HeartbeatInterval sim.Time
+	// LeaseSuspectAfter and LeaseDeadAfter override the watchdog's
+	// silence thresholds (defaults: 3x and 8x HeartbeatInterval).
+	LeaseSuspectAfter, LeaseDeadAfter sim.Time
+	// DegradeHold is how long the controller waits after the IXP lease
+	// dies before reverting guest weights to their registration baselines
+	// (default 500ms). A rejoin inside the window cancels the revert.
+	DegradeHold sim.Time
 }
 
 func (c *Config) applyDefaults() {
@@ -77,6 +104,39 @@ func (c *Config) applyDefaults() {
 	if c.MaxGuestWeight == 0 {
 		c.MaxGuestWeight = 1024
 	}
+	if c.DegradeHold == 0 {
+		c.DegradeHold = 500 * sim.Millisecond
+	}
+}
+
+// Robustness aggregates the coordination plane's reliability counters from
+// every layer — the observability surface for chaos experiments.
+type Robustness struct {
+	// Reliability-layer protocol stats per mailbox endpoint (zero unless
+	// Config.Reliable).
+	Uplink   core.ReliableStats // IXP-side endpoint (device -> host data)
+	Downlink core.ReliableStats // host-side endpoint (host -> device data)
+
+	// Fault-injection totals across mailbox channels.
+	Faults         pcie.FaultStats
+	MailboxDropped uint64 // messages consumed by injected loss
+
+	// Controller-side watchdog and routing counters.
+	Heartbeats     uint64
+	LeaseExpiries  uint64
+	Rejoins        uint64
+	StrayAcks      uint64
+	UnknownTarget  uint64 // unroutable: island never registered
+	UnknownEntity  uint64 // unroutable: entity never registered
+	Quarantined    uint64 // unroutable: lease-expired island
+	BaselineRevert uint64 // actuator reverts to registration weights
+
+	// IXP-agent degradation counters.
+	Degradations       uint64
+	Recoveries         uint64
+	SuppressedDegraded uint64
+	SuppressedCrashed  uint64
+	CrashDrops         uint64
 }
 
 // Platform is the assembled testbed.
@@ -89,11 +149,17 @@ type Platform struct {
 	Host *netsim.HostStack
 
 	Mailbox    *pcie.Mailbox
+	Injector   *pcie.Injector // nil when no fault plan is armed
 	Controller *core.Controller
 	X86Agent   *core.Agent
 	IXPAgent   *core.Agent
 	X86Act     *core.X86Actuator
 	Tracer     *trace.Tracer
+
+	// UplinkEP/DownlinkEP are the reliable mailbox endpoints (nil unless
+	// Config.Reliable). UplinkEP is the IXP side, DownlinkEP the host side.
+	UplinkEP   *core.ReliableEndpoint
+	DownlinkEP *core.ReliableEndpoint
 
 	cfg    Config
 	guests []*xen.Domain
@@ -126,8 +192,19 @@ func New(cfg Config) *Platform {
 
 	// Coordination plane: mailbox in PCI config space, controller in Dom0.
 	mb := pcie.NewMailbox(s, cfg.CoordLatency)
-	if cfg.CoordLossRate > 0 {
-		mb.SetLossRate(cfg.CoordLossRate, s.Rand().Fork())
+	plan := cfg.CoordFaults
+	if plan == nil && cfg.CoordLossRate > 0 {
+		plan = &pcie.FaultPlan{Seed: cfg.Seed, LossRate: cfg.CoordLossRate}
+	}
+	var inj *pcie.Injector
+	if plan != nil {
+		if err := plan.Validate(); err != nil {
+			panic(fmt.Sprintf("platform: invalid fault plan: %v", err))
+		}
+		if !plan.Empty() {
+			inj = pcie.NewInjector(*plan)
+			mb.SetFaults(inj)
+		}
 	}
 	ctrl := core.NewController()
 
@@ -139,22 +216,43 @@ func New(cfg Config) *Platform {
 		panic(fmt.Sprintf("platform: registering x86 island: %v", err))
 	}
 
-	uplink := core.NewDeviceUplink(mb)
-	uplink.SetReceiver(ctrl.Route)
-	downlink := core.NewHostDownlink(mb)
+	rawUp := core.NewDeviceUplink(mb)
+	rawUp.SetTracer(tracer)
+	rawDown := core.NewHostDownlink(mb)
+	rawDown.SetTracer(tracer)
 	var ixpOpts []core.AgentOption
 	if cfg.TuneRateLimit > 0 {
 		ixpOpts = append(ixpOpts, core.WithRateLimit(s, cfg.TuneRateLimit))
 	}
 	ixpOpts = append(ixpOpts, core.WithTracer(tracer))
-	ixpAgent := core.NewAgent(IXPIsland, uplink, nil, core.NewIXPActuator(s, x), ixpOpts...)
-	downlink.SetReceiver(ixpAgent.Deliver)
-	if err := ctrl.RegisterIsland(core.IslandHandle{Name: IXPIsland, Downlink: downlink}); err != nil {
+
+	var (
+		ixpUplink   core.Transport = rawUp
+		ixpDownlink core.Transport = rawDown
+		epDev       *core.ReliableEndpoint
+		epHost      *core.ReliableEndpoint
+	)
+	if cfg.Reliable {
+		// Each endpoint sends on its raw direction and consumes the
+		// reverse one; acks ride the reverse direction.
+		epDev = core.NewReliableEndpoint(s, "ixp-uplink", rawUp, rawDown, cfg.ReliableCfg)
+		epHost = core.NewReliableEndpoint(s, "host-downlink", rawDown, rawUp, cfg.ReliableCfg)
+		epHost.SetReceiver(ctrl.Route)
+		ixpUplink, ixpDownlink = epDev, epHost
+	} else {
+		rawUp.SetReceiver(ctrl.Route)
+	}
+	ixpAgent := core.NewAgent(IXPIsland, ixpUplink, nil, core.NewIXPActuator(s, x), ixpOpts...)
+	if cfg.Reliable {
+		epDev.SetReceiver(ixpAgent.Deliver)
+	} else {
+		rawDown.SetReceiver(ixpAgent.Deliver)
+	}
+	if err := ctrl.RegisterIsland(core.IslandHandle{Name: IXPIsland, Downlink: ixpDownlink}); err != nil {
 		panic(fmt.Sprintf("platform: registering IXP island: %v", err))
 	}
 
-	hv.Start()
-	return &Platform{
+	p := &Platform{
 		Sim:        s,
 		Tracer:     tracer,
 		HV:         hv,
@@ -163,12 +261,107 @@ func New(cfg Config) *Platform {
 		IXP:        x,
 		Host:       host,
 		Mailbox:    mb,
+		Injector:   inj,
 		Controller: ctrl,
 		X86Agent:   x86Agent,
 		IXPAgent:   ixpAgent,
 		X86Act:     x86Act,
+		UplinkEP:   epDev,
+		DownlinkEP: epHost,
 		cfg:        cfg,
 	}
+
+	if cfg.HeartbeatInterval > 0 {
+		p.enableWatchdog()
+	}
+	p.scheduleCrashes(plan)
+
+	hv.Start()
+	return p
+}
+
+// enableWatchdog wires the liveness machinery: IXP heartbeats, the
+// controller's lease watchdog (whose OnDead arms the baseline revert after
+// the hold-down), and the IXP agent's uplink-health monitor.
+func (p *Platform) enableWatchdog() {
+	cfg := p.cfg
+	p.IXPAgent.EnableHeartbeat(p.Sim, cfg.HeartbeatInterval)
+
+	var revert *sim.Event
+	p.Controller.EnableWatchdog(p.Sim, core.WatchdogConfig{
+		CheckPeriod:  cfg.HeartbeatInterval,
+		SuspectAfter: cfg.LeaseSuspectAfter,
+		DeadAfter:    cfg.LeaseDeadAfter,
+		OnDead: func(island string) {
+			if island != IXPIsland {
+				return
+			}
+			if revert != nil {
+				revert.Cancel()
+			}
+			revert = p.Sim.After(cfg.DegradeHold, func() {
+				revert = nil
+				p.X86Act.RevertToBaseline()
+			})
+		},
+		OnRejoin: func(island string) {
+			if island != IXPIsland || revert == nil {
+				return
+			}
+			revert.Cancel()
+			revert = nil
+		},
+	})
+	p.IXPAgent.EnableDegradation(p.Sim, core.DegradeConfig{
+		CheckPeriod:  cfg.HeartbeatInterval,
+		LeaseTimeout: cfg.LeaseDeadAfter,
+	})
+}
+
+// scheduleCrashes arms the fault plan's island crash windows against the
+// matching agents: a crashed agent emits nothing (its lease expires) and
+// drops everything inbound until the window closes.
+func (p *Platform) scheduleCrashes(plan *pcie.FaultPlan) {
+	if plan == nil {
+		return
+	}
+	agents := map[string]*core.Agent{X86Island: p.X86Agent, IXPIsland: p.IXPAgent}
+	for _, cw := range plan.Crashes {
+		a, ok := agents[cw.Island]
+		if !ok {
+			panic(fmt.Sprintf("platform: crash window names unknown island %q", cw.Island))
+		}
+		w := cw
+		p.Sim.At(w.Start, func() { a.SetCrashed(true) })
+		p.Sim.At(w.Start+w.Duration, func() { a.SetCrashed(false) })
+	}
+}
+
+// Robustness snapshots the coordination plane's reliability counters.
+func (p *Platform) Robustness() Robustness {
+	r := Robustness{
+		Uplink:         p.UplinkEP.Stats(),
+		Downlink:       p.DownlinkEP.Stats(),
+		MailboxDropped: p.Mailbox.Dropped(),
+		Heartbeats:     p.Controller.Heartbeats(),
+		LeaseExpiries:  p.Controller.LeaseExpiries(),
+		Rejoins:        p.Controller.Rejoins(),
+		StrayAcks:      p.Controller.StrayAcks(),
+		UnknownTarget:  p.Controller.UnroutableFor(core.UnrouteUnknownTarget),
+		UnknownEntity:  p.Controller.UnroutableFor(core.UnrouteUnknownEntity),
+		Quarantined:    p.Controller.UnroutableFor(core.UnrouteQuarantined),
+		BaselineRevert: p.X86Act.Reverts(),
+	}
+	if p.Injector != nil {
+		r.Faults = p.Injector.TotalStats()
+	}
+	st := p.IXPAgent.Stats()
+	r.Degradations = st.Degradations
+	r.Recoveries = st.Recoveries
+	r.SuppressedDegraded = st.SuppressedDegraded
+	r.SuppressedCrashed = st.SuppressedCrashed
+	r.CrashDrops = st.CrashDrops
+	return r
 }
 
 // AddGuest creates a single-VCPU guest VM, registers it as a platform-wide
@@ -179,6 +372,7 @@ func (p *Platform) AddGuest(name string, weight int) *xen.Domain {
 	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
 		panic(fmt.Sprintf("platform: registering guest %q: %v", name, err))
 	}
+	p.X86Act.SetBaseline(d.ID(), weight)
 	p.IXP.RegisterFlow(d.ID())
 	p.guests = append(p.guests, d)
 	return d
@@ -192,6 +386,7 @@ func (p *Platform) AddLocalGuest(name string, weight int) *xen.Domain {
 	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
 		panic(fmt.Sprintf("platform: registering guest %q: %v", name, err))
 	}
+	p.X86Act.SetBaseline(d.ID(), weight)
 	p.guests = append(p.guests, d)
 	return d
 }

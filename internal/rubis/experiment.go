@@ -120,6 +120,10 @@ type Result struct {
 	TunesApplied uint64
 	// Final weights, to inspect where the policy drove the scheduler.
 	FinalWeights map[string]int
+
+	// Robust aggregates the coordination plane's reliability counters
+	// (fault injection, ack/retry transport, leases, degradation).
+	Robust platform.Robustness
 }
 
 // utilWindow measures a domain's utilization over [from, to) using busy
@@ -258,5 +262,6 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 	for _, d := range []*xen.Domain{web, app, db} {
 		res.FinalWeights[d.Name()] = d.Weight()
 	}
+	res.Robust = p.Robustness()
 	return res
 }

@@ -24,8 +24,25 @@ type RubisConfig struct {
 	IntrModeration time.Duration
 
 	// CoordLossRate injects coordination-message loss on the PCIe mailbox
-	// (fault injection; 0 = lossless).
+	// (fault injection; 0 = lossless). Legacy shorthand for a Faults plan
+	// with only LossRate set; ignored when Faults is non-nil.
 	CoordLossRate float64
+
+	// Faults arms the full deterministic fault-injection harness on the
+	// coordination mailbox (loss, bursts, duplication, reordering, latency
+	// spikes, partitions, island crash windows).
+	Faults *FaultPlan
+
+	// Robust enables the reliable coordination plane: ack/retry endpoints
+	// on both mailbox directions, island heartbeats with the controller's
+	// lease watchdog, and graceful degradation of the IXP policies when
+	// the uplink dies (actuator weights revert to baselines after a
+	// hold-down).
+	Robust bool
+
+	// Heartbeat overrides the heartbeat/watchdog period used when Robust
+	// is set (default 250ms).
+	Heartbeat time.Duration
 }
 
 // RequestStats is one row of Table 1 / Figure 2 / Figure 4.
@@ -60,6 +77,10 @@ type RubisRun struct {
 	TunesSent    uint64
 	TunesApplied uint64
 	FinalWeights map[string]int
+
+	// Robustness counters (meaningful when faults are injected or the
+	// reliable plane is enabled).
+	Robustness RobustnessReport
 }
 
 // internalRubisConfig translates the public config.
@@ -76,6 +97,15 @@ func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
 		ec.Platform.HostNet.IntrPeriod = toSim(c.IntrModeration)
 	}
 	ec.Platform.CoordLossRate = c.CoordLossRate
+	ec.Platform.CoordFaults = c.Faults.internal()
+	if c.Robust {
+		ec.Platform.Reliable = true
+		hb := 250 * time.Millisecond
+		if c.Heartbeat > 0 {
+			hb = c.Heartbeat
+		}
+		ec.Platform.HeartbeatInterval = toSim(hb)
+	}
 	if c.Duration > 0 {
 		ec.Duration = toSim(c.Duration)
 	}
@@ -112,6 +142,7 @@ func RunRubis(cfg RubisConfig, coordinated bool) *RubisRun {
 		TunesSent:         res.TunesSent,
 		TunesApplied:      res.TunesApplied,
 		FinalWeights:      res.FinalWeights,
+		Robustness:        robustnessReport(res.Robust),
 	}
 	for _, rt := range rubis.AllRequestTypes() {
 		s := res.Metrics.TypeSummary(rt)
