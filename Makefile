@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench chaos check
+.PHONY: all build test race vet lint microbench sweep bench fuzz chaos check
 
 all: check
 
@@ -19,14 +19,36 @@ vet:
 lint: vet
 	$(GO) run ./cmd/reprolint ./...
 
-bench:
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# sweep runs every ablation matrix through the parallel sweep engine with
+# the content-hash cache warm across invocations.
+sweep:
+	$(GO) run ./cmd/reprobench -exp ablation-latency -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-mechanisms -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-threshold -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-interrupt -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-loss -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-faults -cache .sweepcache
+
+# bench is the regression guard: rerun the pinned sweep and compare against
+# the committed BENCH_sweep.json — exact on simulated metrics, ±10% on
+# trial throughput. Refresh the baseline with:
+#   go run ./cmd/reprobench -exp sweep-bench -json BENCH_sweep.json
+bench:
+	$(GO) run ./cmd/reprobench -exp sweep-bench -json /tmp/BENCH_sweep.json -baseline BENCH_sweep.json
+
+# fuzz gives the reliability-protocol fuzzer a short budget; CI and local
+# smoke runs share the checked-in corpus under testdata.
+fuzz:
+	$(GO) test -run FuzzReliableEndpoint -fuzz FuzzReliableEndpoint -fuzztime 30s ./internal/core/
 
 # chaos runs the fault-injection suites: the root RUBiS chaos tests plus
 # the coordination-plane protocol tests under the race detector.
 chaos:
 	$(GO) test -run 'TestChaos' .
-	$(GO) test -race ./internal/core/... ./internal/pcie/...
+	$(GO) test -race ./internal/core/... ./internal/pcie/... ./internal/sweep/...
 
 # check is the full tier-1 gate: what CI runs on every push.
 check: build test lint

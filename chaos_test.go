@@ -10,6 +10,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/sweep"
 )
 
 func chaosRubisCfg(seed int64) RubisConfig {
@@ -53,16 +55,39 @@ func TestChaosCoordinationNeverHurts(t *testing.T) {
 			{Island: "ixp", Start: 15 * time.Second, Duration: 5 * time.Second},
 		}}},
 	}
-	base := chaosBase(t)
-	for _, sc := range matrix {
-		sc := sc
-		t.Run(sc.name, func(t *testing.T) {
-			cfg := chaosRubisCfg(1)
-			cfg.Robust = true
-			plan := sc.plan
-			cfg.Faults = &plan
-			coord := RunRubis(cfg, true)
+	// Fan the scenarios across the sweep worker pool; trials land in
+	// stable matrix order, so res.Decode(i) is scenario i regardless of
+	// completion order (and repetition 0 keeps the base seed, preserving
+	// the exact runs this test has always asserted on).
+	type chaosPointCfg struct {
+		Plan FaultPlan `json:"plan"`
+	}
+	points := make([]sweep.Point, len(matrix))
+	for i, sc := range matrix {
+		points[i] = sweep.Point{Name: sc.name, Config: chaosPointCfg{Plan: sc.plan}}
+	}
+	res, err := sweep.Run(points, func(tr sweep.Trial) (any, error) {
+		cfg := chaosRubisCfg(tr.Seed)
+		cfg.Robust = true
+		plan := tr.Point.Config.(chaosPointCfg).Plan
+		cfg.Faults = &plan
+		return RunRubis(cfg, true), nil
+	}, sweep.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
 
+	base := chaosBase(t)
+	for i, sc := range matrix {
+		sc := sc
+		var coord RubisRun
+		if err := res.Decode(i, &coord); err != nil {
+			t.Fatal(err)
+		}
+		t.Run(sc.name, func(t *testing.T) {
 			if coord.MeanOverTypes() > base.MeanOverTypes()*1.05 {
 				t.Errorf("mean response under faults %.0f ms, >5%% worse than uncoordinated %.0f ms",
 					coord.MeanOverTypes(), base.MeanOverTypes())

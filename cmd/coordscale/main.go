@@ -6,6 +6,11 @@
 // Usage:
 //
 //	coordscale [-rate 200] [-hop 150us] [-hub 5us] [-duration 10s] [-seed N]
+//	           [-workers N] [-reps N]
+//
+// Points fan out across a worker pool (-workers, default GOMAXPROCS) with
+// results identical for any worker count; -reps repeats each point on
+// derived seed substreams and reports mean ± 95% CI.
 package main
 
 import (
@@ -22,6 +27,8 @@ func main() {
 	hub := flag.Duration("hub", 50*time.Microsecond, "central controller per-message cost")
 	duration := flag.Duration("duration", 10*time.Second, "simulated time per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	reps := flag.Int("reps", 1, "repetitions per point (mean ± 95% CI)")
 	flag.Parse()
 
 	points := repro.RunCoordScalability(repro.ScalabilityConfig{
@@ -30,6 +37,8 @@ func main() {
 		HopLatency:    *hop,
 		HubCost:       *hub,
 		Duration:      *duration,
+		Workers:       *workers,
+		Reps:          *reps,
 	})
 	fmt.Print(repro.FormatScalability(points))
 }

@@ -7,7 +7,20 @@
 //	reprobench [-exp all|fig2|fig4|table1|table2|fig5|fig6|fig7|table3|
 //	            powercap|scalability|ablation-latency|ablation-mechanisms|
 //	            ablation-threshold|ablation-interrupt|ablation-loss|
-//	            ablation-faults] [-seed N] [-quick]
+//	            ablation-faults|sweep-bench]
+//	           [-seed N] [-quick] [-workers N] [-reps N] [-cache DIR]
+//	           [-json FILE] [-baseline FILE] [-ignore-wall]
+//
+// Every ablation matrix fans its trials across a worker pool (-workers,
+// default GOMAXPROCS); results are byte-identical for any worker count.
+// -reps repeats each point on derived seed substreams and reports
+// mean ± 95% CI. -cache enables the content-hash result cache so re-runs
+// skip already-computed points.
+//
+// -exp sweep-bench runs the pinned benchmark sweep and writes its report
+// to -json (default BENCH_sweep.json); with -baseline it compares against
+// a committed report and exits non-zero on simulated-metric drift, or on
+// >±10% trial-throughput change unless -ignore-wall is set.
 //
 // -quick shortens runs by ~4x for smoke testing; published numbers should
 // use the defaults.
@@ -22,20 +35,98 @@ import (
 	"repro"
 	"repro/internal/mplayer"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 )
+
+// benchConfig is the flag-derived configuration shared by every
+// experiment function: seeds, run lengths, and sweep-engine knobs.
+type benchConfig struct {
+	seed     int64
+	rubisDur time.Duration
+	mediaDur time.Duration
+	trigDur  time.Duration
+	workers  int
+	reps     int
+	cacheDir string
+}
+
+// sweepOptions compiles the engine options for one experiment family,
+// wiring progress reporting to stderr.
+func (c benchConfig) sweepOptions(name, cacheVersion string) sweep.Options {
+	opts := sweep.Options{
+		Workers:      c.workers,
+		Reps:         c.reps,
+		Seed:         c.seed,
+		CacheVersion: cacheVersion,
+		Progress:     progressPrinter(name),
+	}
+	if c.cacheDir != "" {
+		cache, err := sweep.OpenCache(c.cacheDir)
+		if err != nil {
+			die(err)
+		}
+		opts.Cache = cache
+	}
+	return opts
+}
+
+// repro.SweepOptions mirror for facade-level sweeps (the fault matrix).
+func (c benchConfig) facadeOptions(name string) repro.SweepOptions {
+	return repro.SweepOptions{
+		Workers:  c.workers,
+		Reps:     c.reps,
+		Seed:     c.seed,
+		CacheDir: c.cacheDir,
+		Progress: progressPrinter(name),
+	}
+}
+
+// progressPrinter reports sweep progress on stderr (stdout stays
+// byte-identical across worker counts).
+func progressPrinter(name string) func(p sweep.Progress) {
+	return func(p sweep.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials (%d cached) %.1fs ",
+			name, p.Done, p.Total, p.Cached, p.Elapsed.Seconds())
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "reprobench: %v\n", err)
+	os.Exit(1)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "short runs for smoke testing")
+	workers := flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	reps := flag.Int("reps", 1, "repetitions per sweep point (mean ± 95% CI)")
+	cacheDir := flag.String("cache", "", "content-hash result cache directory (e.g. .sweepcache; empty = off)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
+	baseline := flag.String("baseline", "", "sweep-bench: compare against this committed BENCH_sweep.json")
+	ignoreWall := flag.Bool("ignore-wall", false, "sweep-bench: skip the wall-clock throughput comparison")
 	flag.Parse()
 
-	rubisDur := 130 * time.Second
-	mediaDur := 60 * time.Second
-	trigDur := 180 * time.Second
+	cfg := benchConfig{
+		seed:     *seed,
+		rubisDur: 130 * time.Second,
+		mediaDur: 60 * time.Second,
+		trigDur:  180 * time.Second,
+		workers:  *workers,
+		reps:     *reps,
+		cacheDir: *cacheDir,
+	}
 	if *quick {
-		rubisDur, mediaDur, trigDur = 40*time.Second, 20*time.Second, 60*time.Second
+		cfg.rubisDur, cfg.mediaDur, cfg.trigDur = 40*time.Second, 20*time.Second, 60*time.Second
+	}
+
+	if *exp == "sweep-bench" {
+		runSweepBench(cfg, *jsonPath, *baseline, *ignoreWall)
+		return
 	}
 
 	// The RUBiS tables and figures share one base/coordinated pair; compute
@@ -44,8 +135,8 @@ func main() {
 	var rubisBase, rubisCoord *repro.RubisRun
 	rubisPair := func() (*repro.RubisRun, *repro.RubisRun) {
 		if rubisBase == nil {
-			fmt.Fprintf(os.Stderr, "running RUBiS base + coordinated (%v simulated each)...\n", rubisDur)
-			rubisBase, rubisCoord = repro.CompareRubis(repro.RubisConfig{Seed: *seed, Duration: rubisDur})
+			fmt.Fprintf(os.Stderr, "running RUBiS base + coordinated (%v simulated each)...\n", cfg.rubisDur)
+			rubisBase, rubisCoord = repro.CompareRubis(repro.RubisConfig{Seed: cfg.seed, Duration: cfg.rubisDur})
 			collected.RubisBase, collected.RubisCoord = rubisBase, rubisCoord
 		}
 		return rubisBase, rubisCoord
@@ -73,32 +164,34 @@ func main() {
 			fmt.Println(repro.FormatFig5(base, coord))
 		},
 		"fig6": func() {
-			collected.MplayerQoS = repro.RunMplayerQoS(*seed, mediaDur)
+			collected.MplayerQoS = repro.RunMplayerQoS(cfg.seed, cfg.mediaDur)
 			fmt.Println(repro.FormatFig6(collected.MplayerQoS))
 		},
 		"fig7": func() {
-			base, coord := repro.RunMplayerTrigger(*seed, trigDur)
+			base, coord := repro.RunMplayerTrigger(cfg.seed, cfg.trigDur)
 			collected.TriggerBase, collected.TriggerCoord = base, coord
 			fmt.Println(repro.FormatFig7(base, coord))
 		},
 		"table3": func() {
-			collected.Interference = repro.RunMplayerInterference(*seed, trigDur)
+			collected.Interference = repro.RunMplayerInterference(cfg.seed, cfg.trigDur)
 			fmt.Println(repro.FormatTable3(collected.Interference))
 		},
 		"powercap": func() {
-			collected.PowerCap = repro.RunPowerCap(repro.PowerCapConfig{Seed: *seed})
+			collected.PowerCap = repro.RunPowerCap(repro.PowerCapConfig{Seed: cfg.seed})
 			fmt.Println(repro.FormatPowerCap(collected.PowerCap))
 		},
 		"scalability": func() {
-			collected.Scalability = repro.RunCoordScalability(repro.ScalabilityConfig{Seed: *seed})
+			collected.Scalability = repro.RunCoordScalability(repro.ScalabilityConfig{
+				Seed: cfg.seed, Workers: cfg.workers, Reps: cfg.reps,
+			})
 			fmt.Println(repro.FormatScalability(collected.Scalability))
 		},
-		"ablation-latency":    func() { ablationLatency(*seed, rubisDur) },
-		"ablation-mechanisms": func() { ablationMechanisms(*seed, rubisDur) },
-		"ablation-threshold":  func() { ablationThreshold(*seed, trigDur) },
-		"ablation-interrupt":  func() { ablationInterrupt(*seed, rubisDur) },
-		"ablation-loss":       func() { ablationLoss(*seed, rubisDur) },
-		"ablation-faults":     func() { ablationFaults(*seed, rubisDur) },
+		"ablation-latency":    func() { ablationLatency(cfg) },
+		"ablation-mechanisms": func() { ablationMechanisms(cfg) },
+		"ablation-threshold":  func() { ablationThreshold(cfg) },
+		"ablation-interrupt":  func() { ablationInterrupt(cfg) },
+		"ablation-loss":       func() { ablationLoss(cfg) },
+		"ablation-faults":     func() { ablationFaults(cfg) },
 	}
 
 	order := []string{"fig2", "fig4", "table1", "table2", "fig5", "fig6", "fig7", "table3",
@@ -111,12 +204,10 @@ func main() {
 		}
 		data, err := collected.ExportJSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "json export: %v\n", err)
-			os.Exit(1)
+			die(fmt.Errorf("json export: %w", err))
 		}
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "json export: %v\n", err)
-			os.Exit(1)
+			die(fmt.Errorf("json export: %w", err))
 		}
 		fmt.Fprintf(os.Stderr, "results written to %s\n", *jsonPath)
 	}
@@ -131,128 +222,416 @@ func main() {
 	}
 	fn, ok := run[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all %v\n", *exp, order)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all sweep-bench %v\n", *exp, order)
 		os.Exit(2)
 	}
 	fn()
 	writeJSON()
 }
 
+// runSweepBench executes the pinned benchmark sweep, writes its report,
+// and optionally enforces the regression guard against a committed
+// baseline: exact on simulated metrics, ±10% on wall-clock trial
+// throughput (skippable with -ignore-wall for CI on unknown hardware).
+func runSweepBench(cfg benchConfig, jsonPath, baselinePath string, ignoreWall bool) {
+	report, err := repro.RunBenchSweep(cfg.workers, progressPrinter("sweep-bench"))
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("sweep-bench: %s — %d trials in %.1fs (%.3f trials/s, %d workers)\n",
+		report.Name, report.Trials, report.ElapsedSec, report.TrialsPerSec, report.Workers)
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_sweep.json"
+	}
+	if err := report.Write(jsonPath); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench report written to %s\n", jsonPath)
+
+	if baselinePath == "" {
+		return
+	}
+	base, err := sweep.LoadBenchReport(baselinePath)
+	if err != nil {
+		die(err)
+	}
+	wallTol := 0.10
+	if ignoreWall {
+		wallTol = 0
+	}
+	drift, wall := sweep.CompareBench(base, report, wallTol)
+	for _, d := range drift {
+		fmt.Printf("DRIFT: %s\n", d)
+	}
+	for _, w := range wall {
+		fmt.Printf("WALL:  %s\n", w)
+	}
+	switch {
+	case len(drift) > 0:
+		fmt.Println("bench guard FAILED: simulated metrics drifted from the committed baseline")
+		os.Exit(1)
+	case len(wall) > 0:
+		fmt.Println("bench guard FAILED: trial throughput outside ±10% of baseline")
+		os.Exit(1)
+	default:
+		fmt.Println("bench guard OK: simulated metrics exact, throughput within tolerance")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation matrices. Each is a declarative matrixSpec run through the
+// sweep engine: the runner returns one float64 per column, repetitions
+// aggregate to mean ± 95% CI, and one shared printer renders the table.
+
+// column is one metric column of an ablation table.
+type column struct {
+	header string
+	format string // fmt verb for one value, e.g. "%10.1f"
+}
+
+// matrixSpec declares an ablation: its points, its metric columns, and
+// the runner producing one value per column.
+type matrixSpec struct {
+	name        string // short name for progress lines
+	title       string
+	cacheFamily string // cache version prefix; bump on model changes
+	labelHeader string
+	labelWidth  int
+	columns     []column
+	points      []sweep.Point
+	run         func(t sweep.Trial) ([]float64, error)
+}
+
+// runMatrix executes the spec's trials across the worker pool and prints
+// the aggregated table. Output on stdout is byte-identical for any
+// -workers value: trials land in stable point-major order regardless of
+// completion order.
+func runMatrix(cfg benchConfig, spec matrixSpec) {
+	fmt.Println(spec.title)
+	header := fmt.Sprintf("%-*s |", spec.labelWidth, spec.labelHeader)
+	for _, c := range spec.columns {
+		header += " " + c.header
+	}
+	fmt.Println(header)
+
+	res, err := sweep.Run(spec.points, func(t sweep.Trial) (any, error) {
+		return spec.run(t)
+	}, cfg.sweepOptions(spec.name, spec.cacheFamily))
+	if err != nil {
+		die(err)
+	}
+	if err := res.Err(); err != nil {
+		die(err)
+	}
+
+	for pi, p := range spec.points {
+		means, cis := aggregateValues(res, pi, len(spec.columns))
+		row := fmt.Sprintf("%-*s |", spec.labelWidth, p.Name)
+		for ci, c := range spec.columns {
+			row += " " + formatCell(c.format, means[ci], cis[ci], res.Reps)
+		}
+		fmt.Println(row)
+	}
+}
+
+// aggregateValues folds point pi's repetitions into per-column means and
+// 95% CI half-widths.
+func aggregateValues(res *sweep.RunResult, pi, nCols int) (means, cis []float64) {
+	sums := make([]stats.Summary, nCols)
+	for rep := 0; rep < res.Reps; rep++ {
+		var vals []float64
+		if err := res.Decode(pi*res.Reps+rep, &vals); err != nil {
+			die(err)
+		}
+		if len(vals) != nCols {
+			die(fmt.Errorf("trial %d returned %d values, want %d", pi*res.Reps+rep, len(vals), nCols))
+		}
+		for c, v := range vals {
+			sums[c].Add(v)
+		}
+	}
+	means = make([]float64, nCols)
+	cis = make([]float64, nCols)
+	for c := range sums {
+		means[c] = sums[c].Mean()
+		cis[c] = sums[c].CI95()
+	}
+	return means, cis
+}
+
+// formatCell renders one table cell: the (mean) value in the column's
+// format, with a ±CI95 suffix when the sweep ran repetitions.
+func formatCell(format string, mean, ci float64, reps int) string {
+	cell := fmt.Sprintf(format, mean)
+	if reps > 1 {
+		cell += fmt.Sprintf("±%.1f", ci)
+	}
+	return cell
+}
+
+// rubisValues is the common runner body for RUBiS ablations: run one
+// configuration and project the requested metrics.
+func rubisValues(r *repro.RubisRun, project ...func(*repro.RubisRun) float64) []float64 {
+	out := make([]float64, len(project))
+	for i, f := range project {
+		out[i] = f(r)
+	}
+	return out
+}
+
+func tput(r *repro.RubisRun) float64   { return r.Throughput }
+func meanMs(r *repro.RubisRun) float64 { return r.MeanOverTypes() }
+
 // ablationLatency sweeps the coordination-channel latency — the paper
 // blames PCIe latency for mis-coordination on read/write transitions and
 // predicts QPI/HTX-class interconnects would remove it.
-func ablationLatency(seed int64, dur time.Duration) {
-	fmt.Println("Ablation: coordination-channel latency sweep (RUBiS, coordinated)")
-	fmt.Printf("%-12s | %10s %10s %12s\n", "latency", "tput(r/s)", "mean(ms)", "max-type(ms)")
-	for _, lat := range []time.Duration{
+func ablationLatency(cfg benchConfig) {
+	type pointCfg struct {
+		LatencyNs  int64 `json:"latency_ns"`
+		DurationNs int64 `json:"duration_ns"`
+	}
+	var points []sweep.Point
+	lats := []time.Duration{
 		5 * time.Microsecond,   // on-chip signalling (the paper's hardware wish)
 		150 * time.Microsecond, // the prototype's PCIe mailbox
 		20 * time.Millisecond,  // a slow software path
 		200 * time.Millisecond, // approaching the workload's phase timescale
 		1 * time.Second,        // stale beyond usefulness
-	} {
-		r := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur, CoordLatency: lat}, true)
-		fmt.Printf("%-12v | %10.1f %10.0f %12.0f\n", lat, r.Throughput, r.MeanOverTypes(), r.MaxOverTypes())
 	}
+	for _, lat := range lats {
+		points = append(points, sweep.Point{
+			Name:   lat.String(),
+			Config: pointCfg{LatencyNs: int64(lat), DurationNs: int64(cfg.rubisDur)},
+		})
+	}
+	runMatrix(cfg, matrixSpec{
+		name:        "ablation-latency",
+		title:       "Ablation: coordination-channel latency sweep (RUBiS, coordinated)",
+		cacheFamily: "ablation-latency-v1",
+		labelHeader: "latency", labelWidth: 12,
+		columns: []column{
+			{"tput(r/s)", "%10.1f"}, {"  mean(ms)", "%10.0f"}, {"max-type(ms)", "%12.0f"},
+		},
+		points: points,
+		run: func(t sweep.Trial) ([]float64, error) {
+			pc := t.Point.Config.(pointCfg)
+			r := repro.RunRubis(repro.RubisConfig{
+				Seed: t.Seed, Duration: time.Duration(pc.DurationNs),
+				CoordLatency: time.Duration(pc.LatencyNs),
+			}, true)
+			return rubisValues(r, tput, meanMs, (*repro.RubisRun).MaxOverTypes), nil
+		},
+	})
 }
 
-// ablationMechanisms compares the coordination policy variants.
-func ablationMechanisms(seed int64, dur time.Duration) {
-	fmt.Println("Ablation: coordination policy variants (RUBiS)")
-	fmt.Printf("%-14s | %10s %10s %10s\n", "scheme", "tput(r/s)", "mean(ms)", "efficiency")
-	base := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur}, false)
-	fmt.Printf("%-14s | %10.1f %10.0f %10.2f\n", "none (base)", base.Throughput, base.MeanOverTypes(), base.Efficiency)
-	for _, s := range []repro.CoordScheme{repro.SchemeOutstanding, repro.SchemeLoadTrack, repro.SchemeClass} {
-		r := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur, Scheme: s}, true)
-		fmt.Printf("%-14s | %10.1f %10.0f %10.2f\n", s, r.Throughput, r.MeanOverTypes(), r.Efficiency)
+// ablationMechanisms compares the coordination policy variants, with the
+// uncoordinated baseline as the first point of the same matrix.
+func ablationMechanisms(cfg benchConfig) {
+	type pointCfg struct {
+		Scheme     string `json:"scheme"` // "" = uncoordinated baseline
+		DurationNs int64  `json:"duration_ns"`
 	}
+	points := []sweep.Point{{
+		Name:   "none (base)",
+		Config: pointCfg{DurationNs: int64(cfg.rubisDur)},
+	}}
+	for _, s := range []repro.CoordScheme{repro.SchemeOutstanding, repro.SchemeLoadTrack, repro.SchemeClass} {
+		points = append(points, sweep.Point{
+			Name:   string(s),
+			Config: pointCfg{Scheme: string(s), DurationNs: int64(cfg.rubisDur)},
+		})
+	}
+	runMatrix(cfg, matrixSpec{
+		name:        "ablation-mechanisms",
+		title:       "Ablation: coordination policy variants (RUBiS)",
+		cacheFamily: "ablation-mechanisms-v1",
+		labelHeader: "scheme", labelWidth: 14,
+		columns: []column{
+			{"tput(r/s)", "%10.1f"}, {"  mean(ms)", "%10.0f"}, {"efficiency", "%10.2f"},
+		},
+		points: points,
+		run: func(t sweep.Trial) ([]float64, error) {
+			pc := t.Point.Config.(pointCfg)
+			rc := repro.RubisConfig{Seed: t.Seed, Duration: time.Duration(pc.DurationNs)}
+			coordinated := pc.Scheme != ""
+			if coordinated {
+				rc.Scheme = repro.CoordScheme(pc.Scheme)
+			}
+			r := repro.RunRubis(rc, coordinated)
+			return rubisValues(r, tput, meanMs, func(r *repro.RubisRun) float64 { return r.Efficiency }), nil
+		},
+	})
 }
 
 // ablationInterrupt sweeps the IXP's host-interrupt moderation period —
 // the "user-defined frequency" of §2.1. Longer periods batch packets into
 // fewer Dom0 wakeups at the cost of delivery latency.
-func ablationInterrupt(seed int64, dur time.Duration) {
-	fmt.Println("Ablation: host interrupt moderation period (RUBiS, coordinated)")
-	fmt.Printf("%-12s | %10s %10s\n", "period", "tput(r/s)", "mean(ms)")
+func ablationInterrupt(cfg benchConfig) {
+	type pointCfg struct {
+		PeriodNs   int64 `json:"period_ns"`
+		DurationNs int64 `json:"duration_ns"`
+	}
+	var points []sweep.Point
 	for _, p := range []time.Duration{0, 1 * time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
-		r := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur, IntrModeration: p}, true)
 		label := "poll (off)"
 		if p > 0 {
 			label = p.String()
 		}
-		fmt.Printf("%-12s | %10.1f %10.0f\n", label, r.Throughput, r.MeanOverTypes())
+		points = append(points, sweep.Point{
+			Name:   label,
+			Config: pointCfg{PeriodNs: int64(p), DurationNs: int64(cfg.rubisDur)},
+		})
 	}
+	runMatrix(cfg, matrixSpec{
+		name:        "ablation-interrupt",
+		title:       "Ablation: host interrupt moderation period (RUBiS, coordinated)",
+		cacheFamily: "ablation-interrupt-v1",
+		labelHeader: "period", labelWidth: 12,
+		columns: []column{{"tput(r/s)", "%10.1f"}, {"  mean(ms)", "%10.0f"}},
+		points:  points,
+		run: func(t sweep.Trial) ([]float64, error) {
+			pc := t.Point.Config.(pointCfg)
+			r := repro.RunRubis(repro.RubisConfig{
+				Seed: t.Seed, Duration: time.Duration(pc.DurationNs),
+				IntrModeration: time.Duration(pc.PeriodNs),
+			}, true)
+			return rubisValues(r, tput, meanMs), nil
+		},
+	})
 }
 
 // ablationLoss injects coordination-message loss (fault injection): the
 // outstanding-load translation's decay heals drift, so coordination should
 // degrade gracefully rather than collapse.
-func ablationLoss(seed int64, dur time.Duration) {
-	fmt.Println("Ablation: coordination-message loss (RUBiS)")
-	fmt.Printf("%-10s | %10s %10s\n", "loss", "tput(r/s)", "mean(ms)")
-	base := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur}, false)
-	fmt.Printf("%-10s | %10.1f %10.0f\n", "(no coord)", base.Throughput, base.MeanOverTypes())
+func ablationLoss(cfg benchConfig) {
+	type pointCfg struct {
+		Coordinated bool    `json:"coordinated"`
+		LossRate    float64 `json:"loss_rate"`
+		DurationNs  int64   `json:"duration_ns"`
+	}
+	points := []sweep.Point{{
+		Name:   "(no coord)",
+		Config: pointCfg{DurationNs: int64(cfg.rubisDur)},
+	}}
 	for _, rate := range []float64{0, 0.1, 0.3, 0.6} {
-		r := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur, CoordLossRate: rate}, true)
-		fmt.Printf("%9.0f%% | %10.1f %10.0f\n", rate*100, r.Throughput, r.MeanOverTypes())
+		points = append(points, sweep.Point{
+			Name:   fmt.Sprintf("%.0f%%", rate*100),
+			Config: pointCfg{Coordinated: true, LossRate: rate, DurationNs: int64(cfg.rubisDur)},
+		})
 	}
-}
-
-// ablationFaults runs the coordination plane through a matrix of injected
-// fault scenarios, comparing the fragile (fire-and-forget) wiring against
-// the reliable plane (ack/retry + heartbeats + graceful degradation). The
-// robustness claim: under every scenario the coordinated run with the
-// reliable plane stays close to — and under heavy faults degrades
-// gracefully toward — the uncoordinated baseline rather than collapsing
-// below it.
-func ablationFaults(seed int64, dur time.Duration) {
-	scenarios := []struct {
-		name string
-		plan *repro.FaultPlan
-	}{
-		{"clean", nil},
-		{"loss 30%", &repro.FaultPlan{LossRate: 0.3}},
-		{"bursts", &repro.FaultPlan{LossRate: 0.05, BurstRate: 0.02, BurstLen: 16}},
-		{"chaos mix", &repro.FaultPlan{
-			LossRate: 0.15, DupRate: 0.1, ReorderRate: 0.1,
-			SpikeRate: 0.05, JitterMax: 100 * time.Microsecond,
-		}},
-		{"partition", &repro.FaultPlan{Partitions: []repro.Partition{
-			{Start: dur / 4, Duration: dur / 4},
-		}}},
-		{"ixp crash", &repro.FaultPlan{Crashes: []repro.CrashWindow{
-			{Island: "ixp", Start: dur / 4, Duration: dur / 8},
-		}}},
-	}
-
-	fmt.Println("Ablation: fault matrix (RUBiS; fragile vs reliable coordination plane)")
-	base := repro.RunRubis(repro.RubisConfig{Seed: seed, Duration: dur}, false)
-	fmt.Printf("uncoordinated baseline: %.1f r/s, mean %.0f ms\n\n", base.Throughput, base.MeanOverTypes())
-	fmt.Printf("%-12s | %-8s | %9s %9s | %8s %8s %8s %8s\n",
-		"scenario", "plane", "tput(r/s)", "mean(ms)", "retrans", "expired", "degrade", "revert")
-	for _, sc := range scenarios {
-		for _, robust := range []bool{false, true} {
-			cfg := repro.RubisConfig{Seed: seed, Duration: dur, Faults: sc.plan, Robust: robust}
-			r := repro.RunRubis(cfg, true)
-			plane := "fragile"
-			if robust {
-				plane = "reliable"
-			}
-			rb := r.Robustness
-			fmt.Printf("%-12s | %-8s | %9.1f %9.0f | %8d %8d %8d %8d\n",
-				sc.name, plane, r.Throughput, r.MeanOverTypes(),
-				rb.Retransmits, rb.Expired, rb.Degradations, rb.BaselineReverts)
-		}
-	}
+	runMatrix(cfg, matrixSpec{
+		name:        "ablation-loss",
+		title:       "Ablation: coordination-message loss (RUBiS)",
+		cacheFamily: "ablation-loss-v1",
+		labelHeader: "loss", labelWidth: 10,
+		columns: []column{{"tput(r/s)", "%10.1f"}, {"  mean(ms)", "%10.0f"}},
+		points:  points,
+		run: func(t sweep.Trial) ([]float64, error) {
+			pc := t.Point.Config.(pointCfg)
+			r := repro.RunRubis(repro.RubisConfig{
+				Seed: t.Seed, Duration: time.Duration(pc.DurationNs),
+				CoordLossRate: pc.LossRate,
+			}, pc.Coordinated)
+			return rubisValues(r, tput, meanMs), nil
+		},
+	})
 }
 
 // ablationThreshold sweeps the Figure 7 trigger watermark.
-func ablationThreshold(seed int64, dur time.Duration) {
-	fmt.Println("Ablation: buffer-watermark trigger threshold (MPlayer)")
-	fmt.Printf("%-10s | %10s %10s\n", "threshold", "dom1 fps", "triggers")
-	for _, kb := range []int{32, 64, 128, 256, 384} {
-		cfg := mplayer.TriggerConfig{Seed: seed, Threshold: kb << 10, Duration: sim.FromDuration(dur)}
-		r := mplayer.RunTriggerExperiment(cfg, true)
-		fmt.Printf("%7dKB | %10.1f %10d\n", kb, r.Dom1FPS, r.Triggers)
+func ablationThreshold(cfg benchConfig) {
+	type pointCfg struct {
+		ThresholdKB int   `json:"threshold_kb"`
+		DurationNs  int64 `json:"duration_ns"`
 	}
+	var points []sweep.Point
+	for _, kb := range []int{32, 64, 128, 256, 384} {
+		points = append(points, sweep.Point{
+			Name:   fmt.Sprintf("%dKB", kb),
+			Config: pointCfg{ThresholdKB: kb, DurationNs: int64(cfg.trigDur)},
+		})
+	}
+	runMatrix(cfg, matrixSpec{
+		name:        "ablation-threshold",
+		title:       "Ablation: buffer-watermark trigger threshold (MPlayer)",
+		cacheFamily: "ablation-threshold-v1",
+		labelHeader: "threshold", labelWidth: 10,
+		columns: []column{{"  dom1 fps", "%10.1f"}, {"  triggers", "%10.0f"}},
+		points:  points,
+		run: func(t sweep.Trial) ([]float64, error) {
+			pc := t.Point.Config.(pointCfg)
+			r := mplayer.RunTriggerExperiment(mplayer.TriggerConfig{
+				Seed: t.Seed, Threshold: pc.ThresholdKB << 10,
+				Duration: sim.FromDuration(time.Duration(pc.DurationNs)),
+			}, true)
+			return []float64{r.Dom1FPS, float64(r.Triggers)}, nil
+		},
+	})
+}
+
+// ablationFaults runs the coordination plane through the canonical fault
+// matrix (repro.FaultScenarios), comparing the fragile (fire-and-forget)
+// wiring against the reliable plane (ack/retry + heartbeats + graceful
+// degradation). The robustness claim: under every scenario the coordinated
+// run with the reliable plane stays close to — and under heavy faults
+// degrades gracefully toward — the uncoordinated baseline rather than
+// collapsing below it.
+func ablationFaults(cfg benchConfig) {
+	res, err := repro.RunFaultMatrix(
+		repro.RubisConfig{Seed: cfg.seed, Duration: cfg.rubisDur},
+		cfg.facadeOptions("ablation-faults"),
+	)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Println("Ablation: fault matrix (RUBiS; fragile vs reliable coordination plane)")
+	reps := res.Sweep.Reps
+	base := aggregateFaultsRows(res.Rows[:reps])
+	fmt.Printf("uncoordinated baseline: %s r/s, mean %s ms\n\n",
+		formatCell("%.1f", base.Throughput, base.tputCI, reps),
+		formatCell("%.0f", base.MeanMs, base.meanCI, reps))
+	fmt.Printf("%-12s | %-8s | %9s %9s | %8s %8s %8s %8s\n",
+		"scenario", "plane", "tput(r/s)", "mean(ms)", "retrans", "expired", "degrade", "revert")
+	for pi := 1; pi*reps < len(res.Rows); pi++ {
+		row := aggregateFaultsRows(res.Rows[pi*reps : (pi+1)*reps])
+		fmt.Printf("%-12s | %-8s | %s %s | %s %s %s %s\n",
+			row.Scenario, row.Plane,
+			formatCell("%9.1f", row.Throughput, row.tputCI, reps),
+			formatCell("%9.0f", row.MeanMs, row.meanCI, reps),
+			formatCell("%8.0f", float64(row.Retransmits), 0, 1),
+			formatCell("%8.0f", float64(row.Expired), 0, 1),
+			formatCell("%8.0f", float64(row.Degradations), 0, 1),
+			formatCell("%8.0f", float64(row.BaselineReverts), 0, 1))
+	}
+}
+
+// aggregatedFaults is one fault-matrix point folded across repetitions:
+// mean throughput/latency with CI, counters averaged (rounded in print).
+type aggregatedFaults struct {
+	repro.FaultsRow
+	tputCI, meanCI float64
+}
+
+func aggregateFaultsRows(rows []repro.FaultsRow) aggregatedFaults {
+	var t, m stats.Summary
+	var agg aggregatedFaults
+	agg.FaultsRow = rows[0]
+	var retrans, expired, degrade, revert uint64
+	for _, r := range rows {
+		t.Add(r.Throughput)
+		m.Add(r.MeanMs)
+		retrans += r.Retransmits
+		expired += r.Expired
+		degrade += r.Degradations
+		revert += r.BaselineReverts
+	}
+	n := uint64(len(rows))
+	agg.Throughput, agg.tputCI = t.Mean(), t.CI95()
+	agg.MeanMs, agg.meanCI = m.Mean(), m.CI95()
+	agg.Retransmits = retrans / n
+	agg.Expired = expired / n
+	agg.Degradations = degrade / n
+	agg.BaselineReverts = revert / n
+	return agg
 }

@@ -1,0 +1,219 @@
+package core
+
+// Fuzz harness for the reliability layer: the fuzzer owns the fault
+// schedule — every Send on either direction (data, retransmits, acks)
+// consumes one script byte deciding drop/duplicate/delay — and the
+// invariants assert the delivery-class contract of ClassFor:
+//
+//   - at-most-once, universally: no sequenced message reaches the
+//     application twice, under any loss/dup/reorder interleaving;
+//   - in-order: the application sees strictly increasing sequence numbers;
+//   - at-least-once accounting: a Trigger can only go missing if the
+//     sender abandoned it (GaveUp) or the receiver skipped its gap
+//     (GapSkips); a Tune can additionally expire at its deadline;
+//   - quiescence: once the simulator drains, nothing is outstanding at
+//     either endpoint (every pending message keeps a live timer);
+//   - determinism: replaying the same script reproduces every counter.
+//
+// The script is finite and an exhausted script delivers cleanly, so every
+// run terminates: retransmissions eventually cross a clean link.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fuzzScript is a shared cursor over the fuzz input: both link directions
+// draw from the same byte stream, giving the fuzzer full control over the
+// interleaving of data faults and ack faults.
+type fuzzScript struct {
+	bytes []byte
+	pos   int
+}
+
+// next returns the script's next fault byte; an exhausted script yields 0,
+// a clean minimum-latency delivery.
+func (sc *fuzzScript) next() byte {
+	if sc.pos >= len(sc.bytes) {
+		return 0
+	}
+	b := sc.bytes[sc.pos]
+	sc.pos++
+	return b
+}
+
+// fuzzTransport is one unidirectional link whose per-send behaviour is
+// scripted: bit 7 drops the message, bit 6 duplicates it, and the low six
+// bits add delay in 100us steps on top of the 100us base latency.
+// Variable delays produce natural reordering between back-to-back sends.
+type fuzzTransport struct {
+	s      *sim.Simulator
+	script *fuzzScript
+	recv   func(Message)
+}
+
+func (t *fuzzTransport) SetReceiver(fn func(Message)) { t.recv = fn }
+
+func (t *fuzzTransport) Send(m Message) {
+	b := t.script.next()
+	if b&0x80 != 0 {
+		return // dropped
+	}
+	base := 100 * sim.Microsecond
+	delay := base + sim.Time(b&0x3f)*base
+	t.deliverAfter(delay, m)
+	if b&0x40 != 0 {
+		t.deliverAfter(2*delay+base, m) // duplicate, further delayed
+	}
+}
+
+func (t *fuzzTransport) deliverAfter(d sim.Time, m Message) {
+	t.s.After(d, func() {
+		if t.recv != nil {
+			t.recv(m)
+		}
+	})
+}
+
+// fuzzOutcome is everything one scripted run observed, for both the
+// invariant checks and the replay-determinism comparison.
+type fuzzOutcome struct {
+	SentTunes, SentTriggers int
+	DeliveredSeqs           []uint64
+	DeliveredPerEntity      map[int]int
+	TriggerEntities         map[int]bool
+	AStats, BStats          ReliableStats
+	OutstandingA            int
+	OutstandingB            int
+}
+
+// runFuzzSchedule drives one sender/receiver pair through the scripted
+// fault schedule: data[0] picks the message count, data[1] the send
+// spacing, and the rest is the per-send fault script.
+func runFuzzSchedule(data []byte) fuzzOutcome {
+	var msgs, spacing byte
+	if len(data) > 0 {
+		msgs = data[0]
+	}
+	if len(data) > 1 {
+		spacing = data[1]
+	}
+	script := &fuzzScript{}
+	if len(data) > 2 {
+		script.bytes = data[2:]
+	}
+	n := int(msgs)%24 + 1
+	gap := sim.Time(int(spacing)%16+1) * 500 * sim.Microsecond
+
+	s := sim.New(1)
+	a2b := &fuzzTransport{s: s, script: script}
+	b2a := &fuzzTransport{s: s, script: script}
+	a := NewReliableEndpoint(s, "a", a2b, b2a, ReliableConfig{})
+	b := NewReliableEndpoint(s, "b", b2a, a2b, ReliableConfig{})
+
+	out := fuzzOutcome{
+		DeliveredPerEntity: make(map[int]int),
+		TriggerEntities:    make(map[int]bool),
+	}
+	b.SetReceiver(func(m Message) {
+		out.DeliveredSeqs = append(out.DeliveredSeqs, m.Seq)
+		out.DeliveredPerEntity[m.Entity]++
+	})
+
+	for i := 0; i < n; i++ {
+		i := i
+		kind := KindTune
+		if i%2 == 1 {
+			kind = KindTrigger
+			out.TriggerEntities[i] = true
+			out.SentTriggers++
+		} else {
+			out.SentTunes++
+		}
+		s.After(sim.Time(i)*gap, func() {
+			a.Send(Message{Kind: kind, From: "a", Target: "b", Entity: i, Delta: i})
+		})
+	}
+	s.Run()
+
+	out.AStats, out.BStats = a.Stats(), b.Stats()
+	out.OutstandingA, out.OutstandingB = a.Outstanding(), b.Outstanding()
+	return out
+}
+
+func FuzzReliableEndpoint(f *testing.F) {
+	// Seed corpus echoing the chaos-test scenarios: clean link, heavy
+	// burst loss, duplication with jitter, ~30% loss, and maximal reorder.
+	f.Add([]byte{5, 2})
+	f.Add([]byte{16, 1, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{9, 0, 0x40, 0x05, 0x40, 0x12, 0x40, 0x01, 0x40, 0x3f})
+	f.Add([]byte{23, 3, 0x80, 0x03, 0x07, 0x80, 0x00, 0x11, 0x80, 0x02, 0x09, 0x80})
+	f.Add([]byte{12, 1, 0x3f, 0x00, 0x3f, 0x00, 0x3f, 0x00, 0x3f, 0x00})
+	f.Add([]byte{23, 0, 0x80, 0xc0, 0x41, 0x80, 0x80, 0xbf, 0x40, 0x00, 0x80, 0x3f, 0x80, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out := runFuzzSchedule(data)
+
+		// Quiescence: a drained simulator means no live retransmission
+		// timers, so nothing may still be outstanding.
+		if out.OutstandingA != 0 || out.OutstandingB != 0 {
+			t.Fatalf("outstanding after drain: a=%d b=%d", out.OutstandingA, out.OutstandingB)
+		}
+
+		// At-most-once application delivery, for every sequenced kind.
+		for entity, count := range out.DeliveredPerEntity {
+			if count > 1 {
+				t.Fatalf("entity %d delivered %d times", entity, count)
+			}
+		}
+
+		// In-order delivery: strictly increasing sequence numbers.
+		for i := 1; i < len(out.DeliveredSeqs); i++ {
+			if out.DeliveredSeqs[i] <= out.DeliveredSeqs[i-1] {
+				t.Fatalf("out-of-order delivery: seqs %v", out.DeliveredSeqs)
+			}
+		}
+
+		// Loss accounting. Triggers (at-least-once) may only go missing via
+		// sender abandonment or a receiver gap-skip; Tunes (at-most-once)
+		// may additionally expire at their deadline. GaveUp and GapSkips
+		// are shared budgets across kinds, so check the sums.
+		missingTriggers, missingTunes := 0, 0
+		for entity := 0; entity < out.SentTunes+out.SentTriggers; entity++ {
+			if out.DeliveredPerEntity[entity] > 0 {
+				continue
+			}
+			if out.TriggerEntities[entity] {
+				missingTriggers++
+			} else {
+				missingTunes++
+			}
+		}
+		st := out.AStats
+		if budget := st.GaveUp + out.BStats.GapSkips; uint64(missingTriggers) > budget {
+			t.Fatalf("%d triggers missing but only %d abandoned/skipped (stats %+v / %+v)",
+				missingTriggers, budget, st, out.BStats)
+		}
+		if budget := st.Expired + st.GaveUp + out.BStats.GapSkips; uint64(missingTriggers+missingTunes) > budget {
+			t.Fatalf("%d messages missing but only %d expired/abandoned/skipped (stats %+v / %+v)",
+				missingTriggers+missingTunes, budget, st, out.BStats)
+		}
+
+		// Conservation: the receiver delivered exactly what the sender
+		// offered minus the accounted losses.
+		if st.DataSent != uint64(out.SentTunes+out.SentTriggers) {
+			t.Fatalf("DataSent=%d, want %d", st.DataSent, out.SentTunes+out.SentTriggers)
+		}
+		if got := uint64(len(out.DeliveredSeqs)); got != out.BStats.Delivered {
+			t.Fatalf("application saw %d deliveries, stats say %d", got, out.BStats.Delivered)
+		}
+
+		// Determinism: replaying the identical script reproduces the run.
+		again := runFuzzSchedule(data)
+		if !reflect.DeepEqual(out, again) {
+			t.Fatalf("replay diverged:\n first: %+v\nsecond: %+v", out, again)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package stats
+
+// Property-based tests (testing/quick) for the measurement machinery the
+// sweep harness aggregates with: Welford summaries against a naive
+// two-pass reference, percentile monotonicity, and utilization staying
+// within the window that produced it.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// obsSlice generates observation sets spanning ~9 orders of magnitude —
+// wide enough to stress the streaming variance, tame enough that the
+// naive two-pass reference does not overflow.
+type obsSlice []float64
+
+func (obsSlice) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 2)
+	xs := make(obsSlice, n)
+	for i := range xs {
+		scale := math.Exp(r.Float64()*20 - 10)
+		xs[i] = r.NormFloat64()*scale + float64(r.Intn(3)-1)*scale
+	}
+	return reflect.ValueOf(xs)
+}
+
+// approxEqual compares with a relative-plus-absolute tolerance sized for
+// float64 accumulation error.
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// Summary must agree with the textbook two-pass mean and (n-1) variance.
+func TestQuickSummaryMatchesTwoPass(t *testing.T) {
+	prop := func(xs obsSlice) bool {
+		var s Summary
+		for _, x := range xs {
+			s.Add(x)
+		}
+		if s.Count() != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return s.Mean() == 0 && s.Variance() == 0
+		}
+		sum, lo, hi := 0.0, xs[0], xs[0]
+		for _, x := range xs {
+			sum += x
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		mean := sum / float64(len(xs))
+		variance := 0.0
+		if len(xs) > 1 {
+			for _, x := range xs {
+				variance += (x - mean) * (x - mean)
+			}
+			variance /= float64(len(xs) - 1)
+		}
+		return approxEqual(s.Mean(), mean, 1e-9) &&
+			approxEqual(s.Variance(), variance, 1e-6) &&
+			s.Min() == lo && s.Max() == hi &&
+			approxEqual(s.Sum(), sum, 1e-9)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merging two partial summaries must match summarizing the concatenation —
+// the property the parallel sweep's per-worker aggregation relies on.
+func TestQuickSummaryMergeEquivalence(t *testing.T) {
+	prop := func(xs obsSlice, splitRaw uint8) bool {
+		split := 0
+		if len(xs) > 0 {
+			split = int(splitRaw) % (len(xs) + 1)
+		}
+		var left, right, whole Summary
+		for i, x := range xs {
+			if i < split {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+			whole.Add(x)
+		}
+		left.Merge(&right)
+		return left.Count() == whole.Count() &&
+			approxEqual(left.Mean(), whole.Mean(), 1e-9) &&
+			approxEqual(left.Variance(), whole.Variance(), 1e-6) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Histogram quantiles must be monotone in q, stay inside [lo, hi], and
+// conserve the observation count across buckets and overflow bins.
+func TestQuickHistogramQuantileMonotone(t *testing.T) {
+	prop := func(xs obsSlice, nRaw uint8) bool {
+		h := NewHistogram(-1000, 1000, int(nRaw)%64+1)
+		for _, x := range xs {
+			h.Add(x)
+		}
+		var inRange uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			inRange += h.Bucket(i)
+		}
+		if h.Underflow()+h.Overflow()+inRange != h.Count() {
+			return false
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev || v < -1000 || v > 1000 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sample percentiles must be monotone and pinned to min/max at the ends.
+func TestQuickSamplePercentileMonotone(t *testing.T) {
+	prop := func(xs obsSlice) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var p Sample
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			p.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if p.Percentile(0) != lo || p.Percentile(100) != hi {
+			return false
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 100; q += 2.5 {
+			v := p.Percentile(q)
+			if v < prev || v < lo || v > hi {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// busySchedule generates non-overlapping busy intervals inside [0, window).
+type busySchedule struct {
+	window    sim.Time
+	intervals [][2]sim.Time
+}
+
+func (busySchedule) Generate(r *rand.Rand, size int) reflect.Value {
+	sched := busySchedule{window: sim.Time(r.Int63n(int64(sim.Second)) + int64(sim.Millisecond))}
+	t := sim.Time(0)
+	for i := 0; i < size && t < sched.window; i++ {
+		gap := sim.Time(r.Int63n(int64(sched.window) / 8))
+		dur := sim.Time(r.Int63n(int64(sched.window)/8) + 1)
+		start := t + gap
+		end := start + dur
+		if end > sched.window {
+			end = sched.window
+		}
+		if start >= end {
+			break
+		}
+		sched.intervals = append(sched.intervals, [2]sim.Time{start, end})
+		t = end
+	}
+	return reflect.ValueOf(sched)
+}
+
+// A meter fed non-overlapping intervals can never exceed the window that
+// contains them: busy time is bounded by elapsed time, so both the window
+// sample and the whole-run mean stay within [0, 100] percent of one CPU.
+func TestQuickUtilizationBoundedByWindow(t *testing.T) {
+	prop := func(sched busySchedule) bool {
+		m := NewUtilizationMeter("prop", 0)
+		var busy sim.Time
+		for _, iv := range sched.intervals {
+			m.Record(iv[0], iv[1])
+			busy += iv[1] - iv[0]
+		}
+		if m.Busy() != busy || busy > sched.window {
+			return false
+		}
+		m.Sample(sched.window)
+		if m.Series().Len() != 1 {
+			return false
+		}
+		sample := m.Series().Points()[0].V
+		mean := m.MeanUtilization(0, sched.window)
+		const eps = 1e-9
+		return sample >= 0 && sample <= 100+eps && mean >= 0 && mean <= 100+eps
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

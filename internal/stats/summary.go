@@ -75,6 +75,17 @@ func (s *Summary) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
+// CI95 returns the half-width of the 95% confidence interval on the mean
+// (normal approximation: 1.96 standard errors), or 0 for fewer than two
+// observations. The sweep harness reports repetition aggregates as
+// mean ± CI95.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
 // Sum returns the sum of all observations.
 func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
 

@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchReport is the machine-readable record of one pinned-configuration
+// sweep run — the artifact committed as BENCH_sweep.json and compared by
+// the bench-regression guard. It separates two classes of numbers:
+//
+//   - Results carries the simulated metrics, which are a pure function of
+//     the pinned configuration and must match a baseline exactly on any
+//     machine; drift means the models changed.
+//   - TrialsPerSec/ElapsedSec carry the harness's wall-clock throughput,
+//     which is hardware-dependent and compared within a tolerance.
+type BenchReport struct {
+	Name    string `json:"name"`
+	Seed    int64  `json:"seed"`
+	Reps    int    `json:"reps"`
+	Workers int    `json:"workers"`
+	Trials  int    `json:"trials"`
+
+	// Wall-clock (hardware-dependent; tolerance-compared).
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+
+	// Simulated metrics (machine-independent; exact-compared).
+	Results []TrialResult `json:"results"`
+}
+
+// NewBenchReport builds the report for one sweep run.
+func NewBenchReport(name string, res *RunResult) *BenchReport {
+	return &BenchReport{
+		Name:         name,
+		Seed:         res.Seed,
+		Reps:         res.Reps,
+		Workers:      res.Workers,
+		Trials:       len(res.Trials),
+		ElapsedSec:   res.Elapsed.Seconds(),
+		TrialsPerSec: res.TrialsPerSec(),
+		Results:      res.Trials,
+	}
+}
+
+// LoadBenchReport reads a report written by Write.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: load bench baseline: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("sweep: parse bench baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Write renders the report as indented JSON at path.
+func (r *BenchReport) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal bench report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: write bench report: %w", err)
+	}
+	return nil
+}
+
+// CompareBench checks current against baseline. Simulated metrics compare
+// exactly: any difference in the trial list (points, reps, seeds, result
+// blobs) is a drift finding — the models or the pinned configuration
+// changed, and published numbers are no longer reproducible. Wall-clock
+// trial throughput compares within wallTol (a fraction; 0.10 = ±10%);
+// wallTol <= 0 skips the wall-clock check entirely (CI on unknown
+// hardware). The two finding classes are returned separately so callers
+// can enforce different policies.
+func CompareBench(baseline, current *BenchReport, wallTol float64) (drift, wall []string) {
+	if baseline.Name != current.Name {
+		drift = append(drift, fmt.Sprintf("sweep name %q != baseline %q", current.Name, baseline.Name))
+	}
+	if baseline.Seed != current.Seed {
+		drift = append(drift, fmt.Sprintf("seed %d != baseline %d", current.Seed, baseline.Seed))
+	}
+	if baseline.Reps != current.Reps {
+		drift = append(drift, fmt.Sprintf("reps %d != baseline %d", current.Reps, baseline.Reps))
+	}
+	if len(current.Results) != len(baseline.Results) {
+		drift = append(drift, fmt.Sprintf("trial count %d != baseline %d", len(current.Results), len(baseline.Results)))
+	} else {
+		for i := range baseline.Results {
+			b, c := baseline.Results[i], current.Results[i]
+			switch {
+			case b.Point != c.Point || b.Rep != c.Rep:
+				drift = append(drift, fmt.Sprintf("trial %d is %s/rep%d, baseline has %s/rep%d",
+					i, c.Point, c.Rep, b.Point, b.Rep))
+			case b.Seed != c.Seed:
+				drift = append(drift, fmt.Sprintf("trial %s/rep%d seed %d != baseline %d",
+					c.Point, c.Rep, c.Seed, b.Seed))
+			case b.Err != c.Err:
+				drift = append(drift, fmt.Sprintf("trial %s/rep%d error %q != baseline %q",
+					c.Point, c.Rep, c.Err, b.Err))
+			case !jsonEqual(b.Data, c.Data):
+				drift = append(drift, fmt.Sprintf("trial %s/rep%d simulated metrics drifted from baseline",
+					c.Point, c.Rep))
+			}
+		}
+	}
+
+	if wallTol > 0 && baseline.TrialsPerSec > 0 {
+		ratio := current.TrialsPerSec / baseline.TrialsPerSec
+		if ratio < 1-wallTol || ratio > 1+wallTol {
+			wall = append(wall, fmt.Sprintf(
+				"trial throughput %.3f/s is %+.1f%% vs baseline %.3f/s (tolerance ±%.0f%%)",
+				current.TrialsPerSec, (ratio-1)*100, baseline.TrialsPerSec, wallTol*100))
+		}
+	}
+	return drift, wall
+}
+
+// jsonEqual compares two JSON blobs by canonicalized bytes, tolerating
+// formatting differences between a freshly marshaled blob and one that
+// round-tripped through an indented baseline file.
+func jsonEqual(a, b json.RawMessage) bool {
+	var ca, cb bytes.Buffer
+	if err := json.Compact(&ca, a); err != nil {
+		return bytes.Equal(a, b)
+	}
+	if err := json.Compact(&cb, b); err != nil {
+		return bytes.Equal(a, b)
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}

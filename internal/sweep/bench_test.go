@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchReportFixture(t *testing.T) *BenchReport {
+	t.Helper()
+	res, err := Run(fakePoints(3), fakeRunner, Options{Workers: 2, Reps: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBenchReport("fixture", res)
+	if r.Trials != 6 || len(r.Results) != 6 {
+		t.Fatalf("fixture shape wrong: %+v", r)
+	}
+	return r
+}
+
+// A report must compare clean against itself, including after a round trip
+// through the indented JSON file format.
+func TestCompareBenchSelf(t *testing.T) {
+	r := benchReportFixture(t)
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if err := r.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift, wall := CompareBench(loaded, r, 0.10)
+	if len(drift) != 0 {
+		t.Errorf("self-compare drift: %v", drift)
+	}
+	if len(wall) != 0 {
+		t.Errorf("self-compare wall findings: %v", wall)
+	}
+}
+
+// Any change to a simulated result blob is a drift finding.
+func TestCompareBenchDetectsMetricDrift(t *testing.T) {
+	baseline := benchReportFixture(t)
+	current := benchReportFixture(t)
+	current.Results[2].Data = []byte(`{"point":"p01","rep":0,"value":999}`)
+	drift, _ := CompareBench(baseline, current, 0)
+	if len(drift) != 1 || !strings.Contains(drift[0], "p01/rep0") {
+		t.Errorf("drift findings = %v, want one naming p01/rep0", drift)
+	}
+}
+
+func TestCompareBenchDetectsShapeDrift(t *testing.T) {
+	baseline := benchReportFixture(t)
+	for name, mutate := range map[string]func(r *BenchReport){
+		"seed":  func(r *BenchReport) { r.Seed = 99 },
+		"reps":  func(r *BenchReport) { r.Reps = 3 },
+		"name":  func(r *BenchReport) { r.Name = "other" },
+		"count": func(r *BenchReport) { r.Results = r.Results[:4] },
+		"trial-seed": func(r *BenchReport) {
+			r.Results[0].Seed = 12345
+		},
+	} {
+		current := benchReportFixture(t)
+		mutate(current)
+		drift, _ := CompareBench(baseline, current, 0)
+		if len(drift) == 0 {
+			t.Errorf("mutating %s produced no drift finding", name)
+		}
+	}
+}
+
+// Wall-clock findings are separate from drift and honour the tolerance.
+func TestCompareBenchWallTolerance(t *testing.T) {
+	baseline := benchReportFixture(t)
+	baseline.TrialsPerSec = 100
+
+	current := benchReportFixture(t)
+	current.TrialsPerSec = 95 // -5%: inside ±10%
+	drift, wall := CompareBench(baseline, current, 0.10)
+	if len(drift) != 0 || len(wall) != 0 {
+		t.Errorf("-5%% flagged: drift=%v wall=%v", drift, wall)
+	}
+
+	current.TrialsPerSec = 80 // -20%: outside ±10%
+	drift, wall = CompareBench(baseline, current, 0.10)
+	if len(drift) != 0 {
+		t.Errorf("wall slowdown misclassified as drift: %v", drift)
+	}
+	if len(wall) != 1 {
+		t.Errorf("-20%% not flagged: %v", wall)
+	}
+
+	// wallTol <= 0 disables the wall check (CI on unknown hardware).
+	if _, wall := CompareBench(baseline, current, 0); len(wall) != 0 {
+		t.Errorf("wall check ran with tolerance disabled: %v", wall)
+	}
+}

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a content-addressed result store: the canonical JSON blob of a
+// completed trial, keyed by a hash of everything that determines it
+// (cache version, point name, point config, seed, repetition). Re-running
+// a sweep skips every already-computed point; changing any input — or the
+// CacheVersion — changes the key and forces recomputation.
+//
+// Entries are one file per key under the cache directory (conventionally
+// `.sweepcache/` at the repo root). Writes go through a temp file and
+// rename, so concurrent workers and interrupted runs can never leave a
+// torn entry; a corrupt or unreadable entry is treated as a miss.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) the cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Load returns the cached blob for key. A nil cache, a missing entry, and
+// an unreadable entry all report a miss.
+func (c *Cache) Load(key string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil || !json.Valid(blob) {
+		return nil, false
+	}
+	return blob, true
+}
+
+// Store writes blob under key. A nil cache ignores the write; storage
+// errors are swallowed (the cache is an optimization, never a correctness
+// dependency) — the trial result is already in memory.
+func (c *Cache) Store(key string, blob json.RawMessage) {
+	if c == nil || len(blob) == 0 {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "trial-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		_ = os.Remove(name)
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// cacheKey derives the content hash for one trial: SHA-256 over a
+// length-prefixed encoding of (version, point name, canonical config JSON,
+// seed, rep). Length prefixes make the encoding injective, so no two
+// distinct inputs can collide by concatenation.
+func cacheKey(version string, t Trial) (string, error) {
+	cfg, err := json.Marshal(t.Point.Config)
+	if err != nil {
+		return "", fmt.Errorf("sweep: point %q config not JSON-marshalable: %w", t.Point.Name, err)
+	}
+	h := sha256.New()
+	for _, part := range []string{
+		version,
+		t.Point.Name,
+		string(cfg),
+		fmt.Sprintf("%d", t.Seed),
+		fmt.Sprintf("%d", t.Rep),
+	} {
+		fmt.Fprintf(h, "%d:%s", len(part), part)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// A second run over a warm cache must execute nothing, and its
+// deterministic output must be byte-identical to the cold run's.
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(filepath.Join(t.TempDir(), "sweepcache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := fakePoints(4)
+	var executed atomic.Int64
+	run := func(tr Trial) (any, error) {
+		executed.Add(1)
+		return fakeRunner(tr)
+	}
+	opts := Options{Workers: 4, Reps: 2, Seed: 3, Cache: cache, CacheVersion: "v1"}
+
+	cold, err := Run(points, run, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 || executed.Load() != 8 {
+		t.Fatalf("cold run: hits=%d executed=%d, want 0/8", cold.CacheHits, executed.Load())
+	}
+
+	warm, err := Run(points, run, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != 8 || executed.Load() != 8 {
+		t.Fatalf("warm run: hits=%d executed=%d, want 8 hits and no new executions", warm.CacheHits, executed.Load())
+	}
+	cj, _ := cold.DeterministicJSON()
+	wj, _ := warm.DeterministicJSON()
+	if !bytes.Equal(cj, wj) {
+		t.Fatalf("warm output differs from cold:\n%s\nvs\n%s", wj, cj)
+	}
+	for _, tr := range warm.Trials {
+		if !tr.Cached {
+			t.Errorf("trial %s/rep%d not served from cache", tr.Point, tr.Rep)
+		}
+	}
+}
+
+// Every cache-key input — version, seed, rep, config — must invalidate.
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Trial{Point: Point{Name: "p", Config: map[string]int{"x": 1}}, Rep: 1, Seed: 7}
+	k0, err := cacheKey("v1", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]func() (string, error){
+		"version": func() (string, error) { return cacheKey("v2", base) },
+		"name": func() (string, error) {
+			tr := base
+			tr.Point.Name = "q"
+			return cacheKey("v1", tr)
+		},
+		"config": func() (string, error) {
+			tr := base
+			tr.Point.Config = map[string]int{"x": 2}
+			return cacheKey("v1", tr)
+		},
+		"seed": func() (string, error) {
+			tr := base
+			tr.Seed = 8
+			return cacheKey("v1", tr)
+		},
+		"rep": func() (string, error) {
+			tr := base
+			tr.Rep = 2
+			return cacheKey("v1", tr)
+		},
+	}
+	for what, f := range variants {
+		k, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if k == k0 {
+			t.Errorf("changing %s did not change the cache key", what)
+		}
+	}
+	// Stability: same inputs, same key.
+	again, _ := cacheKey("v1", base)
+	if again != k0 {
+		t.Error("cache key is not stable")
+	}
+}
+
+// A corrupt entry is a miss, never a poisoned result.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := cacheKey("v1", Trial{Point: Point{Name: "p"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Store(key, []byte(`{"ok":true}`))
+	if _, ok := cache.Load(key); !ok {
+		t.Fatal("stored entry not loadable")
+	}
+	if err := os.WriteFile(cache.path(key), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Load(key); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+}
+
+// A nil cache is inert: loads miss, stores are dropped, sweeps still run.
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Load("k"); ok {
+		t.Error("nil cache load hit")
+	}
+	c.Store("k", []byte(`1`)) // must not panic
+	res, err := Run(fakePoints(2), fakeRunner, Options{Cache: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 {
+		t.Errorf("nil cache produced %d hits", res.CacheHits)
+	}
+}

@@ -1,0 +1,340 @@
+// Package sweep is the parallel deterministic experiment engine: it fans
+// the independent trials of a sweep (configuration point × repetition)
+// across a pool of OS workers while keeping the collected results
+// byte-identical to a sequential run.
+//
+// Determinism rests on three invariants:
+//
+//  1. Every trial is an independent, single-goroutine simulation that is a
+//     pure function of (point config, trial seed). Trials share no mutable
+//     state, so execution order cannot influence results.
+//  2. Each trial's seed is derived from the sweep's base seed with an
+//     FNV-1a substream (the same trick pcie.FaultPlan uses for per-channel
+//     fault streams), never from worker identity or scheduling order.
+//  3. Results are serialized to canonical JSON inside the worker and
+//     collected into a slice indexed by the trial's stable enumeration
+//     position, so assembly order is independent of completion order.
+//
+// Consequently `workers=N` and `workers=1` produce byte-identical
+// DeterministicJSON output — a property pinned by tests at both the engine
+// level and the full RUBiS fault-matrix level.
+//
+// The engine itself is harness code, not simulation code: it runs real
+// goroutines and measures wall-clock throughput. All simulated metrics stay
+// inside trial results; wall-clock numbers are kept out of the
+// deterministic output.
+package sweep
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Point is one configuration in a sweep matrix.
+type Point struct {
+	// Name identifies the point; it must be unique within the sweep. It
+	// appears in results and is part of the cache key.
+	Name string
+	// Config is the point's JSON-marshalable experiment configuration. It
+	// is part of the cache key, so any parameter that changes the outcome
+	// must be reachable from it.
+	Config any
+}
+
+// Trial is one scheduled execution: a point × repetition, with its derived
+// seed substream.
+type Trial struct {
+	// Index is the trial's stable position in the sweep's enumeration
+	// order (point-major, then repetition). Results are collected by this
+	// index, which is what keeps parallel output identical to sequential.
+	Index int
+	// Point is the configuration point being run.
+	Point Point
+	// Rep is the repetition number, 0-based.
+	Rep int
+	// Seed is the trial's derived seed substream; see DeriveSeed.
+	Seed int64
+}
+
+// Runner executes one trial and returns its JSON-marshalable result. A
+// Runner must be safe for concurrent use by multiple goroutines and must
+// derive all randomness from t.Seed (or values reachable from the point
+// config) — never from ambient sources — or parallel runs lose
+// reproducibility.
+type Runner func(t Trial) (any, error)
+
+// Progress is a snapshot of a running sweep, delivered to the Options
+// callback after every trial completes.
+type Progress struct {
+	Done    int           // trials finished (including cache hits)
+	Total   int           // trials in the sweep
+	Cached  int           // trials satisfied from the result cache
+	Elapsed time.Duration // wall-clock time since Run started
+}
+
+// Options shapes one Run call.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Reps is the number of repetitions per point; <= 0 means 1.
+	Reps int
+	// Seed is the sweep's base seed (default 1). Repetition 0 runs on the
+	// base seed itself; higher repetitions get FNV-derived substreams.
+	Seed int64
+	// Cache, when non-nil, is consulted before running a trial and updated
+	// after; see Cache. Cache keys include CacheVersion.
+	Cache *Cache
+	// CacheVersion invalidates cached results when the experiment code
+	// changes meaning without changing configuration. Bump it whenever a
+	// runner's semantics change.
+	CacheVersion string
+	// Progress, when non-nil, is invoked after every trial completes. It
+	// is called with an internal lock held, so it must be fast and must
+	// not call back into the engine.
+	Progress func(p Progress)
+}
+
+// TrialResult is one trial's outcome. The JSON encoding deliberately
+// excludes wall-clock fields so that DeterministicJSON is reproducible
+// across machines and worker counts.
+type TrialResult struct {
+	Point string          `json:"point"`
+	Rep   int             `json:"rep"`
+	Seed  int64           `json:"seed"`
+	Data  json.RawMessage `json:"data,omitempty"`
+	Err   string          `json:"error,omitempty"`
+
+	// Cached reports whether the result came from the cache.
+	Cached bool `json:"-"`
+	// Wall is the trial's wall-clock execution time (zero for cache hits).
+	Wall time.Duration `json:"-"`
+}
+
+// RunResult is the outcome of one sweep run, with trials in stable
+// enumeration order.
+type RunResult struct {
+	Trials    []TrialResult
+	Workers   int           // resolved pool size
+	Reps      int           // resolved repetitions per point
+	Seed      int64         // resolved base seed
+	Elapsed   time.Duration // wall clock for the whole sweep
+	CacheHits int
+}
+
+// Err returns the first trial error in enumeration order, or nil.
+func (r *RunResult) Err() error {
+	for _, t := range r.Trials {
+		if t.Err != "" {
+			return fmt.Errorf("sweep: trial %s/rep%d: %s", t.Point, t.Rep, t.Err)
+		}
+	}
+	return nil
+}
+
+// Decode unmarshals trial i's result into out.
+func (r *RunResult) Decode(i int, out any) error {
+	t := r.Trials[i]
+	if t.Err != "" {
+		return fmt.Errorf("sweep: trial %s/rep%d failed: %s", t.Point, t.Rep, t.Err)
+	}
+	if err := json.Unmarshal(t.Data, out); err != nil {
+		return fmt.Errorf("sweep: decode trial %s/rep%d: %w", t.Point, t.Rep, err)
+	}
+	return nil
+}
+
+// DeterministicJSON renders the trial results as indented JSON containing
+// only simulated (machine-independent) data: point, rep, seed, and the
+// runner's result blob. Byte-identical across worker counts, cache states,
+// and machines.
+func (r *RunResult) DeterministicJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r.Trials, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal results: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Executed returns the number of trials actually computed (cache misses).
+func (r *RunResult) Executed() int { return len(r.Trials) - r.CacheHits }
+
+// TrialsPerSec returns the wall-clock throughput of computed trials —
+// the headline number of the bench-regression guard. Cache hits are
+// excluded so a warm cache cannot masquerade as a faster engine.
+func (r *RunResult) TrialsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Executed()) / r.Elapsed.Seconds()
+}
+
+// DeriveSeed returns the seed substream for repetition rep of a sweep with
+// the given base seed. Repetition 0 is the base seed itself, so a
+// single-repetition sweep reproduces historical single-run results exactly;
+// higher repetitions get independent FNV-1a substreams. The stream label
+// keeps substreams of unrelated consumers (e.g. different experiment
+// families) from colliding.
+//
+// The repetition — not the point — drives the derivation, so every point
+// of one sweep sees the same workload draws within a repetition: config
+// sweeps stay paired comparisons, and repetitions provide the independent
+// resamples that mean/CI aggregation needs.
+func DeriveSeed(base int64, stream string, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(stream))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(rep))
+	_, _ = h.Write(buf[:])
+	s := base ^ int64(h.Sum64())
+	if s == 0 {
+		s = 1 // a zero seed would collapse to sim.NewRand's fallback state
+	}
+	return s
+}
+
+// Run executes every trial of the sweep (len(points) × reps) across the
+// worker pool and returns results in stable enumeration order. All trials
+// run to completion even when some fail; per-trial errors are recorded in
+// the results, and the first one is also available via RunResult.Err.
+//
+// Run returns a non-nil error only for sweep-level misuse: no points,
+// duplicate point names, or an unmarshalable point config.
+func Run(points []Point, run Runner, opts Options) (*RunResult, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: no points")
+	}
+	if run == nil {
+		return nil, fmt.Errorf("sweep: nil runner")
+	}
+	seen := make(map[string]bool, len(points))
+	for _, p := range points {
+		if p.Name == "" {
+			return nil, fmt.Errorf("sweep: point with empty name")
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("sweep: duplicate point name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	// Enumerate trials point-major: index = point*reps + rep. This order —
+	// not completion order — defines the output.
+	trials := make([]Trial, 0, len(points)*reps)
+	for pi, p := range points {
+		for rep := 0; rep < reps; rep++ {
+			trials = append(trials, Trial{
+				Index: pi*reps + rep,
+				Point: p,
+				Rep:   rep,
+				Seed:  DeriveSeed(seed, p.Name, rep),
+			})
+		}
+	}
+
+	res := &RunResult{
+		Trials:  make([]TrialResult, len(trials)),
+		Workers: workers,
+		Reps:    reps,
+		Seed:    seed,
+	}
+
+	// Cache pre-pass: resolve hits sequentially (cheap file reads) so the
+	// pool only sees real work. Key computation also validates that every
+	// point config marshals.
+	keys := make([]string, len(trials))
+	var todo []int
+	for i, t := range trials {
+		res.Trials[i] = TrialResult{Point: t.Point.Name, Rep: t.Rep, Seed: t.Seed}
+		key, err := cacheKey(opts.CacheVersion, t)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key
+		if blob, ok := opts.Cache.Load(key); ok {
+			res.Trials[i].Data = blob
+			res.Trials[i].Cached = true
+			res.CacheHits++
+			continue
+		}
+		todo = append(todo, i)
+	}
+
+	//lint:ignore detnondet the engine measures its own wall-clock throughput; simulated results never depend on it
+	start := time.Now()
+	var (
+		mu   sync.Mutex
+		done = res.CacheHits
+	)
+	report := func() {
+		if opts.Progress == nil {
+			return
+		}
+		//lint:ignore detnondet harness progress reporting, not simulation state
+		opts.Progress(Progress{Done: done, Total: len(trials), Cached: res.CacheHits, Elapsed: time.Since(start)})
+	}
+	mu.Lock()
+	report() // surface cache hits (and a zero baseline) before work starts
+	mu.Unlock()
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t := trials[i]
+				//lint:ignore detnondet per-trial wall time feeds the bench guard only
+				t0 := time.Now()
+				out := &res.Trials[i]
+				v, err := run(t)
+				if err == nil {
+					var blob []byte
+					if blob, err = json.Marshal(v); err == nil {
+						out.Data = blob
+					}
+				}
+				if err != nil {
+					out.Err = err.Error()
+				}
+				//lint:ignore detnondet per-trial wall time feeds the bench guard only
+				out.Wall = time.Since(t0)
+				if out.Err == "" {
+					opts.Cache.Store(keys[i], out.Data)
+				}
+				mu.Lock()
+				done++
+				report()
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, i := range todo {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	//lint:ignore detnondet sweep wall clock feeds the bench guard only
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,199 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeResult is a small deterministic "experiment outcome" derived from the
+// trial seed, so any seed or ordering mistake shows up as a byte diff.
+type fakeResult struct {
+	Point string  `json:"point"`
+	Rep   int     `json:"rep"`
+	Value float64 `json:"value"`
+}
+
+// fakeRunner simulates a tiny workload: a few PRNG draws from the trial's
+// seed substream, exactly like a real single-goroutine simulation.
+func fakeRunner(t Trial) (any, error) {
+	rng := sim.NewRand(t.Seed)
+	v := 0.0
+	for i := 0; i < 100; i++ {
+		v += rng.Float64()
+	}
+	return fakeResult{Point: t.Point.Name, Rep: t.Rep, Value: v}, nil
+}
+
+func fakePoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Name: fmt.Sprintf("p%02d", i), Config: map[string]int{"i": i}}
+	}
+	return pts
+}
+
+// The core invariant: any worker count produces byte-identical
+// deterministic output, trial for trial, in stable enumeration order.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	points := fakePoints(7)
+	var want []byte
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		res, err := Run(points, fakeRunner, Options{Workers: workers, Reps: 3, Seed: 42})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := res.DeterministicJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d output differs from workers=1:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestRunStableOrderAndSeeds(t *testing.T) {
+	points := fakePoints(3)
+	res, err := Run(points, fakeRunner, Options{Workers: 8, Reps: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 6 {
+		t.Fatalf("got %d trials, want 6", len(res.Trials))
+	}
+	for pi := 0; pi < 3; pi++ {
+		for rep := 0; rep < 2; rep++ {
+			tr := res.Trials[pi*2+rep]
+			if tr.Point != points[pi].Name || tr.Rep != rep {
+				t.Errorf("trial %d is %s/rep%d, want %s/rep%d", pi*2+rep, tr.Point, tr.Rep, points[pi].Name, rep)
+			}
+			if want := DeriveSeed(9, points[pi].Name, rep); tr.Seed != want {
+				t.Errorf("trial %s/rep%d seed %d, want %d", tr.Point, tr.Rep, tr.Seed, want)
+			}
+		}
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if got := DeriveSeed(123, "any", 0); got != 123 {
+		t.Errorf("rep 0 seed = %d, want the base seed 123", got)
+	}
+	// Substreams are stable, distinct per rep, and never zero.
+	a1, a2 := DeriveSeed(123, "s", 1), DeriveSeed(123, "s", 1)
+	if a1 != a2 {
+		t.Errorf("derivation unstable: %d vs %d", a1, a2)
+	}
+	seen := map[int64]int{}
+	for rep := 0; rep < 50; rep++ {
+		s := DeriveSeed(123, "s", rep)
+		if s == 0 {
+			t.Fatalf("rep %d derived a zero seed", rep)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("reps %d and %d collide on seed %d", prev, rep, s)
+		}
+		seen[s] = rep
+	}
+	if DeriveSeed(123, "a", 1) == DeriveSeed(123, "b", 1) {
+		t.Error("different streams share a substream")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, fakeRunner, Options{}); err == nil {
+		t.Error("no points: want error")
+	}
+	if _, err := Run(fakePoints(1), nil, Options{}); err == nil {
+		t.Error("nil runner: want error")
+	}
+	dup := []Point{{Name: "same"}, {Name: "same"}}
+	if _, err := Run(dup, fakeRunner, Options{}); err == nil {
+		t.Error("duplicate point names: want error")
+	}
+	bad := []Point{{Name: "p", Config: func() {}}}
+	if _, err := Run(bad, fakeRunner, Options{}); err == nil {
+		t.Error("unmarshalable config: want error")
+	}
+}
+
+// A failing trial is recorded without aborting the rest of the sweep, and
+// its error stays deterministic output too.
+func TestRunTrialErrors(t *testing.T) {
+	points := fakePoints(4)
+	run := func(tr Trial) (any, error) {
+		if tr.Point.Name == "p02" {
+			return nil, errors.New("boom")
+		}
+		return fakeRunner(tr)
+	}
+	res, err := Run(points, run, Options{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err() == nil {
+		t.Fatal("want first-trial error")
+	}
+	var okCount int
+	for _, tr := range res.Trials {
+		if tr.Err == "" {
+			okCount++
+		} else if tr.Point != "p02" {
+			t.Errorf("unexpected error on %s: %s", tr.Point, tr.Err)
+		}
+	}
+	if okCount != 3 {
+		t.Errorf("%d trials succeeded, want 3", okCount)
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	points := fakePoints(5)
+	var events []Progress
+	_, err := Run(points, fakeRunner, Options{Workers: 3, Progress: func(p Progress) {
+		events = append(events, p)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One initial snapshot plus one per trial, with Done monotonic to Total.
+	if len(events) != 6 {
+		t.Fatalf("got %d progress events, want 6", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Done != events[i-1].Done+1 {
+			t.Errorf("progress not monotonic at %d: %+v -> %+v", i, events[i-1], events[i])
+		}
+		if events[i].Total != 5 {
+			t.Errorf("total = %d, want 5", events[i].Total)
+		}
+	}
+	if last := events[len(events)-1]; last.Done != last.Total {
+		t.Errorf("final progress %d/%d not complete", last.Done, last.Total)
+	}
+}
+
+func TestRunResultDecode(t *testing.T) {
+	res, err := Run(fakePoints(2), fakeRunner, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r fakeResult
+	if err := res.Decode(1, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Point != "p01" || r.Rep != 0 {
+		t.Errorf("decoded %+v, want p01/rep0", r)
+	}
+	want, _ := fakeRunner(Trial{Point: Point{Name: "p01"}, Seed: DeriveSeed(5, "p01", 0)})
+	if r.Value != want.(fakeResult).Value {
+		t.Errorf("decoded value %v, want %v", r.Value, want.(fakeResult).Value)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // ScalabilityConfig parameterizes the coordination-mechanism scalability
@@ -19,6 +20,16 @@ type ScalabilityConfig struct {
 	Duration      time.Duration // simulated time per point (default 10s)
 	HopLatency    time.Duration // per-hop transport latency (default 150us, the PCIe mailbox)
 	HubCost       time.Duration // controller's per-message routing cost (default 50us)
+
+	// Workers is the parallel trial pool size; <= 0 uses GOMAXPROCS. Every
+	// (topology, islands) point is an independent simulation, so results
+	// are identical for any worker count.
+	Workers int
+	// Reps repeats each point with FNV-derived seed substreams (repetition
+	// 0 keeps Seed, so Reps <= 1 reproduces historical single-run results
+	// exactly). With Reps > 1 each point reports the mean across
+	// repetitions plus 95% confidence intervals.
+	Reps int
 }
 
 func (c *ScalabilityConfig) applyDefaults() {
@@ -40,9 +51,14 @@ func (c *ScalabilityConfig) applyDefaults() {
 	if c.HubCost == 0 {
 		c.HubCost = 50 * time.Microsecond
 	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
 }
 
-// ScalabilityPoint is one (topology, island count) measurement.
+// ScalabilityPoint is one (topology, island count) measurement. With
+// repetitions, the float metrics are means across repetitions and the CI
+// fields carry 95% confidence half-widths (zero for a single repetition).
 type ScalabilityPoint struct {
 	Topology      string // "star" (central controller) or "direct" (distributed)
 	Islands       int
@@ -51,6 +67,10 @@ type ScalabilityPoint struct {
 	MeanLatencyUs float64
 	P99LatencyUs  float64
 	MaxLatencyUs  float64
+
+	Reps       int     `json:",omitempty"`
+	MeanCI95Us float64 `json:",omitempty"` // 95% CI half-width on MeanLatencyUs
+	P99CI95Us  float64 `json:",omitempty"` // 95% CI half-width on P99LatencyUs
 }
 
 // RunCoordScalability sweeps island counts for both topologies. In the
@@ -59,15 +79,87 @@ type ScalabilityPoint struct {
 // each other over a single hop. The crossover — where the hub's queueing
 // dominates the extra complexity of distribution — motivates the paper's
 // call for distributed coordination on large many-cores.
+//
+// Points (and repetitions) fan out across the sweep worker pool; results
+// are deterministic and identical for any Workers value.
 func RunCoordScalability(cfg ScalabilityConfig) []ScalabilityPoint {
 	cfg.applyDefaults()
-	var out []ScalabilityPoint
+
+	type pointCfg struct {
+		Topology      string  `json:"topology"`
+		Islands       int     `json:"islands"`
+		RatePerIsland float64 `json:"rate_per_island"`
+		DurationNs    int64   `json:"duration_ns"`
+		HopNs         int64   `json:"hop_ns"`
+		HubNs         int64   `json:"hub_ns"`
+	}
+	var points []sweep.Point
 	for _, n := range cfg.Islands {
 		for _, topo := range []string{"star", "direct"} {
-			out = append(out, runScalabilityPoint(cfg, n, topo))
+			points = append(points, sweep.Point{
+				Name: fmt.Sprintf("%s/%d", topo, n),
+				Config: pointCfg{
+					Topology:      topo,
+					Islands:       n,
+					RatePerIsland: cfg.RatePerIsland,
+					DurationNs:    int64(cfg.Duration),
+					HopNs:         int64(cfg.HopLatency),
+					HubNs:         int64(cfg.HubCost),
+				},
+			})
 		}
 	}
+
+	res, err := sweep.Run(points, func(t sweep.Trial) (any, error) {
+		pc := t.Point.Config.(pointCfg)
+		trialCfg := cfg
+		trialCfg.Seed = t.Seed
+		return runScalabilityPoint(trialCfg, pc.Islands, pc.Topology), nil
+	}, sweep.Options{Workers: cfg.Workers, Reps: cfg.Reps, Seed: cfg.Seed})
+	if err != nil {
+		// Points are generated above with unique names and marshalable
+		// configs, and the runner never errors, so this is unreachable
+		// short of an engine bug.
+		panic(fmt.Sprintf("repro: scalability sweep failed: %v", err))
+	}
+
+	out := make([]ScalabilityPoint, 0, len(points))
+	for pi := range points {
+		reps := make([]ScalabilityPoint, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			if err := res.Decode(pi*cfg.Reps+rep, &reps[rep]); err != nil {
+				panic(fmt.Sprintf("repro: scalability sweep result: %v", err))
+			}
+		}
+		out = append(out, aggregateScalability(reps))
+	}
 	return out
+}
+
+// aggregateScalability folds one point's repetitions into a single point:
+// means across repetitions, with 95% confidence intervals on the latency
+// metrics. A single repetition passes through unchanged.
+func aggregateScalability(reps []ScalabilityPoint) ScalabilityPoint {
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	agg := ScalabilityPoint{Topology: reps[0].Topology, Islands: reps[0].Islands, Reps: len(reps)}
+	var offered, routed, meanLat, p99, maxLat stats.Summary
+	for _, r := range reps {
+		offered.Add(r.OfferedPerSec)
+		routed.Add(r.RoutedPerSec)
+		meanLat.Add(r.MeanLatencyUs)
+		p99.Add(r.P99LatencyUs)
+		maxLat.Add(r.MaxLatencyUs)
+	}
+	agg.OfferedPerSec = offered.Mean()
+	agg.RoutedPerSec = routed.Mean()
+	agg.MeanLatencyUs = meanLat.Mean()
+	agg.P99LatencyUs = p99.Mean()
+	agg.MaxLatencyUs = maxLat.Mean()
+	agg.MeanCI95Us = meanLat.CI95()
+	agg.P99CI95Us = p99.CI95()
+	return agg
 }
 
 func runScalabilityPoint(cfg ScalabilityConfig, islands int, topo string) ScalabilityPoint {
@@ -148,6 +240,10 @@ func mean(sample *stats.Sample) float64 {
 
 // String renders the point for harness output.
 func (p ScalabilityPoint) String() string {
-	return fmt.Sprintf("%-6s islands=%-3d offered=%8.0f/s routed=%8.0f/s mean=%7.1fus p99=%8.1fus max=%8.1fus",
+	s := fmt.Sprintf("%-6s islands=%-3d offered=%8.0f/s routed=%8.0f/s mean=%7.1fus p99=%8.1fus max=%8.1fus",
 		p.Topology, p.Islands, p.OfferedPerSec, p.RoutedPerSec, p.MeanLatencyUs, p.P99LatencyUs, p.MaxLatencyUs)
+	if p.Reps > 1 {
+		s += fmt.Sprintf(" (n=%d mean±%.1f p99±%.1f)", p.Reps, p.MeanCI95Us, p.P99CI95Us)
+	}
+	return s
 }

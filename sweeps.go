@@ -1,0 +1,231 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// SweepOptions shapes a parallel experiment sweep run through the
+// internal/sweep engine: worker-pool size, repetitions (aggregated as
+// mean ± 95% CI), result caching, and progress reporting. Results are
+// byte-identical for any Workers value; see docs/sweeping.md.
+type SweepOptions struct {
+	// Workers is the trial pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Reps repeats every point with FNV-derived seed substreams
+	// (repetition 0 keeps the base seed); <= 0 means 1.
+	Reps int
+	// Seed is the sweep's base seed (default 1).
+	Seed int64
+	// CacheDir, when non-empty, enables the content-hash result cache
+	// rooted there (conventionally ".sweepcache").
+	CacheDir string
+	// Progress, when non-nil, receives a snapshot after every trial.
+	Progress func(p sweep.Progress)
+}
+
+// options compiles the public options into engine options, opening the
+// cache if requested. version is the experiment family's cache version.
+func (o SweepOptions) options(version string) (sweep.Options, error) {
+	opts := sweep.Options{
+		Workers:      o.Workers,
+		Reps:         o.Reps,
+		Seed:         o.Seed,
+		CacheVersion: version,
+		Progress:     o.Progress,
+	}
+	if o.CacheDir != "" {
+		cache, err := sweep.OpenCache(o.CacheDir)
+		if err != nil {
+			return sweep.Options{}, err
+		}
+		opts.Cache = cache
+	}
+	return opts, nil
+}
+
+// faultMatrixVersion invalidates cached fault-matrix trials when the
+// experiment's meaning changes. Bump on any model or metric change.
+const faultMatrixVersion = "fault-matrix-v1"
+
+// FaultsRow is one trial of the fault-injection matrix: a RUBiS run under
+// one fault scenario on one coordination plane.
+type FaultsRow struct {
+	Scenario string `json:"scenario"`
+	// Plane is "none" (uncoordinated baseline), "fragile"
+	// (fire-and-forget coordination), or "reliable" (ack/retry plane).
+	Plane string `json:"plane"`
+
+	Throughput float64 `json:"throughput"`
+	MeanMs     float64 `json:"mean_ms"`
+
+	Retransmits     uint64 `json:"retransmits"`
+	Expired         uint64 `json:"expired"`
+	Degradations    uint64 `json:"degradations"`
+	BaselineReverts uint64 `json:"baseline_reverts"`
+}
+
+// faultPointCfg is a fault-matrix point's cache-keyed configuration.
+type faultPointCfg struct {
+	Scenario   string     `json:"scenario"`
+	Plane      string     `json:"plane"`
+	DurationNs int64      `json:"duration_ns"`
+	WarmupNs   int64      `json:"warmup_ns"`
+	Plan       *FaultPlan `json:"plan,omitempty"`
+}
+
+// FaultScenarios returns the canonical fault-injection scenario matrix for
+// a run of the given duration: the same matrix drives `reprobench -exp
+// ablation-faults`, the chaos tests, the parallel-determinism test, and
+// the pinned bench sweep.
+func FaultScenarios(dur time.Duration) []struct {
+	Name string
+	Plan *FaultPlan
+} {
+	return []struct {
+		Name string
+		Plan *FaultPlan
+	}{
+		{"clean", nil},
+		{"loss 30%", &FaultPlan{LossRate: 0.3}},
+		{"bursts", &FaultPlan{LossRate: 0.05, BurstRate: 0.02, BurstLen: 16}},
+		{"chaos mix", &FaultPlan{
+			LossRate: 0.15, DupRate: 0.1, ReorderRate: 0.1,
+			SpikeRate: 0.05, JitterMax: 100 * time.Microsecond,
+		}},
+		{"partition", &FaultPlan{Partitions: []Partition{
+			{Start: dur / 4, Duration: dur / 4},
+		}}},
+		{"ixp crash", &FaultPlan{Crashes: []CrashWindow{
+			{Island: "ixp", Start: dur / 4, Duration: dur / 8},
+		}}},
+	}
+}
+
+// FaultMatrixPoints expands the scenario matrix into sweep points: the
+// uncoordinated baseline first, then every scenario on both the fragile
+// and the reliable coordination plane, in stable order.
+func FaultMatrixPoints(cfg RubisConfig) []sweep.Point {
+	points := []sweep.Point{{
+		Name: "baseline",
+		Config: faultPointCfg{
+			Scenario:   "baseline",
+			Plane:      "none",
+			DurationNs: int64(cfg.Duration),
+			WarmupNs:   int64(cfg.Warmup),
+		},
+	}}
+	for _, sc := range FaultScenarios(cfg.Duration) {
+		for _, plane := range []string{"fragile", "reliable"} {
+			points = append(points, sweep.Point{
+				Name: sc.Name + "/" + plane,
+				Config: faultPointCfg{
+					Scenario:   sc.Name,
+					Plane:      plane,
+					DurationNs: int64(cfg.Duration),
+					WarmupNs:   int64(cfg.Warmup),
+					Plan:       sc.Plan,
+				},
+			})
+		}
+	}
+	return points
+}
+
+// FaultMatrixResult is one parallel run of the fault matrix.
+type FaultMatrixResult struct {
+	// Sweep is the raw engine result (stable trial order, deterministic
+	// JSON, wall-clock throughput).
+	Sweep *sweep.RunResult
+	// Rows holds the decoded trials in the same stable order.
+	Rows []FaultsRow
+}
+
+// RunFaultMatrix fans the fault-injection matrix (baseline + scenarios ×
+// planes, × repetitions) across the sweep worker pool. cfg supplies the
+// run shape (Duration, Warmup); its Seed, Faults, and Robust fields are
+// overridden per trial.
+func RunFaultMatrix(cfg RubisConfig, opt SweepOptions) (*FaultMatrixResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = cfg.Seed
+	}
+	opts, err := opt.options(faultMatrixVersion)
+	if err != nil {
+		return nil, err
+	}
+	points := FaultMatrixPoints(cfg)
+	res, err := sweep.Run(points, func(t sweep.Trial) (any, error) {
+		pc, ok := t.Point.Config.(faultPointCfg)
+		if !ok {
+			return nil, fmt.Errorf("repro: fault-matrix point %q has config %T", t.Point.Name, t.Point.Config)
+		}
+		trialCfg := cfg
+		trialCfg.Seed = t.Seed
+		trialCfg.Faults = pc.Plan
+		trialCfg.Robust = pc.Plane == "reliable"
+		r := RunRubis(trialCfg, pc.Plane != "none")
+		rb := r.Robustness
+		return FaultsRow{
+			Scenario:        pc.Scenario,
+			Plane:           pc.Plane,
+			Throughput:      r.Throughput,
+			MeanMs:          r.MeanOverTypes(),
+			Retransmits:     rb.Retransmits,
+			Expired:         rb.Expired,
+			Degradations:    rb.Degradations,
+			BaselineReverts: rb.BaselineReverts,
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	out := &FaultMatrixResult{Sweep: res, Rows: make([]FaultsRow, len(res.Trials))}
+	for i := range res.Trials {
+		if err := res.Decode(i, &out.Rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Row returns the first-repetition row for a scenario/plane pair, for
+// callers that address the matrix by name rather than index.
+func (r *FaultMatrixResult) Row(scenario, plane string) (FaultsRow, bool) {
+	for _, row := range r.Rows {
+		if row.Scenario == scenario && row.Plane == plane {
+			return row, true
+		}
+	}
+	return FaultsRow{}, false
+}
+
+// Pinned bench-sweep configuration: the regression guard reruns exactly
+// this sweep and compares against the committed BENCH_sweep.json. The
+// simulated metrics are a pure function of these values, so any drift
+// means the models changed; the wall-clock trial throughput seeds the
+// perf trajectory.
+const (
+	BenchSweepName = "rubis-fault-matrix"
+	benchSweepSeed = 1
+	benchSweepReps = 2
+	benchSweepDur  = 20 * time.Second
+)
+
+// RunBenchSweep executes the pinned benchmark sweep and returns its
+// report. The cache is deliberately not used: the guard measures real
+// trial throughput.
+func RunBenchSweep(workers int, progress func(p sweep.Progress)) (*sweep.BenchReport, error) {
+	res, err := RunFaultMatrix(
+		RubisConfig{Seed: benchSweepSeed, Duration: benchSweepDur},
+		SweepOptions{Workers: workers, Reps: benchSweepReps, Seed: benchSweepSeed, Progress: progress},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.NewBenchReport(BenchSweepName, res.Sweep), nil
+}
