@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint microbench sweep bench fuzz chaos check
+.PHONY: all build test race vet lint microbench sweep bench fuzz chaos overload check
 
 all: check
 
@@ -31,6 +31,7 @@ sweep:
 	$(GO) run ./cmd/reprobench -exp ablation-interrupt -cache .sweepcache
 	$(GO) run ./cmd/reprobench -exp ablation-loss -cache .sweepcache
 	$(GO) run ./cmd/reprobench -exp ablation-faults -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-overload -cache .sweepcache
 
 # bench is the regression guard: rerun the pinned sweep and compare against
 # the committed BENCH_sweep.json — exact on simulated metrics, ±10% on
@@ -49,6 +50,15 @@ fuzz:
 chaos:
 	$(GO) test -run 'TestChaos' .
 	$(GO) test -race ./internal/core/... ./internal/pcie/... ./internal/sweep/...
+
+# overload exercises the overload-control plane: the admission/breaker
+# unit+property tests under the race detector, the overload chaos suites,
+# and the quick ablation matrix (simulated metrics are machine-independent,
+# so no wall-clock comparison is involved).
+overload:
+	$(GO) test -race ./internal/overload/
+	$(GO) test -run 'TestChaosOverload|TestBoundedQueues|TestCoordinatedOverload' . ./internal/rubis/
+	$(GO) run ./cmd/reprobench -exp ablation-overload -quick
 
 # check is the full tier-1 gate: what CI runs on every push.
 check: build test lint

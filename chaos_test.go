@@ -177,6 +177,134 @@ func TestChaosCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestChaosOverload drives the deployment past saturation (2.5× sessions,
+// bounded tier queues) while a partition then a crash window hit the
+// coordination mailbox. The overload contract mirrors the PR 2 chaos
+// contract: coordinated shedding — whose control loop rides the faulty
+// mailbox — must never end up more than 5% worse on goodput than
+// uncoordinated local shedding under the same fault plan, and the
+// admission counters must reconcile exactly per tier.
+func TestChaosOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	plans := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"partition", FaultPlan{Partitions: []Partition{
+			{Start: 12 * time.Second, Duration: 6 * time.Second},
+		}}},
+		{"crash", FaultPlan{Crashes: []CrashWindow{
+			{Island: "ixp", Start: 15 * time.Second, Duration: 5 * time.Second},
+		}}},
+	}
+	type ovPointCfg struct {
+		Plan        FaultPlan `json:"plan"`
+		Coordinated bool      `json:"coordinated"`
+	}
+	var points []sweep.Point
+	for _, sc := range plans {
+		for _, coord := range []bool{false, true} {
+			name := sc.name + "/local"
+			if coord {
+				name = sc.name + "/coordinated"
+			}
+			points = append(points, sweep.Point{Name: name, Config: ovPointCfg{Plan: sc.plan, Coordinated: coord}})
+		}
+	}
+	res, err := sweep.Run(points, func(tr sweep.Trial) (any, error) {
+		pc := tr.Point.Config.(ovPointCfg)
+		cfg := chaosRubisCfg(tr.Seed)
+		cfg.Robust = true
+		plan := pc.Plan
+		cfg.Faults = &plan
+		cfg.LoadFactor = 2.5
+		cfg.RequestTimeout = 2 * time.Second
+		cfg.Overload = &OverloadControl{
+			QueueCap: 64, QueueDeadline: 300 * time.Millisecond,
+			Threshold: 150 * time.Millisecond, Coordinated: pc.Coordinated,
+		}
+		return RunRubis(cfg, pc.Coordinated), nil
+	}, sweep.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, sc := range plans {
+		sc := sc
+		var local, coord RubisRun
+		if err := res.Decode(2*i, &local); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Decode(2*i+1, &coord); err != nil {
+			t.Fatal(err)
+		}
+		t.Run(sc.name, func(t *testing.T) {
+			if coord.Throughput < local.Throughput*0.95 {
+				t.Errorf("coordinated goodput %.1f r/s, >5%% below uncoordinated shedding %.1f r/s",
+					coord.Throughput, local.Throughput)
+			}
+			// Non-vacuity: the fault plan really hit the coordination
+			// plane (partitions eat mailbox messages; crash windows show
+			// up as lease expiries), and the overload plane really shed
+			// on both sides of the comparison.
+			if len(sc.plan.Partitions) > 0 && coord.Robustness.FaultDrops == 0 {
+				t.Error("partition plan dropped nothing; comparison is vacuous")
+			}
+			if len(sc.plan.Crashes) > 0 && coord.Robustness.LeaseExpiries == 0 {
+				t.Error("crash plan expired no leases; comparison is vacuous")
+			}
+			for _, run := range []struct {
+				name string
+				r    *RubisRun
+			}{{"local", &local}, {"coordinated", &coord}} {
+				ov := run.r.Overload
+				if ov.QueueShed+ov.Expired+ov.IXPShed == 0 {
+					t.Errorf("%s run shed nothing at 2.5x load", run.name)
+				}
+			}
+			if coord.Overload.TriggersSent == 0 {
+				t.Error("coordinated run raised no overload Triggers")
+			}
+		})
+	}
+}
+
+// Per-tier admission counters must reconcile exactly at drain:
+// offered == served + shed + expired once the run has ended (the sim
+// drains every queued request or expires it).
+func TestChaosOverloadReconciliation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	cfg := chaosRubisCfg(1)
+	cfg.LoadFactor = 2.5
+	cfg.RequestTimeout = 2 * time.Second
+	cfg.Overload = &OverloadControl{
+		QueueCap: 64, QueueDeadline: 300 * time.Millisecond, Threshold: 150 * time.Millisecond,
+		Coordinated: true,
+	}
+	r := RunRubis(cfg, true)
+	ov := r.Overload
+	if ov.QueueShed+ov.Expired == 0 {
+		t.Fatal("no tier shed or expired anything at 2.5x load; reconciliation is vacuous")
+	}
+	for _, tier := range ov.Tiers {
+		inFlight := tier.Offered - tier.Served - tier.Shed - tier.Expired
+		if inFlight > 64 {
+			t.Errorf("%s tier counters do not reconcile: offered %d != served %d + shed %d + expired %d + in-flight<=cap",
+				tier.Tier, tier.Offered, tier.Served, tier.Shed, tier.Expired)
+		}
+		if tier.MaxWaiting > 64 {
+			t.Errorf("%s tier backlog reached %d, above the 64 cap", tier.Tier, tier.MaxWaiting)
+		}
+	}
+}
+
 // Whole-run determinism: same seed, same fault plan, same reliable plane
 // — byte-identical results, robustness counters included.
 func TestChaosDeterminism(t *testing.T) {

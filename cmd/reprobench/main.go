@@ -7,7 +7,7 @@
 //	reprobench [-exp all|fig2|fig4|table1|table2|fig5|fig6|fig7|table3|
 //	            powercap|scalability|ablation-latency|ablation-mechanisms|
 //	            ablation-threshold|ablation-interrupt|ablation-loss|
-//	            ablation-faults|sweep-bench]
+//	            ablation-faults|ablation-overload|sweep-bench]
 //	           [-seed N] [-quick] [-workers N] [-reps N] [-cache DIR]
 //	           [-json FILE] [-baseline FILE] [-ignore-wall]
 //
@@ -192,11 +192,12 @@ func main() {
 		"ablation-interrupt":  func() { ablationInterrupt(cfg) },
 		"ablation-loss":       func() { ablationLoss(cfg) },
 		"ablation-faults":     func() { ablationFaults(cfg) },
+		"ablation-overload":   func() { ablationOverload(cfg) },
 	}
 
 	order := []string{"fig2", "fig4", "table1", "table2", "fig5", "fig6", "fig7", "table3",
 		"powercap", "scalability", "ablation-latency", "ablation-mechanisms", "ablation-threshold",
-		"ablation-interrupt", "ablation-loss", "ablation-faults"}
+		"ablation-interrupt", "ablation-loss", "ablation-faults", "ablation-overload"}
 
 	writeJSON := func() {
 		if *jsonPath == "" {
@@ -591,19 +592,85 @@ func ablationFaults(cfg benchConfig) {
 	fmt.Printf("uncoordinated baseline: %s r/s, mean %s ms\n\n",
 		formatCell("%.1f", base.Throughput, base.tputCI, reps),
 		formatCell("%.0f", base.MeanMs, base.meanCI, reps))
-	fmt.Printf("%-12s | %-8s | %9s %9s | %8s %8s %8s %8s\n",
-		"scenario", "plane", "tput(r/s)", "mean(ms)", "retrans", "expired", "degrade", "revert")
+	fmt.Printf("%-18s | %-8s | %9s %9s | %8s %8s %8s %8s %8s\n",
+		"scenario", "plane", "tput(r/s)", "mean(ms)", "retrans", "expired", "degrade", "revert", "shed")
 	for pi := 1; pi*reps < len(res.Rows); pi++ {
 		row := aggregateFaultsRows(res.Rows[pi*reps : (pi+1)*reps])
-		fmt.Printf("%-12s | %-8s | %s %s | %s %s %s %s\n",
+		fmt.Printf("%-18s | %-8s | %s %s | %s %s %s %s %s\n",
 			row.Scenario, row.Plane,
 			formatCell("%9.1f", row.Throughput, row.tputCI, reps),
 			formatCell("%9.0f", row.MeanMs, row.meanCI, reps),
 			formatCell("%8.0f", float64(row.Retransmits), 0, 1),
 			formatCell("%8.0f", float64(row.Expired), 0, 1),
 			formatCell("%8.0f", float64(row.Degradations), 0, 1),
-			formatCell("%8.0f", float64(row.BaselineReverts), 0, 1))
+			formatCell("%8.0f", float64(row.BaselineReverts), 0, 1),
+			formatCell("%8.0f", float64(row.Shed), 0, 1))
 	}
+}
+
+// ablationOverload sweeps the overload-control ablation: no control vs
+// bounded tier queues vs the full coordinated plane, at offered-load
+// multipliers from 1× to 4× the calibrated population. The claim: past
+// saturation, coordinated shedding keeps goodput strictly above no-control
+// while holding the served-request p95 bounded instead of letting queueing
+// delay grow without limit.
+func ablationOverload(cfg benchConfig) {
+	res, err := repro.RunOverloadMatrix(
+		repro.RubisConfig{Seed: cfg.seed, Duration: cfg.rubisDur},
+		cfg.facadeOptions("ablation-overload"),
+	)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Println("Ablation: overload control (RUBiS; none vs bounded vs coordinated)")
+	reps := res.Sweep.Reps
+	fmt.Printf("%-12s | %5s | %11s %11s | %9s %8s %8s %8s %8s\n",
+		"control", "load", "goodput(r/s)", "p95(ms)", "queueshed", "expired", "ixpshed", "abandon", "triggers")
+	for pi := 0; pi*reps < len(res.Rows); pi++ {
+		row := aggregateOverloadRows(res.Rows[pi*reps : (pi+1)*reps])
+		fmt.Printf("%-12s | %4gx | %s %s | %s %s %s %s %s\n",
+			row.Control, row.Load,
+			formatCell("%11.1f", row.Goodput, row.goodCI, reps),
+			formatCell("%11.0f", row.ServedP95Ms, row.p95CI, reps),
+			formatCell("%9.0f", float64(row.QueueShed), 0, 1),
+			formatCell("%8.0f", float64(row.Expired), 0, 1),
+			formatCell("%8.0f", float64(row.IXPShed), 0, 1),
+			formatCell("%8.0f", float64(row.Abandoned), 0, 1),
+			formatCell("%8.0f", float64(row.Triggers), 0, 1))
+	}
+}
+
+// aggregatedOverload is one overload-matrix point folded across
+// repetitions: mean goodput/p95 with CI, counters averaged.
+type aggregatedOverload struct {
+	repro.OverloadRow
+	goodCI, p95CI float64
+}
+
+func aggregateOverloadRows(rows []repro.OverloadRow) aggregatedOverload {
+	var g, p stats.Summary
+	var agg aggregatedOverload
+	agg.OverloadRow = rows[0]
+	var qshed, expired, ixp, aband, trig uint64
+	for _, r := range rows {
+		g.Add(r.Goodput)
+		p.Add(r.ServedP95Ms)
+		qshed += r.QueueShed
+		expired += r.Expired
+		ixp += r.IXPShed
+		aband += r.Abandoned
+		trig += r.Triggers
+	}
+	n := uint64(len(rows))
+	agg.Goodput, agg.goodCI = g.Mean(), g.CI95()
+	agg.ServedP95Ms, agg.p95CI = p.Mean(), p.CI95()
+	agg.QueueShed = qshed / n
+	agg.Expired = expired / n
+	agg.IXPShed = ixp / n
+	agg.Abandoned = aband / n
+	agg.Triggers = trig / n
+	return agg
 }
 
 // aggregatedFaults is one fault-matrix point folded across repetitions:
@@ -617,7 +684,7 @@ func aggregateFaultsRows(rows []repro.FaultsRow) aggregatedFaults {
 	var t, m stats.Summary
 	var agg aggregatedFaults
 	agg.FaultsRow = rows[0]
-	var retrans, expired, degrade, revert uint64
+	var retrans, expired, degrade, revert, shed uint64
 	for _, r := range rows {
 		t.Add(r.Throughput)
 		m.Add(r.MeanMs)
@@ -625,6 +692,7 @@ func aggregateFaultsRows(rows []repro.FaultsRow) aggregatedFaults {
 		expired += r.Expired
 		degrade += r.Degradations
 		revert += r.BaselineReverts
+		shed += r.Shed
 	}
 	n := uint64(len(rows))
 	agg.Throughput, agg.tputCI = t.Mean(), t.CI95()
@@ -633,5 +701,6 @@ func aggregateFaultsRows(rows []repro.FaultsRow) aggregatedFaults {
 	agg.Expired = expired / n
 	agg.Degradations = degrade / n
 	agg.BaselineReverts = revert / n
+	agg.Shed = shed / n
 	return agg
 }

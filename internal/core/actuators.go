@@ -256,6 +256,8 @@ type IXPActuator struct {
 	TriggerHold         sim.Time
 
 	pendingRestore map[int]bool
+
+	shedControl func(entity, delta int) error
 }
 
 // NewIXPActuator wraps an IXP with default trigger behaviour.
@@ -308,4 +310,19 @@ func (a *IXPActuator) ApplyTrigger(entity int) error {
 		_ = a.x.SetFlowThreads(entity, n)
 	})
 	return nil
+}
+
+// SetShedControl installs the early-admission hook ApplyShed delegates to
+// (the application wires it to its per-class shedder; the actuator itself
+// stays traffic-agnostic). Nil uninstalls it.
+func (a *IXPActuator) SetShedControl(fn func(entity, delta int) error) { a.shedControl = fn }
+
+// ApplyShed adjusts the IXP-side admission shed rate for the entity's
+// traffic (ShedActuator). Without an installed shed control the
+// adjustment is rejected.
+func (a *IXPActuator) ApplyShed(entity, delta int) error {
+	if a.shedControl == nil {
+		return fmt.Errorf("core: IXP actuator has no shed control for entity %d", entity)
+	}
+	return a.shedControl(entity, delta)
 }

@@ -20,12 +20,24 @@ type Actuator interface {
 	ApplyTrigger(entity int) error
 }
 
+// ShedActuator is optionally implemented by actuators that can adjust an
+// island's admission shed rate (KindShed). Actuators without it reject
+// shed adjustments as apply errors, so adding the interface never breaks
+// existing implementations.
+type ShedActuator interface {
+	// ApplyShed moves the entity's shed rate by delta units (positive =
+	// shed more traffic before it reaches downstream islands).
+	ApplyShed(entity, delta int) error
+}
+
 // AgentStats counts an agent's coordination traffic.
 type AgentStats struct {
 	TunesSent        uint64
 	TriggersSent     uint64
+	ShedsSent        uint64
 	TunesApplied     uint64
 	TriggersApplied  uint64
+	ShedsApplied     uint64
 	ApplyErrors      uint64
 	RateLimitDropped uint64
 
@@ -97,6 +109,18 @@ type AgentOption func(*Agent)
 func WithRateLimit(s *sim.Simulator, minInterval sim.Time) AgentOption {
 	return func(a *Agent) { a.limiter = NewRateLimiter(s, minInterval) }
 }
+
+// WithTokenBucket rate-limits outbound messages per (kind, entity) with a
+// token bucket of the given burst: damped, not starved — an overload
+// episode may emit a burst of Triggers before the refill interval gates
+// the steady state.
+func WithTokenBucket(s *sim.Simulator, refill sim.Time, burst int) AgentOption {
+	return func(a *Agent) { a.limiter = NewTokenBucketRateLimiter(s, refill, burst) }
+}
+
+// SetLimiter installs (or replaces) the agent's outbound rate limiter
+// after construction; nil removes it.
+func (a *Agent) SetLimiter(l *RateLimiter) { a.limiter = l }
 
 // WithTrace installs fn as a tap on every message the agent sends or
 // applies.
@@ -255,6 +279,8 @@ func (a *Agent) send(msg Message) bool {
 		a.stats.TunesSent++
 	case KindTrigger:
 		a.stats.TriggersSent++
+	case KindShed:
+		a.stats.ShedsSent++
 	case KindRegister, KindAck, KindHeartbeat:
 		// Registration is controller-driven and protocol messages are
 		// emitted by their own paths; agents forward them uncounted.
@@ -293,7 +319,7 @@ func (a *Agent) Deliver(msg Message) {
 	case KindAck:
 		// Reliability-layer leakage; the endpoint consumes acks, so one
 		// arriving here is counted as an apply error below.
-	case KindTune, KindTrigger, KindRegister:
+	case KindTune, KindTrigger, KindRegister, KindShed:
 	}
 	if a.actuator == nil {
 		a.stats.ApplyErrors++
@@ -316,6 +342,15 @@ func (a *Agent) Deliver(msg Message) {
 		err = a.actuator.ApplyTrigger(msg.Entity)
 		if err == nil {
 			a.stats.TriggersApplied++
+		}
+	case KindShed:
+		if sa, ok := a.actuator.(ShedActuator); ok {
+			err = sa.ApplyShed(msg.Entity, msg.Delta)
+			if err == nil {
+				a.stats.ShedsApplied++
+			}
+		} else {
+			err = fmt.Errorf("core: agent %q actuator cannot shed", a.name)
 		}
 	default:
 		err = fmt.Errorf("core: agent %q cannot apply %v", a.name, msg.Kind)

@@ -120,6 +120,27 @@ func (c *WatchdogConfig) applyDefaults() {
 	}
 }
 
+// OverloadControlConfig parameterizes the controller's overload-Trigger
+// translation (EnableOverloadControl).
+type OverloadControlConfig struct {
+	// Upstream names the island with early traffic visibility (the IXP in
+	// the prototype): every routed Trigger also sends it a KindShed
+	// adjustment so excess traffic is shed before crossing the mailbox.
+	Upstream string
+	// ShedStep is the Delta of each upstream KindShed (default 1).
+	ShedStep int
+	// BoostDelta, when nonzero, additionally routes a KindTune with this
+	// Delta to the trigger's own target — the weight boost half of the
+	// translation (the Trigger itself already carries the runqueue boost).
+	BoostDelta int
+}
+
+func (c *OverloadControlConfig) applyDefaults() {
+	if c.ShedStep == 0 {
+		c.ShedStep = 1
+	}
+}
+
 // Controller is the global coordination controller: the first privileged
 // domain to boot registers it, every island and spanning entity registers
 // with it, and it routes coordination messages between islands (§2.3).
@@ -129,6 +150,11 @@ type Controller struct {
 
 	routed     uint64
 	unroutable [unrouteReasonCount]uint64
+
+	// Overload-control translation state (EnableOverloadControl).
+	overload   *OverloadControlConfig
+	shedTunes  uint64
+	boostTunes uint64
 
 	// Heartbeat/lease watchdog state (EnableWatchdog).
 	wsim          *sim.Simulator
@@ -301,7 +327,7 @@ func (c *Controller) Route(msg Message) {
 		// surfacing here is a wiring bug, counted rather than routed.
 		c.strayAcks++
 		return
-	case KindTune, KindTrigger, KindRegister:
+	case KindTune, KindTrigger, KindRegister, KindShed:
 	}
 	h, ok := c.islands[msg.Target]
 	if !ok {
@@ -324,10 +350,50 @@ func (c *Controller) Route(msg Message) {
 	c.routed++
 	if h.Local != nil {
 		h.Local(msg)
-		return
+	} else {
+		h.Downlink.Send(msg)
 	}
-	h.Downlink.Send(msg)
+	if msg.Kind == KindTrigger && c.overload != nil {
+		c.translateTrigger(msg)
+	}
 }
+
+// EnableOverloadControl arms the Trigger translation: every successfully
+// routed Trigger is expanded into a weight-boost Tune toward its target
+// (when BoostDelta is set) plus an upstream KindShed toward the island
+// that sees traffic first — the paper's coordination argument under load:
+// the island with early visibility protects the island doing expensive
+// work.
+func (c *Controller) EnableOverloadControl(cfg OverloadControlConfig) {
+	if cfg.Upstream == "" {
+		panic("core: overload control needs an upstream island")
+	}
+	cfg.applyDefaults()
+	c.overload = &cfg
+}
+
+// translateTrigger fans one routed Trigger into its overload-control
+// actions. The emitted kinds are Tune and Shed, so translation never
+// recurses.
+func (c *Controller) translateTrigger(msg Message) {
+	oc := c.overload
+	if oc.BoostDelta != 0 {
+		c.boostTunes++
+		c.Route(Message{Kind: KindTune, From: "controller", Target: msg.Target, Entity: msg.Entity, Delta: oc.BoostDelta})
+	}
+	if oc.Upstream != msg.Target {
+		c.shedTunes++
+		c.Route(Message{Kind: KindShed, From: "controller", Target: oc.Upstream, Entity: msg.Entity, Delta: oc.ShedStep})
+	}
+}
+
+// ShedTunesIssued returns upstream shed adjustments emitted by the
+// overload-control translation.
+func (c *Controller) ShedTunesIssued() uint64 { return c.shedTunes }
+
+// BoostTunesIssued returns weight-boost Tunes emitted by the
+// overload-control translation.
+func (c *Controller) BoostTunesIssued() uint64 { return c.boostTunes }
 
 // Routed returns the number of successfully routed messages.
 func (c *Controller) Routed() uint64 { return c.routed }

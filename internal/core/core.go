@@ -40,6 +40,11 @@ const (
 	// controller (which renews their lease) and the controller pings
 	// islands back (which renews the agents' view of the uplink).
 	KindHeartbeat
+	// KindShed is an upstream admission-control adjustment: Delta moves the
+	// target island's shed rate for the entity's traffic (positive = shed
+	// more). The controller emits one toward the island with early traffic
+	// visibility when a downstream island raises an overload Trigger.
+	KindShed
 )
 
 // String names the message kind.
@@ -55,6 +60,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -97,7 +104,9 @@ func (c DeliveryClass) String() string {
 // ClassFor returns the delivery class of a message kind.
 func ClassFor(k Kind) DeliveryClass {
 	switch k {
-	case KindTune:
+	case KindTune, KindShed:
+		// A stale shed-rate adjustment applied late is worse than a lost
+		// one, exactly like a Tune: at-most-once.
 		return ClassAtMostOnce
 	case KindTrigger, KindRegister:
 		return ClassAtLeastOnce
@@ -130,6 +139,8 @@ func (m Message) String() string {
 		return fmt.Sprintf("tune{%s->%s entity=%d delta=%+d}", m.From, m.Target, m.Entity, m.Delta)
 	case KindTrigger:
 		return fmt.Sprintf("trigger{%s->%s entity=%d}", m.From, m.Target, m.Entity)
+	case KindShed:
+		return fmt.Sprintf("shed{%s->%s entity=%d delta=%+d}", m.From, m.Target, m.Entity, m.Delta)
 	default:
 		return fmt.Sprintf("%s{%s->%s entity=%d}", m.Kind, m.From, m.Target, m.Entity)
 	}

@@ -144,6 +144,7 @@ func TestKindStringRoundTrip(t *testing.T) {
 		KindRegister:  "register",
 		KindAck:       "ack",
 		KindHeartbeat: "heartbeat",
+		KindShed:      "shed",
 	}
 	seen := map[string]Kind{}
 	for k, want := range names {
@@ -158,7 +159,7 @@ func TestKindStringRoundTrip(t *testing.T) {
 	}
 	// Out-of-range kinds must stay distinguishable: the fallback embeds the
 	// numeric value instead of collapsing to one opaque name.
-	for _, k := range []Kind{Kind(-1), Kind(5), Kind(42)} {
+	for _, k := range []Kind{Kind(-1), Kind(6), Kind(42)} {
 		got := k.String()
 		if want := fmt.Sprintf("Kind(%d)", int(k)); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	s := sim.New(1)
+	r := NewTokenBucketRateLimiter(s, 100*sim.Millisecond, 3)
+
+	granted := 0
+	s.At(0, func() {
+		for i := 0; i < 5; i++ {
+			if r.Allow(KindTrigger, 1) {
+				granted++
+			}
+		}
+	})
+	s.At(50*sim.Millisecond, func() {
+		if r.Allow(KindTrigger, 1) {
+			t.Error("granted at half a refill interval with an empty bucket")
+		}
+		// A different entity holds its own full bucket.
+		if !r.Allow(KindTrigger, 2) {
+			t.Error("entity 2's bucket drained by entity 1's burst")
+		}
+	})
+	s.At(160*sim.Millisecond, func() {
+		if !r.Allow(KindTrigger, 1) {
+			t.Error("not granted after a full refill interval")
+		}
+		if r.Allow(KindTrigger, 1) {
+			t.Error("granted twice off a single refilled token")
+		}
+	})
+	s.Run()
+	if granted != 3 {
+		t.Fatalf("initial burst granted %d, want exactly the burst capacity 3", granted)
+	}
+}
+
+// TestTokenBucketNeverExceedsCapacity is the satellite property test:
+// over ANY time window, a (kind, entity) bucket of capacity B refilled
+// every R grants at most B + window/R messages — the bucket can never be
+// overdrawn, whatever the arrival pattern.
+func TestTokenBucketNeverExceedsCapacity(t *testing.T) {
+	prop := func(gaps []uint16, burstRaw, refillRaw uint8) bool {
+		burst := int(burstRaw)%5 + 1
+		refill := sim.Time(int(refillRaw)%20+1) * sim.Millisecond
+
+		s := sim.New(1)
+		r := NewTokenBucketRateLimiter(s, refill, burst)
+		var grants []sim.Time
+		at := sim.Time(0)
+		for _, g := range gaps {
+			at += sim.Time(g%2000) * 50 * sim.Microsecond
+			s.At(at, func() {
+				if r.Allow(KindTrigger, 7) {
+					grants = append(grants, s.Now())
+				}
+			})
+		}
+		s.Run()
+
+		for i := range grants {
+			for j := i; j < len(grants); j++ {
+				window := grants[j] - grants[i]
+				allowed := float64(burst) + float64(window)/float64(refill)
+				if float64(j-i+1) > allowed+1e-9 {
+					t.Logf("window [%v,%v] granted %d, budget %.3f (burst=%d refill=%v)",
+						grants[i], grants[j], j-i+1, allowed, burst, refill)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerOverloadTranslation(t *testing.T) {
+	s := sim.New(1)
+	c := NewController()
+	var local []Message
+	if err := c.RegisterIsland(IslandHandle{Name: "x86", Local: func(m Message) { local = append(local, m) }}); err != nil {
+		t.Fatal(err)
+	}
+	down := NewSimTransport(s, 10*sim.Microsecond)
+	var ixpGot []Message
+	down.SetReceiver(func(m Message) { ixpGot = append(ixpGot, m) })
+	if err := c.RegisterIsland(IslandHandle{Name: "ixp", Downlink: down}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterEntity(Entity{ID: 5, Home: "x86"}); err != nil {
+		t.Fatal(err)
+	}
+	c.EnableOverloadControl(OverloadControlConfig{Upstream: "ixp", ShedStep: 2, BoostDelta: 16})
+
+	s.At(0, func() {
+		c.Route(Message{Kind: KindTrigger, From: "x86", Target: "x86", Entity: 5})
+	})
+	s.Run()
+
+	// The trigger itself plus the translated weight-boost Tune reach x86.
+	if len(local) != 2 || local[0].Kind != KindTrigger || local[1].Kind != KindTune || local[1].Delta != 16 {
+		t.Fatalf("x86 saw %v, want [trigger tune(+16)]", local)
+	}
+	// The upstream island gets the shed-rate adjustment.
+	if len(ixpGot) != 1 || ixpGot[0].Kind != KindShed || ixpGot[0].Delta != 2 || ixpGot[0].Entity != 5 {
+		t.Fatalf("ixp saw %v, want [shed(+2) entity 5]", ixpGot)
+	}
+	if c.ShedTunesIssued() != 1 || c.BoostTunesIssued() != 1 {
+		t.Fatalf("issued shed=%d boost=%d, want 1/1", c.ShedTunesIssued(), c.BoostTunesIssued())
+	}
+	if c.Routed() != 3 {
+		t.Fatalf("routed %d, want 3 (trigger + tune + shed)", c.Routed())
+	}
+
+	// A trigger already targeting the upstream island must not bounce a
+	// shed adjustment back at it.
+	s.At(sim.Millisecond, func() {
+		c.Route(Message{Kind: KindTrigger, From: "x86", Target: "ixp", Entity: 5})
+	})
+	s.Run()
+	if c.ShedTunesIssued() != 1 {
+		t.Fatalf("upstream-targeted trigger issued a shed back at the upstream")
+	}
+}
+
+func TestReliableBreakerFailsFast(t *testing.T) {
+	s := sim.New(1)
+	drop := &lossyTransport{}
+	back := NewSimTransport(s, 10*sim.Microsecond)
+	e := NewReliableEndpoint(s, "up", drop, back, ReliableConfig{
+		RTO:        sim.Millisecond,
+		MaxRetries: 1,
+		Breaker:    &overload.BreakerConfig{FailureThreshold: 2, OpenTimeout: sim.Second},
+	})
+
+	// Two triggers exhaust retries on the dead link, tripping the breaker.
+	s.At(0, func() { e.Send(Message{Kind: KindTrigger, Target: "c", Entity: 1}) })
+	s.At(0, func() { e.Send(Message{Kind: KindTrigger, Target: "c", Entity: 2}) })
+	var rejectedSeq uint64
+	s.At(100*sim.Millisecond, func() {
+		if e.Breaker().State() != overload.BreakerOpen {
+			t.Errorf("breaker %v after retry exhaustion, want open", e.Breaker().State())
+		}
+		before := e.nextSeq
+		e.Send(Message{Kind: KindTrigger, Target: "c", Entity: 3})
+		if e.nextSeq != before {
+			t.Error("breaker-rejected send consumed a sequence number")
+		}
+		rejectedSeq = e.Stats().BreakerRejected
+	})
+	s.Run()
+
+	if rejectedSeq != 1 {
+		t.Fatalf("BreakerRejected=%d, want 1", rejectedSeq)
+	}
+	st := e.Stats()
+	if st.GaveUp != 2 || st.DataSent != 2 {
+		t.Fatalf("stats %+v, want GaveUp=2 DataSent=2", st)
+	}
+	if e.Up() {
+		t.Fatal("link still believed up after giving up")
+	}
+}
+
+// lossyTransport drops everything it is given.
+type lossyTransport struct{ recv func(Message) }
+
+func (l *lossyTransport) Send(Message)                 {}
+func (l *lossyTransport) SetReceiver(fn func(Message)) { l.recv = fn }

@@ -10,11 +10,18 @@ import (
 // the same kind for the same entity. It damps the message storms that
 // per-packet policies would otherwise generate on rapidly oscillating
 // request streams.
+//
+// With burst > 1 it runs in token-bucket mode: each (kind, entity) holds a
+// bucket of burst tokens refilled at one token per interval, so an
+// overload episode may emit a burst of messages back-to-back while the
+// steady-state rate stays capped — damped, not starved.
 type RateLimiter struct {
 	sim      *sim.Simulator
 	interval sim.Time
+	burst    int
 	last     map[[2]int]sim.Time
 	seen     map[[2]int]bool
+	tokens   map[[2]int]float64
 }
 
 // NewRateLimiter returns a limiter allowing one message per (kind, entity)
@@ -26,9 +33,27 @@ func NewRateLimiter(s *sim.Simulator, minInterval sim.Time) *RateLimiter {
 	return &RateLimiter{
 		sim:      s,
 		interval: minInterval,
+		burst:    1,
 		last:     make(map[[2]int]sim.Time),
 		seen:     make(map[[2]int]bool),
+		tokens:   make(map[[2]int]float64),
 	}
+}
+
+// NewTokenBucketRateLimiter returns a limiter granting each (kind, entity)
+// a bucket of burst tokens, refilled at one token per refill interval and
+// capped at burst. A burst of 1 degenerates to NewRateLimiter's strict
+// minimum-interval behaviour.
+func NewTokenBucketRateLimiter(s *sim.Simulator, refill sim.Time, burst int) *RateLimiter {
+	if refill <= 0 {
+		panic(fmt.Sprintf("core: token-bucket refill interval %v must be positive", refill))
+	}
+	if burst < 1 {
+		panic(fmt.Sprintf("core: token-bucket burst %d must be at least 1", burst))
+	}
+	r := NewRateLimiter(s, refill)
+	r.burst = burst
+	return r
 }
 
 // Allow reports whether a message of kind for entity may be sent now, and
@@ -39,6 +64,9 @@ func (r *RateLimiter) Allow(kind Kind, entity int) bool {
 	}
 	key := [2]int{int(kind), entity}
 	now := r.sim.Now()
+	if r.burst > 1 {
+		return r.allowBucket(key, now)
+	}
 	if r.seen[key] && now-r.last[key] < r.interval {
 		return false
 	}
@@ -47,5 +75,28 @@ func (r *RateLimiter) Allow(kind Kind, entity int) bool {
 	return true
 }
 
+// allowBucket is the token-bucket grant path: refill lazily from the
+// elapsed time, cap at burst, spend one token if available.
+func (r *RateLimiter) allowBucket(key [2]int, now sim.Time) bool {
+	tokens := float64(r.burst)
+	if r.seen[key] {
+		tokens = r.tokens[key] + float64(now-r.last[key])/float64(r.interval)
+		if tokens > float64(r.burst) {
+			tokens = float64(r.burst)
+		}
+	}
+	r.seen[key] = true
+	r.last[key] = now
+	if tokens < 1 {
+		r.tokens[key] = tokens
+		return false
+	}
+	r.tokens[key] = tokens - 1
+	return true
+}
+
 // Interval returns the configured minimum interval.
 func (r *RateLimiter) Interval() sim.Time { return r.interval }
+
+// Burst returns the bucket capacity (1 in strict minimum-interval mode).
+func (r *RateLimiter) Burst() int { return r.burst }

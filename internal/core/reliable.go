@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/overload"
 	"repro/internal/sim"
 )
 
@@ -25,6 +26,13 @@ type ReliableConfig struct {
 	// waiting for the gap before skipping it — gaps are permanent when the
 	// sender expired an at-most-once message (default 10ms).
 	ReorderHold sim.Time
+
+	// Breaker, when non-nil, arms a circuit breaker on the send path: a
+	// message that exhausts its retries records a failure, an ack records
+	// a success, and while the breaker is open sequenced sends fail fast
+	// (counted as BreakerRejected) instead of growing the retransmit
+	// queue. Nil (the default) changes nothing.
+	Breaker *overload.BreakerConfig
 }
 
 func (c *ReliableConfig) applyDefaults() {
@@ -54,6 +62,8 @@ type ReliableStats struct {
 
 	AcksSent     uint64
 	AcksReceived uint64
+
+	BreakerRejected uint64 // sequenced sends refused while the breaker was open
 
 	Delivered  uint64 // sequenced messages handed to the application
 	DupDrops   uint64 // duplicate arrivals of a buffered out-of-order seq
@@ -114,6 +124,7 @@ type ReliableEndpoint struct {
 
 	up      bool
 	onState func(up bool)
+	breaker *overload.Breaker
 
 	stats ReliableStats
 }
@@ -138,8 +149,19 @@ func NewReliableEndpoint(s *sim.Simulator, name string, out, in Transport, cfg R
 		buffer:      make(map[uint64]Message),
 		up:          true,
 	}
+	if cfg.Breaker != nil {
+		e.breaker = overload.NewBreaker(s, *cfg.Breaker)
+	}
 	in.SetReceiver(e.onRaw)
 	return e
+}
+
+// Breaker returns the endpoint's circuit breaker, nil when not armed.
+func (e *ReliableEndpoint) Breaker() *overload.Breaker {
+	if e == nil {
+		return nil
+	}
+	return e.breaker
 }
 
 // Name returns the endpoint's diagnostic name.
@@ -176,6 +198,14 @@ func (e *ReliableEndpoint) Send(msg Message) {
 		return
 	case ClassAtMostOnce, ClassAtLeastOnce:
 	}
+	if e.breaker != nil && !e.breaker.Allow() {
+		// Fail fast: the uplink is believed dead or saturated; dropping
+		// here (before a sequence number is consumed, so no gap forms)
+		// feeds the graceful-degradation hold-down instead of growing the
+		// retransmit queue.
+		e.stats.BreakerRejected++
+		return
+	}
 	seq := e.nextSeq
 	e.nextSeq++
 	msg.Seq = seq
@@ -208,6 +238,9 @@ func (e *ReliableEndpoint) retransmit(seq uint64) {
 		delete(e.outstanding, seq)
 		e.stats.GaveUp++
 		e.advanceFloor()
+		if e.breaker != nil {
+			e.breaker.RecordFailure()
+		}
 		e.setUp(false)
 		return
 	}
@@ -227,6 +260,9 @@ func (e *ReliableEndpoint) onRaw(m Message) {
 	case KindAck:
 		e.stats.AcksReceived++
 		e.setUp(true)
+		if e.breaker != nil {
+			e.breaker.RecordSuccess()
+		}
 		e.ackCumulative(m.Ack)
 		e.ackOne(m.Seq)
 		return
@@ -238,7 +274,7 @@ func (e *ReliableEndpoint) onRaw(m Message) {
 			e.recv(m)
 		}
 		return
-	case KindTune, KindTrigger, KindRegister:
+	case KindTune, KindTrigger, KindRegister, KindShed:
 	}
 	e.setUp(true)
 	e.onData(m)

@@ -98,6 +98,13 @@ func (c *Config) applyDefaults() {
 // The RUBiS request classifier and the MPlayer stream classifier are DPIs.
 type DPI func(*netsim.Packet)
 
+// Admission is the early-admission gate run on every received packet
+// before the DPI hooks: returning admit=false sheds the packet at the NIC
+// — it never crosses PCIe — and transmits resp (when non-nil) back toward
+// the wire so closed-loop clients see a fast rejection instead of silence.
+// The coordinated overload-control plane installs a per-class shedder here.
+type Admission func(*netsim.Packet) (resp *netsim.Packet, admit bool)
+
 // IXP is the network-processor island.
 type IXP struct {
 	sim    *sim.Simulator
@@ -109,6 +116,7 @@ type IXP struct {
 
 	flows     map[int]*FlowQueue // keyed by destination VM
 	flowOrder []int              // deterministic iteration order
+	admit     Admission
 
 	hostChan *pcie.Channel // IXP -> host (PCI-Tx direction)
 	toHost   func(*netsim.Packet)
@@ -124,6 +132,7 @@ type IXP struct {
 
 	rxSeen    uint64
 	rxDropped uint64
+	rxShed    uint64
 	txSeen    uint64
 }
 
@@ -171,6 +180,9 @@ func (x *IXP) SetTracer(t *trace.Tracer) { x.tracer = t }
 // AddDPI appends a deep-packet-inspection hook run during receive-side
 // classification (wire -> host traffic).
 func (x *IXP) AddDPI(d DPI) { x.dpis = append(x.dpis, d) }
+
+// SetAdmission installs the early-admission gate (nil uninstalls it).
+func (x *IXP) SetAdmission(a Admission) { x.admit = a }
 
 // AddTxDPI appends an inspection hook run on transmit traffic
 // (host -> wire). The coordination policies that correlate responses with
@@ -324,6 +336,10 @@ func (x *IXP) RxSeen() uint64 { return x.rxSeen }
 
 // RxDropped returns packets dropped (unknown VM or buffer overflow).
 func (x *IXP) RxDropped() uint64 { return x.rxDropped }
+
+// RxShed returns packets rejected by the early-admission gate before
+// crossing PCIe.
+func (x *IXP) RxShed() uint64 { return x.rxShed }
 
 // TxSeen returns packets accepted from the host for transmission.
 func (x *IXP) TxSeen() uint64 { return x.txSeen }

@@ -116,6 +116,22 @@ func (x *IXP) RxStageDrops() uint64 { return x.rx.drops }
 // classify runs the DPI hooks and steers a classified packet to its flow
 // queue (the post-classification half of the old Receive path).
 func (x *IXP) classify(p *netsim.Packet) {
+	// The admission gate runs before the DPI hooks: a shed packet is
+	// invisible to the coordination policies' request accounting (its
+	// bounce bypasses the Tx DPIs too, so outstanding-load bookkeeping
+	// stays balanced) and never consumes PCIe or host resources.
+	if x.admit != nil {
+		if resp, ok := x.admit(p); !ok {
+			x.rxShed++
+			if x.tracer.Enabled(trace.CatNet) {
+				x.tracer.Emit(trace.CatNet, "ixp shed: admission gate (pkt %d)", p.ID)
+			}
+			if resp != nil && !x.txq.enqueue(resp) {
+				x.rxDropped++
+			}
+			return
+		}
+	}
 	for _, d := range x.dpis {
 		d(p)
 	}

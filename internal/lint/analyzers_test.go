@@ -16,3 +16,5 @@ func TestKindSwitch(t *testing.T) { linttest.Run(t, lint.KindSwitch, "kindswitch
 func TestFloatEq(t *testing.T) { linttest.Run(t, lint.FloatEq, "floateq") }
 
 func TestPanicFree(t *testing.T) { linttest.Run(t, lint.PanicFree, "panicfree") }
+
+func TestBoundedQ(t *testing.T) { linttest.Run(t, lint.BoundedQ, "boundedq") }

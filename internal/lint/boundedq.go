@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// boundedqNameRE matches struct-field names that denote an admission queue
+// or backlog. Anything matching it is expected to be bounded: growth must
+// be guarded by a capacity comparison so that overload degrades into
+// counted shedding instead of unbounded memory growth and latency.
+var boundedqNameRE = regexp.MustCompile(`(?i)(queue|backlog|pending|waiting|inbox|mailbox|pkts)`)
+
+// boundedqCapRE matches identifiers that plausibly carry a capacity bound;
+// a comparison against one of these counts as a guard even when it bounds
+// a companion quantity (e.g. q.bytes > q.capBytes protecting q.pkts).
+var boundedqCapRE = regexp.MustCompile(`(?i)(cap|limit|max|bound|depth|budget|watermark)`)
+
+// boundedqGateRE matches method names that report fullness — calling one
+// (h.RingFull(), q.Overflowing()) is backpressure, hence a guard.
+var boundedqGateRE = regexp.MustCompile(`(?i)(full|overflow)`)
+
+// BoundedQ flags `x.field = append(x.field, ...)` where the field is a
+// slice named like a queue but no capacity check guards the growth. The
+// overload-control plane (docs/overload.md) rests on every admission queue
+// being bounded: an unguarded append is the exact bug that turns a traffic
+// spike into collapse. A guard is an ordering comparison involving
+// len/cap of a queue-like field or a capacity-named identifier, or a call
+// to a fullness predicate — in the enclosing function, or (for bounds
+// enforced at a distance, like HostStack.RingFull) anywhere in the
+// package. Queues that are intentionally unbounded should use a name the
+// pattern does not match, or carry a //lint:ignore with the reason.
+var BoundedQ = &Analyzer{
+	Name:          "boundedq",
+	Doc:           "flags appends to queue-like slice fields with no capacity comparison guarding growth in the function or package",
+	AppliesTo:     boundedqScope,
+	SkipTestFiles: true,
+	Run:           runBoundedQ,
+}
+
+// boundedqScope limits the check to the data-plane and admission packages.
+// The xen scheduler's runqueues are deliberately exempt: their population
+// is bounded by the (fixed) number of domains, not by an admission cap.
+func boundedqScope(path string) bool {
+	for _, p := range []string{
+		"repro/internal/rubis",
+		"repro/internal/ixp",
+		"repro/internal/netsim",
+		"repro/internal/overload",
+		"repro/internal/core",
+		"repro/internal/pcie",
+	} {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runBoundedQ(pass *Pass) error {
+	// Package-wide pass: field names whose len/cap feeds an ordering
+	// comparison anywhere (bounds enforced at a distance).
+	guarded := map[string]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if cmp, ok := n.(*ast.BinaryExpr); ok && isOrderingOp(cmp.Op) {
+				for _, name := range lenCapOperandNames(cmp) {
+					guarded[name] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasGuard := funcHasBoundGuard(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				sel, ok := queueAppendTarget(pass, as)
+				if !ok || hasGuard || guarded[sel.Sel.Name] {
+					return true
+				}
+				pass.Reportf(as.Pos(), "append to queue-like field %s is unguarded: no capacity comparison bounds its growth in this function or package; add a cap check with a shed/drop counter (see docs/overload.md) or rename the field", exprString(sel))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// queueAppendTarget matches `x.f = append(x.f, ...)` where f is a
+// queue-named slice field, returning the destination selector.
+func queueAppendTarget(pass *Pass, as *ast.AssignStmt) (*ast.SelectorExpr, bool) {
+	if _, ok := singleAppendAssign(as); !ok {
+		return nil, false
+	}
+	sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+	if !ok || !boundedqNameRE.MatchString(sel.Sel.Name) {
+		return nil, false
+	}
+	if t := pass.TypeOf(sel); t != nil {
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			return nil, false
+		}
+	}
+	return sel, true
+}
+
+// funcHasBoundGuard reports whether body contains a capacity guard: an
+// ordering comparison touching len/cap of a queue-like field or a
+// capacity-named identifier, or a call to a fullness predicate.
+func funcHasBoundGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !isOrderingOp(n.Op) {
+				return true
+			}
+			for _, name := range lenCapOperandNames(n) {
+				if boundedqNameRE.MatchString(name) {
+					found = true
+					return false
+				}
+			}
+			if exprMentionsCapName(n.X) || exprMentionsCapName(n.Y) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && boundedqGateRE.MatchString(sel.Sel.Name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isOrderingOp reports whether op compares magnitudes. Equality is
+// excluded: `len(q) == 0` is an emptiness test, not a bound.
+func isOrderingOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	default:
+		return false
+	}
+}
+
+// lenCapOperandNames returns the terminal names of every len(x)/cap(x)
+// argument appearing under cmp's operands (e.g. "rxBacklog" from
+// len(h.rxBacklog)+len(h.staging) >= h.ringCap).
+func lenCapOperandNames(cmp *ast.BinaryExpr) []string {
+	var names []string
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		ast.Inspect(side, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || (fn.Name != "len" && fn.Name != "cap") || len(call.Args) != 1 {
+				return true
+			}
+			switch arg := call.Args[0].(type) {
+			case *ast.SelectorExpr:
+				names = append(names, arg.Sel.Name)
+			case *ast.Ident:
+				names = append(names, arg.Name)
+			}
+			return true
+		})
+	}
+	return names
+}
+
+// exprMentionsCapName reports whether any identifier under e is named like
+// a capacity bound.
+func exprMentionsCapName(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && boundedqCapRE.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -15,6 +15,7 @@
 //   - kindswitch: non-exhaustive switches over enum-like named types
 //   - floateq:    ==/!= on floating-point values in golden-file paths
 //   - panicfree:  panics in library code that are not diagnosable misuse guards
+//   - boundedq:   appends to queue-like slice fields with no capacity guard
 //
 // Suppression policy: a finding can be silenced with a directive comment on
 // the same line or the line directly above it:
@@ -180,6 +181,7 @@ func All() []*Analyzer {
 		KindSwitch,
 		FloatEq,
 		PanicFree,
+		BoundedQ,
 	}
 }
 

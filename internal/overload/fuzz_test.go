@@ -1,0 +1,190 @@
+package overload
+
+// Fuzz harness for the admission plane: the fuzzer owns the queue shape
+// (workers, cap, policy, deadline) and a per-arrival script (class, service
+// time, and interleaved circuit-breaker verdicts), and the invariants
+// assert the plane's accounting contract:
+//
+//   - conservation: offered == served + shed + expired + waiting, exactly,
+//     at drain (and waiting is zero at drain — a bounded queue never
+//     strands work);
+//   - the waiting queue never exceeds its configured cap;
+//   - entries are only ever run once, in admission order among survivors;
+//   - expiry only occurs when a deadline is configured;
+//   - the breaker never allows an attempt while open;
+//   - determinism: replaying the same script reproduces every counter.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// admissionOutcome is everything one scripted run observed.
+type admissionOutcome struct {
+	Stats        QueueStats
+	RanOrder     []int
+	ShedCount    int
+	ExpiredCount int
+	FinalWaiting int
+	FinalIdle    int
+
+	Breaker      BreakerStats
+	Allowed      int
+	OpenDelivery bool // an Allow() succeeded while the breaker was open
+}
+
+// runAdmissionScript drives one bounded queue (and one breaker) through the
+// scripted load: data[0..3] pick workers/cap/policy/deadline, and each
+// further byte is one arrival — bit 0 class, bits 1-3 service time, bits
+// 4-5 a breaker op (none / success attempt / failure attempt / state poke).
+func runAdmissionScript(data []byte) admissionOutcome {
+	var shape [4]byte
+	copy(shape[:], data)
+	script := data
+	if len(script) > 4 {
+		script = script[4:]
+	} else {
+		script = nil
+	}
+
+	workers := int(shape[0])%3 + 1
+	cap := int(shape[1]) % 6 // 0 = unbounded
+	policy := Policy(int(shape[2]) % 3)
+	deadline := sim.Time(int(shape[3])%8) * 2 * sim.Millisecond // 0 = none
+
+	s := sim.New(1)
+	q := NewQueue(s, workers, QueueConfig{Cap: cap, Deadline: deadline, Policy: policy})
+	b := NewBreaker(s, BreakerConfig{FailureThreshold: 2, OpenTimeout: 3 * sim.Millisecond, Seed: 9})
+
+	out := admissionOutcome{}
+	for i, op := range script {
+		i, op := i, op
+		s.At(sim.Time(i)*sim.Millisecond, func() {
+			class := Class(op & 1)
+			service := sim.Time((op>>1)&7) * 500 * sim.Microsecond
+			q.Acquire(class, func() {
+				out.RanOrder = append(out.RanOrder, i)
+				s.After(service, q.Release)
+			}, func(expired bool) {
+				if expired {
+					out.ExpiredCount++
+				} else {
+					out.ShedCount++
+				}
+			})
+
+			switch (op >> 4) & 3 {
+			case 1:
+				if b.Allow() {
+					out.Allowed++
+					if b.State() == BreakerOpen {
+						out.OpenDelivery = true
+					}
+					b.RecordSuccess()
+				}
+			case 2:
+				if b.Allow() {
+					out.Allowed++
+					if b.State() == BreakerOpen {
+						out.OpenDelivery = true
+					}
+					b.RecordFailure()
+				}
+			case 3:
+				_ = b.State()
+			}
+		})
+	}
+	s.Run()
+
+	out.Stats = q.Stats()
+	out.FinalWaiting = q.Waiting()
+	out.FinalIdle = q.Idle()
+	out.Breaker = b.Stats()
+	return out
+}
+
+func FuzzAdmission(f *testing.F) {
+	// Seed corpus: idle, steady light load, hot loop on a tiny tail-drop
+	// queue, head-drop with expiring deadline, priority inversion pressure,
+	// and breaker flapping under service churn.
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0x02, 0x04, 0x06})
+	f.Add([]byte{0, 1, 0, 0, 0x0f, 0x0f, 0x0f, 0x0f, 0x0f, 0x0f, 0x0f, 0x0f})
+	f.Add([]byte{0, 2, 1, 1, 0x0e, 0x0e, 0x0e, 0x0e, 0x0e, 0x0e})
+	f.Add([]byte{0, 3, 2, 0, 0x0f, 0x0e, 0x0f, 0x0e, 0x0f, 0x0e, 0x0f, 0x0e, 0x0f})
+	f.Add([]byte{1, 2, 2, 2, 0x2e, 0x2f, 0x2e, 0x1f, 0x2e, 0x2f, 0x1e, 0x2f, 0x2e})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out := runAdmissionScript(data)
+		st := out.Stats
+
+		// Conservation, exact: every offered admission is accounted for.
+		total := st.Served + st.Shed + st.Expired + uint64(out.FinalWaiting)
+		if total != st.Offered {
+			t.Fatalf("conservation broken: offered=%d served=%d shed=%d expired=%d waiting=%d",
+				st.Offered, st.Served, st.Shed, st.Expired, out.FinalWaiting)
+		}
+
+		// Drain: a finite script with finite services strands nothing.
+		if out.FinalWaiting != 0 {
+			t.Fatalf("%d admissions stranded in the queue after drain", out.FinalWaiting)
+		}
+
+		// The waiting queue never exceeded its cap.
+		if cap := int(data1(data)) % 6; cap > 0 && st.MaxWaiting > cap {
+			t.Fatalf("waiting high-water %d exceeds cap %d", st.MaxWaiting, cap)
+		}
+
+		// Callback accounting matches the stats counters exactly.
+		if uint64(len(out.RanOrder)) != st.Served {
+			t.Fatalf("%d run callbacks but served=%d", len(out.RanOrder), st.Served)
+		}
+		if uint64(out.ShedCount) != st.Shed || uint64(out.ExpiredCount) != st.Expired {
+			t.Fatalf("drop callbacks shed=%d expired=%d, stats %+v", out.ShedCount, out.ExpiredCount, st)
+		}
+
+		// Survivors run in admission order: ids are strictly increasing.
+		for i := 1; i < len(out.RanOrder); i++ {
+			if out.RanOrder[i] <= out.RanOrder[i-1] {
+				t.Fatalf("out-of-order service: %v", out.RanOrder)
+			}
+		}
+
+		// No deadline, no expiry.
+		if deadline := int(data3(data)) % 8; deadline == 0 && st.Expired != 0 {
+			t.Fatalf("expired %d entries with no deadline configured", st.Expired)
+		}
+
+		// The breaker never delivered while open.
+		if out.OpenDelivery {
+			t.Fatalf("breaker allowed an attempt while open (stats %+v)", out.Breaker)
+		}
+		if uint64(out.Allowed) != out.Breaker.Successes+out.Breaker.Failures {
+			t.Fatalf("%d allowed attempts but breaker recorded %d verdicts",
+				out.Allowed, out.Breaker.Successes+out.Breaker.Failures)
+		}
+
+		// Determinism: replaying the identical script reproduces the run.
+		again := runAdmissionScript(data)
+		if !reflect.DeepEqual(out, again) {
+			t.Fatalf("replay diverged:\n first: %+v\nsecond: %+v", out, again)
+		}
+	})
+}
+
+func data1(data []byte) byte {
+	if len(data) > 1 {
+		return data[1]
+	}
+	return 0
+}
+
+func data3(data []byte) byte {
+	if len(data) > 3 {
+		return data[3]
+	}
+	return 0
+}

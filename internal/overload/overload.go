@@ -1,0 +1,89 @@
+// Package overload provides the deterministic, sim-time primitives of the
+// coordinated overload-control plane: bounded admission queues with
+// per-request queueing deadlines and pluggable shed policies, a circuit
+// breaker with seeded probe jitter, an EWMA overload detector keyed off
+// queue delay, and a per-class early-admission shedder.
+//
+// The paper's islands argument applies to load as much as to faults: the
+// IXP island sees every request before the x86 island spends a cycle on
+// it, so under overload the island with early visibility should shed work
+// on behalf of the island doing expensive work. The primitives here are
+// deliberately event-free where possible — deadline expiry is evaluated
+// lazily at dequeue time and shed rates decay analytically — so that when
+// the bounds do not bind, a run's event sequence (and therefore its golden
+// numbers) is byte-identical to a run without the plane.
+package overload
+
+import "fmt"
+
+// Class partitions admitted traffic for priority-aware shedding, mirroring
+// the paper's request-class policy: browse-class traffic is shed before
+// bid/write-class traffic.
+type Class int
+
+// Traffic classes, in shed-first order.
+const (
+	// ClassBrowse is read-only traffic: first to shed under overload.
+	ClassBrowse Class = iota
+	// ClassTransact is bid/write traffic: protected until browse is gone.
+	ClassTransact
+)
+
+// NumClasses is the number of declared traffic classes (array sizing).
+const NumClasses = 2
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassBrowse:
+		return "browse"
+	case ClassTransact:
+		return "transact"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Policy selects the victim when a bounded queue is full.
+type Policy int
+
+// Shed policies.
+const (
+	// TailDrop sheds the arriving request.
+	TailDrop Policy = iota
+	// HeadDrop sheds the oldest queued request and admits the arrival.
+	HeadDrop
+	// PriorityDrop sheds the newest queued browse-class request to admit a
+	// transact-class arrival; browse-class arrivals never displace anything
+	// and transact-class arrivals are tail-dropped only when the whole
+	// queue is transact-class.
+	PriorityDrop
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case TailDrop:
+		return "tail-drop"
+	case HeadDrop:
+		return "head-drop"
+	case PriorityDrop:
+		return "priority-drop"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a knob string ("tail", "head", "priority") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "priority", "priority-drop":
+		return PriorityDrop, nil
+	case "tail", "tail-drop":
+		return TailDrop, nil
+	case "head", "head-drop":
+		return HeadDrop, nil
+	default:
+		return TailDrop, fmt.Errorf("overload: unknown shed policy %q", s)
+	}
+}

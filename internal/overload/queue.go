@@ -1,0 +1,225 @@
+package overload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// QueueConfig bounds one admission queue.
+type QueueConfig struct {
+	// Cap is the maximum number of waiting admissions; an arrival beyond it
+	// invokes the shed policy. Zero or negative means unbounded.
+	Cap int
+	// Deadline is the maximum queueing age: an entry that has waited this
+	// long is expired (counted, never run) instead of served. Expiry is
+	// evaluated lazily at dequeue time — no timers, no extra events — so a
+	// non-binding deadline leaves the event sequence untouched. Zero or
+	// negative disables it.
+	Deadline sim.Time
+	// Policy selects the victim when the queue is full (default TailDrop).
+	Policy Policy
+}
+
+// QueueStats counts one queue's admission outcomes. At every instant
+// Offered == Served + Shed + Expired + Waiting() holds exactly: entries in
+// service count as Served the moment they are handed a worker.
+type QueueStats struct {
+	Offered uint64 // admission attempts
+	Served  uint64 // handed a worker (immediately or after queueing)
+	Shed    uint64 // rejected by the shed policy (queue full)
+	Expired uint64 // aged out past the queueing deadline
+
+	MaxWaiting int // high-water mark of the waiting queue
+}
+
+// entry is one queued admission.
+type entry struct {
+	class Class
+	enq   sim.Time
+	run   func()
+	drop  func(expired bool)
+}
+
+// Queue is a counted worker pool behind a bounded FIFO admission queue with
+// per-request queueing deadlines. Acquire admits work, Release frees a
+// worker and hands it to the oldest unexpired waiter. It is the drop-in
+// replacement for the unbounded tier pools: with Cap and Deadline unset it
+// behaves exactly like the pool it replaces.
+type Queue struct {
+	sim     *sim.Simulator
+	cfg     QueueConfig
+	workers int
+	free    int
+	waiting []entry
+	stats   QueueStats
+
+	onDelay func(class Class, delay sim.Time)
+}
+
+// NewQueue builds a queue over n workers.
+func NewQueue(s *sim.Simulator, n int, cfg QueueConfig) *Queue {
+	if s == nil {
+		panic("overload: queue needs a simulator")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("overload: queue needs a positive worker count, got %d", n))
+	}
+	return &Queue{sim: s, cfg: cfg, workers: n, free: n}
+}
+
+// OnDelay installs fn, invoked with the queueing delay of every entry that
+// starts service or expires — the overload detector's signal.
+func (q *Queue) OnDelay(fn func(class Class, delay sim.Time)) { q.onDelay = fn }
+
+// Waiting returns the number of queued admissions.
+func (q *Queue) Waiting() int { return len(q.waiting) }
+
+// Idle returns the number of free workers.
+func (q *Queue) Idle() int { return q.free }
+
+// Workers returns the configured worker count.
+func (q *Queue) Workers() int { return q.workers }
+
+// InService returns the number of workers currently held.
+func (q *Queue) InService() int { return q.workers - q.free }
+
+// Stats returns a snapshot of the queue's admission counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Config returns the queue's bounds.
+func (q *Queue) Config() QueueConfig { return q.cfg }
+
+// Acquire admits one unit of work: run executes (synchronously, or later
+// when a worker frees up) holding a worker that must be returned with
+// Release; drop (optional) is called instead if the entry is shed by the
+// bound or expires at its deadline, with expired reporting which. It
+// returns false only when the arrival itself was shed on the spot.
+func (q *Queue) Acquire(class Class, run func(), drop func(expired bool)) bool {
+	if run == nil {
+		panic("overload: queue admission without a run function")
+	}
+	q.stats.Offered++
+	q.expireWaiting()
+	if q.free > 0 {
+		// Release drains the queue before freeing a worker, so a free
+		// worker implies an empty queue: serve immediately.
+		q.free--
+		q.stats.Served++
+		q.sample(class, 0)
+		run()
+		return true
+	}
+	e := entry{class: class, enq: q.sim.Now(), run: run, drop: drop}
+	if q.cfg.Cap > 0 && len(q.waiting) >= q.cfg.Cap {
+		if !q.makeRoom(e) {
+			return false
+		}
+	}
+	q.waiting = append(q.waiting, e)
+	if len(q.waiting) > q.stats.MaxWaiting {
+		q.stats.MaxWaiting = len(q.waiting)
+	}
+	return true
+}
+
+// makeRoom applies the shed policy to a full queue. It returns true when a
+// queued victim was shed (the arrival may be appended) and false when the
+// arrival itself was shed.
+func (q *Queue) makeRoom(arrival entry) bool {
+	switch q.cfg.Policy {
+	case TailDrop:
+		q.shed(arrival)
+		return false
+	case HeadDrop:
+		q.shed(q.removeAt(0))
+		return true
+	case PriorityDrop:
+		if arrival.class == ClassBrowse {
+			// Browse never displaces queued work.
+			q.shed(arrival)
+			return false
+		}
+		for i := len(q.waiting) - 1; i >= 0; i-- {
+			if q.waiting[i].class == ClassBrowse {
+				q.shed(q.removeAt(i))
+				return true
+			}
+		}
+		// All queued work is transact-class: tail-drop among equals.
+		q.shed(arrival)
+		return false
+	default:
+		panic(fmt.Sprintf("overload: queue with unknown shed policy %d", int(q.cfg.Policy)))
+	}
+}
+
+// Release returns a worker, handing it to the oldest unexpired waiter if
+// any; expired waiters are counted and notified, never run.
+func (q *Queue) Release() {
+	now := q.sim.Now()
+	for len(q.waiting) > 0 {
+		e := q.removeAt(0)
+		if q.expired(e, now) {
+			q.stats.Expired++
+			q.sample(e.class, now-e.enq)
+			if e.drop != nil {
+				e.drop(true)
+			}
+			continue
+		}
+		q.stats.Served++
+		q.sample(e.class, now-e.enq)
+		e.run()
+		return
+	}
+	q.free++
+	if q.free > q.workers {
+		panic(fmt.Sprintf("overload: queue released more workers than its %d", q.workers))
+	}
+}
+
+// expireWaiting lazily ages out the expired prefix of the waiting queue
+// (the deadline is uniform, so expired entries are always a prefix).
+func (q *Queue) expireWaiting() {
+	if q.cfg.Deadline <= 0 {
+		return
+	}
+	now := q.sim.Now()
+	for len(q.waiting) > 0 && q.expired(q.waiting[0], now) {
+		e := q.removeAt(0)
+		q.stats.Expired++
+		q.sample(e.class, now-e.enq)
+		if e.drop != nil {
+			e.drop(true)
+		}
+	}
+}
+
+func (q *Queue) expired(e entry, now sim.Time) bool {
+	return q.cfg.Deadline > 0 && now-e.enq >= q.cfg.Deadline
+}
+
+// shed rejects one entry under the shed policy.
+func (q *Queue) shed(e entry) {
+	q.stats.Shed++
+	if e.drop != nil {
+		e.drop(false)
+	}
+}
+
+// removeAt pops the entry at index i preserving FIFO order.
+func (q *Queue) removeAt(i int) entry {
+	e := q.waiting[i]
+	copy(q.waiting[i:], q.waiting[i+1:])
+	q.waiting[len(q.waiting)-1] = entry{}
+	q.waiting = q.waiting[:len(q.waiting)-1]
+	return e
+}
+
+// sample feeds the delay hook.
+func (q *Queue) sample(class Class, delay sim.Time) {
+	if q.onDelay != nil {
+		q.onDelay(class, delay)
+	}
+}

@@ -1,0 +1,162 @@
+package overload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// ShedderConfig parameterizes a per-class early-admission Shedder.
+type ShedderConfig struct {
+	// Step is the shed-probability change per Adjust unit (default 0.05).
+	Step float64
+	// MaxBrowse caps the browse-class shed probability (default 0.9).
+	MaxBrowse float64
+	// MaxTransact caps the transact-class shed probability (default 0.5):
+	// even a saturated host keeps admitting some bid/write traffic.
+	MaxTransact float64
+	// DecayTau is the exponential decay time constant of the shed rates:
+	// without fresh upstream Tunes the shedder relaxes back toward
+	// admitting everything (default 2s; negative disables decay).
+	DecayTau sim.Time
+	// Seed initializes the shedder's private coin-flip stream (default 1),
+	// independent of the simulation's main RNG.
+	Seed int64
+}
+
+func (c *ShedderConfig) applyDefaults() {
+	if c.Step == 0 {
+		c.Step = 0.05
+	}
+	if c.MaxBrowse == 0 {
+		c.MaxBrowse = 0.9
+	}
+	if c.MaxTransact == 0 {
+		c.MaxTransact = 0.5
+	}
+	if c.DecayTau == 0 {
+		c.DecayTau = 2 * sim.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ShedderStats counts admission decisions per class.
+type ShedderStats struct {
+	Seen    [NumClasses]uint64 // admission decisions taken
+	Shed    [NumClasses]uint64 // rejections
+	Adjusts uint64             // upstream rate adjustments applied
+}
+
+// Shedder is the IXP-side early-admission gate: a per-class shed
+// probability raised by upstream shed-rate Tunes (browse-class first,
+// transact-class only once browse is saturated) and decayed analytically
+// between decisions — no tickers, no events. Decisions draw from a private
+// seeded stream so an idle shedder perturbs nothing.
+type Shedder struct {
+	sim  *sim.Simulator
+	cfg  ShedderConfig
+	rng  *sim.Rand
+	rate [NumClasses]float64
+	last sim.Time // rates are current as of this instant
+
+	stats ShedderStats
+}
+
+// NewShedder builds a shedder with all rates at zero (admit everything).
+func NewShedder(s *sim.Simulator, cfg ShedderConfig) *Shedder {
+	if s == nil {
+		panic("overload: shedder needs a simulator")
+	}
+	cfg.applyDefaults()
+	if cfg.Step < 0 || cfg.MaxBrowse < 0 || cfg.MaxBrowse > 1 || cfg.MaxTransact < 0 || cfg.MaxTransact > 1 {
+		panic(fmt.Sprintf("overload: shedder config out of range: %+v", cfg))
+	}
+	return &Shedder{sim: s, cfg: cfg, rng: sim.NewRand(cfg.Seed), last: s.Now()}
+}
+
+// Adjust applies an upstream shed-rate Tune of delta units (each worth
+// Step probability). Positive deltas raise the browse rate first and spill
+// into the transact rate only once browse is capped; negative deltas relax
+// transact first.
+func (sh *Shedder) Adjust(delta int) {
+	sh.decay()
+	sh.stats.Adjusts++
+	amount := float64(delta) * sh.cfg.Step
+	if amount >= 0 {
+		amount = sh.raise(ClassBrowse, amount, sh.cfg.MaxBrowse)
+		sh.raise(ClassTransact, amount, sh.cfg.MaxTransact)
+		return
+	}
+	amount = -amount
+	amount = sh.lower(ClassTransact, amount)
+	sh.lower(ClassBrowse, amount)
+}
+
+// raise adds up to amount to the class rate, returning the overflow.
+func (sh *Shedder) raise(c Class, amount, max float64) float64 {
+	room := max - sh.rate[c]
+	if room <= 0 {
+		return amount
+	}
+	if amount <= room {
+		sh.rate[c] += amount
+		return 0
+	}
+	sh.rate[c] = max
+	return amount - room
+}
+
+// lower removes up to amount from the class rate, returning the remainder.
+func (sh *Shedder) lower(c Class, amount float64) float64 {
+	if amount <= sh.rate[c] {
+		sh.rate[c] -= amount
+		return 0
+	}
+	rest := amount - sh.rate[c]
+	sh.rate[c] = 0
+	return rest
+}
+
+// ShouldShed decides one admission for the class, consuming one draw from
+// the private stream only when the class rate is nonzero.
+func (sh *Shedder) ShouldShed(c Class) bool {
+	sh.decay()
+	sh.stats.Seen[c]++
+	if sh.rate[c] <= 0 {
+		return false
+	}
+	if sh.rng.Bool(sh.rate[c]) {
+		sh.stats.Shed[c]++
+		return true
+	}
+	return false
+}
+
+// Rate returns the class's shed probability as of now.
+func (sh *Shedder) Rate(c Class) float64 {
+	sh.decay()
+	return sh.rate[c]
+}
+
+// Stats returns a snapshot of the shedder's counters.
+func (sh *Shedder) Stats() ShedderStats { return sh.stats }
+
+// decay relaxes the rates analytically over the elapsed interval.
+func (sh *Shedder) decay() {
+	now := sh.sim.Now()
+	dt := now - sh.last
+	sh.last = now
+	if dt <= 0 || sh.cfg.DecayTau <= 0 {
+		return
+	}
+	f := math.Exp(-float64(dt) / float64(sh.cfg.DecayTau))
+	for i := range sh.rate {
+		sh.rate[i] *= f
+		if sh.rate[i] < 1e-6 {
+			sh.rate[i] = 0
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ixp"
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -71,6 +72,26 @@ type Config struct {
 	// per-kind delivery classes).
 	Reliable    bool
 	ReliableCfg core.ReliableConfig
+
+	// Breaker, when non-nil (and Reliable is set), arms a circuit breaker
+	// on each mailbox endpoint's send path: retry exhaustion opens the
+	// breaker and further coordination sends fail fast into the
+	// graceful-degradation machinery instead of growing retransmit state.
+	// Each endpoint derives its own probe-jitter seed from Breaker.Seed.
+	Breaker *overload.BreakerConfig
+
+	// OverloadControl, when non-nil, arms the controller's overload
+	// translation: every routed Trigger additionally emits a weight-boost
+	// Tune to the overloaded island and a shed-rate adjustment to the
+	// configured upstream island (the NIC's early-admission gate).
+	OverloadControl *core.OverloadControlConfig
+
+	// TriggerRefill and TriggerBurst, when set (burst > 1), put a
+	// per-(kind, entity) token bucket on the x86 agent's outbound
+	// coordination messages so overload Triggers are damped but not
+	// starved.
+	TriggerRefill sim.Time
+	TriggerBurst  int
 
 	// HeartbeatInterval, when positive, makes the IXP agent emit liveness
 	// beacons and starts the controller's lease watchdog plus the agent's
@@ -137,6 +158,16 @@ type Robustness struct {
 	SuppressedDegraded uint64
 	SuppressedCrashed  uint64
 	CrashDrops         uint64
+
+	// Circuit-breaker stats per mailbox endpoint (zero unless
+	// Config.Breaker armed them).
+	UplinkBreaker   overload.BreakerStats
+	DownlinkBreaker overload.BreakerStats
+	BreakerRejected uint64 // sends refused while a breaker was open (both endpoints)
+
+	// Overload-control plane counters (zero unless Config.OverloadControl).
+	ShedTunes  uint64 // upstream shed adjustments the controller issued
+	BoostTunes uint64 // weight boosts the controller issued for triggers
 }
 
 // Platform is the assembled testbed.
@@ -154,6 +185,7 @@ type Platform struct {
 	X86Agent   *core.Agent
 	IXPAgent   *core.Agent
 	X86Act     *core.X86Actuator
+	IXPAct     *core.IXPActuator
 	Tracer     *trace.Tracer
 
 	// UplinkEP/DownlinkEP are the reliable mailbox endpoints (nil unless
@@ -220,6 +252,17 @@ func New(cfg Config) *Platform {
 	rawUp.SetTracer(tracer)
 	rawDown := core.NewHostDownlink(mb)
 	rawDown.SetTracer(tracer)
+	if cfg.TriggerBurst > 1 && cfg.TriggerRefill > 0 {
+		x86Agent.SetLimiter(core.NewTokenBucketRateLimiter(s, cfg.TriggerRefill, cfg.TriggerBurst))
+	}
+	if cfg.OverloadControl != nil {
+		oc := *cfg.OverloadControl
+		if oc.Upstream == "" {
+			oc.Upstream = IXPIsland
+		}
+		ctrl.EnableOverloadControl(oc)
+	}
+
 	var ixpOpts []core.AgentOption
 	if cfg.TuneRateLimit > 0 {
 		ixpOpts = append(ixpOpts, core.WithRateLimit(s, cfg.TuneRateLimit))
@@ -234,15 +277,25 @@ func New(cfg Config) *Platform {
 	)
 	if cfg.Reliable {
 		// Each endpoint sends on its raw direction and consumes the
-		// reverse one; acks ride the reverse direction.
-		epDev = core.NewReliableEndpoint(s, "ixp-uplink", rawUp, rawDown, cfg.ReliableCfg)
-		epHost = core.NewReliableEndpoint(s, "host-downlink", rawDown, rawUp, cfg.ReliableCfg)
+		// reverse one; acks ride the reverse direction. With a breaker
+		// template configured, each endpoint gets its own copy with a
+		// derived probe-jitter seed so their probes do not synchronize.
+		upCfg, downCfg := cfg.ReliableCfg, cfg.ReliableCfg
+		if cfg.Breaker != nil {
+			upB, downB := *cfg.Breaker, *cfg.Breaker
+			upB.Seed = cfg.Breaker.Seed*2 + 1
+			downB.Seed = cfg.Breaker.Seed*2 + 2
+			upCfg.Breaker, downCfg.Breaker = &upB, &downB
+		}
+		epDev = core.NewReliableEndpoint(s, "ixp-uplink", rawUp, rawDown, upCfg)
+		epHost = core.NewReliableEndpoint(s, "host-downlink", rawDown, rawUp, downCfg)
 		epHost.SetReceiver(ctrl.Route)
 		ixpUplink, ixpDownlink = epDev, epHost
 	} else {
 		rawUp.SetReceiver(ctrl.Route)
 	}
-	ixpAgent := core.NewAgent(IXPIsland, ixpUplink, nil, core.NewIXPActuator(s, x), ixpOpts...)
+	ixpAct := core.NewIXPActuator(s, x)
+	ixpAgent := core.NewAgent(IXPIsland, ixpUplink, nil, ixpAct, ixpOpts...)
 	if cfg.Reliable {
 		epDev.SetReceiver(ixpAgent.Deliver)
 	} else {
@@ -266,6 +319,7 @@ func New(cfg Config) *Platform {
 		X86Agent:   x86Agent,
 		IXPAgent:   ixpAgent,
 		X86Act:     x86Act,
+		IXPAct:     ixpAct,
 		UplinkEP:   epDev,
 		DownlinkEP: epHost,
 		cfg:        cfg,
@@ -361,6 +415,15 @@ func (p *Platform) Robustness() Robustness {
 	r.SuppressedDegraded = st.SuppressedDegraded
 	r.SuppressedCrashed = st.SuppressedCrashed
 	r.CrashDrops = st.CrashDrops
+	if b := p.UplinkEP.Breaker(); b != nil {
+		r.UplinkBreaker = b.Stats()
+	}
+	if b := p.DownlinkEP.Breaker(); b != nil {
+		r.DownlinkBreaker = b.Stats()
+	}
+	r.BreakerRejected = r.Uplink.BreakerRejected + r.Downlink.BreakerRejected
+	r.ShedTunes = p.Controller.ShedTunesIssued()
+	r.BoostTunes = p.Controller.BoostTunesIssued()
 	return r
 }
 

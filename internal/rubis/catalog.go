@@ -120,4 +120,8 @@ type Request struct {
 	Session int
 	Seq     int
 	SentAt  sim.Time
+	// Shed marks a rejected request: the response is a small admission-
+	// control error (issued by the NIC's early-admission gate or by a
+	// saturated tier), not a served page.
+	Shed bool
 }

@@ -16,6 +16,21 @@ type ClientConfig struct {
 	WebVM              int      // destination VM for request traffic
 	Warmup             sim.Time // responses before this time are not recorded
 
+	// ShedBackoff is the mean pause a session takes after a shed (error)
+	// response before its next request — Retry-After semantics. Without it
+	// fast shed responses make rejected sessions spin, inflating offered
+	// load past what admission control saved (default 2s).
+	ShedBackoff sim.Time
+
+	// Timeout, when positive, makes sessions abandon a page that has not
+	// answered by then and move on (after a ShedBackoff pause). The server
+	// keeps working on the abandoned request — the wasted work that makes
+	// uncontrolled overload collapse goodput, and the reason admission
+	// control sheds early instead. A late response to an abandoned page is
+	// discarded and never counted as served. 0 disables (the default):
+	// sessions wait forever, as the calibrated baseline figures assume.
+	Timeout sim.Time
+
 	// Phases, when enabled, superimposes population-wide write surges on
 	// the mix: during a window of PhaseWindow every PhasePeriod, write-class
 	// transitions are favored by WriteBiasIn; outside it they are damped by
@@ -59,6 +74,9 @@ func (c *ClientConfig) applyDefaults() {
 	}
 	if c.PhaseThinkFactor == 0 {
 		c.PhaseThinkFactor = 0.4
+	}
+	if c.ShedBackoff == 0 {
+		c.ShedBackoff = 2 * sim.Second
 	}
 }
 
@@ -181,6 +199,27 @@ func (c *Client) send(s *session) {
 		Payload: req,
 		Created: c.sim.Now(),
 	})
+	if c.cfg.Timeout > 0 {
+		seq := s.seq
+		c.sim.After(c.cfg.Timeout, func() { c.abandon(s, seq, req.SentAt) })
+	}
+}
+
+// abandon gives up on a page still unanswered at the timeout: the session
+// moves on after a backoff, and the eventual response (the server is still
+// working on it) will be discarded as stale.
+func (c *Client) abandon(s *session, seq int, sentAt sim.Time) {
+	if c.stopped {
+		return
+	}
+	if cur, ok := c.sessions[s.id]; !ok || cur != s || !s.pending || s.seq != seq {
+		return // answered (or shed) in time
+	}
+	s.pending = false
+	if sentAt >= c.cfg.Warmup {
+		c.metrics.RecordAbandon()
+	}
+	c.advance(s, true)
 }
 
 // onResponse consumes response packets leaving the IXP toward the wire.
@@ -196,11 +235,23 @@ func (c *Client) onResponse(p *netsim.Packet) {
 		return // stale response from a session replaced after Stop/timeout
 	}
 	s.pending = false
-	latency := c.sim.Now() - req.SentAt
-	if req.SentAt >= c.cfg.Warmup {
-		c.metrics.RecordResponse(req.Type, latency)
+	if req.Shed {
+		// Admission-control rejection: the session saw a fast error page.
+		// It still advances (real users give up on the page, not the
+		// site), but nothing is added to the served-latency distributions.
+		if req.SentAt >= c.cfg.Warmup {
+			c.metrics.RecordShed()
+		}
+	} else if req.SentAt >= c.cfg.Warmup {
+		c.metrics.RecordResponse(req.Type, c.sim.Now()-req.SentAt)
 	}
+	c.advance(s, req.Shed)
+}
 
+// advance moves the session to its next page (or replaces a completed
+// session). backoff selects the ShedBackoff pause instead of normal think
+// time — used after sheds and abandonments.
+func (c *Client) advance(s *session, backoff bool) {
 	s.seq++
 	if s.seq >= c.cfg.RequestsPerSession {
 		if c.sim.Now() >= c.cfg.Warmup {
@@ -211,7 +262,11 @@ func (c *Client) onResponse(p *netsim.Packet) {
 		return
 	}
 	s.current = c.cfg.Mix.NextBiased(c.rng, s.current, c.cfg.writeBias(c.sim.Now()))
-	think := c.rng.ExpTime(c.cfg.thinkMean(c.sim.Now()))
+	mean := c.cfg.thinkMean(c.sim.Now())
+	if backoff {
+		mean = c.cfg.ShedBackoff
+	}
+	think := c.rng.ExpTime(mean)
 	c.sim.After(think, func() {
 		if !c.stopped {
 			c.send(s)

@@ -3,6 +3,7 @@ package rubis
 import (
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -33,11 +34,81 @@ func (s Scheme) String() string {
 	}
 }
 
+// OverloadSetup arms the overload-control plane for a run.
+type OverloadSetup struct {
+	// Queueing knobs, forwarded into ServerConfig.Overload (defaults:
+	// cap 512, deadline 4s, priority-aware shedding, threshold 250ms).
+	QueueCap      int
+	QueueDeadline sim.Time
+	Policy        overload.Policy
+	Threshold     sim.Time
+
+	// Coordinated closes the cross-island loop: tier overload raises a
+	// Trigger, the controller translates it into a weight boost for the
+	// tier plus an upstream shed-rate adjustment, and the IXP's
+	// early-admission gate sheds per-class traffic before PCIe.
+	Coordinated bool
+	// ShedStep is the shedder units per upstream adjustment (default 2,
+	// each worth the shedder's Step probability).
+	ShedStep int
+	// BoostDelta is the weight boost accompanying each translated Trigger
+	// (default 128).
+	BoostDelta int
+	// TriggerRefill/TriggerBurst damp overload Triggers through a
+	// per-(kind, entity) token bucket (defaults 500ms, burst 3).
+	TriggerRefill sim.Time
+	TriggerBurst  int
+	// Breaker arms circuit breakers on the reliable mailbox endpoints
+	// (requires Platform.Reliable).
+	Breaker bool
+}
+
+func (o *OverloadSetup) applyDefaults() {
+	if o.ShedStep == 0 {
+		o.ShedStep = 2
+	}
+	if o.BoostDelta == 0 {
+		o.BoostDelta = 128
+	}
+	if o.TriggerRefill == 0 {
+		o.TriggerRefill = 500 * sim.Millisecond
+	}
+	if o.TriggerBurst == 0 {
+		o.TriggerBurst = 3
+	}
+}
+
+// OverloadReport aggregates the overload-control plane's counters for one
+// run — the observability surface the ablation and chaos tests pin.
+type OverloadReport struct {
+	// Per-tier admission-queue counters (web, app, db order).
+	Tiers [NumTiers]overload.QueueStats
+
+	IXPShed       uint64 // requests shed by the NIC before PCIe
+	IXPDropped    uint64 // packets silently dropped at full NIC rings/queues
+	ServerSheds   uint64 // shed responses the tiers issued
+	ShedResponses uint64 // shed responses the client observed post-warmup
+	Abandoned     uint64 // pages the client gave up on at its timeout
+
+	OverloadEpisodes uint64 // tier detector trips
+	TriggersSent     uint64 // overload Triggers the x86 agent emitted
+	ShedTunes        uint64 // upstream shed adjustments issued
+	BoostTunes       uint64 // translated weight boosts issued
+
+	ServedP95Ms float64 // p95 served-response latency, milliseconds
+}
+
 // ExperimentConfig describes one RUBiS run on the two-island testbed.
 type ExperimentConfig struct {
 	Platform platform.Config
 	Server   ServerConfig
 	Client   ClientConfig
+
+	// Overload, when non-nil, bounds the tier admission queues and (when
+	// Overload.Coordinated) closes the cross-island shed loop. It is
+	// independent of Coordinated/Scheme, which select the paper's
+	// weight-tuning policy.
+	Overload *OverloadSetup
 
 	// Coordinated enables the paper's coord-ixp-dom0 scheme: the IXP's
 	// request classifier drives per-request weight Tunes for the tier VMs.
@@ -124,6 +195,10 @@ type Result struct {
 	// Robust aggregates the coordination plane's reliability counters
 	// (fault injection, ack/retry transport, leases, degradation).
 	Robust platform.Robustness
+
+	// Overload aggregates the overload-control plane's counters (queue
+	// sheds and expiries, NIC-side early sheds, trigger translation).
+	Overload OverloadReport
 }
 
 // utilWindow measures a domain's utilization over [from, to) using busy
@@ -150,6 +225,35 @@ func (w *utilWindow) utilization(now sim.Time) float64 {
 // coordination policy, runs to completion, and returns the measurements.
 func RunExperiment(cfg ExperimentConfig) *Result {
 	cfg.applyDefaults()
+	var ov *OverloadSetup
+	if cfg.Overload != nil {
+		o := *cfg.Overload
+		o.applyDefaults()
+		ov = &o
+		cfg.Server.Overload = &OverloadConfig{
+			QueueCap:      o.QueueCap,
+			QueueDeadline: o.QueueDeadline,
+			Policy:        o.Policy,
+			Threshold:     o.Threshold,
+		}
+		if o.Coordinated {
+			cfg.Platform.OverloadControl = &core.OverloadControlConfig{
+				Upstream:   platform.IXPIsland,
+				ShedStep:   o.ShedStep,
+				BoostDelta: o.BoostDelta,
+			}
+			cfg.Platform.TriggerRefill = o.TriggerRefill
+			cfg.Platform.TriggerBurst = o.TriggerBurst
+		}
+		if o.Breaker {
+			cfg.Platform.Reliable = true
+			seed := cfg.Platform.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			cfg.Platform.Breaker = &overload.BreakerConfig{Seed: seed}
+		}
+	}
 	if cfg.Coordinated && cfg.Platform.MinGuestWeight == 0 {
 		// In the outstanding-load translation the weight floor is the base
 		// allocation; Tunes add transient priority on top of it, so an
@@ -163,12 +267,85 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 	db := p.AddGuest("DBServer", cfg.GuestWeight)
 
 	srv := NewServer(p.Sim, cfg.Server, web, app, db, p.Host)
-	_ = srv
 
 	clientCfg := cfg.Client
 	clientCfg.WebVM = web.ID()
 	clientCfg.Warmup = cfg.Warmup
 	client := NewClient(p.Sim, clientCfg, p.IXP)
+
+	if ov != nil && ov.Coordinated {
+		// Close the cross-island loop. Host side: a tier tripping its
+		// delay detector raises a Trigger (token-bucket damped in the x86
+		// agent), which the controller translates into a weight boost for
+		// the tier plus an upstream shed-rate adjustment. IXP side: the
+		// shed adjustments drive a per-class shedder gating admission
+		// before PCIe; its rates decay back toward zero when the overload
+		// episode ends.
+		seed := cfg.Platform.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		shedder := overload.NewShedder(p.Sim, overload.ShedderConfig{Seed: seed + 1000})
+		p.IXPAct.SetShedControl(func(_, delta int) error {
+			shedder.Adjust(delta)
+			return nil
+		})
+		ovCatalog := DefaultCatalog()
+		p.IXP.SetAdmission(func(pkt *netsim.Packet) (*netsim.Packet, bool) {
+			req, isReq := pkt.Payload.(*Request)
+			if !isReq || pkt.SrcVM != -1 {
+				return nil, true // non-request traffic is never gated
+			}
+			if !shedder.ShouldShed(classFor(ovCatalog[req.Type].Kind)) {
+				return nil, true
+			}
+			req.Shed = true
+			return &netsim.Packet{
+				ID:      pkt.ID,
+				Size:    shedRespBytes,
+				SrcVM:   pkt.DstVM,
+				DstVM:   -1,
+				Class:   pkt.Class,
+				Payload: req,
+				Created: p.Sim.Now(),
+			}, false
+		})
+		srv.SetOverloadNotify(func(tier Tier, overloaded bool) {
+			if overloaded {
+				p.X86Agent.SendTrigger(platform.X86Island, srv.TierDomain(tier).ID())
+			}
+		})
+		// Sustained overload must keep pressure on the control loop: the
+		// detector only edges once per episode and the shedder's rates
+		// decay, so re-evaluate every refill period. Two severity levels:
+		// a tier actually shedding or expiring (its bounded queue is
+		// insufficient) re-raises the full Trigger — boost plus upstream
+		// NIC shedding — while delay-only overload sends a plain boost
+		// Tune, which raises the tier's CPU share without discarding
+		// traffic the queues can still absorb. The agent's token buckets
+		// damp both streams.
+		var lastPressure [NumTiers]uint64
+		p.Sim.Ticker(ov.TriggerRefill, func() {
+			worst, worstDelay := Tier(-1), sim.Time(0)
+			for t := TierWeb; t < NumTiers; t++ {
+				st := srv.Queue(t).Stats()
+				pressure := st.Shed + st.Expired
+				if pressure > lastPressure[t] {
+					lastPressure[t] = pressure
+					p.X86Agent.SendTrigger(platform.X86Island, srv.TierDomain(t).ID())
+					continue
+				}
+				if d := srv.Detector(t); d != nil && d.Overloaded() && d.Smoothed() > worstDelay {
+					worst, worstDelay = t, d.Smoothed()
+				}
+			}
+			// Boost only the slowest delay-overloaded tier: boosting every
+			// tier at once just starves dom0's packet processing.
+			if worst >= 0 {
+				p.X86Agent.SendTune(platform.X86Island, srv.TierDomain(worst).ID(), ov.BoostDelta)
+			}
+		})
+	}
 
 	coordinating := false
 	if cfg.Coordinated {
@@ -263,5 +440,21 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 		res.FinalWeights[d.Name()] = d.Weight()
 	}
 	res.Robust = p.Robustness()
+
+	for t := TierWeb; t < NumTiers; t++ {
+		res.Overload.Tiers[t] = srv.Queue(t).Stats()
+		if d := srv.Detector(t); d != nil {
+			res.Overload.OverloadEpisodes += d.Stats().Episodes
+		}
+	}
+	res.Overload.IXPShed = p.IXP.RxShed()
+	res.Overload.IXPDropped = p.IXP.RxDropped()
+	res.Overload.ServerSheds = srv.Sheds()
+	res.Overload.ShedResponses = client.Metrics().ShedResponses()
+	res.Overload.Abandoned = client.Metrics().Abandoned()
+	res.Overload.TriggersSent = p.X86Agent.Stats().TriggersSent
+	res.Overload.ShedTunes = res.Robust.ShedTunes
+	res.Overload.BoostTunes = res.Robust.BoostTunes
+	res.Overload.ServedP95Ms = client.Metrics().ServedP95()
 	return res
 }

@@ -13,7 +13,10 @@ type Metrics struct {
 	start     sim.Time
 	perType   [NumRequestTypes]stats.Sample
 	summaries [NumRequestTypes]stats.Summary
+	overall   stats.Sample
 	responses uint64
+	sheds     uint64
+	abandoned uint64
 
 	sessionTimes stats.Summary
 	completed    int
@@ -24,13 +27,32 @@ func NewMetrics(start sim.Time) *Metrics {
 	return &Metrics{start: start}
 }
 
-// RecordResponse records one response latency for a request type.
+// RecordResponse records one served response latency for a request type.
+// Shed responses go through RecordShed instead — throughput and the latency
+// distributions measure goodput only.
 func (m *Metrics) RecordResponse(t RequestType, latency sim.Time) {
 	msVal := latency.Milliseconds()
 	m.perType[t].Add(msVal)
 	m.summaries[t].Add(msVal)
+	m.overall.Add(msVal)
 	m.responses++
 }
+
+// RecordShed records one shed (admission-control error) response.
+func (m *Metrics) RecordShed() { m.sheds++ }
+
+// ShedResponses returns the shed responses the client observed.
+func (m *Metrics) ShedResponses() uint64 { return m.sheds }
+
+// RecordAbandon records one page the session gave up on at its timeout.
+func (m *Metrics) RecordAbandon() { m.abandoned++ }
+
+// Abandoned returns the pages abandoned at the client timeout.
+func (m *Metrics) Abandoned() uint64 { return m.abandoned }
+
+// ServedP95 returns the 95th-percentile served-response latency in
+// milliseconds across all request types.
+func (m *Metrics) ServedP95() float64 { return m.overall.Percentile(95) }
 
 // RecordSession records one completed session and its duration.
 func (m *Metrics) RecordSession(duration sim.Time) {

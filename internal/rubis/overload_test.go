@@ -1,0 +1,114 @@
+package rubis
+
+import (
+	"testing"
+
+	"repro/internal/overload"
+	"repro/internal/sim"
+)
+
+// overloadedConfig is a deliberately under-provisioned deployment driven
+// well past saturation, with bounded tier queues.
+func overloadedConfig(coordinated bool) ExperimentConfig {
+	return ExperimentConfig{
+		Duration: 25 * sim.Second,
+		Warmup:   5 * sim.Second,
+		Server: ServerConfig{
+			WebWorkers: 8, AppWorkers: 6, DBWorkers: 3,
+		},
+		Client: ClientConfig{
+			Sessions: 120, RequestsPerSession: 30,
+			ThinkTime: 50 * sim.Millisecond, Phases: true,
+		},
+		Overload: &OverloadSetup{
+			QueueCap:      16,
+			QueueDeadline: 300 * sim.Millisecond,
+			Threshold:     100 * sim.Millisecond,
+			Coordinated:   coordinated,
+		},
+	}
+}
+
+// TestBoundedQueuesNeverExceedCap is the regression test for the old
+// unbounded pools: under heavy overload every tier's admission queue stays
+// within its cap, expired entries are counted (never silently run), and
+// the admission counters reconcile exactly.
+func TestBoundedQueuesNeverExceedCap(t *testing.T) {
+	res := RunExperiment(overloadedConfig(false))
+
+	var shed, expired uint64
+	for tier := TierWeb; tier < NumTiers; tier++ {
+		st := res.Overload.Tiers[tier]
+		if st.MaxWaiting > 16 {
+			t.Errorf("%v queue reached %d waiters, cap is 16", tier, st.MaxWaiting)
+		}
+		// Conservation: at any instant (including run end, when requests
+		// may still be queued) offered == served + shed + expired + waiting.
+		inFlight := st.Offered - st.Served - st.Shed - st.Expired
+		if inFlight > uint64(16) {
+			t.Errorf("%v counters do not reconcile: offered %d served %d shed %d expired %d",
+				tier, st.Offered, st.Served, st.Shed, st.Expired)
+		}
+		shed += st.Shed
+		expired += st.Expired
+	}
+	if shed == 0 {
+		t.Error("no tier shed anything despite 120 sessions on 8/6/3 workers")
+	}
+	if expired == 0 {
+		t.Error("no queued request expired despite the 300ms deadline")
+	}
+	if res.Overload.ServerSheds != shed+expired {
+		t.Errorf("server issued %d shed responses, tiers shed %d + expired %d",
+			res.Overload.ServerSheds, shed, expired)
+	}
+	if res.Overload.ShedResponses == 0 {
+		t.Error("client never observed a shed response")
+	}
+	if res.Overload.OverloadEpisodes == 0 {
+		t.Error("no detector episode despite saturation")
+	}
+	if res.Throughput <= 0 {
+		t.Error("no goodput at all — shedding should protect some service")
+	}
+}
+
+// TestCoordinatedOverloadShedsAtNIC exercises the full cross-island loop:
+// tier overload raises Triggers, the controller issues weight boosts and
+// upstream shed adjustments, and the IXP's early-admission gate rejects
+// traffic before it crosses PCIe.
+func TestCoordinatedOverloadShedsAtNIC(t *testing.T) {
+	res := RunExperiment(overloadedConfig(true))
+	ov := res.Overload
+	if ov.TriggersSent == 0 {
+		t.Fatal("no overload Trigger left the x86 agent")
+	}
+	if ov.BoostTunes == 0 || ov.ShedTunes == 0 {
+		t.Fatalf("controller translation idle: boosts=%d sheds=%d", ov.BoostTunes, ov.ShedTunes)
+	}
+	if ov.IXPShed == 0 {
+		t.Fatal("NIC admission gate never shed despite upstream adjustments")
+	}
+	if ov.ShedResponses == 0 {
+		t.Fatal("client never observed a shed response")
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("coordinated shedding extinguished all goodput")
+	}
+}
+
+// TestOverloadRunDeterminism pins replay determinism of the full
+// coordinated overload plane (private RNG streams must not leak into the
+// main event sequence).
+func TestOverloadRunDeterminism(t *testing.T) {
+	run := func() (float64, uint64, uint64, overload.QueueStats) {
+		r := RunExperiment(overloadedConfig(true))
+		return r.Throughput, r.Overload.IXPShed, r.Overload.ServerSheds, r.Overload.Tiers[TierDB]
+	}
+	g1, i1, s1, q1 := run()
+	g2, i2, s2, q2 := run()
+	if g1 != g2 || i1 != i2 || s1 != s2 || q1 != q2 {
+		t.Fatalf("nondeterministic overload run:\n(%v,%d,%d,%+v)\n(%v,%d,%d,%+v)",
+			g1, i1, s1, q1, g2, i2, s2, q2)
+	}
+}

@@ -255,40 +255,12 @@ func TestServerPoolInvariant(t *testing.T) {
 	if w != 0 || a != 0 || d != 0 {
 		t.Fatalf("pool waiters after drain: %d/%d/%d", w, a, d)
 	}
-	if srv.webPool.free != srv.cfg.WebWorkers {
-		t.Fatalf("web workers leaked: %d of %d free", srv.webPool.free, srv.cfg.WebWorkers)
+	if srv.Queue(TierWeb).Idle() != srv.cfg.WebWorkers {
+		t.Fatalf("web workers leaked: %d of %d free", srv.Queue(TierWeb).Idle(), srv.cfg.WebWorkers)
 	}
-	if srv.appPool.free != srv.cfg.AppWorkers || srv.dbPool.free != srv.cfg.DBWorkers {
+	if srv.Queue(TierApp).Idle() != srv.cfg.AppWorkers || srv.Queue(TierDB).Idle() != srv.cfg.DBWorkers {
 		t.Fatal("app/db workers leaked")
 	}
-}
-
-func TestPoolAcquireRelease(t *testing.T) {
-	pl := newPool(2)
-	var order []int
-	for i := 0; i < 4; i++ {
-		i := i
-		pl.acquire(func() { order = append(order, i) })
-	}
-	if len(order) != 2 || pl.Waiting() != 2 {
-		t.Fatalf("order=%v waiting=%d", order, pl.Waiting())
-	}
-	pl.release()
-	pl.release()
-	if len(order) != 4 || pl.Waiting() != 0 {
-		t.Fatalf("after release: order=%v waiting=%d", order, pl.Waiting())
-	}
-	pl.release()
-	pl.release()
-	if pl.free != 2 {
-		t.Fatalf("free = %d", pl.free)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("over-release did not panic")
-		}
-	}()
-	pl.release()
 }
 
 func TestExperimentDeterminism(t *testing.T) {

@@ -3,10 +3,71 @@ package rubis
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/overload"
 	"repro/internal/sim"
 	"repro/internal/xen"
 )
+
+// Tier indexes the three server tiers.
+type Tier int
+
+// The three RUBiS tiers, pipeline order.
+const (
+	TierWeb Tier = iota
+	TierApp
+	TierDB
+	NumTiers
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierWeb:
+		return "web"
+	case TierApp:
+		return "app"
+	case TierDB:
+		return "db"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// shedRespBytes sizes the small error response a shed request receives so
+// closed-loop clients observe the rejection instead of stalling.
+const shedRespBytes = 512
+
+// OverloadConfig tunes the server-side admission control. The zero value
+// (or a nil pointer in ServerConfig) leaves admission unbounded — the
+// legacy cascade behaviour.
+type OverloadConfig struct {
+	// QueueCap bounds each tier's admission queue (default 512; negative
+	// means unbounded).
+	QueueCap int
+	// QueueDeadline expires requests that queue longer than this (default
+	// 4s; negative means no deadline).
+	QueueDeadline sim.Time
+	// Policy selects the shed policy (default priority-aware: browse
+	// requests are shed before bid/write traffic).
+	Policy overload.Policy
+	// Threshold is the EWMA queue-delay level at which a tier declares
+	// overload (default 250ms; the hysteresis floor is half of it).
+	Threshold sim.Time
+}
+
+func (c *OverloadConfig) applyDefaults() {
+	if c.QueueCap == 0 {
+		c.QueueCap = 512
+	}
+	if c.QueueDeadline == 0 {
+		c.QueueDeadline = 4 * sim.Second
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 250 * sim.Millisecond
+	}
+}
 
 // ServerConfig tunes the server-side deployment.
 type ServerConfig struct {
@@ -27,6 +88,12 @@ type ServerConfig struct {
 	WebWorkers int // default 128
 	AppWorkers int // default 64
 	DBWorkers  int // default 24
+
+	// Overload, when non-nil, bounds each tier's admission queue with a
+	// per-request queueing deadline and a shed policy, and arms per-tier
+	// EWMA overload detectors on the queueing delay. Nil keeps the tiers
+	// unbounded.
+	Overload *OverloadConfig
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -47,48 +114,12 @@ func (c *ServerConfig) applyDefaults() {
 	}
 }
 
-// pool is a counted worker pool with a FIFO admission queue.
-type pool struct {
-	free  int
-	queue []func()
-	max   int
-}
-
-func newPool(n int) *pool { return &pool{free: n, max: n} }
-
-// acquire runs fn immediately if a worker is free, else queues it.
-func (p *pool) acquire(fn func()) {
-	if p.free > 0 {
-		p.free--
-		fn()
-		return
-	}
-	p.queue = append(p.queue, fn)
-}
-
-// release frees a worker, handing it straight to the next waiter if any.
-func (p *pool) release() {
-	if len(p.queue) > 0 {
-		next := p.queue[0]
-		copy(p.queue, p.queue[1:])
-		p.queue[len(p.queue)-1] = nil
-		p.queue = p.queue[:len(p.queue)-1]
-		next()
-		return
-	}
-	p.free++
-	if p.free > p.max {
-		panic("rubis: pool released more workers than it has")
-	}
-}
-
-// Waiting returns the number of queued admission requests.
-func (p *pool) Waiting() int { return len(p.queue) }
-
 // Server is the three-tier RUBiS deployment: web, application, and database
 // VMs, with inter-tier communication relayed through the Dom0 bridge. It
 // consumes request packets delivered by the host stack to the web VM and
-// transmits response packets back toward the client.
+// transmits response packets back toward the client. Each tier admits work
+// through a bounded deadline queue (unbounded when ServerConfig.Overload is
+// nil) so saturation sheds load instead of growing queues without limit.
 type Server struct {
 	sim     *sim.Simulator
 	cfg     ServerConfig
@@ -99,9 +130,12 @@ type Server struct {
 	catalog [NumRequestTypes]Profile
 	rng     *sim.Rand
 
-	webPool, appPool, dbPool *pool
+	queues    [NumTiers]*overload.Queue
+	detectors [NumTiers]*overload.Detector
+	notify    func(tier Tier, overloaded bool)
 
 	served uint64
+	sheds  uint64 // shed responses issued (admission rejections + expiries)
 }
 
 // NewServer wires the three tier domains behind the host stack's handler
@@ -117,9 +151,33 @@ func NewServer(s *sim.Simulator, cfg ServerConfig, web, app, db *xen.Domain, hos
 		host:    host,
 		catalog: DefaultCatalog(),
 		rng:     s.Rand().Fork(),
-		webPool: newPool(cfg.WebWorkers),
-		appPool: newPool(cfg.AppWorkers),
-		dbPool:  newPool(cfg.DBWorkers),
+	}
+	qcfg := overload.QueueConfig{Cap: -1} // unbounded, no deadline
+	if cfg.Overload != nil {
+		oc := *cfg.Overload
+		oc.applyDefaults()
+		qcfg = overload.QueueConfig{Cap: oc.QueueCap, Deadline: oc.QueueDeadline, Policy: oc.Policy}
+	}
+	workers := [NumTiers]int{cfg.WebWorkers, cfg.AppWorkers, cfg.DBWorkers}
+	for t := TierWeb; t < NumTiers; t++ {
+		srv.queues[t] = overload.NewQueue(s, workers[t], qcfg)
+	}
+	if cfg.Overload != nil {
+		oc := *cfg.Overload
+		oc.applyDefaults()
+		for t := TierWeb; t < NumTiers; t++ {
+			tier := t
+			det := overload.NewDetector(overload.DetectorConfig{Threshold: oc.Threshold})
+			det.OnChange = func(over bool) {
+				if srv.notify != nil {
+					srv.notify(tier, over)
+				}
+			}
+			srv.detectors[tier] = det
+			srv.queues[tier].OnDelay(func(_ overload.Class, delay sim.Time) {
+				det.Sample(delay)
+			})
+		}
 	}
 	host.Register(web.ID(), srv.onRequest)
 	return srv
@@ -131,13 +189,43 @@ func (s *Server) Catalog() *[NumRequestTypes]Profile { return &s.catalog }
 // Served returns the number of requests fully processed.
 func (s *Server) Served() uint64 { return s.served }
 
+// Sheds returns the number of shed responses issued (admission rejections
+// plus queueing-deadline expiries, across all tiers).
+func (s *Server) Sheds() uint64 { return s.sheds }
+
 // Tiers returns the web, app, and db domains.
 func (s *Server) Tiers() (web, app, db *xen.Domain) { return s.web, s.app, s.db }
+
+// TierDomain returns the domain hosting the tier.
+func (s *Server) TierDomain(t Tier) *xen.Domain {
+	return [NumTiers]*xen.Domain{s.web, s.app, s.db}[t]
+}
+
+// Queue returns the tier's admission queue (counters, config, occupancy).
+func (s *Server) Queue(t Tier) *overload.Queue { return s.queues[t] }
+
+// Detector returns the tier's overload detector, nil when admission
+// control is off.
+func (s *Server) Detector(t Tier) *overload.Detector { return s.detectors[t] }
+
+// SetOverloadNotify installs the hook fired on every tier overload
+// transition — the coordination plane raises Triggers from it.
+func (s *Server) SetOverloadNotify(fn func(tier Tier, overloaded bool)) { s.notify = fn }
 
 // PoolWaiting returns the number of requests queued for admission at each
 // tier's worker pool — the visible symptom of the cross-tier cascade.
 func (s *Server) PoolWaiting() (web, app, db int) {
-	return s.webPool.Waiting(), s.appPool.Waiting(), s.dbPool.Waiting()
+	return s.queues[TierWeb].Waiting(), s.queues[TierApp].Waiting(), s.queues[TierDB].Waiting()
+}
+
+// classFor maps a request's profiled kind onto the admission class the
+// shed policies act on: browsing (read) traffic is expendable, bid/write
+// (transactional) traffic is protected.
+func classFor(kind core.RequestKind) overload.Class {
+	if kind == core.WriteRequest {
+		return overload.ClassTransact
+	}
+	return overload.ClassBrowse
 }
 
 // demand draws a noisy service demand around mean.
@@ -160,16 +248,20 @@ func (s *Server) demand(mean sim.Time) sim.Time {
 // requests touch the database only negligibly) and do not take workers.
 // Because workers are held across downstream calls, a backlogged database
 // exhausts the app pool and then the web pool, stalling unrelated requests
-// — the cross-tier cascade the coordination policy combats.
+// — the cross-tier cascade the coordination policy combats. With admission
+// control armed, a saturated tier sheds instead: the rejected request
+// releases every upstream worker it held and a small error response goes
+// back, so shedding one tier's backlog frees capacity in all of them.
 func (s *Server) onRequest(p *netsim.Packet) {
 	req, ok := p.Payload.(*Request)
 	if !ok {
 		panic(fmt.Sprintf("rubis: packet %d without request payload", p.ID))
 	}
 	prof := s.catalog[req.Type]
+	class := classFor(prof.Kind)
 
 	finish := func() {
-		s.webPool.release()
+		s.queues[TierWeb].Release()
 		s.served++
 		// Responses are segmented at the MTU; only the final segment
 		// carries the request payload, so the client (and the IXP's
@@ -198,37 +290,50 @@ func (s *Server) onRequest(p *netsim.Packet) {
 		}
 	}
 
-	dbStage := func(done func()) {
+	// shedAt rejects the request at a tier: release the upstream workers
+	// the pipeline holds (the web worker always, the app worker when held)
+	// and answer with a small error response so the session continues.
+	shedAt := func(releaseApp bool) func(bool) {
+		return func(bool) {
+			if releaseApp {
+				s.queues[TierApp].Release()
+			}
+			s.queues[TierWeb].Release()
+			s.shedResponse(p.ID, req)
+		}
+	}
+
+	dbStage := func(done func(), abort func(expired bool)) {
 		d := s.demand(prof.DB)
 		if d <= 0 {
 			done()
 			return
 		}
-		s.dbPool.acquire(func() {
+		s.queues[TierDB].Acquire(class, func() {
 			s.db.SubmitFunc(d, "db:"+req.Type.String(), func() {
-				s.dbPool.release()
+				s.queues[TierDB].Release()
 				done()
 			})
-		})
+		}, abort)
 	}
 	appStage := func(done func()) {
 		d := s.demand(prof.App)
 		if d <= 0 {
-			dbStage(done)
+			dbStage(done, shedAt(false))
 			return
 		}
-		s.appPool.acquire(func() {
+		s.queues[TierApp].Acquire(class, func() {
 			s.app.SubmitFunc(d, "app:"+req.Type.String(), func() {
 				s.bridgeHop(func() {
 					dbStage(func() {
-						s.appPool.release()
+						s.queues[TierApp].Release()
 						done()
-					})
+					}, shedAt(true))
 				})
 			})
-		})
+		}, shedAt(false))
 	}
-	s.webPool.acquire(func() {
+	s.queues[TierWeb].Acquire(class, func() {
 		webDemand := s.demand(prof.Web)
 		if webDemand <= 0 {
 			webDemand = sim.Millisecond / 2
@@ -236,6 +341,26 @@ func (s *Server) onRequest(p *netsim.Packet) {
 		s.web.SubmitFunc(webDemand, "web:"+req.Type.String(), func() {
 			s.bridgeHop(func() { appStage(finish) })
 		})
+	}, func(bool) {
+		// Rejected at the front door: no workers held yet.
+		s.shedResponse(p.ID, req)
+	})
+}
+
+// shedResponse transmits the small error response a shed request gets.
+// The request payload rides back marked Shed so the client advances the
+// session without recording a served latency.
+func (s *Server) shedResponse(pktID uint64, req *Request) {
+	s.sheds++
+	req.Shed = true
+	s.host.Transmit(&netsim.Packet{
+		ID:      pktID,
+		Size:    shedRespBytes,
+		SrcVM:   s.web.ID(),
+		DstVM:   -1,
+		Class:   netsim.Class(req.Type.String()),
+		Payload: req,
+		Created: s.sim.Now(),
 	})
 }
 

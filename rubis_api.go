@@ -3,6 +3,7 @@ package repro
 import (
 	"time"
 
+	"repro/internal/overload"
 	"repro/internal/rubis"
 )
 
@@ -43,6 +44,95 @@ type RubisConfig struct {
 	// Heartbeat overrides the heartbeat/watchdog period used when Robust
 	// is set (default 250ms).
 	Heartbeat time.Duration
+
+	// LoadFactor scales the client session population (1.0 = calibrated
+	// default). Values above ~2 drive the deployment past saturation —
+	// the regime the overload-control plane is for.
+	LoadFactor float64
+
+	// RequestTimeout, when positive, makes client sessions abandon pages
+	// unanswered by then and move on; the server keeps working on the
+	// abandoned request. This is the wasted work that collapses goodput
+	// under uncontrolled overload (0 = sessions wait forever, the
+	// calibrated-baseline behaviour).
+	RequestTimeout time.Duration
+
+	// Overload, when non-nil, arms the overload-control plane: bounded
+	// per-tier admission queues with queueing deadlines and shed policies,
+	// and (when Coordinated) the cross-island loop that sheds traffic at
+	// the NIC before it crosses PCIe. See docs/overload.md.
+	Overload *OverloadControl
+}
+
+// OverloadControl is the public face of the overload-control plane.
+// Zero values take calibrated defaults.
+type OverloadControl struct {
+	// QueueCap bounds each tier's admission queue (default 512; negative
+	// means unbounded).
+	QueueCap int
+	// QueueDeadline expires requests queued longer than this (default 4s;
+	// negative disables).
+	QueueDeadline time.Duration
+	// Policy selects the shed policy: "priority" (default; browse sheds
+	// before bid/write), "tail", or "head".
+	Policy string
+	// Threshold is the smoothed queue delay at which a tier declares
+	// overload (default 250ms).
+	Threshold time.Duration
+
+	// Coordinated closes the cross-island loop: tier overload raises a
+	// Trigger, translated by the controller into a weight boost plus an
+	// upstream shed-rate adjustment driving the IXP's early-admission
+	// gate.
+	Coordinated bool
+	// ShedStep and BoostDelta size the translated adjustments (defaults
+	// 2 shedder units and +128 weight).
+	ShedStep   int
+	BoostDelta int
+	// TriggerRefill/TriggerBurst damp overload Triggers through a token
+	// bucket (defaults 500ms, burst 3).
+	TriggerRefill time.Duration
+	TriggerBurst  int
+	// Breaker arms circuit breakers on the reliable mailbox endpoints
+	// (implies the reliable plane).
+	Breaker bool
+}
+
+// OverloadSummary reports what the overload-control plane did during a
+// run. All counters are zero when RubisConfig.Overload was nil.
+type OverloadSummary struct {
+	QueueShed  uint64 // admission rejections across the three tiers
+	Expired    uint64 // queueing-deadline expiries across the tiers
+	MaxWaiting int    // largest tier backlog observed
+
+	// Tiers holds the raw per-tier admission counters in web, app, db
+	// order; at any instant Offered - Served - Shed - Expired is the
+	// tier's in-flight (queued or being served) population.
+	Tiers [3]TierAdmission
+
+	IXPShed       uint64 // requests shed at the NIC before crossing PCIe
+	ShedResponses uint64 // shed responses the client observed post-warmup
+	Abandoned     uint64 // pages abandoned at the client's RequestTimeout
+
+	OverloadEpisodes uint64 // tier detector trips
+	TriggersSent     uint64 // overload Triggers emitted by the x86 agent
+	ShedTunes        uint64 // upstream shed adjustments issued
+	BoostTunes       uint64 // translated weight boosts issued
+
+	BreakerRejected uint64 // sends refused while a mailbox breaker was open
+	BreakerOpens    uint64 // breaker open transitions (both endpoints)
+
+	ServedP95Ms float64 // p95 latency of served (non-shed) responses
+}
+
+// TierAdmission is one tier's admission-queue counters.
+type TierAdmission struct {
+	Tier       string // "web", "app", or "db"
+	Offered    uint64
+	Served     uint64
+	Shed       uint64
+	Expired    uint64
+	MaxWaiting int
 }
 
 // RequestStats is one row of Table 1 / Figure 2 / Figure 4.
@@ -81,6 +171,10 @@ type RubisRun struct {
 	// Robustness counters (meaningful when faults are injected or the
 	// reliable plane is enabled).
 	Robustness RobustnessReport
+
+	// Overload summarises the overload-control plane (zero unless
+	// RubisConfig.Overload was set).
+	Overload OverloadSummary
 }
 
 // internalRubisConfig translates the public config.
@@ -120,7 +214,38 @@ func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
 		client.Mix = rubis.BrowsingMix()
 		client.Phases = false
 	}
+	if c.LoadFactor > 0 {
+		client.Sessions = int(float64(client.Sessions)*c.LoadFactor + 0.5)
+	}
+	if c.RequestTimeout > 0 {
+		client.Timeout = toSim(c.RequestTimeout)
+	}
 	ec.Client = client
+	if c.Overload != nil {
+		ov := c.Overload
+		policy, err := overload.ParsePolicy(ov.Policy)
+		if err != nil {
+			panic("repro: " + err.Error())
+		}
+		ec.Overload = &rubis.OverloadSetup{
+			QueueCap:      ov.QueueCap,
+			QueueDeadline: toSim(ov.QueueDeadline),
+			Policy:        policy,
+			Threshold:     toSim(ov.Threshold),
+			Coordinated:   ov.Coordinated,
+			ShedStep:      ov.ShedStep,
+			BoostDelta:    ov.BoostDelta,
+			TriggerRefill: toSim(ov.TriggerRefill),
+			TriggerBurst:  ov.TriggerBurst,
+			Breaker:       ov.Breaker,
+		}
+		if ov.QueueDeadline < 0 {
+			ec.Overload.QueueDeadline = -1
+		}
+		if ov.Threshold < 0 {
+			ec.Overload.Threshold = -1
+		}
+	}
 	return ec
 }
 
@@ -143,6 +268,7 @@ func RunRubis(cfg RubisConfig, coordinated bool) *RubisRun {
 		TunesApplied:      res.TunesApplied,
 		FinalWeights:      res.FinalWeights,
 		Robustness:        robustnessReport(res.Robust),
+		Overload:          overloadSummary(res),
 	}
 	for _, rt := range rubis.AllRequestTypes() {
 		s := res.Metrics.TypeSummary(rt)
@@ -159,6 +285,40 @@ func RunRubis(cfg RubisConfig, coordinated bool) *RubisRun {
 		})
 	}
 	return run
+}
+
+// overloadSummary flattens the internal overload report for the public API.
+func overloadSummary(res *rubis.Result) OverloadSummary {
+	ov := res.Overload
+	s := OverloadSummary{
+		IXPShed:          ov.IXPShed,
+		ShedResponses:    ov.ShedResponses,
+		Abandoned:        ov.Abandoned,
+		OverloadEpisodes: ov.OverloadEpisodes,
+		TriggersSent:     ov.TriggersSent,
+		ShedTunes:        ov.ShedTunes,
+		BoostTunes:       ov.BoostTunes,
+		BreakerRejected:  res.Robust.BreakerRejected,
+		BreakerOpens:     res.Robust.UplinkBreaker.Opens + res.Robust.DownlinkBreaker.Opens,
+		ServedP95Ms:      ov.ServedP95Ms,
+	}
+	tierNames := [3]string{"web", "app", "db"}
+	for i, st := range ov.Tiers {
+		s.Tiers[i] = TierAdmission{
+			Tier:       tierNames[i],
+			Offered:    st.Offered,
+			Served:     st.Served,
+			Shed:       st.Shed,
+			Expired:    st.Expired,
+			MaxWaiting: st.MaxWaiting,
+		}
+		s.QueueShed += st.Shed
+		s.Expired += st.Expired
+		if st.MaxWaiting > s.MaxWaiting {
+			s.MaxWaiting = st.MaxWaiting
+		}
+	}
+	return s
 }
 
 // CompareRubis runs the baseline and the coordinated case on identical

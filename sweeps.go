@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/sweep"
@@ -48,7 +49,9 @@ func (o SweepOptions) options(version string) (sweep.Options, error) {
 
 // faultMatrixVersion invalidates cached fault-matrix trials when the
 // experiment's meaning changes. Bump on any model or metric change.
-const faultMatrixVersion = "fault-matrix-v1"
+// v2: overload scenarios (bounded queues + coordinated shedding under
+// partition/crash) and shed counters joined the matrix.
+const faultMatrixVersion = "fault-matrix-v2"
 
 // FaultsRow is one trial of the fault-injection matrix: a RUBiS run under
 // one fault scenario on one coordination plane.
@@ -65,6 +68,13 @@ type FaultsRow struct {
 	Expired         uint64 `json:"expired"`
 	Degradations    uint64 `json:"degradations"`
 	BaselineReverts uint64 `json:"baseline_reverts"`
+
+	// Load is the offered-load multiplier (0 means the calibrated 1×
+	// population with no overload control armed).
+	Load float64 `json:"load,omitempty"`
+	// Shed counts requests rejected by the overload plane (tier queues,
+	// deadline expiries, and the NIC admission gate combined).
+	Shed uint64 `json:"shed,omitempty"`
 }
 
 // faultPointCfg is a fault-matrix point's cache-keyed configuration.
@@ -74,6 +84,7 @@ type faultPointCfg struct {
 	DurationNs int64      `json:"duration_ns"`
 	WarmupNs   int64      `json:"warmup_ns"`
 	Plan       *FaultPlan `json:"plan,omitempty"`
+	Load       float64    `json:"load,omitempty"`
 }
 
 // FaultScenarios returns the canonical fault-injection scenario matrix for
@@ -83,24 +94,36 @@ type faultPointCfg struct {
 func FaultScenarios(dur time.Duration) []struct {
 	Name string
 	Plan *FaultPlan
+	Load float64
 } {
 	return []struct {
 		Name string
 		Plan *FaultPlan
+		Load float64
 	}{
-		{"clean", nil},
-		{"loss 30%", &FaultPlan{LossRate: 0.3}},
-		{"bursts", &FaultPlan{LossRate: 0.05, BurstRate: 0.02, BurstLen: 16}},
+		{"clean", nil, 0},
+		{"loss 30%", &FaultPlan{LossRate: 0.3}, 0},
+		{"bursts", &FaultPlan{LossRate: 0.05, BurstRate: 0.02, BurstLen: 16}, 0},
 		{"chaos mix", &FaultPlan{
 			LossRate: 0.15, DupRate: 0.1, ReorderRate: 0.1,
 			SpikeRate: 0.05, JitterMax: 100 * time.Microsecond,
-		}},
+		}, 0},
 		{"partition", &FaultPlan{Partitions: []Partition{
 			{Start: dur / 4, Duration: dur / 4},
-		}}},
+		}}, 0},
 		{"ixp crash", &FaultPlan{Crashes: []CrashWindow{
 			{Island: "ixp", Start: dur / 4, Duration: dur / 8},
-		}}},
+		}}, 0},
+		// Overload scenarios drive 2.5× the calibrated session population
+		// into bounded tier queues while the same faults hit the
+		// coordination plane — the regime where shedding must keep working
+		// even as the shed loop's control messages are lost.
+		{"overload+partition", &FaultPlan{Partitions: []Partition{
+			{Start: dur / 4, Duration: dur / 4},
+		}}, 2.5},
+		{"overload+crash", &FaultPlan{Crashes: []CrashWindow{
+			{Island: "ixp", Start: dur / 4, Duration: dur / 8},
+		}}, 2.5},
 	}
 }
 
@@ -127,6 +150,7 @@ func FaultMatrixPoints(cfg RubisConfig) []sweep.Point {
 					DurationNs: int64(cfg.Duration),
 					WarmupNs:   int64(cfg.Warmup),
 					Plan:       sc.Plan,
+					Load:       sc.Load,
 				},
 			})
 		}
@@ -165,8 +189,17 @@ func RunFaultMatrix(cfg RubisConfig, opt SweepOptions) (*FaultMatrixResult, erro
 		trialCfg.Seed = t.Seed
 		trialCfg.Faults = pc.Plan
 		trialCfg.Robust = pc.Plane == "reliable"
+		if pc.Load > 0 {
+			trialCfg.LoadFactor = pc.Load
+			trialCfg.RequestTimeout = overloadStressTimeout
+			ov := overloadStressKnobs()
+			ov.Coordinated = pc.Plane != "none"
+			ov.Breaker = pc.Plane == "reliable"
+			trialCfg.Overload = &ov
+		}
 		r := RunRubis(trialCfg, pc.Plane != "none")
 		rb := r.Robustness
+		ov := r.Overload
 		return FaultsRow{
 			Scenario:        pc.Scenario,
 			Plane:           pc.Plane,
@@ -176,6 +209,8 @@ func RunFaultMatrix(cfg RubisConfig, opt SweepOptions) (*FaultMatrixResult, erro
 			Expired:         rb.Expired,
 			Degradations:    rb.Degradations,
 			BaselineReverts: rb.BaselineReverts,
+			Load:            pc.Load,
+			Shed:            ov.QueueShed + ov.Expired + ov.IXPShed,
 		}, nil
 	}, opts)
 	if err != nil {
@@ -202,6 +237,177 @@ func (r *FaultMatrixResult) Row(scenario, plane string) (FaultsRow, bool) {
 		}
 	}
 	return FaultsRow{}, false
+}
+
+// overloadMatrixVersion invalidates cached overload-matrix trials when
+// the experiment's meaning changes.
+const overloadMatrixVersion = "overload-matrix-v1"
+
+// overloadStressTimeout is the client patience used by the overload
+// ablation and the overload fault scenarios: long enough that the
+// calibrated 1x population rarely abandons, short enough that queueing
+// delay past saturation turns into abandoned (wasted) work.
+const overloadStressTimeout = 2 * time.Second
+
+// overloadStressKnobs is the tight admission envelope those experiments
+// arm: queues shallow enough to bind past saturation and a queueing
+// deadline well under the client timeout, so expiry sheds work the
+// client would have abandoned anyway.
+func overloadStressKnobs() OverloadControl {
+	return OverloadControl{
+		QueueCap:      64,
+		QueueDeadline: 300 * time.Millisecond,
+		Threshold:     150 * time.Millisecond,
+	}
+}
+
+// OverloadLoads is the offered-load axis of the overload ablation: the
+// session-population multipliers swept for every control level.
+var OverloadLoads = []float64{1, 2, 3, 4}
+
+// OverloadControls is the control axis of the overload ablation, weakest
+// first: no overload control (unbounded queues), bounded tier queues with
+// local shedding only, and the full coordinated plane that also sheds at
+// the NIC before PCIe.
+var OverloadControls = []string{"none", "bounded", "coordinated"}
+
+// OverloadRow is one trial of the overload ablation: a RUBiS run at one
+// offered-load multiplier under one overload-control level.
+type OverloadRow struct {
+	Control string  `json:"control"`
+	Load    float64 `json:"load"`
+
+	// Goodput is served (non-shed) requests per second; ServedP95Ms the
+	// p95 latency over served responses only.
+	Goodput     float64 `json:"goodput"`
+	ServedP95Ms float64 `json:"served_p95_ms"`
+
+	QueueShed uint64 `json:"queue_shed"`
+	Expired   uint64 `json:"expired"`
+	IXPShed   uint64 `json:"ixp_shed"`
+	Abandoned uint64 `json:"abandoned"`
+	Triggers  uint64 `json:"triggers"`
+	ShedTunes uint64 `json:"shed_tunes"`
+}
+
+// overloadPointCfg is an overload-matrix point's cache-keyed configuration.
+type overloadPointCfg struct {
+	Control    string  `json:"control"`
+	Load       float64 `json:"load"`
+	DurationNs int64   `json:"duration_ns"`
+	WarmupNs   int64   `json:"warmup_ns"`
+}
+
+// OverloadMatrixPoints expands the overload ablation into sweep points in
+// stable order: every control level at every offered-load multiplier.
+func OverloadMatrixPoints(cfg RubisConfig) []sweep.Point {
+	var points []sweep.Point
+	for _, control := range OverloadControls {
+		for _, load := range OverloadLoads {
+			points = append(points, sweep.Point{
+				Name: fmt.Sprintf("%s/%gx", control, load),
+				Config: overloadPointCfg{
+					Control:    control,
+					Load:       load,
+					DurationNs: int64(cfg.Duration),
+					WarmupNs:   int64(cfg.Warmup),
+				},
+			})
+		}
+	}
+	return points
+}
+
+// OverloadMatrixResult is one parallel run of the overload ablation.
+type OverloadMatrixResult struct {
+	Sweep *sweep.RunResult
+	Rows  []OverloadRow
+}
+
+// RunOverloadMatrix fans the overload ablation (controls × loads ×
+// repetitions) across the sweep worker pool. The paper's weight-tuning
+// scheme is left off for every trial so the matrix isolates the overload
+// plane; coordinated trials still actuate weight boosts through the
+// controller's Trigger translation.
+func RunOverloadMatrix(cfg RubisConfig, opt SweepOptions) (*OverloadMatrixResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = cfg.Seed
+	}
+	opts, err := opt.options(overloadMatrixVersion)
+	if err != nil {
+		return nil, err
+	}
+	points := OverloadMatrixPoints(cfg)
+	res, err := sweep.Run(points, func(t sweep.Trial) (any, error) {
+		pc, ok := t.Point.Config.(overloadPointCfg)
+		if !ok {
+			return nil, fmt.Errorf("repro: overload-matrix point %q has config %T", t.Point.Name, t.Point.Config)
+		}
+		trialCfg := cfg
+		trialCfg.Seed = t.Seed
+		trialCfg.LoadFactor = pc.Load
+		// Sessions abandon pages unanswered in 2s — identical client
+		// behaviour for every control level, so the matrix isolates how
+		// much server work each level wastes on abandoned pages. At 4x
+		// load the uncontrolled baseline serves nothing in time at all
+		// (goodput 0, p95 printed as 0 for lack of samples).
+		trialCfg.RequestTimeout = overloadStressTimeout
+		// The default knobs (cap 512, deadline 4s) are sized never to bind
+		// at the calibrated population; the ablation stresses a deliberately
+		// tight envelope so the control levels separate.
+		stress := overloadStressKnobs()
+		switch pc.Control {
+		case "none":
+			trialCfg.Overload = nil
+		case "bounded":
+			ov := stress
+			trialCfg.Overload = &ov
+		case "coordinated":
+			ov := stress
+			ov.Coordinated = true
+			trialCfg.Overload = &ov
+		default:
+			return nil, fmt.Errorf("repro: unknown overload control %q", pc.Control)
+		}
+		r := RunRubis(trialCfg, false)
+		ov := r.Overload
+		return OverloadRow{
+			Control:     pc.Control,
+			Load:        pc.Load,
+			Goodput:     r.Throughput,
+			ServedP95Ms: ov.ServedP95Ms,
+			QueueShed:   ov.QueueShed,
+			Expired:     ov.Expired,
+			IXPShed:     ov.IXPShed,
+			Abandoned:   ov.Abandoned,
+			Triggers:    ov.TriggersSent,
+			ShedTunes:   ov.ShedTunes,
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	out := &OverloadMatrixResult{Sweep: res, Rows: make([]OverloadRow, len(res.Trials))}
+	for i := range res.Trials {
+		if err := res.Decode(i, &out.Rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Row returns the first-repetition row for a control/load pair. Loads are
+// grid values (1x, 2x, ...) so a coarse tolerance identifies them.
+func (r *OverloadMatrixResult) Row(control string, load float64) (OverloadRow, bool) {
+	for _, row := range r.Rows {
+		if row.Control == control && math.Abs(row.Load-load) < 1e-9 {
+			return row, true
+		}
+	}
+	return OverloadRow{}, false
 }
 
 // Pinned bench-sweep configuration: the regression guard reruns exactly
