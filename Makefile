@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint microbench sweep bench fuzz chaos overload check
+.PHONY: all build test race vet lint microbench sweep bench fuzz chaos overload flight check
 
 all: check
 
@@ -20,7 +20,7 @@ lint: vet
 	$(GO) run ./cmd/reprolint ./...
 
 microbench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/flight/
 
 # sweep runs every ablation matrix through the parallel sweep engine with
 # the content-hash cache warm across invocations.
@@ -59,6 +59,18 @@ overload:
 	$(GO) test -race ./internal/overload/
 	$(GO) test -run 'TestChaosOverload|TestBoundedQueues|TestCoordinatedOverload' . ./internal/rubis/
 	$(GO) run ./cmd/reprobench -exp ablation-overload -quick
+
+# flight exercises the flight recorder end-to-end on a short saturated
+# RUBiS run: record the log, replay it (divergence fails the target),
+# re-record it, diff the two recordings byte-for-event, then give the
+# format decoder a short fuzz budget over the checked-in corpus.
+flight:
+	$(GO) run ./cmd/reproflight record -o /tmp/ci.flight -seed 7 -duration 10s -warmup 2s -load 3 -overload
+	$(GO) run ./cmd/reproflight replay /tmp/ci.flight
+	$(GO) run ./cmd/reproflight record -o /tmp/ci2.flight -seed 7 -duration 10s -warmup 2s -load 3 -overload
+	$(GO) run ./cmd/reproflight diff /tmp/ci.flight /tmp/ci2.flight
+	$(GO) run ./cmd/reproflight inspect /tmp/ci.flight
+	$(GO) test -run FuzzFlightDecoder -fuzz FuzzFlightDecoder -fuzztime 10s ./internal/flight/
 
 # check is the full tier-1 gate: what CI runs on every push.
 check: build test lint

@@ -7,6 +7,7 @@ package repro
 // must stay deterministic.
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
@@ -140,7 +141,21 @@ func TestChaosCrashRecovery(t *testing.T) {
 	cfg.Faults = &FaultPlan{Crashes: []CrashWindow{
 		{Island: "ixp", Start: 15 * time.Second, Duration: 5 * time.Second},
 	}}
-	coord := RunRubis(cfg, true)
+	// Run with the flight recorder armed, then replay the log: the whole
+	// degradation ladder — crash drops, lease expiry, quarantine, revert,
+	// rejoin — must reproduce event-for-event from the same config and seed.
+	var flightLog bytes.Buffer
+	coord, err := RecordRubis(cfg, true, &flightLog)
+	if err != nil {
+		t.Fatalf("RecordRubis: %v", err)
+	}
+	rep, err := ReplayRubis(flightLog.Bytes())
+	if err != nil {
+		t.Fatalf("ReplayRubis: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Errorf("crash-recovery run does not replay deterministically: %v", rep.Divergence)
+	}
 
 	rb := coord.Robustness
 	if rb.LeaseExpiries < 1 {

@@ -1,0 +1,172 @@
+// Command reproflight records, replays, inspects, and diffs coordination
+// flight logs (.flight files, see docs/flightrecorder.md).
+//
+// Usage:
+//
+//	reproflight record -o run.flight [-seed N] [-duration 30s] [-warmup 5s]
+//	                   [-load 3] [-coordinated] [-overload]
+//	reproflight replay run.flight
+//	reproflight inspect [-n N] run.flight
+//	reproflight diff a.flight b.flight
+//
+// record runs one RUBiS experiment with the recorder armed and writes the
+// log. replay re-runs the simulation from the log's embedded config+seed
+// and verifies the live event stream against the recording, exiting 1 on
+// the first divergence. inspect prints the log's header and per-category
+// statistics (-n additionally dumps the first N events). diff compares two
+// logs event-by-event, exiting 1 if they differ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/flight"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reproflight record|replay|inspect|diff [flags] [files]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reproflight:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "run.flight", "output flight-log file")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	duration := fs.Duration("duration", 30*time.Second, "simulated run length")
+	warmup := fs.Duration("warmup", 5*time.Second, "measurement warmup")
+	load := fs.Float64("load", 0, "session load factor (>2 saturates; 0 = calibrated)")
+	coordinated := fs.Bool("coordinated", true, "enable the coordination plane")
+	overload := fs.Bool("overload", false, "arm the coordinated overload-control plane")
+	fs.Parse(args)
+
+	cfg := repro.RubisConfig{
+		Seed:     *seed,
+		Duration: *duration,
+		Warmup:   *warmup,
+	}
+	if *load > 0 {
+		cfg.LoadFactor = *load
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if *overload {
+		cfg.Overload = &repro.OverloadControl{Coordinated: *coordinated}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	run, err := repro.RecordRubis(cfg, *coordinated, f)
+	if err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("recorded %s: seed=%d duration=%v throughput=%.1f req/s (%d bytes)\n",
+		*out, *seed, *duration, run.Throughput, st.Size())
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	rep, err := repro.ReplayRubis(data)
+	if err != nil {
+		fail(err)
+	}
+	if d := rep.Divergence; d != nil {
+		fmt.Println(d)
+		os.Exit(1)
+	}
+	fmt.Printf("replay matched: %d events reproduced (seed=%d, coordinated=%v)\n",
+		rep.Events, rep.Meta.Config.Seed, rep.Meta.Coordinated)
+}
+
+func inspect(args []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	dump := fs.Int("n", 0, "also dump the first N events")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	log := mustDecode(fs.Arg(0))
+	info := log.Info()
+	fmt.Printf("%s: format v%d, seed=%d\n", fs.Arg(0), info.Version, info.Seed)
+	fmt.Printf("  %d events in %d bytes (%.2f bytes/event), t=%.6fs..%.6fs\n",
+		info.Events, info.Bytes, info.BytesPerEvent, info.First.Seconds(), info.Last.Seconds())
+	fmt.Printf("  meta: %s\n", info.Meta)
+	for _, c := range info.Categories {
+		fmt.Printf("  %-8s %8d\n", "["+c.Category.String()+"]", c.Count)
+	}
+	fmt.Printf("  %d distinct labels\n", len(info.Labels))
+	for i, ev := range log.Events {
+		if i >= *dump {
+			break
+		}
+		fmt.Println("  " + ev.String())
+	}
+}
+
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	a, b := mustDecode(fs.Arg(0)), mustDecode(fs.Arg(1))
+	d := flight.Diff(a, b)
+	fmt.Println(d)
+	if !d.Identical() {
+		os.Exit(1)
+	}
+}
+
+func mustDecode(path string) *flight.Log {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	log, err := flight.Decode(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return log
+}

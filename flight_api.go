@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/flight"
+)
+
+// FlightMeta is the replay context a flight log's header carries: because
+// every run is a pure function of its configuration and seed, this is all a
+// replayer needs to re-produce the recorded event stream.
+type FlightMeta struct {
+	Config      RubisConfig `json:"config"`
+	Coordinated bool        `json:"coordinated"`
+}
+
+// FlightDivergence is the public face of a replay mismatch: the first point
+// where the live run departed from the log, with sim-time, category, and
+// both payloads.
+type FlightDivergence struct {
+	Index      int     // event ordinal (0-based)
+	SimTimeSec float64 // sim-time of the diverging event, seconds
+	Category   string  // flight category of the diverging event
+	Want       string  // the recorded event ("" if the log was exhausted)
+	Got        string  // the live event ("" if the live run fell short)
+	Detail     string  // full human-readable report
+}
+
+// String renders the full divergence report.
+func (d *FlightDivergence) String() string { return d.Detail }
+
+// publicDivergence converts the internal divergence.
+func publicDivergence(d *flight.Divergence) *FlightDivergence {
+	if d == nil {
+		return nil
+	}
+	out := &FlightDivergence{Index: d.Index, Detail: d.String()}
+	ref := d.Got
+	if ref == nil {
+		ref = d.Want
+	}
+	out.SimTimeSec = ref.T.Seconds()
+	out.Category = ref.Cat.String()
+	if d.Want != nil {
+		out.Want = d.Want.String()
+	}
+	if d.Got != nil {
+		out.Got = d.Got.String()
+	}
+	return out
+}
+
+// FlightReplay is the outcome of replaying a recorded run.
+type FlightReplay struct {
+	Meta   FlightMeta
+	Events int       // events the log holds
+	Run    *RubisRun // the re-run's measurements
+	// Divergence is nil when the replay reproduced the log exactly.
+	Divergence *FlightDivergence
+}
+
+// RecordRubis executes one RUBiS run with the flight recorder armed,
+// streaming the coordination-event log to w. The returned measurements are
+// identical to an unrecorded RunRubis with the same arguments: recording is
+// purely observational.
+func RecordRubis(cfg RubisConfig, coordinated bool, w io.Writer) (*RubisRun, error) {
+	meta, err := json.Marshal(FlightMeta{Config: cfg, Coordinated: coordinated})
+	if err != nil {
+		return nil, fmt.Errorf("repro: encoding flight meta: %w", err)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1 // the platform's default
+	}
+	rec, err := flight.NewRecorder(w, seed, meta, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := runRubis(cfg, coordinated, rec)
+	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// ReplayRubis decodes a recorded flight log, re-runs the simulation from
+// the configuration and seed in its header, and streams the live events
+// against the log. A nil FlightReplay.Divergence certifies the run
+// reproduced every recorded coordination decision at the same sim-times.
+func ReplayRubis(data []byte) (*FlightReplay, error) {
+	log, err := flight.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	var meta FlightMeta
+	if err := json.Unmarshal(log.Meta, &meta); err != nil {
+		return nil, fmt.Errorf("repro: flight log carries undecodable meta: %w", err)
+	}
+	v := flight.NewVerifier(log)
+	run := runRubis(meta.Config, meta.Coordinated, v)
+	return &FlightReplay{
+		Meta:       meta,
+		Events:     len(log.Events),
+		Run:        run,
+		Divergence: publicDivergence(v.Divergence()),
+	}, nil
+}
+
+// recordToFile services RubisConfig.FlightLog: it runs the experiment with
+// a recorder streaming to the named file.
+func recordToFile(cfg RubisConfig, coordinated bool, path string) *RubisRun {
+	f, err := os.Create(path)
+	if err != nil {
+		panic("repro: creating flight log: " + err.Error())
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			panic("repro: closing flight log: " + cerr.Error())
+		}
+	}()
+	sub := cfg
+	sub.FlightLog = "" // the header meta must replay without re-recording
+	run, err := RecordRubis(sub, coordinated, f)
+	if err != nil {
+		panic("repro: recording flight log: " + err.Error())
+	}
+	return run
+}

@@ -1,0 +1,186 @@
+package repro
+
+// Flight-recorder facade tests: recording must be invisible to the
+// simulation, a clean replay must report zero divergence, and any mutation
+// of the replay context (seed, event stream) must surface as a
+// first-divergence with a valid sim-time and category.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// flightRubisCfg is a short saturated run with the full coordinated
+// overload-control plane armed, so every flight category has a chance to
+// fire within a few simulated seconds.
+func flightRubisCfg(seed int64) RubisConfig {
+	return RubisConfig{
+		Seed:           seed,
+		Duration:       6 * time.Second,
+		Warmup:         2 * time.Second,
+		Sessions:       30,
+		LoadFactor:     3,
+		RequestTimeout: 2 * time.Second,
+		Overload:       &OverloadControl{Coordinated: true},
+	}
+}
+
+func TestFlightRecordReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	cfg := flightRubisCfg(7)
+	plain := RunRubis(cfg, true)
+	var buf bytes.Buffer
+	recorded, err := RecordRubis(cfg, true, &buf)
+	if err != nil {
+		t.Fatalf("RecordRubis: %v", err)
+	}
+	// An armed recorder is purely observational: every simulated metric of
+	// the recorded run matches the unrecorded one exactly.
+	if !reflect.DeepEqual(plain, recorded) {
+		t.Error("recording changed the run's simulated metrics")
+	}
+
+	l, err := flight.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("recorded log does not decode: %v", err)
+	}
+	if len(l.Events) == 0 {
+		t.Fatal("recorded log holds no events — taps not wired?")
+	}
+	counts := make(map[flight.Category]int)
+	for _, ev := range l.Events {
+		counts[ev.Cat]++
+	}
+	for _, cat := range []flight.Category{flight.CatSend, flight.CatApply, flight.CatWeight, flight.CatAdmit} {
+		if counts[cat] == 0 {
+			t.Errorf("no %v events in a saturated coordinated run", cat)
+		}
+	}
+
+	rep, err := ReplayRubis(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReplayRubis: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Fatalf("clean replay diverged: %v", rep.Divergence)
+	}
+	if rep.Events != len(l.Events) {
+		t.Errorf("replay saw %d events, log holds %d", rep.Events, len(l.Events))
+	}
+	if !reflect.DeepEqual(plain, rep.Run) {
+		t.Error("verifying replay changed the run's simulated metrics")
+	}
+}
+
+// reencode rebuilds a log's bytes after a mutation.
+func reencode(t *testing.T, l *flight.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := flight.Encode(&buf, l.Seed, l.Meta, l.Events, 0); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFlightReplayDetectsMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	var buf bytes.Buffer
+	if _, err := RecordRubis(flightRubisCfg(7), true, &buf); err != nil {
+		t.Fatalf("RecordRubis: %v", err)
+	}
+	l, err := flight.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	t.Run("mutated seed", func(t *testing.T) {
+		m, err := flight.Decode(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Meta = bytes.Replace(m.Meta, []byte(`"Seed":7`), []byte(`"Seed":8`), 1)
+		if bytes.Equal(m.Meta, l.Meta) {
+			t.Fatal("meta mutation did not apply")
+		}
+		rep, err := ReplayRubis(reencode(t, m))
+		if err != nil {
+			t.Fatalf("ReplayRubis: %v", err)
+		}
+		d := rep.Divergence
+		if d == nil {
+			t.Fatal("replay with a different seed reported zero divergence")
+		}
+		if d.SimTimeSec < 0 || d.Category == "" || d.Detail == "" {
+			t.Errorf("divergence missing sim-time/category: %+v", d)
+		}
+	})
+
+	t.Run("dropped event", func(t *testing.T) {
+		// Equivalent to the live run emitting one extra event: the log is
+		// missing it, so the replay diverges exactly where it was dropped.
+		m, err := flight.Decode(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop an event that differs from its successor, so the verifier
+		// cannot legitimately match past the gap.
+		drop := len(m.Events) / 2
+		for drop < len(m.Events)-1 && m.Events[drop] == m.Events[drop+1] {
+			drop++
+		}
+		want := m.Events[drop]
+		m.Events = append(m.Events[:drop:drop], m.Events[drop+1:]...)
+		rep, err := ReplayRubis(reencode(t, m))
+		if err != nil {
+			t.Fatalf("ReplayRubis: %v", err)
+		}
+		d := rep.Divergence
+		if d == nil {
+			t.Fatal("replay against a log missing one event reported zero divergence")
+		}
+		if d.Index != drop {
+			t.Errorf("divergence at event %d, want %d", d.Index, drop)
+		}
+		if d.Category != want.Cat.String() {
+			t.Errorf("divergence category %q, want %q", d.Category, want.Cat)
+		}
+	})
+}
+
+func TestFlightLogFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	path := filepath.Join(t.TempDir(), "run.flight")
+	cfg := flightRubisCfg(7)
+	cfg.FlightLog = path
+	run := RunRubis(cfg, true)
+	if run == nil || run.Throughput <= 0 {
+		t.Fatal("FlightLog run produced no measurements")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading flight log: %v", err)
+	}
+	rep, err := ReplayRubis(data)
+	if err != nil {
+		t.Fatalf("ReplayRubis: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Fatalf("file-logged run does not replay cleanly: %v", rep.Divergence)
+	}
+	// The header meta must not itself request file recording on replay.
+	if rep.Meta.Config.FlightLog != "" {
+		t.Error("FlightLog path leaked into the replay meta")
+	}
+}

@@ -102,7 +102,12 @@ func (x *X86Actuator) EnableLoadTracking(s *sim.Simulator, tau, period sim.Time)
 	x.mass = make(map[int]float64)
 	factor := math.Exp(-float64(period) / float64(tau))
 	x.stopDecay = s.Ticker(period, func() {
+		ids := make([]int, 0, len(x.mass))
 		for e := range x.mass {
+			ids = append(ids, e)
+		}
+		sort.Ints(ids)
+		for _, e := range ids {
 			x.mass[e] *= factor
 			x.applyMass(e)
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -90,6 +91,9 @@ type Agent struct {
 	trace  func(Message) // optional message tap for tests/harness
 	tracer *trace.Tracer // optional structured-event trace
 
+	flight *flight.Recorder // optional flight recorder
+	fsim   *sim.Simulator   // timestamp source for flight events
+
 	// Robustness state.
 	crashed   bool // island crash window: nothing in, nothing out
 	degraded  bool // uplink believed dead: policies silenced
@@ -153,6 +157,13 @@ func NewAgent(name string, uplink Transport, route func(Message), actuator Actua
 		o(a)
 	}
 	return a
+}
+
+// SetFlightRecorder taps every sent and applied coordination message into
+// the flight recorder (nil disables; the disabled cost is one branch per
+// site).
+func (a *Agent) SetFlightRecorder(s *sim.Simulator, r *flight.Recorder) {
+	a.fsim, a.flight = s, r
 }
 
 // Name returns the agent's island name.
@@ -291,6 +302,12 @@ func (a *Agent) send(msg Message) bool {
 	if a.tracer.Enabled(trace.CatCoord) {
 		a.tracer.Emit(trace.CatCoord, "send %v", msg)
 	}
+	if a.flight != nil {
+		a.flight.Record(flight.Event{
+			T: a.fsim.Now(), Cat: flight.CatSend, Code: uint8(msg.Kind),
+			Label: a.name + ">" + msg.Target, Entity: int32(msg.Entity), Arg: int64(msg.Delta),
+		})
+	}
 	if a.uplink != nil {
 		a.uplink.Send(msg)
 	} else {
@@ -330,6 +347,12 @@ func (a *Agent) Deliver(msg Message) {
 	}
 	if a.tracer.Enabled(trace.CatCoord) {
 		a.tracer.Emit(trace.CatCoord, "apply %v", msg)
+	}
+	if a.flight != nil {
+		a.flight.Record(flight.Event{
+			T: a.fsim.Now(), Cat: flight.CatApply, Code: uint8(msg.Kind),
+			Label: a.name, Entity: int32(msg.Entity), Arg: int64(msg.Delta),
+		})
 	}
 	var err error
 	switch msg.Kind {

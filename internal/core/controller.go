@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 )
 
@@ -156,6 +157,8 @@ type Controller struct {
 	shedTunes  uint64
 	boostTunes uint64
 
+	flight *flight.Recorder // optional flight recorder
+
 	// Heartbeat/lease watchdog state (EnableWatchdog).
 	wsim          *sim.Simulator
 	wcfg          WatchdogConfig
@@ -172,6 +175,22 @@ func NewController() *Controller {
 		islands:  make(map[string]IslandHandle),
 		entities: make(map[int]Entity),
 		leases:   make(map[string]*lease),
+	}
+}
+
+// SetFlightRecorder taps lease transitions and quarantine drops into the
+// flight recorder (nil disables). Lease events only occur under an enabled
+// watchdog, so the controller's simulator reference is always set when one
+// fires.
+func (c *Controller) SetFlightRecorder(r *flight.Recorder) { c.flight = r }
+
+// recordLease records one lease-machine flight event.
+func (c *Controller) recordLease(code uint8, island string, entity int) {
+	if c.flight != nil {
+		c.flight.Record(flight.Event{
+			T: c.wsim.Now(), Cat: flight.CatLease, Code: code,
+			Label: island, Entity: int32(entity), Arg: 0,
+		})
 	}
 }
 
@@ -250,6 +269,7 @@ func (c *Controller) watchdogSweep() {
 		case LeaseAlive:
 			if silence > c.wcfg.SuspectAfter {
 				l.state = LeaseSuspect
+				c.recordLease(flight.LeaseSuspect, name, -1)
 				if c.wcfg.OnSuspect != nil {
 					c.wcfg.OnSuspect(name)
 				}
@@ -258,6 +278,7 @@ func (c *Controller) watchdogSweep() {
 			if silence > c.wcfg.DeadAfter {
 				l.state = LeaseDead
 				c.leaseExpiries++
+				c.recordLease(flight.LeaseDead, name, -1)
 				if c.wcfg.OnDead != nil {
 					c.wcfg.OnDead(name)
 				}
@@ -289,6 +310,7 @@ func (c *Controller) observeHeartbeat(island string) {
 	}
 	if l.state == LeaseDead {
 		c.rejoins++
+		c.recordLease(flight.LeaseRejoin, island, -1)
 		if c.wcfg.OnRejoin != nil {
 			c.wcfg.OnRejoin(island)
 		}
@@ -336,6 +358,7 @@ func (c *Controller) Route(msg Message) {
 	}
 	if c.leaseDead(msg.Target) {
 		c.unroutable[UnrouteQuarantined]++
+		c.recordLease(flight.LeaseQuarantine, msg.Target, msg.Entity)
 		return
 	}
 	e, ok := c.entities[msg.Entity]
@@ -345,6 +368,7 @@ func (c *Controller) Route(msg Message) {
 	}
 	if e.Home != "" && c.leaseDead(e.Home) {
 		c.unroutable[UnrouteQuarantined]++
+		c.recordLease(flight.LeaseQuarantine, e.Home, msg.Entity)
 		return
 	}
 	c.routed++

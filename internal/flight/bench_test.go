@@ -1,0 +1,76 @@
+package flight
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchEvents builds a realistic mixed stream: mostly admission verdicts and
+// sends, a sprinkling of weight changes, ~a dozen distinct labels.
+func benchEvents(n int) []Event {
+	labels := []string{"web", "app", "db", "ixp", "x86", "gpu", "ixp>x86", "x86>ixp", "ixp-uplink", "host-downlink"}
+	events := make([]Event, n)
+	for i := range events {
+		ev := Event{T: sim.Time(i+1) * sim.Time(250_000), Label: labels[i%len(labels)], Entity: int32(i % 8)}
+		switch i % 10 {
+		case 0, 1, 2, 3, 4:
+			ev.Cat, ev.Code, ev.Arg = CatAdmit, uint8(i%3), int64(i%3)
+		case 5, 6, 7:
+			ev.Cat, ev.Code, ev.Arg = CatSend, KindTune, int64(-64+i%128)
+		case 8:
+			ev.Cat, ev.Arg = CatWeight, int64(128+i%256)
+		default:
+			ev.Cat, ev.Code, ev.Arg = CatIXP, IXPThreads, int64(i%4)
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+func BenchmarkFlightEncode(b *testing.B) {
+	events := benchEvents(4096)
+	var buf bytes.Buffer
+	if err := Encode(&buf, 1, nil, events, DefaultSegmentEvents); err != nil {
+		b.Fatal(err)
+	}
+	bytesPerEvent := float64(buf.Len()) / float64(len(events))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, 1, nil, events, DefaultSegmentEvents); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bytesPerEvent, "bytes/event")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+}
+
+func BenchmarkFlightDecode(b *testing.B) {
+	events := benchEvents(4096)
+	var buf bytes.Buffer
+	if err := Encode(&buf, 1, nil, events, DefaultSegmentEvents); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data))/float64(len(events)), "bytes/event")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+}
+
+// BenchmarkFlightRecordDisabled measures the disabled-recorder cost at an
+// event site: one nil check.
+func BenchmarkFlightRecordDisabled(b *testing.B) {
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		if r != nil {
+			r.Record(Event{})
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Binary format constants. See docs/flightrecorder.md for the full
+// specification.
+const (
+	// Version is the current format version; Decode rejects any other.
+	Version uint16 = 1
+
+	// DefaultSegmentEvents is the recorder's in-memory ring capacity: a
+	// full ring is encoded into one CRC-framed segment and spilled to the
+	// writer.
+	DefaultSegmentEvents = 1024
+
+	magic = "FLR1"
+
+	opIntern byte = 0x01 // payload record: define the next string-table entry
+	opEvent  byte = 0x02 // payload record: one event
+
+	segMarker byte = 0xA5 // frames one segment
+	endMarker byte = 0x5A // trailer: end of log + total event count
+
+	// minEventBytes is the smallest possible encoded event record (op,
+	// cat, code, dt, label, entity, arg — one byte each); the decoder uses
+	// it to reject corrupt record counts before doing any work.
+	minEventBytes = 7
+)
+
+// headerFixedLen is the byte length of the fixed header prefix: magic,
+// version, flags, seed.
+const headerFixedLen = 4 + 2 + 2 + 8
+
+// encState is the stateful half of the encoding shared by every segment of
+// one log: the string-interning table and the per-category timestamp delta
+// bases. The decoder mirrors it exactly.
+type encState struct {
+	intern map[string]uint64
+	nextID uint64
+	lastT  [NumCategories]sim.Time
+}
+
+func newEncState() encState {
+	return encState{intern: make(map[string]uint64)}
+}
+
+// appendEvent appends ev's payload records (an intern definition first if
+// the label is new) to buf, advancing the encoder state.
+func (s *encState) appendEvent(buf []byte, ev Event) ([]byte, error) {
+	if int(ev.Cat) >= NumCategories {
+		return buf, fmt.Errorf("flight: event has unknown category %d", int(ev.Cat))
+	}
+	dt := ev.T - s.lastT[ev.Cat]
+	if dt < 0 {
+		return buf, fmt.Errorf("flight: time went backwards in category %v: %v after %v", ev.Cat, ev.T, s.lastT[ev.Cat])
+	}
+	id, ok := s.intern[ev.Label]
+	if !ok {
+		id = s.nextID
+		s.nextID++
+		s.intern[ev.Label] = id
+		buf = append(buf, opIntern)
+		buf = binary.AppendUvarint(buf, uint64(len(ev.Label)))
+		buf = append(buf, ev.Label...)
+	}
+	s.lastT[ev.Cat] = ev.T
+	buf = append(buf, opEvent, byte(ev.Cat), ev.Code)
+	buf = binary.AppendUvarint(buf, uint64(dt))
+	buf = binary.AppendUvarint(buf, id)
+	buf = binary.AppendVarint(buf, int64(ev.Entity))
+	buf = binary.AppendVarint(buf, ev.Arg)
+	return buf, nil
+}
+
+// appendHeader appends the file header.
+func appendHeader(buf []byte, seed int64, meta []byte) []byte {
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags, reserved
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seed))
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	buf = append(buf, meta...)
+	return buf
+}
+
+// appendSegment frames one payload: marker, payload length, CRC32 (IEEE)
+// of the payload, then the payload itself.
+func appendSegment(buf, payload []byte) []byte {
+	buf = append(buf, segMarker)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// appendTrailer appends the end-of-log marker with the total event count,
+// letting the decoder distinguish a complete log from a truncated one.
+func appendTrailer(buf []byte, total uint64) []byte {
+	buf = append(buf, endMarker)
+	return binary.AppendUvarint(buf, total)
+}
+
+// encodeSegmentPayload encodes events into one segment payload: the event
+// count followed by the interleaved intern/event records.
+func (s *encState) encodeSegmentPayload(events []Event) ([]byte, error) {
+	payload := binary.AppendUvarint(nil, uint64(len(events)))
+	var err error
+	for _, ev := range events {
+		if payload, err = s.appendEvent(payload, ev); err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+// Encode writes a complete flight log for events in segments of
+// segmentEvents records (<= 0 selects DefaultSegmentEvents). It is the
+// one-shot counterpart of the Recorder, used to build fixtures and
+// re-encode decoded logs; encoding the events a Decode returned with the
+// same segment size reproduces the original bytes exactly.
+func Encode(w io.Writer, seed int64, meta []byte, events []Event, segmentEvents int) error {
+	if segmentEvents <= 0 {
+		segmentEvents = DefaultSegmentEvents
+	}
+	buf := appendHeader(nil, seed, meta)
+	st := newEncState()
+	total := uint64(len(events))
+	for len(events) > 0 {
+		n := segmentEvents
+		if n > len(events) {
+			n = len(events)
+		}
+		payload, err := st.encodeSegmentPayload(events[:n])
+		if err != nil {
+			return err
+		}
+		buf = appendSegment(buf, payload)
+		events = events[n:]
+	}
+	return writeAll(w, appendTrailer(buf, total))
+}
+
+func writeAll(w io.Writer, buf []byte) error {
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("flight: writing log: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package flight is the coordination plane's flight recorder: a compact,
+// CRC-framed binary event log (a .flight file) capturing every decision the
+// coordination and overload-control planes make during a run — Tune/Trigger
+// sends and actuations, credit-weight changes and boosts, IXP shed/poll
+// adjustments, admission verdicts, breaker transitions, and lease events.
+//
+// The recorder is passive: it observes through taps at the same sites as the
+// structured trace (and with the same nil-pointer convention — a disabled
+// recorder costs exactly one branch per event site), consumes no simulation
+// randomness, and schedules no events, so an armed recorder never changes a
+// run's simulated metrics. Because every run is a pure function of its
+// configuration and seed, the log header carries both: a replayer can re-run
+// the simulation and stream the live events against the log, turning
+// "deterministic" from a test assertion into a checkable artifact — the
+// first divergence is reported with its sim-time, category, and both
+// payloads. See docs/flightrecorder.md for the format specification.
+package flight
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Category classifies flight events. Each category forms its own
+// varint-delta timestamp stream in the encoding (global record order is
+// preserved; only the delta base is per-category).
+type Category uint8
+
+// Event categories.
+const (
+	CatSend    Category = iota // coordination message sent by an island agent
+	CatApply                   // coordination message actuated by an island agent
+	CatWeight                  // credit-scheduler weight change (xen Ctl)
+	CatBoost                   // runqueue boost (Trigger actuation on x86)
+	CatIXP                     // IXP-side adjustment: flow threads, poll interval, gate shed, shed rate
+	CatAdmit                   // admission-queue verdict (served / shed / expired)
+	CatBreaker                 // circuit-breaker state transition
+	CatLease                   // lease transition or quarantine drop
+)
+
+// NumCategories sizes per-category state arrays. Deliberately untyped so it
+// is not itself an enum member.
+const NumCategories = 8
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatSend:
+		return "send"
+	case CatApply:
+		return "apply"
+	case CatWeight:
+		return "weight"
+	case CatBoost:
+		return "boost"
+	case CatIXP:
+		return "ixp"
+	case CatAdmit:
+		return "admit"
+	case CatBreaker:
+		return "breaker"
+	case CatLease:
+		return "lease"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Sub-type codes for CatSend and CatApply events mirror core.Kind (the
+// flight package cannot import core, which imports it; the rendering table
+// below is kept in sync by TestKindNamesMatchCore).
+const (
+	KindTune      uint8 = 0
+	KindTrigger   uint8 = 1
+	KindRegister  uint8 = 2
+	KindAck       uint8 = 3
+	KindHeartbeat uint8 = 4
+	KindShed      uint8 = 5
+)
+
+// kindName renders a CatSend/CatApply code.
+func kindName(code uint8) string {
+	switch code {
+	case KindTune:
+		return "tune"
+	case KindTrigger:
+		return "trigger"
+	case KindRegister:
+		return "register"
+	case KindAck:
+		return "ack"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("kind(%d)", code)
+	}
+}
+
+// Sub-type codes for CatIXP events.
+const (
+	IXPThreads  uint8 = 0 // flow dequeue-thread allocation changed; Arg = new count
+	IXPPoll     uint8 = 1 // flow poll interval changed; Arg = new interval (ns)
+	IXPGateShed uint8 = 2 // early-admission gate shed a packet; Arg = packet ID
+	IXPShedRate uint8 = 3 // per-class shedder rate adjusted; Arg = delta units
+)
+
+// Sub-type codes for CatAdmit events; Arg carries the overload.Class.
+const (
+	AdmitServed  uint8 = 0
+	AdmitShed    uint8 = 1
+	AdmitExpired uint8 = 2
+)
+
+// Sub-type codes for CatBreaker events mirror overload.BreakerState: Code
+// is the state entered, Arg the state left.
+const (
+	BreakerClosed   uint8 = 0
+	BreakerOpen     uint8 = 1
+	BreakerHalfOpen uint8 = 2
+)
+
+// breakerName renders a breaker state code.
+func breakerName(code uint8) string {
+	switch code {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", code)
+	}
+}
+
+// Sub-type codes for CatLease events.
+const (
+	LeaseSuspect    uint8 = 0 // island lease moved to suspect
+	LeaseDead       uint8 = 1 // island lease expired
+	LeaseRejoin     uint8 = 2 // dead island rejoined via heartbeat
+	LeaseQuarantine uint8 = 3 // message dropped: target or home island quarantined
+)
+
+// leaseName renders a lease code.
+func leaseName(code uint8) string {
+	switch code {
+	case LeaseSuspect:
+		return "suspect"
+	case LeaseDead:
+		return "dead"
+	case LeaseRejoin:
+		return "rejoin"
+	case LeaseQuarantine:
+		return "quarantine-drop"
+	default:
+		return fmt.Sprintf("lease(%d)", code)
+	}
+}
+
+// Event is one flight record. The fields are deliberately all integers plus
+// one interned string so the encoding stays compact and comparisons during
+// replay are exact.
+type Event struct {
+	T      sim.Time // simulation timestamp
+	Cat    Category // category (selects the Code namespace)
+	Code   uint8    // sub-type within the category
+	Label  string   // island / domain / queue / endpoint name (interned)
+	Entity int32    // platform-wide entity (VM) ID; -1 when not applicable
+	Arg    int64    // category-specific argument (delta, weight, state, ...)
+}
+
+// payload renders the category-specific portion of the event.
+func (e Event) payload() string {
+	switch e.Cat {
+	case CatSend, CatApply:
+		return fmt.Sprintf("%s %s entity=%d delta=%+d", kindName(e.Code), e.Label, e.Entity, e.Arg)
+	case CatWeight:
+		return fmt.Sprintf("%s entity=%d weight=%d", e.Label, e.Entity, e.Arg)
+	case CatBoost:
+		return fmt.Sprintf("%s entity=%d", e.Label, e.Entity)
+	case CatIXP:
+		switch e.Code {
+		case IXPThreads:
+			return fmt.Sprintf("threads flow=%d n=%d", e.Entity, e.Arg)
+		case IXPPoll:
+			return fmt.Sprintf("poll flow=%d interval=%s", e.Entity, sim.Time(e.Arg))
+		case IXPGateShed:
+			return fmt.Sprintf("gate-shed flow=%d pkt=%d", e.Entity, e.Arg)
+		case IXPShedRate:
+			return fmt.Sprintf("shed-rate %s delta=%+d", e.Label, e.Arg)
+		default:
+			return fmt.Sprintf("ixp(%d) flow=%d arg=%d", e.Code, e.Entity, e.Arg)
+		}
+	case CatAdmit:
+		verdict := [...]string{"served", "shed", "expired"}
+		v := fmt.Sprintf("admit(%d)", e.Code)
+		if int(e.Code) < len(verdict) {
+			v = verdict[e.Code]
+		}
+		return fmt.Sprintf("%s %s class=%d", e.Label, v, e.Arg)
+	case CatBreaker:
+		return fmt.Sprintf("%s %s->%s", e.Label, breakerName(uint8(e.Arg)), breakerName(e.Code))
+	case CatLease:
+		return fmt.Sprintf("%s %s", e.Label, leaseName(e.Code))
+	default:
+		return fmt.Sprintf("%s entity=%d code=%d arg=%d", e.Label, e.Entity, e.Code, e.Arg)
+	}
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12.6fs [%s] %s", e.T.Seconds(), e.Cat, e.payload())
+}

@@ -1,0 +1,54 @@
+package flight
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzFlightDecoder feeds arbitrary bytes to Decode. The decoder must never
+// panic and never allocate proportionally to a corrupted length field; a
+// successful decode must satisfy the format's own invariants (re-encodable,
+// event count bounded by input size).
+func FuzzFlightDecoder(f *testing.F) {
+	if golden, err := os.ReadFile(goldenPath); err == nil {
+		f.Add(golden)
+		// Truncations and single-byte corruptions of the golden log seed the
+		// interesting error paths.
+		for _, n := range []int{0, 4, 8, 16, len(golden) / 2, len(golden) - 1} {
+			if n <= len(golden) {
+				f.Add(golden[:n])
+			}
+		}
+		for _, i := range []int{0, 5, 17, len(golden) / 2, len(golden) - 2} {
+			b := append([]byte(nil), golden...)
+			b[i] ^= 0x80
+			f.Add(b)
+		}
+	}
+	f.Add([]byte("FLR1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Decode(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("decode error with empty message")
+			}
+			return
+		}
+		if len(l.Events) > len(data) {
+			t.Fatalf("decoded %d events from %d bytes", len(l.Events), len(data))
+		}
+		// Anything the decoder accepts must survive a round trip.
+		var re discard
+		if err := Encode(&re, l.Seed, l.Meta, l.Events, DefaultSegmentEvents); err != nil {
+			t.Fatalf("accepted log does not re-encode: %v", err)
+		}
+	})
+}
+
+// discard counts bytes without keeping them.
+type discard int
+
+func (d *discard) Write(p []byte) (int, error) {
+	*d += discard(len(p))
+	return len(p), nil
+}

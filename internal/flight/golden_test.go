@@ -1,0 +1,64 @@
+package flight
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const goldenPath = "testdata/golden.flight"
+
+// TestGoldenFixture pins the on-disk format: the committed fixture must
+// decode to the sample event stream and re-encode byte-identically. Set
+// FLIGHT_WRITE_GOLDEN=1 to regenerate after a deliberate format change
+// (which must also bump Version).
+func TestGoldenFixture(t *testing.T) {
+	want := encodeSample(t, 5)
+	if os.Getenv("FLIGHT_WRITE_GOLDEN") == "1" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with FLIGHT_WRITE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("golden fixture (%d bytes) does not match current encoder output (%d bytes); a format change must bump Version and regenerate the fixture", len(data), len(want))
+	}
+	l, err := Decode(data)
+	if err != nil {
+		t.Fatalf("golden fixture no longer decodes: %v", err)
+	}
+	events := sampleEvents()
+	if len(l.Events) != len(events) {
+		t.Fatalf("golden fixture holds %d events, want %d", len(l.Events), len(events))
+	}
+	for i := range events {
+		if l.Events[i] != events[i] {
+			t.Fatalf("golden event %d: got %v, want %v", i, l.Events[i], events[i])
+		}
+	}
+}
+
+// TestCrossVersionRejection guards the compatibility contract: a log whose
+// header declares any version other than this build's is refused outright
+// rather than half-read.
+func TestCrossVersionRejection(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	for _, v := range []uint16{0, Version + 1, 0xFFFF} {
+		b := append([]byte(nil), data...)
+		b[4] = byte(v)
+		b[5] = byte(v >> 8)
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("decoder accepted version %d", v)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package flight
+
+import "fmt"
+
+// Divergence describes the first point where a live event stream departed
+// from a recorded log. Exactly one of Want/Got may be nil: a nil Want means
+// the live run produced an event beyond the end of the log (e.g. one extra
+// Tune); a nil Got means the live run ended before producing an event the
+// log still expects.
+type Divergence struct {
+	Index int    // event ordinal (0-based) where the streams departed
+	Want  *Event // the recorded event, nil if the log was exhausted
+	Got   *Event // the live event, nil if the live run fell short
+}
+
+// String renders the divergence with its sim-time, category, and both
+// payloads.
+func (d *Divergence) String() string {
+	switch {
+	case d.Want == nil:
+		return fmt.Sprintf("divergence at event %d, t=%.6fs [%s]: live run emitted %q beyond the end of the log",
+			d.Index, d.Got.T.Seconds(), d.Got.Cat, d.Got.payload())
+	case d.Got == nil:
+		return fmt.Sprintf("divergence at event %d, t=%.6fs [%s]: log expects %q but the live run emitted nothing more",
+			d.Index, d.Want.T.Seconds(), d.Want.Cat, d.Want.payload())
+	default:
+		return fmt.Sprintf("divergence at event %d, t=%.6fs [%s]: log has %q, live run has %q (t=%.6fs [%s])",
+			d.Index, d.Want.T.Seconds(), d.Want.Cat, d.Want.payload(),
+			d.Got.payload(), d.Got.T.Seconds(), d.Got.Cat)
+	}
+}
+
+// NewVerifier returns a Recorder in verifying mode: every Record call is
+// matched against the log's next event instead of being written anywhere.
+// Feed it through the same wiring as a recording Recorder, then call
+// Divergence once the run completes.
+func NewVerifier(log *Log) *Recorder {
+	return &Recorder{verifying: true, expected: log.Events}
+}
+
+// verify matches one live event against the cursor.
+func (r *Recorder) verify(ev Event) {
+	if r.div == nil {
+		if r.idx >= len(r.expected) {
+			got := ev
+			r.div = &Divergence{Index: r.idx, Got: &got}
+		} else if want := r.expected[r.idx]; want != ev {
+			got := ev
+			w := want
+			r.div = &Divergence{Index: r.idx, Want: &w, Got: &got}
+		}
+	}
+	r.idx++
+}
+
+// Divergence finalizes a verification: it reports the first mismatch, a
+// live event beyond the log's end, or — when the live stream stopped short
+// — the first recorded event that never arrived. Nil means the replay
+// matched the log exactly. Only meaningful on a NewVerifier recorder.
+func (r *Recorder) Divergence() *Divergence {
+	if r == nil || !r.verifying {
+		return nil
+	}
+	if r.div == nil && r.idx < len(r.expected) {
+		w := r.expected[r.idx]
+		r.div = &Divergence{Index: r.idx, Want: &w}
+	}
+	return r.div
+}
+
+// CategoryDelta is one category's event-count difference between two logs.
+type CategoryDelta struct {
+	Category Category
+	A, B     int
+}
+
+// DiffReport compares two decoded logs.
+type DiffReport struct {
+	AEvents, BEvents int
+	First            *Divergence     // nil when the logs are identical
+	Categories       []CategoryDelta // categories whose counts differ, in declaration order
+}
+
+// Identical reports whether the two logs' event streams matched exactly.
+func (d *DiffReport) Identical() bool { return d.First == nil }
+
+// String renders the diff outcome.
+func (d *DiffReport) String() string {
+	if d.Identical() {
+		return fmt.Sprintf("logs identical: %d events", d.AEvents)
+	}
+	s := d.First.String()
+	for _, cd := range d.Categories {
+		s += fmt.Sprintf("\n  [%s] %d events vs %d (%+d)", cd.Category, cd.A, cd.B, cd.B-cd.A)
+	}
+	return s
+}
+
+// Diff compares two logs event-by-event, reporting the first divergence
+// (with a taking the "recorded"/Want role) and the per-category count
+// deltas. Headers are not compared: a diff is about what the runs did.
+func Diff(a, b *Log) *DiffReport {
+	d := &DiffReport{AEvents: len(a.Events), BEvents: len(b.Events)}
+	v := NewVerifier(a)
+	for _, ev := range b.Events {
+		v.Record(ev)
+	}
+	d.First = v.Divergence()
+	if d.First == nil {
+		return d
+	}
+	var ca, cb [NumCategories]int
+	for _, ev := range a.Events {
+		ca[ev.Cat]++
+	}
+	for _, ev := range b.Events {
+		cb[ev.Cat]++
+	}
+	for c := 0; c < NumCategories; c++ {
+		if ca[c] != cb[c] {
+			d.Categories = append(d.Categories, CategoryDelta{Category: Category(c), A: ca[c], B: cb[c]})
+		}
+	}
+	return d
+}

@@ -1,0 +1,49 @@
+package flight_test
+
+// flight cannot import core (core imports flight), so its CatSend/CatApply
+// sub-type codes mirror core.Kind by hand. This external-package test pins
+// the two tables together: a kind added or renumbered in core without a
+// matching flight update fails here, not in a confusing replay diff.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flight"
+)
+
+func TestKindNamesMatchCore(t *testing.T) {
+	kinds := map[uint8]core.Kind{
+		flight.KindTune:      core.KindTune,
+		flight.KindTrigger:   core.KindTrigger,
+		flight.KindRegister:  core.KindRegister,
+		flight.KindAck:       core.KindAck,
+		flight.KindHeartbeat: core.KindHeartbeat,
+		flight.KindShed:      core.KindShed,
+	}
+	for code, k := range kinds {
+		if int(code) != int(k) {
+			t.Errorf("flight code %d maps to core.%v (=%d): numeric values drifted", code, k, int(k))
+		}
+		// The recorder stores uint8(msg.Kind); the rendered event must name
+		// the kind exactly as core does.
+		ev := flight.Event{Cat: flight.CatSend, Code: code, Label: "a>b"}
+		if want := k.String() + " "; !strings.Contains(ev.String(), " "+want) {
+			t.Errorf("event with code %d renders %q, want the core name %q in it", code, ev.String(), k.String())
+		}
+	}
+	// And the mirror is complete: every core kind with a real name has a
+	// flight counterpart.
+	for k := core.KindTune; ; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			break
+		}
+		if _, ok := kinds[uint8(k)]; !ok {
+			t.Errorf("core.Kind %v (=%d) has no flight.Kind* mirror", k, int(k))
+		}
+		if int(k) > 32 {
+			t.Fatal("runaway kind enumeration")
+		}
+	}
+}

@@ -26,6 +26,7 @@ package ixp
 import (
 	"fmt"
 
+	"repro/internal/flight"
 	"repro/internal/netsim"
 	"repro/internal/pcie"
 	"repro/internal/sim"
@@ -113,6 +114,7 @@ type IXP struct {
 	dpis   []DPI
 	txDPIs []DPI
 	tracer *trace.Tracer
+	rec    *flight.Recorder
 
 	flows     map[int]*FlowQueue // keyed by destination VM
 	flowOrder []int              // deterministic iteration order
@@ -177,6 +179,10 @@ func (x *IXP) XScale() *XScale { return x.xsc }
 // SetTracer installs a structured-event tracer (nil disables tracing).
 func (x *IXP) SetTracer(t *trace.Tracer) { x.tracer = t }
 
+// SetFlightRecorder taps flow-thread changes, poll-interval changes, and
+// admission-gate sheds into the flight recorder (nil disables).
+func (x *IXP) SetFlightRecorder(r *flight.Recorder) { x.rec = r }
+
 // AddDPI appends a deep-packet-inspection hook run during receive-side
 // classification (wire -> host traffic).
 func (x *IXP) AddDPI(d DPI) { x.dpis = append(x.dpis, d) }
@@ -237,6 +243,12 @@ func (x *IXP) SetFlowThreads(vmID, n int) error {
 	}
 	x.threads += delta
 	q.setThreads(n)
+	if x.rec != nil && delta != 0 {
+		x.rec.Record(flight.Event{
+			T: x.sim.Now(), Cat: flight.CatIXP, Code: flight.IXPThreads,
+			Label: "ixp", Entity: int32(vmID), Arg: int64(n),
+		})
+	}
 	return nil
 }
 
@@ -252,7 +264,15 @@ func (x *IXP) SetFlowPollInterval(vmID int, d sim.Time) error {
 	if d < 0 {
 		d = 0
 	}
-	q.poll = d
+	if q.poll != d {
+		q.poll = d
+		if x.rec != nil {
+			x.rec.Record(flight.Event{
+				T: x.sim.Now(), Cat: flight.CatIXP, Code: flight.IXPPoll,
+				Label: "ixp", Entity: int32(vmID), Arg: int64(d),
+			})
+		}
+	}
 	return nil
 }
 

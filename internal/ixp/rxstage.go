@@ -3,6 +3,7 @@ package ixp
 import (
 	"fmt"
 
+	"repro/internal/flight"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 )
@@ -125,6 +126,12 @@ func (x *IXP) classify(p *netsim.Packet) {
 			x.rxShed++
 			if x.tracer.Enabled(trace.CatNet) {
 				x.tracer.Emit(trace.CatNet, "ixp shed: admission gate (pkt %d)", p.ID)
+			}
+			if x.rec != nil {
+				x.rec.Record(flight.Event{
+					T: x.sim.Now(), Cat: flight.CatIXP, Code: flight.IXPGateShed,
+					Label: "ixp", Entity: int32(p.DstVM), Arg: int64(p.ID),
+				})
 			}
 			if resp != nil && !x.txq.enqueue(resp) {
 				x.rxDropped++

@@ -3,6 +3,7 @@ package overload
 import (
 	"fmt"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 )
 
@@ -99,8 +100,17 @@ type Breaker struct {
 
 	stats BreakerStats
 
+	rec      *flight.Recorder
+	recLabel string
+
 	// OnTransition, when set, observes every state change.
 	OnTransition func(from, to BreakerState)
+}
+
+// SetFlightRecorder taps every state transition into the flight recorder
+// under the given endpoint label (nil disables).
+func (b *Breaker) SetFlightRecorder(r *flight.Recorder, label string) {
+	b.rec, b.recLabel = r, label
 }
 
 // NewBreaker builds a breaker with its own seeded jitter stream.
@@ -205,6 +215,12 @@ func (b *Breaker) transition(to BreakerState) {
 	case BreakerClosed:
 		b.stats.Closes++
 		b.fails, b.succs, b.probing = 0, 0, false
+	}
+	if b.rec != nil {
+		b.rec.Record(flight.Event{
+			T: b.sim.Now(), Cat: flight.CatBreaker, Code: uint8(to),
+			Label: b.recLabel, Entity: -1, Arg: int64(from),
+		})
 	}
 	if b.OnTransition != nil {
 		b.OnTransition(from, to)

@@ -3,6 +3,7 @@ package overload
 import (
 	"fmt"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 )
 
@@ -55,6 +56,9 @@ type Queue struct {
 	stats   QueueStats
 
 	onDelay func(class Class, delay sim.Time)
+
+	rec      *flight.Recorder
+	recLabel string
 }
 
 // NewQueue builds a queue over n workers.
@@ -71,6 +75,22 @@ func NewQueue(s *sim.Simulator, n int, cfg QueueConfig) *Queue {
 // OnDelay installs fn, invoked with the queueing delay of every entry that
 // starts service or expires — the overload detector's signal.
 func (q *Queue) OnDelay(fn func(class Class, delay sim.Time)) { q.onDelay = fn }
+
+// SetFlightRecorder taps every admission verdict (served/shed/expired) into
+// the flight recorder under the given queue label (nil disables).
+func (q *Queue) SetFlightRecorder(r *flight.Recorder, label string) {
+	q.rec, q.recLabel = r, label
+}
+
+// recordVerdict records one admission outcome.
+func (q *Queue) recordVerdict(code uint8, class Class) {
+	if q.rec != nil {
+		q.rec.Record(flight.Event{
+			T: q.sim.Now(), Cat: flight.CatAdmit, Code: code,
+			Label: q.recLabel, Entity: -1, Arg: int64(class),
+		})
+	}
+}
 
 // Waiting returns the number of queued admissions.
 func (q *Queue) Waiting() int { return len(q.waiting) }
@@ -106,6 +126,7 @@ func (q *Queue) Acquire(class Class, run func(), drop func(expired bool)) bool {
 		// worker implies an empty queue: serve immediately.
 		q.free--
 		q.stats.Served++
+		q.recordVerdict(flight.AdmitServed, class)
 		q.sample(class, 0)
 		run()
 		return true
@@ -162,6 +183,7 @@ func (q *Queue) Release() {
 		e := q.removeAt(0)
 		if q.expired(e, now) {
 			q.stats.Expired++
+			q.recordVerdict(flight.AdmitExpired, e.class)
 			q.sample(e.class, now-e.enq)
 			if e.drop != nil {
 				e.drop(true)
@@ -169,6 +191,7 @@ func (q *Queue) Release() {
 			continue
 		}
 		q.stats.Served++
+		q.recordVerdict(flight.AdmitServed, e.class)
 		q.sample(e.class, now-e.enq)
 		e.run()
 		return
@@ -189,6 +212,7 @@ func (q *Queue) expireWaiting() {
 	for len(q.waiting) > 0 && q.expired(q.waiting[0], now) {
 		e := q.removeAt(0)
 		q.stats.Expired++
+		q.recordVerdict(flight.AdmitExpired, e.class)
 		q.sample(e.class, now-e.enq)
 		if e.drop != nil {
 			e.drop(true)
@@ -203,6 +227,7 @@ func (q *Queue) expired(e entry, now sim.Time) bool {
 // shed rejects one entry under the shed policy.
 func (q *Queue) shed(e entry) {
 	q.stats.Shed++
+	q.recordVerdict(flight.AdmitShed, e.class)
 	if e.drop != nil {
 		e.drop(false)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,9 @@ type Shedder struct {
 	last sim.Time // rates are current as of this instant
 
 	stats ShedderStats
+
+	rec      *flight.Recorder
+	recLabel string
 }
 
 // NewShedder builds a shedder with all rates at zero (admit everything).
@@ -77,6 +81,12 @@ func NewShedder(s *sim.Simulator, cfg ShedderConfig) *Shedder {
 	return &Shedder{sim: s, cfg: cfg, rng: sim.NewRand(cfg.Seed), last: s.Now()}
 }
 
+// SetFlightRecorder taps every upstream rate adjustment into the flight
+// recorder under the given label (nil disables).
+func (sh *Shedder) SetFlightRecorder(r *flight.Recorder, label string) {
+	sh.rec, sh.recLabel = r, label
+}
+
 // Adjust applies an upstream shed-rate Tune of delta units (each worth
 // Step probability). Positive deltas raise the browse rate first and spill
 // into the transact rate only once browse is capped; negative deltas relax
@@ -84,6 +94,12 @@ func NewShedder(s *sim.Simulator, cfg ShedderConfig) *Shedder {
 func (sh *Shedder) Adjust(delta int) {
 	sh.decay()
 	sh.stats.Adjusts++
+	if sh.rec != nil {
+		sh.rec.Record(flight.Event{
+			T: sh.sim.Now(), Cat: flight.CatIXP, Code: flight.IXPShedRate,
+			Label: sh.recLabel, Entity: -1, Arg: int64(delta),
+		})
+	}
 	amount := float64(delta) * sh.cfg.Step
 	if amount >= 0 {
 		amount = sh.raise(ClassBrowse, amount, sh.cfg.MaxBrowse)

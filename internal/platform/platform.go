@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/ixp"
 	"repro/internal/netsim"
 	"repro/internal/overload"
@@ -50,9 +51,16 @@ type Config struct {
 
 	// Trace, when non-zero, records structured events of the given
 	// categories into Platform.Tracer (ring of TraceCapacity events,
-	// default 4096).
+	// default trace.DefaultCapacity).
 	Trace         trace.Category
 	TraceCapacity int
+
+	// Flight, when non-nil, taps every coordination-plane decision —
+	// sends, actuations, weight changes, boosts, IXP adjustments, breaker
+	// transitions, lease events — into the flight recorder (which may also
+	// be a flight.NewVerifier replaying a recorded log). Recording is
+	// purely observational and never changes simulated metrics.
+	Flight *flight.Recorder
 
 	// CoordLossRate injects uniform coordination-message loss on the
 	// mailbox (0 = lossless). It is legacy shorthand for a CoordFaults
@@ -211,6 +219,7 @@ func New(cfg Config) *Platform {
 	hv.SetTracer(tracer)
 	dom0 := hv.CreateDomain("Dom0", cfg.Dom0Weight, 1)
 	ctl := xen.NewCtl(hv)
+	ctl.SetFlightRecorder(cfg.Flight)
 
 	// Bulk data path: one DMA channel per direction.
 	ixpToHost := pcie.NewChannel(s, "ixp->host", cfg.PCIe)
@@ -219,6 +228,7 @@ func New(cfg Config) *Platform {
 	host := netsim.NewHostStack(s, dom0, hostToIXP, cfg.HostNet)
 	x := ixp.New(s, cfg.IXP, ixpToHost, host.DeliverFromIXP)
 	x.SetTracer(tracer)
+	x.SetFlightRecorder(cfg.Flight)
 	host.ConnectIXPTransmit(x.TransmitFromHost)
 	x.ConnectHostGate(host.RingFull)
 
@@ -239,11 +249,13 @@ func New(cfg Config) *Platform {
 		}
 	}
 	ctrl := core.NewController()
+	ctrl.SetFlightRecorder(cfg.Flight)
 
 	x86Act := core.NewX86Actuator(ctl)
 	x86Act.MinWeight = cfg.MinGuestWeight
 	x86Act.MaxWeight = cfg.MaxGuestWeight
 	x86Agent := core.NewAgent(X86Island, nil, ctrl.Route, x86Act, core.WithTracer(tracer))
+	x86Agent.SetFlightRecorder(s, cfg.Flight)
 	if err := ctrl.RegisterIsland(core.IslandHandle{Name: X86Island, Local: x86Agent.Deliver}); err != nil {
 		panic(fmt.Sprintf("platform: registering x86 island: %v", err))
 	}
@@ -296,6 +308,15 @@ func New(cfg Config) *Platform {
 	}
 	ixpAct := core.NewIXPActuator(s, x)
 	ixpAgent := core.NewAgent(IXPIsland, ixpUplink, nil, ixpAct, ixpOpts...)
+	ixpAgent.SetFlightRecorder(s, cfg.Flight)
+	if cfg.Flight != nil {
+		if b := epDev.Breaker(); b != nil {
+			b.SetFlightRecorder(cfg.Flight, "ixp-uplink")
+		}
+		if b := epHost.Breaker(); b != nil {
+			b.SetFlightRecorder(cfg.Flight, "host-downlink")
+		}
+	}
 	if cfg.Reliable {
 		epDev.SetReceiver(ixpAgent.Deliver)
 	} else {

@@ -266,6 +266,7 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 	app := p.AddGuest("AppServer", cfg.GuestWeight)
 	db := p.AddGuest("DBServer", cfg.GuestWeight)
 
+	cfg.Server.Flight = cfg.Platform.Flight
 	srv := NewServer(p.Sim, cfg.Server, web, app, db, p.Host)
 
 	clientCfg := cfg.Client
@@ -286,6 +287,7 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 			seed = 1
 		}
 		shedder := overload.NewShedder(p.Sim, overload.ShedderConfig{Seed: seed + 1000})
+		shedder.SetFlightRecorder(cfg.Platform.Flight, "ixp-gate")
 		p.IXPAct.SetShedControl(func(_, delta int) error {
 			shedder.Adjust(delta)
 			return nil

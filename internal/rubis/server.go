@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/netsim"
 	"repro/internal/overload"
 	"repro/internal/sim"
@@ -94,6 +95,10 @@ type ServerConfig struct {
 	// EWMA overload detectors on the queueing delay. Nil keeps the tiers
 	// unbounded.
 	Overload *OverloadConfig
+
+	// Flight, when non-nil, taps each tier queue's admission verdicts into
+	// the flight recorder under the tier name ("web"/"app"/"db").
+	Flight *flight.Recorder
 }
 
 func (c *ServerConfig) applyDefaults() {
@@ -161,6 +166,7 @@ func NewServer(s *sim.Simulator, cfg ServerConfig, web, app, db *xen.Domain, hos
 	workers := [NumTiers]int{cfg.WebWorkers, cfg.AppWorkers, cfg.DBWorkers}
 	for t := TierWeb; t < NumTiers; t++ {
 		srv.queues[t] = overload.NewQueue(s, workers[t], qcfg)
+		srv.queues[t].SetFlightRecorder(cfg.Flight, t.String())
 	}
 	if cfg.Overload != nil {
 		oc := *cfg.Overload

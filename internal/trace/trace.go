@@ -67,11 +67,15 @@ type Tracer struct {
 	count   uint64
 }
 
+// DefaultCapacity is the ring size New uses when the caller passes a
+// non-positive capacity (platform.Config.TraceCapacity = 0 selects it).
+const DefaultCapacity = 4096
+
 // New returns a tracer recording the given categories into a ring of
-// capacity events (capacity <= 0 selects 4096).
+// capacity events (capacity <= 0 selects DefaultCapacity).
 func New(s *sim.Simulator, mask Category, capacity int) *Tracer {
 	if capacity <= 0 {
-		capacity = 4096
+		capacity = DefaultCapacity
 	}
 	return &Tracer{sim: s, mask: mask, ring: make([]Event, capacity)}
 }

@@ -1,6 +1,10 @@
 package xen
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/flight"
+)
 
 // Ctl is the hypervisor's management interface, standing in for the
 // user-space "XenCtrl interface" hosted by Dom0 in the paper: it tunes
@@ -8,11 +12,26 @@ import "fmt"
 // The coordination layer's x86-island agent drives it in response to Tune
 // and Trigger messages from remote islands.
 type Ctl struct {
-	hv *Hypervisor
+	hv  *Hypervisor
+	rec *flight.Recorder
 }
 
 // NewCtl returns a control interface for hv.
 func NewCtl(hv *Hypervisor) *Ctl { return &Ctl{hv: hv} }
+
+// SetFlightRecorder taps effective weight changes and boosts into the
+// flight recorder (nil disables).
+func (c *Ctl) SetFlightRecorder(r *flight.Recorder) { c.rec = r }
+
+// recordWeight records one effective credit-weight change.
+func (c *Ctl) recordWeight(d *Domain, weight int) {
+	if c.rec != nil {
+		c.rec.Record(flight.Event{
+			T: c.hv.sim.Now(), Cat: flight.CatWeight,
+			Label: d.Name(), Entity: int32(d.ID()), Arg: int64(weight),
+		})
+	}
+}
 
 // Weight returns the current credit weight of domain id.
 func (c *Ctl) Weight(id int) (int, error) {
@@ -33,7 +52,10 @@ func (c *Ctl) SetWeight(id, weight int) error {
 	if err != nil {
 		return err
 	}
-	d.weight = weight
+	if d.weight != weight {
+		d.weight = weight
+		c.recordWeight(d, weight)
+	}
 	return nil
 }
 
@@ -52,7 +74,10 @@ func (c *Ctl) AdjustWeight(id, delta, min, max int) (int, error) {
 	if w > max {
 		w = max
 	}
-	d.weight = w
+	if d.weight != w {
+		d.weight = w
+		c.recordWeight(d, w)
+	}
 	return w, nil
 }
 
@@ -75,6 +100,12 @@ func (c *Ctl) Boost(id int) error {
 	d, err := c.domain(id)
 	if err != nil {
 		return err
+	}
+	if c.rec != nil {
+		c.rec.Record(flight.Event{
+			T: c.hv.sim.Now(), Cat: flight.CatBoost,
+			Label: d.Name(), Entity: int32(d.ID()),
+		})
 	}
 	c.hv.Boost(d)
 	return nil

@@ -3,6 +3,7 @@ package repro
 import (
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/overload"
 	"repro/internal/rubis"
 )
@@ -62,6 +63,12 @@ type RubisConfig struct {
 	// and (when Coordinated) the cross-island loop that sheds traffic at
 	// the NIC before it crosses PCIe. See docs/overload.md.
 	Overload *OverloadControl
+
+	// FlightLog, when set, records the run's coordination-event flight log
+	// to this file (see docs/flightrecorder.md); replay it with ReplayRubis
+	// or `reproflight replay`. For streaming to an arbitrary writer use
+	// RecordRubis instead.
+	FlightLog string `json:",omitempty"`
 }
 
 // OverloadControl is the public face of the overload-control plane.
@@ -251,7 +258,19 @@ func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
 
 // RunRubis executes one RUBiS run, with or without coordination.
 func RunRubis(cfg RubisConfig, coordinated bool) *RubisRun {
-	res := rubis.RunExperiment(cfg.internal(coordinated))
+	if cfg.FlightLog != "" {
+		return recordToFile(cfg, coordinated, cfg.FlightLog)
+	}
+	return runRubis(cfg, coordinated, nil)
+}
+
+// runRubis is the shared core of RunRubis, RecordRubis, and ReplayRubis:
+// rec, when non-nil, taps every coordination-plane event (it may be a
+// recording flight.Recorder or a replaying flight.NewVerifier).
+func runRubis(cfg RubisConfig, coordinated bool, rec *flight.Recorder) *RubisRun {
+	ec := cfg.internal(coordinated)
+	ec.Platform.Flight = rec
+	res := rubis.RunExperiment(ec)
 	run := &RubisRun{
 		Coordinated:       coordinated,
 		Scheme:            cfg.Scheme,

@@ -7,6 +7,7 @@ package repro
 // engine's toy runners.
 
 import (
+	"bytes"
 	"runtime"
 	"testing"
 	"time"
@@ -67,6 +68,50 @@ func TestFaultMatrixParallelDeterminism(t *testing.T) {
 			t.Errorf("8-worker sweep only %.2fx faster than sequential on a %d-CPU machine",
 				speedup, runtime.NumCPU())
 		}
+	}
+}
+
+// TestFaultMatrixFlightReplay pins the sweep ablation to the flight
+// recorder: the "ixp crash" scenario on the reliable plane — the ablation
+// point exercising the most machinery (crash drops, lease expiry,
+// degradation, rejoin) — must record and replay with zero divergence. A
+// parallel sweep being byte-identical to a sequential one (above) and each
+// point replaying event-for-event are two independent determinism
+// guarantees; this covers the second.
+func TestFaultMatrixFlightReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	cfg := chaosMatrixCfg()
+	var sc *FaultPlan
+	for _, s := range FaultScenarios(cfg.Duration) {
+		if s.Name == "ixp crash" {
+			sc = s.Plan
+		}
+	}
+	if sc == nil {
+		t.Fatal("fault matrix lost its ixp crash scenario")
+	}
+	cfg.Faults = sc
+	cfg.Robust = true
+
+	var buf bytes.Buffer
+	run, err := RecordRubis(cfg, true, &buf)
+	if err != nil {
+		t.Fatalf("RecordRubis: %v", err)
+	}
+	if run.Robustness.CrashDrops == 0 {
+		t.Error("crash window dropped nothing; replay check is near-vacuous")
+	}
+	rep, err := ReplayRubis(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReplayRubis: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Errorf("ablation point does not replay deterministically: %v", rep.Divergence)
+	}
+	if rep.Events == 0 {
+		t.Error("ablation run recorded no flight events")
 	}
 }
 
