@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint microbench sweep bench fuzz chaos overload flight check
+.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos overload flight check
 
 all: check
 
@@ -19,8 +19,13 @@ vet:
 lint: vet
 	$(GO) run ./cmd/reprolint ./...
 
+# lint-graph prints the analyzers' deterministic whole-program call graph
+# as sorted DOT (pipe to `dot -Tsvg` or diff two revisions byte-for-byte).
+lint-graph:
+	$(GO) run ./cmd/reprolint -graph ./...
+
 microbench:
-	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/flight/
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/flight/ ./internal/sim/
 
 # sweep runs every ablation matrix through the parallel sweep engine with
 # the content-hash cache warm across invocations.

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	reprolint [-list] [-disable name,name] [packages...]
+//	reprolint [-list] [-graph] [-disable name,name] [packages...]
 //
 // With no package arguments it analyzes ./... of the enclosing module.
 // Findings print as file:line:col: message (analyzer) and any finding makes
-// the exit status 1. See docs/linting.md for the analyzers, their
-// rationale, and the //lint:ignore suppression policy.
+// the exit status 1. With -graph it instead prints the deterministic
+// whole-program call graph as sorted DOT and exits. See docs/linting.md for
+// the analyzers, their rationale, and the suppression policy.
 package main
 
 import (
@@ -25,9 +26,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	graph := flag.Bool("graph", false, "print the whole-program call graph as sorted DOT and exit")
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: reprolint [-list] [-disable name,name] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-list] [-graph] [-disable name,name] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,6 +59,13 @@ func main() {
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fatal(err)
+	}
+	if *graph {
+		g := lint.BuildGraph(loader.Fset(), pkgs)
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	diags, err := lint.Run(loader.Fset(), pkgs, analyzers)
 	if err != nil {

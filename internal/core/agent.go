@@ -91,8 +91,9 @@ type Agent struct {
 	trace  func(Message) // optional message tap for tests/harness
 	tracer *trace.Tracer // optional structured-event trace
 
-	flight *flight.Recorder // optional flight recorder
-	fsim   *sim.Simulator   // timestamp source for flight events
+	flight      *flight.Recorder  // optional flight recorder
+	fsim        *sim.Simulator    // timestamp source for flight events
+	routeLabels map[string]string // interned "name>target" flight labels
 
 	// Robustness state.
 	crashed   bool // island crash window: nothing in, nothing out
@@ -164,6 +165,20 @@ func NewAgent(name string, uplink Transport, route func(Message), actuator Actua
 // site).
 func (a *Agent) SetFlightRecorder(s *sim.Simulator, r *flight.Recorder) {
 	a.fsim, a.flight = s, r
+}
+
+// routeLabel interns the "name>target" flight label so steady-state sends
+// do not allocate a fresh string per message.
+func (a *Agent) routeLabel(target string) string {
+	l, ok := a.routeLabels[target]
+	if !ok {
+		if a.routeLabels == nil {
+			a.routeLabels = make(map[string]string)
+		}
+		l = a.name + ">" + target
+		a.routeLabels[target] = l
+	}
+	return l
 }
 
 // Name returns the agent's island name.
@@ -305,7 +320,7 @@ func (a *Agent) send(msg Message) bool {
 	if a.flight != nil {
 		a.flight.Record(flight.Event{
 			T: a.fsim.Now(), Cat: flight.CatSend, Code: uint8(msg.Kind),
-			Label: a.name + ">" + msg.Target, Entity: int32(msg.Entity), Arg: int64(msg.Delta),
+			Label: a.routeLabel(msg.Target), Entity: int32(msg.Entity), Arg: int64(msg.Delta),
 		})
 	}
 	if a.uplink != nil {

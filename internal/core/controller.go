@@ -157,7 +157,9 @@ type Controller struct {
 	shedTunes  uint64
 	boostTunes uint64
 
-	flight *flight.Recorder // optional flight recorder
+	flight      *flight.Recorder  // optional flight recorder
+	fsim        *sim.Simulator    // timestamp source for flight events
+	routeLabels map[string]string // interned "controller>target" flight labels
 
 	// Heartbeat/lease watchdog state (EnableWatchdog).
 	wsim          *sim.Simulator
@@ -178,20 +180,46 @@ func NewController() *Controller {
 	}
 }
 
-// SetFlightRecorder taps lease transitions and quarantine drops into the
-// flight recorder (nil disables). Lease events only occur under an enabled
-// watchdog, so the controller's simulator reference is always set when one
-// fires.
-func (c *Controller) SetFlightRecorder(r *flight.Recorder) { c.flight = r }
+// SetFlightRecorder taps lease transitions, quarantine drops, and
+// overload-control translations into the flight recorder (nil disables);
+// event timestamps come from s.
+func (c *Controller) SetFlightRecorder(s *sim.Simulator, r *flight.Recorder) {
+	c.fsim, c.flight = s, r
+}
 
 // recordLease records one lease-machine flight event.
 func (c *Controller) recordLease(code uint8, island string, entity int) {
 	if c.flight != nil {
 		c.flight.Record(flight.Event{
-			T: c.wsim.Now(), Cat: flight.CatLease, Code: code,
+			T: c.fsim.Now(), Cat: flight.CatLease, Code: code,
 			Label: island, Entity: int32(entity), Arg: 0,
 		})
 	}
+}
+
+// recordSend records one controller-emitted coordination message (the
+// overload-control translation fan-out).
+func (c *Controller) recordSend(msg Message) {
+	if c.flight != nil {
+		c.flight.Record(flight.Event{
+			T: c.fsim.Now(), Cat: flight.CatSend, Code: uint8(msg.Kind),
+			Label: c.routeLabel(msg.Target), Entity: int32(msg.Entity), Arg: int64(msg.Delta),
+		})
+	}
+}
+
+// routeLabel interns the "controller>target" flight label so steady-state
+// translations do not allocate a fresh string per message.
+func (c *Controller) routeLabel(target string) string {
+	l, ok := c.routeLabels[target]
+	if !ok {
+		if c.routeLabels == nil {
+			c.routeLabels = make(map[string]string)
+		}
+		l = "controller>" + target
+		c.routeLabels[target] = l
+	}
+	return l
 }
 
 // RegisterIsland adds an island to the routing table. Exactly one of
@@ -403,11 +431,15 @@ func (c *Controller) translateTrigger(msg Message) {
 	oc := c.overload
 	if oc.BoostDelta != 0 {
 		c.boostTunes++
-		c.Route(Message{Kind: KindTune, From: "controller", Target: msg.Target, Entity: msg.Entity, Delta: oc.BoostDelta})
+		m := Message{Kind: KindTune, From: "controller", Target: msg.Target, Entity: msg.Entity, Delta: oc.BoostDelta}
+		c.recordSend(m)
+		c.Route(m)
 	}
 	if oc.Upstream != msg.Target {
 		c.shedTunes++
-		c.Route(Message{Kind: KindShed, From: "controller", Target: oc.Upstream, Entity: msg.Entity, Delta: oc.ShedStep})
+		m := Message{Kind: KindShed, From: "controller", Target: oc.Upstream, Entity: msg.Entity, Delta: oc.ShedStep}
+		c.recordSend(m)
+		c.Route(m)
 	}
 }
 

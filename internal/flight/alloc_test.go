@@ -1,0 +1,69 @@
+package flight
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRecordSteadyStateZeroAlloc pins the hot-path contract the hotalloc
+// analyzer enforces on the Record root: once the intern table holds every
+// label and the spill scratch buffers (Recorder.payload, Recorder.frame)
+// have grown to the segment's steady-state size, Record performs no
+// allocation — including on the iterations that encode and spill a full
+// CRC-framed segment.
+func TestRecordSteadyStateZeroAlloc(t *testing.T) {
+	const segEvents = 64
+	r, err := NewRecorder(io.Discard, 42, nil, segEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := benchEvents(4 * segEvents)
+	for _, ev := range events { // warm up: intern labels, grow buffers
+		r.Record(ev)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	now := events[len(events)-1].T
+	i := 0
+	allocs := testing.AllocsPerRun(4*segEvents, func() {
+		ev := events[i%len(events)]
+		now += 250_000
+		ev.T = now // keep per-category time monotonic across replays
+		r.Record(ev)
+		i++
+	})
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.2f times per event in steady state; the spill path must reuse its scratch buffers", allocs)
+	}
+}
+
+// BenchmarkFlightRecord measures the armed-recorder cost at an event site
+// in steady state (intern table and spill buffers warm). The interesting
+// number is allocs/op: it must be 0.
+func BenchmarkFlightRecord(b *testing.B) {
+	r, err := NewRecorder(io.Discard, 42, nil, DefaultSegmentEvents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := benchEvents(4096)
+	for _, ev := range events {
+		r.Record(ev)
+	}
+	now := events[len(events)-1].T
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		now += 250_000
+		ev.T = now
+		r.Record(ev)
+	}
+	b.StopTimer()
+	if err := r.Err(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -55,10 +55,12 @@ func newEncState() encState {
 // the label is new) to buf, advancing the encoder state.
 func (s *encState) appendEvent(buf []byte, ev Event) ([]byte, error) {
 	if int(ev.Cat) >= NumCategories {
+		//lint:allow hotalloc(misuse error path: formatting happens at most once, after which the recorder is dead)
 		return buf, fmt.Errorf("flight: event has unknown category %d", int(ev.Cat))
 	}
 	dt := ev.T - s.lastT[ev.Cat]
 	if dt < 0 {
+		//lint:allow hotalloc(misuse error path: formatting happens at most once, after which the recorder is dead)
 		return buf, fmt.Errorf("flight: time went backwards in category %v: %v after %v", ev.Cat, ev.T, s.lastT[ev.Cat])
 	}
 	id, ok := s.intern[ev.Label]
@@ -106,17 +108,20 @@ func appendTrailer(buf []byte, total uint64) []byte {
 	return binary.AppendUvarint(buf, total)
 }
 
-// encodeSegmentPayload encodes events into one segment payload: the event
-// count followed by the interleaved intern/event records.
-func (s *encState) encodeSegmentPayload(events []Event) ([]byte, error) {
-	payload := binary.AppendUvarint(nil, uint64(len(events)))
+// appendSegmentPayload appends one segment payload to buf: the event count
+// followed by the interleaved intern/event records. Callers on the per-event
+// path pass a reused scratch slice (buf[:0]) so a steady-state spill
+// performs no allocation; the encoded bytes are independent of the buffer's
+// provenance.
+func (s *encState) appendSegmentPayload(buf []byte, events []Event) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(events)))
 	var err error
 	for _, ev := range events {
-		if payload, err = s.appendEvent(payload, ev); err != nil {
+		if buf, err = s.appendEvent(buf, ev); err != nil {
 			return nil, err
 		}
 	}
-	return payload, nil
+	return buf, nil
 }
 
 // Encode writes a complete flight log for events in segments of
@@ -131,12 +136,14 @@ func Encode(w io.Writer, seed int64, meta []byte, events []Event, segmentEvents 
 	buf := appendHeader(nil, seed, meta)
 	st := newEncState()
 	total := uint64(len(events))
+	var payload []byte // reused across segments
 	for len(events) > 0 {
 		n := segmentEvents
 		if n > len(events) {
 			n = len(events)
 		}
-		payload, err := st.encodeSegmentPayload(events[:n])
+		var err error
+		payload, err = st.appendSegmentPayload(payload[:0], events[:n])
 		if err != nil {
 			return err
 		}
@@ -148,6 +155,7 @@ func Encode(w io.Writer, seed int64, meta []byte, events []Event, segmentEvents 
 
 func writeAll(w io.Writer, buf []byte) error {
 	if _, err := w.Write(buf); err != nil {
+		//lint:allow hotalloc(write-failure path: wraps the first error once, then the recorder stays latched on r.err)
 		return fmt.Errorf("flight: writing log: %w", err)
 	}
 	return nil

@@ -27,6 +27,12 @@ type Recorder struct {
 	total uint64
 	err   error
 
+	// payload and frame are spill scratch buffers, reused across segments
+	// so a steady-state Record/spill cycle performs no allocation (pinned
+	// by TestRecordSteadyStateZeroAlloc).
+	payload []byte
+	frame   []byte
+
 	// Verifying mode.
 	verifying bool
 	expected  []Event
@@ -72,18 +78,22 @@ func (r *Recorder) Record(ev Event) {
 	}
 }
 
-// spill encodes the ring into one segment and writes it out.
+// spill encodes the ring into one segment and writes it out. The payload
+// and frame scratch buffers grow to the segment's steady-state size on the
+// first spills and are reused afterwards.
 func (r *Recorder) spill() {
 	if len(r.ring) == 0 {
 		return
 	}
-	payload, err := r.enc.encodeSegmentPayload(r.ring)
+	payload, err := r.enc.appendSegmentPayload(r.payload[:0], r.ring)
 	if err != nil {
 		r.err = err
 		return
 	}
+	r.payload = payload
 	r.ring = r.ring[:0]
-	r.err = writeAll(r.w, appendSegment(nil, payload))
+	r.frame = appendSegment(r.frame[:0], payload)
+	r.err = writeAll(r.w, r.frame)
 }
 
 // Flush spills any buffered events without closing the log.

@@ -43,10 +43,12 @@ func (r *Recorder) verify(ev Event) {
 	if r.div == nil {
 		if r.idx >= len(r.expected) {
 			got := ev
+			//lint:allow hotalloc(at most one divergence is ever retained per verification run)
 			r.div = &Divergence{Index: r.idx, Got: &got}
 		} else if want := r.expected[r.idx]; want != ev {
 			got := ev
 			w := want
+			//lint:allow hotalloc(at most one divergence is ever retained per verification run)
 			r.div = &Divergence{Index: r.idx, Want: &w, Got: &got}
 		}
 	}

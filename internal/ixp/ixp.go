@@ -157,12 +157,14 @@ func New(s *sim.Simulator, cfg Config, hostChan *pcie.Channel, deliver func(*net
 		panic(fmt.Sprintf("ixp: assigning Tx microengine threads: %v", err))
 	}
 	x.txq = newFlowQueue(x, -1, cfg.BufferBytes)
+	//lint:allow tapcover(construction-time provisioning; the flight recorder is not attached yet and replay starts from the constructed state)
 	x.txq.setThreads(x.txThreads)
 	x.rx = newRxStage(x, cfg.RxRingBytes)
 	if err := x.mes.Assign(cfg.ClassifierThreads); err != nil {
 		panic(fmt.Sprintf("ixp: assigning classifier microengine threads: %v", err))
 	}
 	x.threads += cfg.ClassifierThreads
+	//lint:allow tapcover(construction-time provisioning; the flight recorder is not attached yet and replay starts from the constructed state)
 	x.rx.setThreads(cfg.ClassifierThreads)
 	return x
 }

@@ -104,6 +104,12 @@ func (x *IXP) SetClassifierThreads(n int) error {
 	}
 	x.threads += delta
 	x.rx.setThreads(n)
+	if x.rec != nil && delta != 0 {
+		x.rec.Record(flight.Event{
+			T: x.sim.Now(), Cat: flight.CatIXP, Code: flight.IXPClassifier,
+			Label: "ixp", Entity: -1, Arg: int64(n),
+		})
+	}
 	return nil
 }
 

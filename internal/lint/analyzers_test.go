@@ -18,3 +18,9 @@ func TestFloatEq(t *testing.T) { linttest.Run(t, lint.FloatEq, "floateq") }
 func TestPanicFree(t *testing.T) { linttest.Run(t, lint.PanicFree, "panicfree") }
 
 func TestBoundedQ(t *testing.T) { linttest.Run(t, lint.BoundedQ, "boundedq") }
+
+func TestHotAlloc(t *testing.T) { linttest.Run(t, lint.HotAlloc, "hotalloc") }
+
+func TestSimTime(t *testing.T) { linttest.Run(t, lint.SimTime, "simtime") }
+
+func TestTapCover(t *testing.T) { linttest.Run(t, lint.TapCover, "tapcover") }

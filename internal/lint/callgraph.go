@@ -1,0 +1,491 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the inter-procedural layer of the lint suite: a
+// deterministic call graph over go/types. Nodes are functions (declared
+// functions, methods, and function literals); edges are static calls,
+// interface-method calls resolved against the module's own method sets,
+// and "reference" edges for functions whose value escapes (passed as a
+// callback, stored in a field, ...). The graph is conservative in the
+// direction analyzers need: it may include edges that never execute, but
+// a call that can happen is always represented.
+//
+// Determinism is load-bearing — the same source must produce byte-identical
+// adjacency output on every run — so every collection the builder touches
+// is sorted before use: packages by import path, declarations in file/source
+// order, edges by (callee, position), and interface implementers by the
+// implementing method's full name.
+
+// A FuncNode is one function in the call graph.
+type FuncNode struct {
+	// Name is the node's unique identity: types.Func.FullName for declared
+	// functions and methods (e.g. "(*repro/internal/flight.Recorder).Record",
+	// "time.Now"), and "<enclosing>$N" for the N-th function literal in
+	// source order inside an analyzed function.
+	Name string
+
+	// Pkg is the analyzed package containing the body, nil for functions
+	// only ever seen as call targets (e.g. stdlib functions).
+	Pkg *Package
+
+	// File is the file containing the declaration, nil without a body.
+	File *ast.File
+
+	// Decl is the declaration, nil for function literals and body-less nodes.
+	Decl *ast.FuncDecl
+
+	// Lit is the literal for closure nodes, nil otherwise.
+	Lit *ast.FuncLit
+
+	// Pos is the declaration position (NoPos for body-less nodes).
+	Pos token.Pos
+
+	// Edges are the node's outgoing edges, sorted by (Callee, Pos) with
+	// exact duplicates removed.
+	Edges []Edge
+}
+
+// Body returns the node's function body, or nil.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// An Edge is one outgoing call-graph edge.
+type Edge struct {
+	// Callee is the target node's Name.
+	Callee string
+	// Pos is the call or reference site.
+	Pos token.Pos
+	// Kind is "call" for static calls, "iface" for interface-method calls
+	// resolved to a concrete implementation, and "ref" for non-call
+	// references (the function value escapes and may be invoked anywhere).
+	Kind string
+}
+
+// A CallerRef is one incoming edge, used for caller walks.
+type CallerRef struct {
+	// Caller is the calling node's Name.
+	Caller string
+	// Pos is the call or reference site inside the caller.
+	Pos token.Pos
+	// Kind mirrors Edge.Kind.
+	Kind string
+}
+
+// A CallGraph is the module-wide deterministic call graph.
+type CallGraph struct {
+	nodes   map[string]*FuncNode
+	names   []string // sorted node names
+	callers map[string][]CallerRef
+	lits    map[*ast.FuncLit]string
+}
+
+// Node returns the named node, or nil.
+func (g *CallGraph) Node(name string) *FuncNode { return g.nodes[name] }
+
+// Names returns all node names in sorted order. The caller must not mutate
+// the returned slice.
+func (g *CallGraph) Names() []string { return g.names }
+
+// LitName returns the node name assigned to a function literal seen during
+// the build, and whether the literal was seen at all.
+func (g *CallGraph) LitName(lit *ast.FuncLit) (string, bool) {
+	name, ok := g.lits[lit]
+	return name, ok
+}
+
+// Callers returns the incoming edges of the named node, sorted by
+// (Caller, Pos). The caller must not mutate the returned slice.
+func (g *CallGraph) Callers(name string) []CallerRef { return g.callers[name] }
+
+// Adjacency renders the graph as sorted "caller -> callee" lines, one edge
+// pair per line (duplicate positions collapsed). Two builds of the same
+// source produce byte-identical output; the determinism test pins this.
+func (g *CallGraph) Adjacency() string {
+	var b strings.Builder
+	for _, name := range g.names {
+		prev := ""
+		for _, e := range g.nodes[name].Edges {
+			if e.Callee == prev {
+				continue
+			}
+			prev = e.Callee
+			fmt.Fprintf(&b, "%s -> %s\n", name, e.Callee)
+		}
+	}
+	return b.String()
+}
+
+// WriteDOT writes the graph in Graphviz DOT form with sorted nodes and
+// edges. Nodes with bodies in analyzed packages are drawn solid; external
+// targets (stdlib and body-less references) are drawn dashed.
+func (g *CallGraph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph callgraph {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR;"); err != nil {
+		return err
+	}
+	for _, name := range g.names {
+		attr := ""
+		if g.nodes[name].Body() == nil {
+			attr = " [style=dashed]"
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s;\n", name, attr); err != nil {
+			return err
+		}
+	}
+	for _, name := range g.names {
+		prev := ""
+		for _, e := range g.nodes[name].Edges {
+			if e.Callee == prev {
+				continue
+			}
+			prev = e.Callee
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", name, e.Callee); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// BuildGraph constructs the call graph for the given packages. Packages are
+// processed in import-path order regardless of input order.
+func BuildGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	b := &builder{
+		fset: fset,
+		g: &CallGraph{
+			nodes:   make(map[string]*FuncNode),
+			callers: make(map[string][]CallerRef),
+			lits:    make(map[*ast.FuncLit]string),
+		},
+		implCache: make(map[implKey][]string),
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	b.pkgs = sorted
+	b.collectNamedTypes()
+	for _, p := range sorted {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				node := b.addNode(b.declName(p, fd), p, f)
+				node.Decl = fd
+				node.Pos = fd.Pos()
+				b.walkBody(node, fd.Body)
+			}
+		}
+	}
+	b.finalize()
+	return b.g
+}
+
+type implKey struct {
+	iface  *types.Interface
+	method string
+}
+
+type builder struct {
+	fset *token.FileSet
+	g    *CallGraph
+	pkgs []*Package
+
+	// namedTypes are all named non-interface types declared at package scope
+	// in the analyzed packages, sorted by full name; interface-method calls
+	// resolve against this set.
+	namedTypes []*types.Named
+	implCache  map[implKey][]string
+
+	// litSeq numbers function literals per enclosing declared function.
+	litSeq map[string]int
+}
+
+// fullFuncName names a types.Func the way the graph does.
+func fullFuncName(fn *types.Func) string { return fn.FullName() }
+
+// declName computes the node name for a declared function or method.
+func (b *builder) declName(p *Package, fd *ast.FuncDecl) string {
+	if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		return fullFuncName(fn)
+	}
+	return p.Pkg.Path() + "." + fd.Name.Name
+}
+
+func (b *builder) addNode(name string, p *Package, f *ast.File) *FuncNode {
+	// Multiple bodies can share a FullName (e.g. several func init()). Keep
+	// every body analyzable by suffixing later ones deterministically.
+	if existing, ok := b.g.nodes[name]; ok && existing.Body() != nil {
+		for i := 2; ; i++ {
+			alt := fmt.Sprintf("%s#%d", name, i)
+			if n, ok := b.g.nodes[alt]; !ok || n.Body() == nil {
+				name = alt
+				break
+			}
+		}
+	}
+	n, ok := b.g.nodes[name]
+	if !ok {
+		n = &FuncNode{Name: name}
+		b.g.nodes[name] = n
+	}
+	n.Pkg = p
+	n.File = f
+	return n
+}
+
+// target ensures a body-less placeholder node exists for an edge target.
+func (b *builder) target(name string) {
+	if _, ok := b.g.nodes[name]; !ok {
+		b.g.nodes[name] = &FuncNode{Name: name}
+	}
+}
+
+func (b *builder) edge(from *FuncNode, callee string, pos token.Pos, kind string) {
+	b.target(callee)
+	from.Edges = append(from.Edges, Edge{Callee: callee, Pos: pos, Kind: kind})
+}
+
+func (b *builder) collectNamedTypes() {
+	for _, p := range b.pkgs {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() { // Scope.Names is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			b.namedTypes = append(b.namedTypes, named)
+		}
+	}
+}
+
+// walkBody scans one function body for outgoing edges. Function literals
+// become their own nodes (named "<enclosing>$N" in source order) with a ref
+// edge from the enclosing node, and are scanned recursively.
+func (b *builder) walkBody(n *FuncNode, body *ast.BlockStmt) {
+	p := n.Pkg
+	// funExprs marks expressions consumed as the Fun of a CallExpr (and the
+	// Sel ident inside a selector Fun) so the reference pass below does not
+	// double-count direct calls as escapes.
+	funExprs := make(map[ast.Node]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			litName := b.litName(n, x)
+			lit := b.addNode(litName, p, n.File)
+			lit.Lit = x
+			lit.Pos = x.Pos()
+			b.edge(n, litName, x.Pos(), "ref")
+			b.walkBody(lit, x.Body)
+			return false
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			funExprs[fun] = true
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				funExprs[sel.Sel] = true
+			}
+			b.callEdges(n, x, fun)
+			return true
+		case *ast.Ident:
+			if funExprs[x] {
+				return true
+			}
+			if fn, ok := p.Info.Uses[x].(*types.Func); ok {
+				b.edge(n, fullFuncName(fn), x.Pos(), "ref")
+			}
+			return true
+		case *ast.SelectorExpr:
+			if funExprs[x] {
+				return true
+			}
+			// A method value (x.M with M a method) escapes like a func
+			// value; resolve it the same way a call would, including
+			// interface fan-out.
+			if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				funExprs[x.Sel] = true // don't re-add via the Ident case
+				b.methodEdges(n, x, sel, x.Pos(), "ref")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// litName assigns "<enclosing>$N" names to function literals in source order.
+func (b *builder) litName(enclosing *FuncNode, lit *ast.FuncLit) string {
+	if b.litSeq == nil {
+		b.litSeq = make(map[string]int)
+	}
+	b.litSeq[enclosing.Name]++
+	name := fmt.Sprintf("%s$%d", enclosing.Name, b.litSeq[enclosing.Name])
+	b.g.lits[lit] = name
+	return name
+}
+
+// callEdges adds edges for one call expression.
+func (b *builder) callEdges(n *FuncNode, call *ast.CallExpr, fun ast.Expr) {
+	p := n.Pkg
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			b.edge(n, fullFuncName(fn), call.Lparen, "call")
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal || sel.Kind() == types.MethodExpr {
+				b.methodEdges(n, fun, sel, call.Lparen, "call")
+			}
+			return
+		}
+		// Package-qualified call (pkg.F) has no Selection entry.
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			b.edge(n, fullFuncName(fn), call.Lparen, "call")
+		}
+	}
+}
+
+// methodEdges adds edges for a method selection. Interface methods fan out
+// to every analyzed named type implementing the interface; methods of
+// interfaces declared outside the analyzed packages additionally keep the
+// abstract edge so reachability still sees the call.
+func (b *builder) methodEdges(n *FuncNode, sel *ast.SelectorExpr, selection *types.Selection, pos token.Pos, kind string) {
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if iface, ok := recv.Underlying().(*types.Interface); ok {
+		b.edge(n, fullFuncName(fn), pos, kind)
+		for _, impl := range b.implementers(iface, fn) {
+			b.edge(n, impl, pos, "iface")
+		}
+		return
+	}
+	b.edge(n, fullFuncName(fn), pos, kind)
+}
+
+// implementers resolves an interface method to the corresponding concrete
+// methods of every analyzed named type that implements the interface,
+// sorted by name. Results are memoized per (interface, method name).
+func (b *builder) implementers(iface *types.Interface, m *types.Func) []string {
+	key := implKey{iface: iface, method: m.Name()}
+	if impls, ok := b.implCache[key]; ok {
+		return impls
+	}
+	var impls []string
+	for _, named := range b.namedTypes {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(named, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			impls = append(impls, fullFuncName(fn))
+		}
+	}
+	sort.Strings(impls)
+	impls = dedupSorted(impls)
+	b.implCache[key] = impls
+	return impls
+}
+
+// finalize sorts node names and edges and builds the reverse adjacency.
+func (b *builder) finalize() {
+	g := b.g
+	g.names = make([]string, 0, len(g.nodes))
+	for name := range g.nodes {
+		g.names = append(g.names, name)
+	}
+	sort.Strings(g.names)
+	for _, name := range g.names {
+		n := g.nodes[name]
+		sort.Slice(n.Edges, func(i, j int) bool {
+			if n.Edges[i].Callee != n.Edges[j].Callee {
+				return n.Edges[i].Callee < n.Edges[j].Callee
+			}
+			return n.Edges[i].Pos < n.Edges[j].Pos
+		})
+		n.Edges = dedupEdges(n.Edges)
+	}
+	for _, name := range g.names {
+		for _, e := range g.nodes[name].Edges {
+			g.callers[e.Callee] = append(g.callers[e.Callee], CallerRef{Caller: name, Pos: e.Pos, Kind: e.Kind})
+		}
+	}
+	for callee := range g.callers {
+		refs := g.callers[callee]
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].Caller != refs[j].Caller {
+				return refs[i].Caller < refs[j].Caller
+			}
+			return refs[i].Pos < refs[j].Pos
+		})
+	}
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func dedupEdges(edges []Edge) []Edge {
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e.Callee != edges[i-1].Callee || e.Pos != edges[i-1].Pos {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// staticCallee resolves the statically-known callee of a call expression,
+// or nil for dynamic calls (function values, builtins, conversions).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// shortNodeName compresses a node name for diagnostics by dropping the
+// module-internal path prefixes: "(*repro/internal/sim.Simulator).Step"
+// renders as "(*sim.Simulator).Step".
+func shortNodeName(name string) string {
+	name = strings.ReplaceAll(name, "repro/internal/", "")
+	return strings.ReplaceAll(name, "repro/", "")
+}

@@ -1,0 +1,104 @@
+package lint_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// loadFixturePkg parses and type-checks one testdata/src fixture package
+// into fset, the same way the linttest harness does.
+func loadFixturePkg(t *testing.T, fset *token.FileSet, name string) *lint.Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("fixture %s does not type-check: %v", name, err)
+	}
+	return &lint.Package{ImportPath: name, Dir: dir, Files: files, Pkg: pkg, Info: info}
+}
+
+// TestCallGraphDeterministic pins the graph builder's ordering contract:
+// two independent builds over freshly parsed ASTs render byte-identical
+// adjacency and DOT output. Everything downstream (reachability order,
+// diagnostic order, `reprolint -graph` diffs) depends on this.
+func TestCallGraphDeterministic(t *testing.T) {
+	build := func() (string, string) {
+		fset := token.NewFileSet()
+		p := loadFixturePkg(t, fset, "hotalloc")
+		p2 := loadFixturePkg(t, fset, "tapcover")
+		// Feed the packages in reverse-sorted order: BuildGraph must sort.
+		g := lint.BuildGraph(fset, []*lint.Package{p2, p})
+		var dot bytes.Buffer
+		if err := g.WriteDOT(&dot); err != nil {
+			t.Fatal(err)
+		}
+		return g.Adjacency(), dot.String()
+	}
+	adj1, dot1 := build()
+	adj2, dot2 := build()
+	if adj1 != adj2 {
+		t.Fatalf("adjacency differs across builds:\n--- first ---\n%s\n--- second ---\n%s", adj1, adj2)
+	}
+	if dot1 != dot2 {
+		t.Fatalf("DOT output differs across builds:\n--- first ---\n%s\n--- second ---\n%s", dot1, dot2)
+	}
+	if !strings.Contains(adj1, "hotalloc.helper") {
+		t.Fatalf("adjacency is missing an expected node:\n%s", adj1)
+	}
+}
+
+// TestProgramAnalyzersConcurrent runs the whole-program analyzers
+// concurrently over one shared Program; under -race this pins that Run and
+// the graph accessors are safe for concurrent readers.
+func TestProgramAnalyzersConcurrent(t *testing.T) {
+	fset := token.NewFileSet()
+	p := loadFixturePkg(t, fset, "hotalloc")
+	prog := lint.BuildProgram(fset, []*lint.Package{p})
+	analyzers := []*lint.Analyzer{lint.HotAlloc, lint.SimTime, lint.TapCover}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		for _, a := range analyzers {
+			wg.Add(1)
+			go func(a *lint.Analyzer) {
+				defer wg.Done()
+				if _, err := prog.Run(a); err != nil {
+					t.Errorf("%s: %v", a.Name, err)
+				}
+			}(a)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc flags allocation-causing constructs in functions reachable from
+// the simulation's hot roots: the event-dispatch loop and the flight
+// recorder's per-event path. ROADMAP item 2 (order-of-magnitude event
+// throughput) dies by a thousand fmt.Sprintf cuts; this analyzer makes each
+// one visible at review time instead of in a profile months later.
+//
+// Hot roots are the sim dispatch entry points and flight.Recorder.Record,
+// plus any function whose doc comment carries //lint:hotpath. Within the
+// reachable set, the analyzer reports:
+//
+//   - fmt.Sprint*/Fprint*/Errorf/Append* calls (format machinery allocates)
+//   - non-constant string concatenation (+ and +=)
+//   - string <-> []byte/[]rune conversions (copy per call)
+//   - make, new, map/slice composite literals, &composite literals
+//   - function literals (closure allocation at creation)
+//   - interface-boxing arguments (non-pointer concrete value passed as an
+//     interface parameter)
+//   - calls to Append-style helpers with a nil destination (a fresh buffer
+//     per call; pass a reusable scratch buffer)
+//   - append to a struct field or package variable in a function that never
+//     consults cap() of that target (unbounded growth on the hot path)
+//
+// A finding is silenced — and documented — with
+// //lint:allow hotalloc(reason) on or above the construct.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "Reports allocation-causing constructs (fmt formatting, string concatenation and conversion, " +
+		"unbounded append, interface boxing, closures, make/new and composite literals) in functions " +
+		"reachable from the sim event-dispatch and flight-record hot roots.",
+	SkipTestFiles: true,
+	RunProgram:    runHotAlloc,
+}
+
+// hotAllocRoots are the built-in hot entry points. Everything reachable
+// from these runs once per simulated event.
+var hotAllocRoots = []string{
+	"(*repro/internal/sim.Simulator).Step",
+	"(*repro/internal/sim.Simulator).Run",
+	"(*repro/internal/sim.Simulator).RunUntil",
+	"(*repro/internal/flight.Recorder).Record",
+}
+
+func runHotAlloc(pass *ProgramPass) error {
+	g := pass.Graph
+	var roots []string
+	for _, name := range hotAllocRoots {
+		if g.Node(name) != nil {
+			roots = append(roots, name)
+		}
+	}
+	for _, name := range g.Names() {
+		n := g.Node(name)
+		if n.Decl != nil && hotpathDirective(n.Decl) {
+			roots = append(roots, name)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	reach := g.ReachFrom(roots...)
+	for _, name := range reach.Order() {
+		n := g.Node(name)
+		if n.Body() == nil || n.Pkg == nil {
+			continue
+		}
+		if pass.InTestFile(n.Pos) {
+			continue
+		}
+		scanHotFunc(pass, n, reach)
+	}
+	return nil
+}
+
+// scanHotFunc reports allocation constructs in one reachable function body.
+// Nested function literals are skipped: they are their own graph nodes and
+// are scanned separately if reachable (and reported as closure allocations
+// where they appear).
+func scanHotFunc(pass *ProgramPass, n *FuncNode, reach *Reach) {
+	info := n.Pkg.Info
+	capTargets := capGuardTargets(n.Body())
+	emit := func(pos token.Pos, desc string) {
+		if pass.Allowed(pos) {
+			return
+		}
+		pass.Reportf(pos, "%s in hot function %s (reachable: %s); hoist it off the per-event path or annotate //lint:allow hotalloc(reason)",
+			desc, shortNodeName(n.Name), reach.PathString(n.Name))
+	}
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			emit(x.Pos(), "closure literal allocates")
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					emit(x.Pos(), "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch typeOf(info, x).Underlying().(type) {
+			case *types.Map:
+				emit(x.Pos(), "map literal allocates")
+			case *types.Slice:
+				emit(x.Pos(), "slice literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isNonConstantString(info, x) {
+				emit(x.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(typeOf(info, x.Lhs[0])) {
+				emit(x.TokPos, "string concatenation allocates")
+			}
+			checkHotAppend(info, x, capTargets, emit)
+		case *ast.CallExpr:
+			checkHotCall(info, x, emit)
+		}
+		return true
+	})
+}
+
+// typeOf is a nil-safe types lookup that always returns a usable type.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNonConstantString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+// checkHotCall reports allocation behavior attributable to the call itself:
+// fmt formatting, string conversions, make/new, nil-destination append
+// helpers, and interface boxing of arguments.
+func checkHotCall(info *types.Info, call *ast.CallExpr, emit func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x) where the callee position is a type.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := typeOf(info, call.Args[0])
+		if conversionCopies(dst, src) {
+			emit(call.Pos(), "string conversion copies its operand")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				emit(call.Pos(), "make allocates")
+			case "new":
+				emit(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	fn := staticCallee(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		emit(call.Pos(), "fmt."+fn.Name()+" formats and allocates")
+		return
+	}
+
+	// Append-style helpers called with a nil destination build a fresh
+	// buffer per call; the idiomatic hot-path fix is a reused scratch slice.
+	if fn != nil && strings.Contains(fn.Name(), "ppend") && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && id.Name == "nil" {
+			emit(call.Pos(), fn.Name()+"(nil, ...) builds a fresh buffer per call")
+		}
+	}
+
+	checkBoxing(info, call, emit)
+}
+
+// checkBoxing reports concrete non-pointer values passed to interface
+// parameters: each such argument is boxed, which usually heap-allocates.
+// Pointer-shaped values (pointers, maps, channels, funcs) box without
+// allocating and are not reported.
+func checkBoxing(info *types.Info, call *ast.CallExpr, emit func(token.Pos, string)) {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // arg is already a slice, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := param.Underlying().(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == types.Typ[types.Invalid] || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		emit(arg.Pos(), "argument boxed into interface parameter")
+	}
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func conversionCopies(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// capGuardTargets collects the rendered operands of every cap(...) call in
+// the body; an append to one of these targets is considered
+// capacity-guarded (the flight recorder's ring is the canonical example:
+// it appends only under a len==cap spill check).
+func capGuardTargets(body *ast.BlockStmt) map[string]bool {
+	targets := make(map[string]bool)
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "cap" && len(call.Args) == 1 {
+			targets[exprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return targets
+}
+
+// checkHotAppend reports `x.f = append(x.f, ...)` (or a package-level
+// variable destination) when the function never inspects cap of the same
+// target: on a per-event path that is unbounded amortized growth.
+func checkHotAppend(info *types.Info, as *ast.AssignStmt, capTargets map[string]bool, emit func(token.Pos, string)) {
+	call, ok := singleAppendAssign(as)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(as.Lhs[0])
+	switch d := dst.(type) {
+	case *ast.SelectorExpr:
+		// Field or qualified-var destination; fall through to the guard check.
+		if sel, ok := info.Selections[d]; ok && sel.Kind() != types.FieldVal {
+			return
+		}
+	case *ast.Ident:
+		v, ok := info.Uses[d].(*types.Var)
+		if !ok || v.Parent() == nil || v.Parent() != v.Pkg().Scope() {
+			return // local variable: growth is bounded by the function's own lifetime
+		}
+	default:
+		return
+	}
+	if capTargets[exprString(dst)] {
+		return
+	}
+	emit(as.Pos(), "append to "+exprString(dst)+" grows without a capacity guard")
+}

@@ -17,14 +17,27 @@
 //   - panicfree:  panics in library code that are not diagnosable misuse guards
 //   - boundedq:   appends to queue-like slice fields with no capacity guard
 //
+// Whole-program analyzers (backed by the deterministic call graph in
+// callgraph.go and the reachability layer in reach.go):
+//
+//   - hotalloc: allocation-causing constructs reachable from the sim
+//     event-dispatch and flight-record hot roots
+//   - simtime:  wall-clock/global-rand use transitively reachable from
+//     callbacks scheduled on the simulator
+//   - tapcover: coordination decision sites without a flight-recorder tap
+//
 // Suppression policy: a finding can be silenced with a directive comment on
 // the same line or the line directly above it:
 //
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//	//lint:allow <analyzer>(<reason>) [<analyzer>(<reason>)...]
 //
 // The reason is mandatory; a directive without one is itself reported. The
-// directive name "all" silences every analyzer for that line. See
-// docs/linting.md for each analyzer's rationale and examples.
+// directive name "all" (ignore form only) silences every analyzer for that
+// line. //lint:allow additionally marks the construct as sanctioned for the
+// whole-program analyzers, which cut taint at allowed sources rather than
+// merely hiding the report. See docs/linting.md for each analyzer's
+// rationale, examples, and the table of surviving allows.
 package lint
 
 import (
@@ -55,8 +68,14 @@ type Analyzer struct {
 	SkipTestFiles bool
 
 	// Run executes the check on one package and reports findings through
-	// the pass.
+	// the pass. Nil for whole-program analyzers.
 	Run func(*Pass) error
+
+	// RunProgram, if non-nil, marks the analyzer as whole-program: instead
+	// of per-package passes it receives a ProgramPass with every loaded
+	// package and the module-wide call graph. AppliesTo is not consulted —
+	// scoping falls out of which roots and decision tables match.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass provides one analyzer with the parsed, type-checked package under
@@ -135,6 +154,9 @@ type Diagnostic struct {
 // returns its diagnostics sorted by position. It applies SkipTestFiles but
 // not AppliesTo or suppression directives, which are driver concerns.
 func AnalyzePackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, a *Analyzer) ([]Diagnostic, error) {
+	if a.Run == nil {
+		return nil, fmt.Errorf("%s: whole-program analyzer cannot run per package", a.Name)
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -182,6 +204,9 @@ func All() []*Analyzer {
 		FloatEq,
 		PanicFree,
 		BoundedQ,
+		HotAlloc,
+		SimTime,
+		TapCover,
 	}
 }
 

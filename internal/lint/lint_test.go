@@ -90,15 +90,15 @@ func TestAppliesToScoping(t *testing.T) {
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range lint.All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Fatalf("analyzer %+v incompletely defined", a)
+		if a.Name == "" || a.Doc == "" || (a.Run == nil) == (a.RunProgram == nil) {
+			t.Fatalf("analyzer %+v must define exactly one of Run and RunProgram", a)
 		}
 		if names[a.Name] {
 			t.Fatalf("duplicate analyzer name %q", a.Name)
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"detnondet", "maporder", "kindswitch", "floateq", "panicfree"} {
+	for _, want := range []string{"detnondet", "maporder", "kindswitch", "floateq", "panicfree", "hotalloc", "simtime", "tapcover"} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

@@ -59,7 +59,14 @@ func runOne(t *testing.T, a *lint.Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("fixture %s does not type-check: %v", dir, err)
 	}
-	diags, err := lint.AnalyzePackage(fset, files, pkg, info, a)
+	var diags []lint.Diagnostic
+	if a.RunProgram != nil {
+		p := &lint.Package{ImportPath: filepath.Base(dir), Dir: dir, Files: files, Pkg: pkg, Info: info}
+		prog := lint.BuildProgram(fset, []*lint.Package{p})
+		diags, err = prog.Run(a)
+	} else {
+		diags, err = lint.AnalyzePackage(fset, files, pkg, info, a)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -161,11 +161,23 @@ func goList(patterns []string) ([]listedPackage, error) {
 // its "_test" suffix.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var all []Diagnostic
+	var perPkg, program []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			program = append(program, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
+	merged := &directiveSet{byLine: make(map[string][]string)}
 	for _, p := range pkgs {
 		scopePath := strings.TrimSuffix(p.ImportPath, "_test")
 		dirs := directives(fset, p.Files)
 		all = append(all, dirs.malformed...)
-		for _, a := range analyzers {
+		for key, names := range dirs.byLine {
+			merged.byLine[key] = append(merged.byLine[key], names...)
+		}
+		for _, a := range perPkg {
 			if a.AppliesTo != nil && !a.AppliesTo(scopePath) {
 				continue
 			}
@@ -175,6 +187,20 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 			}
 			for _, d := range diags {
 				if !dirs.suppresses(fset.Position(d.Pos), a.Name) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	if len(program) > 0 {
+		prog := BuildProgram(fset, pkgs)
+		for _, a := range program {
+			diags, err := prog.Run(a)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				if !merged.suppresses(fset.Position(d.Pos), a.Name) {
 					all = append(all, d)
 				}
 			}
@@ -197,21 +223,34 @@ func directives(fset *token.FileSet, files []*ast.File) *directiveSet {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil {
+				if m := ignoreRE.FindStringSubmatch(c.Text); m != nil {
+					if strings.TrimSpace(m[3]) == "" {
+						ds.malformed = append(ds.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Message:  "//lint:ignore directive is missing a reason",
+							Analyzer: "lint",
+						})
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					ds.byLine[key] = append(ds.byLine[key], strings.Split(m[1], ",")...)
 					continue
 				}
-				if strings.TrimSpace(m[3]) == "" {
+				if names, ok := parseAllow(c.Text); !ok {
 					ds.malformed = append(ds.malformed, Diagnostic{
 						Pos:      c.Pos(),
-						Message:  "//lint:ignore directive is missing a reason",
+						Message:  "//lint:allow directive must be a list of analyzer(reason) entries with non-empty reasons",
 						Analyzer: "lint",
 					})
-					continue
+				} else if len(names) > 0 {
+					// An allow also suppresses same-line findings, so the
+					// two directive forms compose: per-package analyzers
+					// honor it exactly like an ignore.
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					ds.byLine[key] = append(ds.byLine[key], names...)
 				}
-				pos := fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				ds.byLine[key] = append(ds.byLine[key], strings.Split(m[1], ",")...)
 			}
 		}
 	}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file holds the whole-program side of the framework: the ProgramPass
+// handed to inter-procedural analyzers, the //lint:allow directive (the
+// sanctioned-site escape hatch the hotalloc/simtime/tapcover analyzers
+// honor), and the //lint:hotpath and //lint:decision marker directives that
+// let code — fixtures and future subsystems alike — opt into analysis
+// without the analyzers hardcoding every root.
+//
+// Directive grammar:
+//
+//	//lint:allow <analyzer>(<reason>) [<analyzer>(<reason>)...]
+//	//lint:hotpath            (on a function's doc comment)
+//	//lint:decision           (on a struct field's doc or line comment)
+//
+// //lint:allow differs from //lint:ignore in intent: ignore silences a
+// diagnostic, allow marks the construct itself as sanctioned, which
+// program analyzers also use to cut taint at the source (e.g. an allowed
+// time.Now() does not poison every caller). Each entry carries its own
+// mandatory reason so the survivors table in docs/linting.md stays honest.
+
+// A Program is the shared substrate for whole-program analyzers: the loaded
+// packages, the call graph built over all of them, and the allow set. Build
+// it once and run any number of analyzers against it.
+type Program struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	Graph  *CallGraph
+	Allows *AllowSet
+}
+
+// BuildProgram constructs the Program for the given packages, building the
+// call graph and collecting //lint:allow directives. Malformed allow
+// directives are reported by the driver, not here (see directives).
+func BuildProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{
+		Fset:   fset,
+		Pkgs:   pkgs,
+		Graph:  BuildGraph(fset, pkgs),
+		Allows: collectAllows(fset, pkgs),
+	}
+}
+
+// Run executes one whole-program analyzer and returns its diagnostics
+// sorted by position, with diagnostics in _test.go files dropped when the
+// analyzer sets SkipTestFiles.
+func (prog *Program) Run(a *Analyzer) ([]Diagnostic, error) {
+	if a.RunProgram == nil {
+		return nil, fmt.Errorf("%s: analyzer has no RunProgram", a.Name)
+	}
+	var diags []Diagnostic
+	pass := &ProgramPass{
+		Analyzer: a,
+		Fset:     prog.Fset,
+		Pkgs:     prog.Pkgs,
+		Graph:    prog.Graph,
+		Allows:   prog.Allows,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.RunProgram(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	if a.SkipTestFiles {
+		kept := diags[:0]
+		for _, d := range diags {
+			if !strings.HasSuffix(prog.Fset.Position(d.Pos).Filename, "_test.go") {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	sortDiagnostics(prog.Fset, diags)
+	return diags, nil
+}
+
+// A ProgramPass provides one whole-program analyzer with the loaded module,
+// the call graph, the allow set, and a diagnostic sink.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *CallGraph
+	Allows   *AllowSet
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Allowed reports whether an //lint:allow directive for this pass's
+// analyzer covers pos (same line or the line directly above).
+func (p *ProgramPass) Allowed(pos token.Pos) bool {
+	return p.Allows.Allowed(p.Fset, pos, p.Analyzer.Name)
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// An AllowSet indexes //lint:allow directives by file and line.
+type AllowSet struct {
+	// byLine maps "filename:line" to the analyzer names allowed there.
+	byLine map[string][]string
+}
+
+// Allowed reports whether a directive on pos's line, or the line directly
+// above, names the analyzer.
+func (s *AllowSet) Allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, name := range s.byLine[fmt.Sprintf("%s:%d", p.Filename, line)] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Entries returns every (file:line, analyzer) pair in sorted order; the
+// driver uses it to audit that allows stay documented.
+func (s *AllowSet) Entries() []string {
+	var out []string
+	for key, names := range s.byLine {
+		for _, n := range names {
+			out = append(out, key+" "+n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	allowRE      = regexp.MustCompile(`^//lint:allow\s+(.*)$`)
+	allowEntryRE = regexp.MustCompile(`^([A-Za-z_][A-Za-z0-9_]*)\(([^()]*)\)\s*`)
+)
+
+// parseAllow parses the entry list of an //lint:allow directive, returning
+// the analyzer names and whether the directive is well-formed (every entry
+// must be name(reason) with a non-empty reason).
+func parseAllow(text string) (names []string, ok bool) {
+	m := allowRE.FindStringSubmatch(text)
+	if m == nil {
+		return nil, true // not an allow directive at all
+	}
+	rest := strings.TrimSpace(m[1])
+	if rest == "" {
+		return nil, false
+	}
+	for rest != "" {
+		em := allowEntryRE.FindStringSubmatch(rest)
+		if em == nil {
+			return nil, false
+		}
+		if strings.TrimSpace(em[2]) == "" {
+			return nil, false
+		}
+		names = append(names, em[1])
+		rest = rest[len(em[0]):]
+	}
+	return names, true
+}
+
+// collectAllows gathers well-formed //lint:allow directives across all
+// packages into one module-wide AllowSet.
+func collectAllows(fset *token.FileSet, pkgs []*Package) *AllowSet {
+	s := &AllowSet{byLine: make(map[string][]string)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok || len(names) == 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					s.byLine[key] = append(s.byLine[key], names...)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// hotpathDirective reports whether a function declaration's doc comment
+// carries //lint:hotpath, marking it as an additional hotalloc root.
+func hotpathDirective(fd *ast.FuncDecl) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//lint:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// decisionDirective reports whether a struct field carries //lint:decision
+// in its doc or line comment, marking writes to it as coordination
+// decisions that tapcover must see flight-logged.
+func decisionDirective(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//lint:decision") {
+				return true
+			}
+		}
+	}
+	return false
+}

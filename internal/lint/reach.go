@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// A Reach is the result of a deterministic breadth-first traversal of the
+// call graph from a set of roots. It answers membership queries and renders
+// a shortest call path for diagnostics.
+type Reach struct {
+	g *CallGraph
+
+	// parent maps a reached node to the node it was first discovered from;
+	// roots map to "". Because the BFS visits roots in sorted order and each
+	// node's edges are sorted, the parent assignment — and therefore every
+	// rendered path — is deterministic.
+	parent map[string]string
+
+	// order is the BFS discovery order.
+	order []string
+}
+
+// ReachFrom runs a breadth-first traversal from the named roots (unknown
+// names are ignored) and returns the reachable set. All edge kinds are
+// followed: a referenced function may be invoked by whoever holds the value,
+// so "ref" edges count for reachability.
+func (g *CallGraph) ReachFrom(roots ...string) *Reach {
+	r := &Reach{g: g, parent: make(map[string]string)}
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	var queue []string
+	for _, root := range sorted {
+		if g.nodes[root] == nil {
+			continue
+		}
+		if _, seen := r.parent[root]; seen {
+			continue
+		}
+		r.parent[root] = ""
+		r.order = append(r.order, root)
+		queue = append(queue, root)
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		for _, e := range g.nodes[name].Edges {
+			if _, seen := r.parent[e.Callee]; seen {
+				continue
+			}
+			r.parent[e.Callee] = name
+			r.order = append(r.order, e.Callee)
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// Contains reports whether name was reached.
+func (r *Reach) Contains(name string) bool {
+	_, ok := r.parent[name]
+	return ok
+}
+
+// Order returns the BFS discovery order. The caller must not mutate the
+// returned slice.
+func (r *Reach) Order() []string { return r.order }
+
+// Path returns the discovery path from a root to name (inclusive on both
+// ends), or nil if name was not reached.
+func (r *Reach) Path(name string) []string {
+	if _, ok := r.parent[name]; !ok {
+		return nil
+	}
+	var rev []string
+	for cur := name; cur != ""; cur = r.parent[cur] {
+		rev = append(rev, cur)
+	}
+	path := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+// PathString renders Path with shortened node names for diagnostics.
+func (r *Reach) PathString(name string) string {
+	path := r.Path(name)
+	short := make([]string, len(path))
+	for i, p := range path {
+		short[i] = shortNodeName(p)
+	}
+	return strings.Join(short, " -> ")
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// SimTime closes the cross-package hole detnondet cannot see: detnondet
+// flags a time.Now() only in the package that imports "time", but a
+// callback scheduled on the simulator can reach wall-clock or global-rand
+// state through any number of intermediate calls in other packages, and
+// one such call silently breaks run-for-run determinism.
+//
+// The analyzer finds every call site that schedules a callback on the
+// simulator (Simulator.At, .After, .Ticker), resolves the callback to a
+// call-graph node (function literal, named function, or method value), and
+// walks everything reachable from it. If the reachable set contains a
+// wall-clock call (the same list detnondet uses) or a math/rand global,
+// the scheduling site is reported with the offending call path.
+//
+// Sanctioned sources are cut at the taint site with
+// //lint:allow simtime(reason): an allowed time.Now() poisons nobody.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: "Reports simulator-scheduled callbacks that transitively reach wall-clock time or global " +
+		"math/rand state, which detnondet's per-file view cannot see across package boundaries.",
+	SkipTestFiles: true,
+	RunProgram:    runSimTime,
+}
+
+// simSchedulerFuncs maps simulator scheduling entry points to the argument
+// index of the callback they capture.
+var simSchedulerFuncs = map[string]int{
+	"(*repro/internal/sim.Simulator).At":     1,
+	"(*repro/internal/sim.Simulator).After":  1,
+	"(*repro/internal/sim.Simulator).Ticker": 1,
+}
+
+// simTaint is one wall-clock/global-rand use inside a function body.
+type simTaint struct {
+	pos  token.Pos
+	desc string
+}
+
+func runSimTime(pass *ProgramPass) error {
+	g := pass.Graph
+
+	// Pass 1: per-node taint — direct wall-clock or math/rand use, unless
+	// the source itself carries //lint:allow simtime(reason).
+	taints := make(map[string][]simTaint)
+	for _, name := range g.Names() {
+		n := g.Node(name)
+		if n.Body() == nil || n.Pkg == nil {
+			continue
+		}
+		ts := scanSimTaints(pass, n)
+		if len(ts) > 0 {
+			taints[name] = ts
+		}
+	}
+
+	// Pass 2: scheduling sites. Each site is checked independently so the
+	// diagnostic can name the exact callback and path.
+	type schedSite struct {
+		pos token.Pos
+		cb  string
+	}
+	var sites []schedSite
+	for _, name := range g.Names() {
+		n := g.Node(name)
+		if n.Body() == nil || n.Pkg == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Body(), func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // literal bodies are their own nodes
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(info, call)
+			if fn == nil {
+				return true
+			}
+			idx, ok := simSchedulerFuncs[fullFuncName(fn)]
+			if !ok || len(call.Args) <= idx {
+				return true
+			}
+			if cb := resolveCallback(g, info, call.Args[idx]); cb != "" {
+				sites = append(sites, schedSite{pos: call.Pos(), cb: cb})
+			}
+			return true
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		pi, pj := pass.Fset.Position(sites[i].pos), pass.Fset.Position(sites[j].pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+
+	for _, site := range sites {
+		if pass.InTestFile(site.pos) || pass.Allowed(site.pos) {
+			continue
+		}
+		reach := g.ReachFrom(site.cb)
+		for _, name := range reach.Order() {
+			ts, ok := taints[name]
+			if !ok {
+				continue
+			}
+			t := ts[0]
+			pass.Reportf(site.pos,
+				"simulator-scheduled callback reaches %s at %s (path: %s); use the simulated clock/seeded PRNG, or annotate the source with //lint:allow simtime(reason)",
+				t.desc, pass.Fset.Position(t.pos), reach.PathString(name))
+			break // one finding per scheduling site
+		}
+	}
+	return nil
+}
+
+// resolveCallback maps a callback argument to its call-graph node name, or
+// "" when the target is dynamic.
+func resolveCallback(g *CallGraph, info *types.Info, arg ast.Expr) string {
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		if name, ok := g.LitName(arg); ok {
+			return name
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[arg].(*types.Func); ok {
+			return fullFuncName(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[arg.Sel].(*types.Func); ok {
+			return fullFuncName(fn)
+		}
+	}
+	return ""
+}
+
+// scanSimTaints finds direct wall-clock and global-rand uses in one body,
+// sorted by position. Nested literals are excluded (their own nodes).
+func scanSimTaints(pass *ProgramPass, n *FuncNode) []simTaint {
+	info := n.Pkg.Info
+	var out []simTaint
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[obj.Name()] && !pass.Allowed(sel.Pos()) {
+				out = append(out, simTaint{pos: sel.Pos(), desc: "time." + obj.Name()})
+			}
+		case "math/rand", "math/rand/v2":
+			if !pass.Allowed(sel.Pos()) {
+				out = append(out, simTaint{pos: sel.Pos(), desc: obj.Pkg().Path() + "." + obj.Name()})
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}

@@ -1,0 +1,55 @@
+package hotalloc
+
+import "fmt"
+
+type event struct{ n int }
+
+type logger interface{ log(v any) }
+
+type sink struct {
+	items []event
+	ring  []event
+	out   logger
+}
+
+// helper inherits heat by being called from the hot root.
+func helper(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+// appendByte is an Append-style helper: callers passing a nil destination
+// build a fresh buffer per call.
+func appendByte(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//lint:hotpath
+func (s *sink) dispatch(e event, name string) {
+	s.items = append(s.items, e) // want `append to s.items grows without a capacity guard`
+	s.ring = append(s.ring, e)   // guarded by the cap check below: no finding
+	if len(s.ring) == cap(s.ring) {
+		s.ring = s.ring[:0]
+	}
+	msg := "event " + name     // want `string concatenation allocates`
+	msg += name                // want `string concatenation allocates`
+	_ = fmt.Sprintf("%d", e.n) // want `fmt.Sprintf formats and allocates`
+	_ = []byte(msg)            // want `string conversion copies its operand`
+	m := map[int]int{}         // want `map literal allocates`
+	_ = m
+	_ = []int{1, 2}  // want `slice literal allocates`
+	p := &event{n: 1} // want `&composite literal escapes to the heap`
+	_ = p
+	q := new(event) // want `new allocates`
+	_ = q
+	s.out.log(e)   // want `argument boxed into interface parameter`
+	go func() {}() // want `closure literal allocates`
+	_ = helper(e.n)
+	_ = appendByte(nil, byte(e.n)) // want `appendByte\(nil, \.\.\.\) builds a fresh buffer per call`
+	//lint:allow hotalloc(fixture: sanctioned one-off formatting)
+	_ = fmt.Sprintf("ok %d", e.n)
+}
+
+// cold is unreachable from any hot root: identical constructs are fine.
+func cold(name string) string {
+	return fmt.Sprintf("cold %s", name)
+}

@@ -1,0 +1,31 @@
+package simtime
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// jitter reaches global math/rand state two hops from the callback.
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(100))
+}
+
+func tick() {
+	_ = time.Now()
+}
+
+func allowedTick() {
+	//lint:allow simtime(fixture: sanctioned wall-clock read)
+	_ = time.Now()
+}
+
+func schedule(s *sim.Simulator) {
+	s.After(1, tick)     // want `simulator-scheduled callback reaches time\.Now`
+	s.At(2, allowedTick) // allowed at the taint source: no finding
+	s.Ticker(3, func() { // want `simulator-scheduled callback reaches math/rand\.Intn`
+		_ = jitter()
+	})
+	s.After(4, func() {}) // deterministic callback: no finding
+}

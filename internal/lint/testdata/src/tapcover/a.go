@@ -1,0 +1,62 @@
+package tapcover
+
+import "repro/internal/core"
+
+// Recorder stands in for the flight recorder: tapcover matches Record
+// calls by the receiver's named type.
+type Recorder struct{ n int }
+
+func (r *Recorder) Record(v int) { r.n += v }
+
+type gov struct {
+	rec *Recorder
+	//lint:decision
+	rate int
+	out  func(core.Message)
+}
+
+// adjust taps in its own body: covered.
+func (g *gov) adjust(d int) {
+	g.rate += d
+	g.rec.Record(d)
+}
+
+// bump is covered by the direct-callee grace (the recordWeight idiom).
+func (g *gov) bump() {
+	g.rate++
+	g.recordRate()
+}
+
+func (g *gov) recordRate() { g.rec.Record(g.rate) }
+
+// silent is an entry point (no callers) holding an untapped decision.
+func (g *gov) silent(d int) {
+	g.rate = d // want `decision-annotated write to gov\.rate has no flight-recorder tap in \(\*tapcover\.gov\)\.silent`
+}
+
+// emit sends a coordination message with no tap anywhere on the path.
+func (g *gov) emit(t string) {
+	g.out(core.Message{Kind: core.KindTune, Target: t}) // want `Tune emission has no flight-recorder tap in \(\*tapcover\.gov\)\.emit`
+}
+
+// apply holds the decision; coverage depends on the caller's path.
+func (g *gov) apply(d int) {
+	g.rate = d
+}
+
+// tappedPath taps in its own body, shielding its path down to apply.
+func (g *gov) tappedPath(d int) {
+	g.apply(d)
+	g.rec.Record(d)
+}
+
+// openPath reaches apply with no tap anywhere: reported at the entry.
+func (g *gov) openPath(d int) {
+	g.apply(d) // want `call path from \(\*tapcover\.gov\)\.openPath reaches decision-annotated write to gov\.rate`
+}
+
+// sanctioned documents its silent write with an allow.
+func (g *gov) sanctioned() {
+	//lint:allow tapcover(fixture: sanctioned silent write)
+	g.rate = 0
+}

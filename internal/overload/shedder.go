@@ -139,6 +139,7 @@ func (sh *Shedder) lower(c Class, amount float64) float64 {
 // ShouldShed decides one admission for the class, consuming one draw from
 // the private stream only when the class rate is nonzero.
 func (sh *Shedder) ShouldShed(c Class) bool {
+	//lint:allow tapcover(passive exponential decay toward zero, not an upstream coordination decision; Tune-driven rate changes are tapped in Adjust)
 	sh.decay()
 	sh.stats.Seen[c]++
 	if sh.rate[c] <= 0 {
@@ -153,6 +154,7 @@ func (sh *Shedder) ShouldShed(c Class) bool {
 
 // Rate returns the class's shed probability as of now.
 func (sh *Shedder) Rate(c Class) float64 {
+	//lint:allow tapcover(passive exponential decay toward zero, not an upstream coordination decision; Tune-driven rate changes are tapped in Adjust)
 	sh.decay()
 	return sh.rate[c]
 }

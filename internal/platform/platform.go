@@ -249,7 +249,7 @@ func New(cfg Config) *Platform {
 		}
 	}
 	ctrl := core.NewController()
-	ctrl.SetFlightRecorder(cfg.Flight)
+	ctrl.SetFlightRecorder(s, cfg.Flight)
 
 	x86Act := core.NewX86Actuator(ctl)
 	x86Act.MinWeight = cfg.MinGuestWeight

@@ -1,0 +1,24 @@
+package sim
+
+import "testing"
+
+// TestStepZeroAlloc pins the dispatch contract the hotalloc analyzer
+// enforces on the Step/Run/RunUntil roots: executing an already-scheduled
+// event allocates nothing — the heap pop mutates in place and the callback
+// slot is cleared, not reallocated.
+func TestStepZeroAlloc(t *testing.T) {
+	s := New(1)
+	const runs = 512
+	fn := func() {}
+	for i := 0; i < runs+2; i++ {
+		s.After(Time(i), fn)
+	}
+	allocs := testing.AllocsPerRun(runs, func() {
+		if !s.Step() {
+			t.Fatal("queue drained before the measured runs finished")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocated %.2f times per event; dispatch must stay allocation-free", allocs)
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimDispatch measures the dispatch half of the event loop alone:
+// events are pre-scheduled outside the timed region, so allocs/op isolates
+// Step and must be 0 (the number TestStepZeroAlloc pins as a hard test).
+func BenchmarkSimDispatch(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		s.After(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkSimScheduleDispatch measures one full schedule+dispatch cycle —
+// the steady-state cost of a self-rescheduling component such as a ticker.
+// The one alloc/op is the *Event itself.
+func BenchmarkSimScheduleDispatch(b *testing.B) {
+	s := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		s.Step()
+	}
+}

@@ -279,7 +279,7 @@ func Run(points []Point, run Runner, opts Options) (*RunResult, error) {
 		todo = append(todo, i)
 	}
 
-	//lint:ignore detnondet the engine measures its own wall-clock throughput; simulated results never depend on it
+	//lint:allow detnondet(the engine measures its own wall-clock throughput; simulated results never depend on it) simtime(sweep wall time is harness telemetry, never fed back into simulated state)
 	start := time.Now()
 	var (
 		mu   sync.Mutex
@@ -289,7 +289,7 @@ func Run(points []Point, run Runner, opts Options) (*RunResult, error) {
 		if opts.Progress == nil {
 			return
 		}
-		//lint:ignore detnondet harness progress reporting, not simulation state
+		//lint:allow detnondet(harness progress reporting, not simulation state)
 		opts.Progress(Progress{Done: done, Total: len(trials), Cached: res.CacheHits, Elapsed: time.Since(start)})
 	}
 	mu.Lock()
@@ -304,7 +304,7 @@ func Run(points []Point, run Runner, opts Options) (*RunResult, error) {
 			defer wg.Done()
 			for i := range work {
 				t := trials[i]
-				//lint:ignore detnondet per-trial wall time feeds the bench guard only
+				//lint:allow detnondet(per-trial wall time feeds the bench guard only) simtime(per-trial wall time feeds the bench guard only, never simulated state)
 				t0 := time.Now()
 				out := &res.Trials[i]
 				v, err := run(t)
@@ -317,7 +317,7 @@ func Run(points []Point, run Runner, opts Options) (*RunResult, error) {
 				if err != nil {
 					out.Err = err.Error()
 				}
-				//lint:ignore detnondet per-trial wall time feeds the bench guard only
+				//lint:allow detnondet(per-trial wall time feeds the bench guard only)
 				out.Wall = time.Since(t0)
 				if out.Err == "" {
 					opts.Cache.Store(keys[i], out.Data)
@@ -334,7 +334,7 @@ func Run(points []Point, run Runner, opts Options) (*RunResult, error) {
 	}
 	close(work)
 	wg.Wait()
-	//lint:ignore detnondet sweep wall clock feeds the bench guard only
+	//lint:allow detnondet(sweep wall clock feeds the bench guard only)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
