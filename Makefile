@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos overload flight check
+.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos overload failover flight check
 
 all: check
 
@@ -55,6 +55,16 @@ fuzz:
 chaos:
 	$(GO) test -run 'TestChaos' .
 	$(GO) test -race ./internal/core/... ./internal/pcie/... ./internal/sweep/...
+
+# failover pins the controller-availability contract under the race
+# detector: a mid-run primary crash costs at most the election bound
+# (TestChaosControllerCrash), a failover run record/replays
+# byte-identically, the failover matrix is deterministic across sweep
+# worker counts, and the replication/checkpoint/bounded-buffer unit
+# layer holds.
+failover:
+	$(GO) test -race -run 'TestChaosControllerCrash|TestChaosFailoverReplay|TestFailoverMatrixParallelDeterminism' .
+	$(GO) test -race -run 'TestFailover|TestCheckpoint|TestSnapshotRestore|TestReliableOutstandingBounded|TestReliableReorderBufferBounded|TestReliableFlushStale|TestWatchdogFlapHysteresis' ./internal/core/
 
 # overload exercises the overload-control plane: the admission/breaker
 # unit+property tests under the race detector, the overload chaos suites,

@@ -7,7 +7,8 @@
 //	reprobench [-exp all|fig2|fig4|table1|table2|fig5|fig6|fig7|table3|
 //	            powercap|scalability|ablation-latency|ablation-mechanisms|
 //	            ablation-threshold|ablation-interrupt|ablation-loss|
-//	            ablation-faults|ablation-overload|sweep-bench]
+//	            ablation-faults|ablation-overload|ablation-failover|
+//	            sweep-bench]
 //	           [-seed N] [-quick] [-workers N] [-reps N] [-cache DIR]
 //	           [-json FILE] [-baseline FILE] [-ignore-wall]
 //
@@ -193,11 +194,13 @@ func main() {
 		"ablation-loss":       func() { ablationLoss(cfg) },
 		"ablation-faults":     func() { ablationFaults(cfg) },
 		"ablation-overload":   func() { ablationOverload(cfg) },
+		"ablation-failover":   func() { ablationFailover(cfg) },
 	}
 
 	order := []string{"fig2", "fig4", "table1", "table2", "fig5", "fig6", "fig7", "table3",
 		"powercap", "scalability", "ablation-latency", "ablation-mechanisms", "ablation-threshold",
-		"ablation-interrupt", "ablation-loss", "ablation-faults", "ablation-overload"}
+		"ablation-interrupt", "ablation-loss", "ablation-faults", "ablation-overload",
+		"ablation-failover"}
 
 	writeJSON := func() {
 		if *jsonPath == "" {
@@ -670,6 +673,72 @@ func aggregateOverloadRows(rows []repro.OverloadRow) aggregatedOverload {
 	agg.IXPShed = ixp / n
 	agg.Abandoned = aband / n
 	agg.Triggers = trig / n
+	return agg
+}
+
+// ablationFailover runs the controller-availability matrix
+// (repro.FailoverScenarios): a solo controller (checkpointing, nothing to
+// fail over to) against a 3-replica group with deterministic election,
+// under primary crash and partition windows. The availability claim: with
+// replication, a mid-run primary death costs a bounded election window
+// (promotions > 0, no-primary drops bounded) instead of losing
+// coordination for the rest of the window.
+func ablationFailover(cfg benchConfig) {
+	res, err := repro.RunFailoverMatrix(
+		repro.RubisConfig{Seed: cfg.seed, Duration: cfg.rubisDur},
+		cfg.facadeOptions("ablation-failover"),
+	)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Println("Ablation: controller failover (RUBiS; solo vs replicated controller)")
+	reps := res.Sweep.Reps
+	fmt.Printf("%-18s | %-10s | %9s %9s | %8s %8s %8s %8s %8s\n",
+		"scenario", "plane", "tput(r/s)", "mean(ms)", "ckpts", "promote", "stale", "noprim", "shed")
+	for pi := 0; pi*reps < len(res.Rows); pi++ {
+		row := aggregateFailoverRows(res.Rows[pi*reps : (pi+1)*reps])
+		fmt.Printf("%-18s | %-10s | %s %s | %s %s %s %s %s\n",
+			row.Scenario, row.Plane,
+			formatCell("%9.1f", row.Throughput, row.tputCI, reps),
+			formatCell("%9.0f", row.MeanMs, row.meanCI, reps),
+			formatCell("%8.0f", float64(row.Checkpoints), 0, 1),
+			formatCell("%8.0f", float64(row.Promotions), 0, 1),
+			formatCell("%8.0f", float64(row.StaleDropped), 0, 1),
+			formatCell("%8.0f", float64(row.NoPrimaryDrops), 0, 1),
+			formatCell("%8.0f", float64(row.Shed), 0, 1))
+	}
+}
+
+// aggregatedFailover is one failover-matrix point folded across
+// repetitions.
+type aggregatedFailover struct {
+	repro.FailoverRow
+	tputCI, meanCI float64
+}
+
+func aggregateFailoverRows(rows []repro.FailoverRow) aggregatedFailover {
+	var t, m stats.Summary
+	var agg aggregatedFailover
+	agg.FailoverRow = rows[0]
+	var ckpts, promote, stale, noprim, shed uint64
+	for _, r := range rows {
+		t.Add(r.Throughput)
+		m.Add(r.MeanMs)
+		ckpts += r.Checkpoints
+		promote += r.Promotions
+		stale += r.StaleDropped
+		noprim += r.NoPrimaryDrops
+		shed += r.Shed
+	}
+	n := uint64(len(rows))
+	agg.Throughput, agg.tputCI = t.Mean(), t.CI95()
+	agg.MeanMs, agg.meanCI = m.Mean(), m.CI95()
+	agg.Checkpoints = ckpts / n
+	agg.Promotions = promote / n
+	agg.StaleDropped = stale / n
+	agg.NoPrimaryDrops = noprim / n
+	agg.Shed = shed / n
 	return agg
 }
 

@@ -46,6 +46,16 @@ type FaultPlan struct {
 	// Crashes are island crash/restart windows: the named island's agent
 	// goes silent (its lease expires) and drops all input for the window.
 	Crashes []CrashWindow
+
+	// ControllerCrashes are controller replica crash/restart windows: the
+	// replica loses its volatile state and restarts from the durable
+	// checkpoint store when the window closes. Scheduling any controller
+	// window arms the replica group even without RubisConfig.Failover.
+	ControllerCrashes []ReplicaWindow
+
+	// ControllerPartitions isolate a controller replica from the agents,
+	// its peers, and the checkpoint store for the window, then heal it.
+	ControllerPartitions []ReplicaWindow
 }
 
 // Partition is a timed total-loss window. An empty Channels list cuts
@@ -60,6 +70,14 @@ type Partition struct {
 // CrashWindow crashes an island ("ixp" or "x86") for the window.
 type CrashWindow struct {
 	Island   string
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// ReplicaWindow crashes or partitions a controller replica (0-based ID,
+// replica 0 is the initial primary) for the window.
+type ReplicaWindow struct {
+	Replica  int
 	Start    time.Duration
 	Duration time.Duration
 }
@@ -95,6 +113,20 @@ func (p *FaultPlan) internal() *pcie.FaultPlan {
 			Duration: toSim(c.Duration),
 		})
 	}
+	for _, w := range p.ControllerCrashes {
+		fp.ControllerCrashes = append(fp.ControllerCrashes, pcie.ReplicaWindow{
+			Replica:  w.Replica,
+			Start:    toSim(w.Start),
+			Duration: toSim(w.Duration),
+		})
+	}
+	for _, w := range p.ControllerPartitions {
+		fp.ControllerPartitions = append(fp.ControllerPartitions, pcie.ReplicaWindow{
+			Replica:  w.Replica,
+			Start:    toSim(w.Start),
+			Duration: toSim(w.Duration),
+		})
+	}
 	return fp
 }
 
@@ -121,6 +153,10 @@ type RobustnessReport struct {
 	LinkDowns    uint64
 	LinkUps      uint64
 
+	// Bounded-buffer drops (hard caps on retransmit/reorder state).
+	QueueFullDrops uint64 // sends refused at the outstanding-queue cap
+	ReorderDrops   uint64 // arrivals refused at the reorder-buffer cap
+
 	// Fault harness (what the plan actually injected).
 	FaultDrops uint64 // mailbox messages consumed by loss/burst/partition
 	Duplicated uint64
@@ -128,9 +164,10 @@ type RobustnessReport struct {
 	Spiked     uint64
 
 	// Liveness plane.
-	Heartbeats    uint64
-	LeaseExpiries uint64
-	Rejoins       uint64
+	Heartbeats     uint64
+	LeaseExpiries  uint64
+	Rejoins        uint64
+	FlapSuppressed uint64 // rejoins absorbed by the watchdog's hysteresis
 
 	// Routing drops by reason.
 	UnknownTarget uint64
@@ -162,14 +199,18 @@ func robustnessReport(r platform.Robustness) RobustnessReport {
 		LinkDowns:    r.Uplink.Downs + r.Downlink.Downs,
 		LinkUps:      r.Uplink.Ups + r.Downlink.Ups,
 
+		QueueFullDrops: r.Uplink.QueueFullDrops + r.Downlink.QueueFullDrops,
+		ReorderDrops:   r.Uplink.ReorderDrops + r.Downlink.ReorderDrops,
+
 		FaultDrops: r.MailboxDropped,
 		Duplicated: r.Faults.Duplicated,
 		Reordered:  r.Faults.Reordered,
 		Spiked:     r.Faults.Spiked,
 
-		Heartbeats:    r.Heartbeats,
-		LeaseExpiries: r.LeaseExpiries,
-		Rejoins:       r.Rejoins,
+		Heartbeats:     r.Heartbeats,
+		LeaseExpiries:  r.LeaseExpiries,
+		Rejoins:        r.Rejoins,
+		FlapSuppressed: r.FlapSuppressed,
 
 		UnknownTarget: r.UnknownTarget,
 		UnknownEntity: r.UnknownEntity,

@@ -90,6 +90,23 @@ func (x *X86Actuator) RevertToBaseline() {
 // Reverts returns how many times RevertToBaseline ran.
 func (x *X86Actuator) Reverts() uint64 { return x.reverts }
 
+// Baselines returns the recorded safe-harbor weights sorted by entity ID —
+// the checkpoint provider for controller failover (a promoted controller
+// must know the same baselines so a later degradation still reverts
+// correctly).
+func (x *X86Actuator) Baselines() []BaselineSnapshot {
+	ids := make([]int, 0, len(x.baselines))
+	for e := range x.baselines {
+		ids = append(ids, e)
+	}
+	sort.Ints(ids)
+	out := make([]BaselineSnapshot, 0, len(ids))
+	for _, e := range ids {
+		out = append(out, BaselineSnapshot{Entity: e, Weight: x.baselines[e]})
+	}
+	return out
+}
+
 // EnableLoadTracking switches the actuator to the load-tracking
 // translation: every period, each entity's accumulated boost mass decays
 // with time constant tau, and its weight is recomputed as MinWeight + mass.

@@ -95,6 +95,13 @@ type Agent struct {
 	fsim        *sim.Simulator    // timestamp source for flight events
 	routeLabels map[string]string // interned "name>target" flight labels
 
+	// actEpoch counts actuation messages (Tune/Trigger/Shed) the agent
+	// accepted for its actuator — the island's authoritative progress mark
+	// for failover's anti-entropy reconciliation. Messages dropped in a
+	// crash window do not advance it, which is exactly how a recovered
+	// controller detects decisions the island never saw.
+	actEpoch uint64
+
 	// Robustness state.
 	crashed   bool // island crash window: nothing in, nothing out
 	degraded  bool // uplink believed dead: policies silenced
@@ -272,6 +279,11 @@ func (a *Agent) SetCrashed(crashed bool) { a.crashed = crashed }
 // Crashed reports whether the agent is inside a crash window.
 func (a *Agent) Crashed() bool { return a.crashed }
 
+// ActuationEpoch returns how many actuation messages (Tune/Trigger/Shed)
+// the agent has accepted for its actuator — the island's authoritative
+// side of failover's anti-entropy epoch comparison.
+func (a *Agent) ActuationEpoch() uint64 { return a.actEpoch }
+
 // SendTune emits a Tune request: adjust entity's resources in the target
 // island by delta (positive = increase). Returns false if rate-limited.
 func (a *Agent) SendTune(target string, entity, delta int) bool {
@@ -370,6 +382,11 @@ func (a *Agent) Deliver(msg Message) {
 		})
 	}
 	var err error
+	switch msg.Kind {
+	case KindTune, KindTrigger, KindShed:
+		a.actEpoch++
+	case KindRegister, KindAck, KindHeartbeat:
+	}
 	switch msg.Kind {
 	case KindTune:
 		err = a.actuator.ApplyTune(msg.Entity, msg.Delta)

@@ -84,10 +84,16 @@ func (s LeaseState) String() string {
 	}
 }
 
-// lease tracks one island's heartbeat liveness.
+// lease tracks one island's heartbeat liveness. flapped marks a probationary
+// rejoin: the island came back inside the hysteresis window after dying, so
+// the rejoin is not counted until it survives alive for the full window (and
+// a re-death inside probation does not count a second expiry).
 type lease struct {
 	lastHeard sim.Time
 	state     LeaseState
+	deadAt    sim.Time // when the lease last expired
+	rejoinAt  sim.Time // when the probationary rejoin happened
+	flapped   bool     // rejoin is on probation (hysteresis not yet served)
 }
 
 // WatchdogConfig parameterizes the controller's heartbeat watchdog.
@@ -102,6 +108,15 @@ type WatchdogConfig struct {
 	// (default 8x CheckPeriod): its entities are quarantined until it
 	// rejoins.
 	DeadAfter sim.Time
+	// RejoinHysteresis is the minimum time an island must have been dead
+	// before its next heartbeat counts as a rejoin (default 1x
+	// CheckPeriod). A faster comeback is a flap: the island still returns
+	// to Alive (and OnRejoin still fires so revert timers are cancelled)
+	// but the Rejoins counter waits until the island stays alive for the
+	// hysteresis window, and a re-death inside that probation does not
+	// count another LeaseExpiry — rapid flap cycles register one expiry,
+	// at most one rejoin, and a FlapSuppressed count.
+	RejoinHysteresis sim.Time
 
 	// OnSuspect/OnDead/OnRejoin are optional transition hooks.
 	OnSuspect func(island string)
@@ -118,6 +133,9 @@ func (c *WatchdogConfig) applyDefaults() {
 	}
 	if c.DeadAfter == 0 {
 		c.DeadAfter = 8 * c.CheckPeriod
+	}
+	if c.RejoinHysteresis == 0 {
+		c.RejoinHysteresis = c.CheckPeriod
 	}
 }
 
@@ -162,13 +180,20 @@ type Controller struct {
 	routeLabels map[string]string // interned "controller>target" flight labels
 
 	// Heartbeat/lease watchdog state (EnableWatchdog).
-	wsim          *sim.Simulator
-	wcfg          WatchdogConfig
-	leases        map[string]*lease
-	heartbeats    uint64
-	strayAcks     uint64
-	leaseExpiries uint64
-	rejoins       uint64
+	wsim           *sim.Simulator
+	wcfg           WatchdogConfig
+	leases         map[string]*lease
+	heartbeats     uint64
+	strayAcks      uint64
+	leaseExpiries  uint64
+	rejoins        uint64
+	flapSuppressed uint64
+
+	// epochs counts actuation messages (Tune/Trigger/Shed) successfully
+	// routed to each island — the controller's view of how far each
+	// agent's actuation state has advanced. Failover's anti-entropy
+	// reconciliation compares it against Agent.ActuationEpoch.
+	epochs map[string]uint64
 }
 
 // NewController returns an empty controller.
@@ -177,6 +202,7 @@ func NewController() *Controller {
 		islands:  make(map[string]IslandHandle),
 		entities: make(map[int]Entity),
 		leases:   make(map[string]*lease),
+		epochs:   make(map[string]uint64),
 	}
 }
 
@@ -295,6 +321,13 @@ func (c *Controller) watchdogSweep() {
 		silence := now - l.lastHeard
 		switch l.state {
 		case LeaseAlive:
+			if l.flapped && now-l.rejoinAt >= c.wcfg.RejoinHysteresis {
+				// The probationary rejoin survived the hysteresis
+				// window: it was genuine after all.
+				l.flapped = false
+				c.rejoins++
+				c.recordLease(flight.LeaseRejoin, name, -1)
+			}
 			if silence > c.wcfg.SuspectAfter {
 				l.state = LeaseSuspect
 				c.recordLease(flight.LeaseSuspect, name, -1)
@@ -305,7 +338,15 @@ func (c *Controller) watchdogSweep() {
 		case LeaseSuspect:
 			if silence > c.wcfg.DeadAfter {
 				l.state = LeaseDead
-				c.leaseExpiries++
+				l.deadAt = now
+				if l.flapped {
+					// Re-death inside the rejoin probation: the earlier
+					// expiry already counted; this is the same outage
+					// continuing, not a new one.
+					l.flapped = false
+				} else {
+					c.leaseExpiries++
+				}
 				c.recordLease(flight.LeaseDead, name, -1)
 				if c.wcfg.OnDead != nil {
 					c.wcfg.OnDead(name)
@@ -316,8 +357,16 @@ func (c *Controller) watchdogSweep() {
 		}
 	}
 	for _, name := range c.Islands() {
-		if h := c.islands[name]; h.Downlink != nil {
-			h.Downlink.Send(Message{Kind: KindHeartbeat, Target: name})
+		h := c.islands[name]
+		ping := Message{Kind: KindHeartbeat, Target: name}
+		switch {
+		case h.Downlink != nil:
+			h.Downlink.Send(ping)
+		case h.Local != nil:
+			// Co-located islands get the same liveness evidence: their
+			// agents run the uplink-health monitor too, and a controller
+			// that dies (failover) must look dead to every island.
+			h.Local(ping)
 		}
 	}
 }
@@ -337,8 +386,19 @@ func (c *Controller) observeHeartbeat(island string) {
 		return
 	}
 	if l.state == LeaseDead {
-		c.rejoins++
-		c.recordLease(flight.LeaseRejoin, island, -1)
+		now := c.wsim.Now()
+		if now-l.deadAt < c.wcfg.RejoinHysteresis {
+			// Flap: the island came back before serving the minimum dead
+			// time. It rejoins functionally (state, hooks) but the rejoin
+			// stays on probation until it survives the hysteresis window.
+			c.flapSuppressed++
+			l.flapped = true
+			l.rejoinAt = now
+			c.recordLease(flight.LeaseFlap, island, -1)
+		} else {
+			c.rejoins++
+			c.recordLease(flight.LeaseRejoin, island, -1)
+		}
 		if c.wcfg.OnRejoin != nil {
 			c.wcfg.OnRejoin(island)
 		}
@@ -400,6 +460,14 @@ func (c *Controller) Route(msg Message) {
 		return
 	}
 	c.routed++
+	switch msg.Kind {
+	case KindTune, KindTrigger, KindShed:
+		// Actuation epoch: the controller's view of how far the target
+		// agent's actuation state has advanced. Failover reconciliation
+		// compares it against the agent's own count.
+		c.epochs[msg.Target]++
+	case KindRegister, KindAck, KindHeartbeat:
+	}
 	if h.Local != nil {
 		h.Local(msg)
 	} else {
@@ -502,3 +570,18 @@ func (c *Controller) LeaseExpiries() uint64 { return c.leaseExpiries }
 
 // Rejoins returns dead islands that re-registered via a fresh heartbeat.
 func (c *Controller) Rejoins() uint64 { return c.rejoins }
+
+// FlapSuppressed returns rejoins suppressed by the hysteresis window: the
+// island came back before serving the minimum dead time, so the comeback
+// was held on probation instead of counting immediately.
+func (c *Controller) FlapSuppressed() uint64 { return c.flapSuppressed }
+
+// RoutedEpoch returns the controller's actuation epoch for the island: how
+// many Tune/Trigger/Shed messages it has successfully routed there.
+func (c *Controller) RoutedEpoch(island string) uint64 { return c.epochs[island] }
+
+// setRoutedEpoch overwrites the island's actuation epoch — the anti-entropy
+// adoption step, where the agent's authoritative local count wins.
+func (c *Controller) setRoutedEpoch(island string, epoch uint64) {
+	c.epochs[island] = epoch
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flight"
+	"repro/internal/sim"
+)
+
+// ReplicaPhase is a controller replica's role in the group.
+type ReplicaPhase int
+
+// Replica phases.
+const (
+	// PhaseDown: the replica crashed; volatile state (checkpoint copy,
+	// live tap view) is lost until it restarts from the durable store.
+	PhaseDown ReplicaPhase = iota
+	// PhaseStandby: the replica is fed checkpoints and the live
+	// Tune/Trigger tap, and promotes itself when the primary's beacon
+	// goes silent past the election bound.
+	PhaseStandby
+	// PhasePrimary: the replica owns routing, the watchdog, and the
+	// checkpoint cadence.
+	PhasePrimary
+)
+
+// String names the phase.
+func (p ReplicaPhase) String() string {
+	switch p {
+	case PhaseDown:
+		return "down"
+	case PhaseStandby:
+		return "standby"
+	case PhasePrimary:
+		return "primary"
+	default:
+		return fmt.Sprintf("ReplicaPhase(%d)", int(p))
+	}
+}
+
+// FailoverConfig parameterizes controller replication. Zero fields take the
+// defaults noted below.
+type FailoverConfig struct {
+	// Replicas is the total controller count including the primary
+	// (default 1: no standbys — the group still checkpoints, so a crashed
+	// solo controller can restart from its last checkpoint).
+	Replicas int
+	// CheckpointInterval is the snapshot cadence (default 1s). Each
+	// checkpoint is encoded, CRC-framed, stored durably, and distributed
+	// to every connected standby.
+	CheckpointInterval sim.Time
+	// HeartbeatInterval is the replica beacon / election tick (default
+	// 250ms).
+	HeartbeatInterval sim.Time
+	// ElectionBeats is how many silent beacon intervals a standby waits
+	// before promoting itself (default 3). Promotion is therefore bounded
+	// by (ElectionBeats+1) heartbeat intervals after primary death, and
+	// the election is fully deterministic: among standbys whose timer has
+	// expired, the lowest-id live, connected one wins.
+	ElectionBeats int
+}
+
+func (c *FailoverConfig) applyDefaults() {
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = sim.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 250 * sim.Millisecond
+	}
+	if c.ElectionBeats == 0 {
+		c.ElectionBeats = 3
+	}
+}
+
+// FailoverStats counts the controller group's availability events.
+type FailoverStats struct {
+	Checkpoints     uint64 // snapshots written by primaries
+	CheckpointBytes uint64 // total encoded checkpoint bytes
+
+	Promotions uint64 // standby -> primary elections
+	Demotions  uint64 // superseded primaries demoted on partition heal
+	Crashes    uint64 // replica crash windows entered
+	Restarts   uint64 // crashed replicas restarted from the durable store
+	Partitions uint64 // replica isolation windows entered
+	Heals      uint64 // replica isolation windows closed
+
+	Reconciliations uint64 // anti-entropy island epoch comparisons
+	EpochAdoptions  uint64 // islands whose agent was ahead of the recovered view
+	StaleDropped    uint64 // in-flight decisions discarded as stale (view ahead of agent)
+	EndpointResyncs uint64 // endpoint sequence cursors that moved past the checkpoint
+	EndpointFlushes uint64 // outstanding at-most-once sends flushed at promotion
+
+	NoPrimaryDrops uint64 // coordination messages dropped with no live primary
+
+	Term    uint64 // current election term
+	Primary int    // current primary replica ID (-1 while none)
+}
+
+// ReplicaProviders are the platform hooks a checkpoint draws island-side
+// state from (and pushes it back through on promotion). Any may be nil.
+type ReplicaProviders struct {
+	// Baselines captures the actuation baselines (X86Actuator.Baselines).
+	Baselines func() []BaselineSnapshot
+	// RestoreBaselines pushes checkpointed baselines back into the
+	// actuator after a promotion.
+	RestoreBaselines func([]BaselineSnapshot)
+	// Endpoints captures the reliable endpoints' sequence cursors, sorted
+	// by name.
+	Endpoints func() []EndpointSeqState
+	// FlushStale cancels the dead primary's outstanding at-most-once
+	// sends, returning how many were flushed.
+	FlushStale func() int
+}
+
+// replica is one controller slot in the group.
+type replica struct {
+	id         int
+	phase      ReplicaPhase
+	isolated   bool     // partitioned from agents, peers, and the store
+	lastBeacon sim.Time // last primary beacon this replica observed
+	term       uint64   // group term when this replica last acted as primary
+	ckpt       *Checkpoint
+	epochs     map[string]uint64 // checkpoint epochs + live Tune/Trigger tap
+}
+
+// ControllerGroup replicates the Controller: one primary owns routing, the
+// watchdog, and the checkpoint cadence; standbys hold the latest checkpoint
+// plus a live actuation tap and elect a replacement — deterministically,
+// with no wall clock and no randomness — within a bounded number of
+// heartbeat intervals of primary death. On promotion or partition heal the
+// new primary runs anti-entropy reconciliation against each agent's
+// authoritative actuation epoch so it never replays stale decisions.
+//
+// The group is only built when replication or controller fault windows are
+// configured; a plain run keeps the single-controller wiring untouched.
+type ControllerGroup struct {
+	sim  *sim.Simulator
+	cfg  FailoverConfig
+	ctrl *Controller // current primary's controller
+
+	//lint:decision
+	primary int // agreed primary replica ID, -1 while none
+	//lint:decision
+	term uint64 // election term, bumped at every promotion
+
+	replicas []*replica
+
+	// Replicated wiring registry: a promoted controller re-registers the
+	// same islands and entities the original did.
+	islands  []IslandHandle
+	entities []Entity
+
+	// Durable checkpoint store: the latest encoded checkpoint survives
+	// crashes (replicas additionally hold decoded copies in memory).
+	store     []byte
+	storeCkpt *Checkpoint
+	ckptSeq   uint64
+	encBuf    []byte // reused encode scratch
+
+	wdogOn   bool
+	wdogCfg  WatchdogConfig
+	stopWdog func()
+	stopCkpt func()
+
+	ocCfg *OverloadControlConfig
+	frec  *flight.Recorder
+
+	reconcilers map[string]func() uint64
+	providers   ReplicaProviders
+	onPromote   func(*Controller)
+
+	stats FailoverStats
+}
+
+// NewControllerGroup builds a replica group around an existing controller,
+// which becomes replica 0's primary. Call the Register/Enable wiring
+// methods instead of the controller's own, then Start.
+func NewControllerGroup(s *sim.Simulator, ctrl *Controller, cfg FailoverConfig) *ControllerGroup {
+	if s == nil || ctrl == nil {
+		panic("core: controller group needs a simulator and a controller")
+	}
+	cfg.applyDefaults()
+	if cfg.Replicas < 1 {
+		panic(fmt.Sprintf("core: controller group with %d replicas", cfg.Replicas))
+	}
+	g := &ControllerGroup{
+		sim:         s,
+		cfg:         cfg,
+		ctrl:        ctrl,
+		reconcilers: make(map[string]func() uint64),
+	}
+	now := s.Now()
+	for i := 0; i < cfg.Replicas; i++ {
+		r := &replica{id: i, phase: PhaseStandby, lastBeacon: now}
+		if i == 0 {
+			r.phase = PhasePrimary
+		} else {
+			r.epochs = make(map[string]uint64)
+		}
+		g.replicas = append(g.replicas, r)
+	}
+	return g
+}
+
+// SetFlightRecorder taps every checkpoint, crash, election, and
+// reconciliation decision into the flight recorder (nil disables).
+func (g *ControllerGroup) SetFlightRecorder(r *flight.Recorder) { g.frec = r }
+
+// OnPromote installs fn, called with the new primary's controller after
+// every promotion (the platform repoints Platform.Controller here).
+func (g *ControllerGroup) OnPromote(fn func(*Controller)) { g.onPromote = fn }
+
+// SetReconciler installs the island's authoritative actuation-epoch source
+// (Agent.ActuationEpoch) for anti-entropy reconciliation.
+func (g *ControllerGroup) SetReconciler(island string, fn func() uint64) {
+	g.reconcilers[island] = fn
+}
+
+// SetProviders installs the platform hooks checkpoints draw island-side
+// state from.
+func (g *ControllerGroup) SetProviders(p ReplicaProviders) { g.providers = p }
+
+// RegisterIsland records the island in the replicated wiring registry and
+// registers it with the current controller.
+func (g *ControllerGroup) RegisterIsland(h IslandHandle) error {
+	if err := g.ctrl.RegisterIsland(h); err != nil {
+		return err
+	}
+	g.islands = append(g.islands, h)
+	return nil
+}
+
+// RegisterEntity records the entity in the replicated wiring registry and
+// registers it with the current controller.
+func (g *ControllerGroup) RegisterEntity(e Entity) error {
+	if err := g.ctrl.RegisterEntity(e); err != nil {
+		return err
+	}
+	g.entities = append(g.entities, e)
+	return nil
+}
+
+// EnableWatchdog stores the watchdog configuration (so promotions restart
+// it on the new primary) and starts it on the current one.
+func (g *ControllerGroup) EnableWatchdog(cfg WatchdogConfig) {
+	g.wdogOn = true
+	g.wdogCfg = cfg
+	g.stopWdog = g.ctrl.EnableWatchdog(g.sim, cfg)
+}
+
+// EnableOverloadControl stores the overload translation configuration and
+// arms it on the current controller (and every future primary).
+func (g *ControllerGroup) EnableOverloadControl(cfg OverloadControlConfig) {
+	g.ocCfg = &cfg
+	g.ctrl.EnableOverloadControl(cfg)
+}
+
+// Start arms the group: the election/beacon tick and the primary's
+// checkpoint cadence, plus an immediate first checkpoint so the durable
+// store is never empty once the run is underway.
+func (g *ControllerGroup) Start() {
+	g.sim.Ticker(g.cfg.HeartbeatInterval, g.tick)
+	g.startCheckpoints()
+	g.CheckpointNow()
+}
+
+// startCheckpoints arms the checkpoint ticker for the current primary.
+func (g *ControllerGroup) startCheckpoints() {
+	if g.stopCkpt != nil {
+		return
+	}
+	g.stopCkpt = g.sim.Ticker(g.cfg.CheckpointInterval, func() { g.CheckpointNow() })
+}
+
+// primaryLive reports whether the agreed primary is up and connected.
+func (g *ControllerGroup) primaryLive() bool {
+	if g.primary < 0 {
+		return false
+	}
+	r := g.replicas[g.primary]
+	return r.phase == PhasePrimary && !r.isolated
+}
+
+// tick is the beacon/election sweep. While the primary is live it refreshes
+// every connected standby's beacon; otherwise the lowest-id connected
+// standby whose beacon silence exceeds ElectionBeats intervals promotes
+// itself. Both branches are pure functions of replica state and sim-time —
+// no randomness, so elections replay byte-identically.
+func (g *ControllerGroup) tick() {
+	now := g.sim.Now()
+	if g.primaryLive() {
+		for _, r := range g.replicas {
+			if r.phase == PhaseStandby && !r.isolated {
+				r.lastBeacon = now
+			}
+		}
+		return
+	}
+	bound := sim.Time(g.cfg.ElectionBeats) * g.cfg.HeartbeatInterval
+	for _, r := range g.replicas {
+		if r.phase != PhaseStandby || r.isolated {
+			continue
+		}
+		if now-r.lastBeacon > bound {
+			g.promote(r)
+			return
+		}
+	}
+}
+
+// record taps one failover event into the flight recorder.
+func (g *ControllerGroup) record(code uint8, label string, replicaID int, arg int64) {
+	if g.frec != nil {
+		g.frec.Record(flight.Event{
+			T: g.sim.Now(), Cat: flight.CatFailover, Code: code,
+			Label: label, Entity: int32(replicaID), Arg: arg,
+		})
+	}
+}
+
+// CheckpointNow snapshots the primary's coordination state, encodes it,
+// verifies the encoding round-trips, stores it durably, and distributes the
+// decoded copy to every connected standby. It returns the encoded size (0
+// when no live primary exists to checkpoint).
+func (g *ControllerGroup) CheckpointNow() int {
+	if !g.primaryLive() {
+		return 0
+	}
+	ck := g.ctrl.Snapshot()
+	g.ckptSeq++
+	ck.Seq = g.ckptSeq
+	ck.Term = g.term
+	ck.T = g.sim.Now()
+	if g.providers.Baselines != nil {
+		ck.Baselines = g.providers.Baselines()
+	}
+	if g.providers.Endpoints != nil {
+		ck.Endpoints = g.providers.Endpoints()
+	}
+	g.encBuf = AppendCheckpoint(g.encBuf[:0], ck)
+	dec, err := DecodeCheckpoint(g.encBuf)
+	if err != nil {
+		// The encoder and decoder disagree: a format bug, not a runtime
+		// condition — fail loudly rather than replicate garbage.
+		panic(fmt.Sprintf("core: checkpoint round-trip failed: %v", err))
+	}
+	g.store = append(g.store[:0], g.encBuf...)
+	g.storeCkpt = dec
+	for _, r := range g.replicas {
+		if r.phase != PhaseStandby || r.isolated {
+			continue
+		}
+		r.ckpt = dec
+		g.resetEpochView(r, dec)
+	}
+	g.stats.Checkpoints++
+	g.stats.CheckpointBytes += uint64(len(g.encBuf))
+	g.record(flight.FailCheckpoint, "", g.primary, int64(len(g.encBuf)))
+	return len(g.encBuf)
+}
+
+// resetEpochView rebases a replica's live tap view onto a checkpoint.
+func (g *ControllerGroup) resetEpochView(r *replica, ck *Checkpoint) {
+	if r.epochs == nil {
+		r.epochs = make(map[string]uint64)
+	}
+	clear(r.epochs)
+	for _, e := range ck.Epochs {
+		r.epochs[e.Island] = e.Epoch
+	}
+}
+
+// Route forwards a coordination message to the live primary. With no live
+// primary the message is dropped and counted — exactly the outage the
+// election bound limits.
+func (g *ControllerGroup) Route(msg Message) {
+	if !g.primaryLive() {
+		g.stats.NoPrimaryDrops++
+		g.record(flight.FailNoPrimary, "", -1, int64(msg.Kind))
+		return
+	}
+	switch msg.Kind {
+	case KindTune, KindTrigger, KindShed:
+		// Live tap: connected standbys advance their actuation view of the
+		// target island so a promotion sees decisions made since the last
+		// checkpoint. The tap counts offered messages (the primary may
+		// still drop one as unroutable), so the view can only run ahead of
+		// the agent — which anti-entropy resolves as a stale drop, never a
+		// replay.
+		for _, r := range g.replicas {
+			if r.phase == PhaseStandby && !r.isolated {
+				r.epochs[msg.Target]++
+			}
+		}
+	case KindRegister, KindAck, KindHeartbeat:
+	}
+	g.ctrl.Route(msg)
+}
+
+// stopPrimaryDuties cancels the acting primary's watchdog and checkpoint
+// tickers (crash or isolation).
+func (g *ControllerGroup) stopPrimaryDuties() {
+	if g.stopWdog != nil {
+		g.stopWdog()
+		g.stopWdog = nil
+	}
+	if g.stopCkpt != nil {
+		g.stopCkpt()
+		g.stopCkpt = nil
+	}
+}
+
+// resumePrimaryDuties restarts the watchdog and checkpoint tickers on the
+// current controller.
+func (g *ControllerGroup) resumePrimaryDuties() {
+	if g.wdogOn && g.stopWdog == nil {
+		g.stopWdog = g.ctrl.EnableWatchdog(g.sim, g.wdogCfg)
+	}
+	g.startCheckpoints()
+}
+
+// promote elects r as the new primary: a fresh controller is rebuilt from
+// the replicated wiring registry, restored from r's checkpoint, advanced by
+// r's live tap view, and reconciled against every agent's authoritative
+// actuation epoch before it routes anything.
+func (g *ControllerGroup) promote(r *replica) {
+	now := g.sim.Now()
+	g.term++
+	r.term = g.term
+	g.primary = r.id
+	r.phase = PhasePrimary
+	g.stats.Promotions++
+	g.record(flight.FailPromote, "", r.id, int64(g.term))
+
+	c := NewController()
+	c.SetFlightRecorder(g.sim, g.frec)
+	for _, h := range g.islands {
+		if err := c.RegisterIsland(h); err != nil {
+			panic(fmt.Sprintf("core: promoted controller re-registering island %q: %v", h.Name, err))
+		}
+	}
+	for _, e := range g.entities {
+		if err := c.RegisterEntity(e); err != nil {
+			panic(fmt.Sprintf("core: promoted controller re-registering entity %d: %v", e.ID, err))
+		}
+	}
+	if g.ocCfg != nil {
+		c.EnableOverloadControl(*g.ocCfg)
+	}
+	ck := r.ckpt
+	if ck != nil {
+		c.RestoreSnapshot(ck, now)
+		if g.providers.RestoreBaselines != nil {
+			g.providers.RestoreBaselines(ck.Baselines)
+		}
+	}
+	// The live tap view is at least as fresh as the checkpoint it was
+	// rebased on; adopt whatever ran ahead.
+	islands := make([]string, 0, len(r.epochs))
+	for n := range r.epochs {
+		islands = append(islands, n)
+	}
+	sort.Strings(islands)
+	for _, n := range islands {
+		if r.epochs[n] > c.RoutedEpoch(n) {
+			c.setRoutedEpoch(n, r.epochs[n])
+		}
+	}
+	g.ctrl = c
+	if g.onPromote != nil {
+		g.onPromote(c)
+	}
+	g.resumePrimaryDuties()
+	g.reconcile(ck)
+	r.ckpt, r.epochs = nil, nil
+}
+
+// reconcile is the anti-entropy pass a recovering primary runs before
+// trusting its restored view: every island's authoritative actuation epoch
+// (what its agent actually applied) is compared against the controller's
+// view. A view ahead of the agent means in-flight decisions died with the
+// old primary — they are dropped and counted, never replayed; an agent
+// ahead of the view means the island applied decisions the checkpoint never
+// saw — the agent's count is adopted. Endpoint sequence cursors are checked
+// against the checkpoint the same way, and the dead primary's outstanding
+// at-most-once sends are flushed.
+func (g *ControllerGroup) reconcile(ck *Checkpoint) {
+	names := make([]string, 0, len(g.reconcilers))
+	for n := range g.reconcilers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, island := range names {
+		agentEpoch := g.reconcilers[island]()
+		view := g.ctrl.RoutedEpoch(island)
+		delta := int64(view) - int64(agentEpoch)
+		g.stats.Reconciliations++
+		g.record(flight.FailReconcile, island, g.primary, delta)
+		if delta > 0 {
+			g.stats.StaleDropped += uint64(delta)
+			g.record(flight.FailStaleDrop, island, g.primary, delta)
+		} else if delta < 0 {
+			g.stats.EpochAdoptions++
+		}
+		g.ctrl.setRoutedEpoch(island, agentEpoch)
+	}
+	if g.providers.Endpoints != nil && ck != nil {
+		ckEndpoints := make(map[string]EndpointSeqState, len(ck.Endpoints))
+		for _, ep := range ck.Endpoints {
+			ckEndpoints[ep.Name] = ep
+		}
+		for _, live := range g.providers.Endpoints() {
+			rec, ok := ckEndpoints[live.Name]
+			if ok && (live.NextSeq != rec.NextSeq || live.Expected != rec.Expected) {
+				g.stats.EndpointResyncs++
+				g.record(flight.FailReconcile, live.Name, g.primary, int64(live.NextSeq)-int64(rec.NextSeq))
+			}
+		}
+	}
+	if g.providers.FlushStale != nil {
+		if n := g.providers.FlushStale(); n > 0 {
+			g.stats.EndpointFlushes += uint64(n)
+			g.record(flight.FailStaleDrop, "endpoint", g.primary, int64(n))
+		}
+	}
+}
+
+// CrashReplica crashes a replica: its volatile state (checkpoint copy,
+// live tap view) is lost; if it was the acting primary, routing stops until
+// a standby's election timer expires.
+func (g *ControllerGroup) CrashReplica(id int) {
+	r := g.mustReplica(id)
+	if r.phase == PhaseDown {
+		return
+	}
+	r.phase = PhaseDown
+	r.ckpt, r.epochs = nil, nil
+	g.stats.Crashes++
+	g.record(flight.FailCrash, "", id, 0)
+	if g.primary == id {
+		g.primary = -1
+		g.stopPrimaryDuties()
+	}
+}
+
+// RestoreReplica restarts a crashed replica as a standby, recovering its
+// checkpoint from the durable store. Its election timer starts fresh, so a
+// lone restarted replica promotes itself one election bound later.
+func (g *ControllerGroup) RestoreReplica(id int) {
+	r := g.mustReplica(id)
+	if r.phase != PhaseDown {
+		return
+	}
+	r.phase = PhaseStandby
+	r.lastBeacon = g.sim.Now()
+	r.ckpt = g.storeCkpt
+	if g.storeCkpt != nil {
+		g.resetEpochView(r, g.storeCkpt)
+	} else {
+		r.epochs = make(map[string]uint64)
+	}
+	g.stats.Restarts++
+	g.record(flight.FailRestart, "", id, int64(g.ckptSeq))
+}
+
+// IsolateReplica partitions a replica from the agents, its peers, and the
+// durable store: an isolated primary can no longer route (and loses its
+// beacons, so a standby will supersede it); an isolated standby stops
+// receiving checkpoints and cannot win elections.
+func (g *ControllerGroup) IsolateReplica(id int) {
+	r := g.mustReplica(id)
+	if r.isolated {
+		return
+	}
+	r.isolated = true
+	g.stats.Partitions++
+	g.record(flight.FailIsolate, "", id, 0)
+	if g.primary == id && r.phase == PhasePrimary {
+		// The primary keeps believing it is primary (split brain, modeled)
+		// but its duties stop: nothing it decides can reach an agent.
+		g.stopPrimaryDuties()
+	}
+}
+
+// HealReplica ends a replica's partition. A superseded primary — one whose
+// term is now stale — demotes itself and resyncs from the durable store
+// instead of replaying its divergent state; a primary that healed before
+// any standby promoted resumes duties and reconciles against the agents
+// (its view diverged for the partition's duration).
+func (g *ControllerGroup) HealReplica(id int) {
+	r := g.mustReplica(id)
+	if !r.isolated {
+		return
+	}
+	r.isolated = false
+	g.stats.Heals++
+	g.record(flight.FailHeal, "", id, 0)
+	now := g.sim.Now()
+	switch {
+	case r.phase == PhasePrimary && g.primary != id:
+		// Superseded while partitioned: a newer term exists.
+		r.phase = PhaseStandby
+		r.lastBeacon = now
+		r.ckpt = g.storeCkpt
+		if g.storeCkpt != nil {
+			g.resetEpochView(r, g.storeCkpt)
+		} else {
+			r.epochs = make(map[string]uint64)
+		}
+		g.stats.Demotions++
+		g.record(flight.FailDemote, "", id, int64(g.term))
+	case r.phase == PhasePrimary:
+		g.resumePrimaryDuties()
+		g.reconcile(r.ckpt)
+	case r.phase == PhaseStandby:
+		r.lastBeacon = now
+		r.ckpt = g.storeCkpt
+		if g.storeCkpt != nil {
+			g.resetEpochView(r, g.storeCkpt)
+		}
+	}
+}
+
+// mustReplica bounds-checks a replica ID from a fault plan.
+func (g *ControllerGroup) mustReplica(id int) *replica {
+	if id < 0 || id >= len(g.replicas) {
+		panic(fmt.Sprintf("core: controller group has no replica %d (have %d)", id, len(g.replicas)))
+	}
+	return g.replicas[id]
+}
+
+// Primary returns the current primary's controller. During an outage it
+// returns the most recent primary's controller (which no longer routes).
+func (g *ControllerGroup) Primary() *Controller { return g.ctrl }
+
+// PrimaryID returns the agreed primary replica ID, -1 while none.
+func (g *ControllerGroup) PrimaryID() int { return g.primary }
+
+// Term returns the current election term.
+func (g *ControllerGroup) Term() uint64 { return g.term }
+
+// Replicas returns the configured replica count.
+func (g *ControllerGroup) Replicas() int { return len(g.replicas) }
+
+// Phase returns the replica's current phase.
+func (g *ControllerGroup) Phase(id int) ReplicaPhase { return g.mustReplica(id).phase }
+
+// Stats snapshots the group's counters.
+func (g *ControllerGroup) Stats() FailoverStats {
+	s := g.stats
+	s.Term = g.term
+	s.Primary = g.primary
+	return s
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testCheckpoint builds a representative checkpoint with every section
+// populated.
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Seq: 7, Term: 3, T: 12 * sim.Second,
+		Islands: []string{"ixp", "x86"},
+		Entities: []Entity{
+			{ID: 1, Name: "web", Home: "x86"},
+			{ID: 2, Name: "db", Home: "x86"},
+		},
+		Leases: []LeaseSnapshot{
+			{Island: "ixp", State: LeaseDead, LastHeard: 9 * sim.Second, DeadAt: 11 * sim.Second},
+			{Island: "x86", State: LeaseAlive, LastHeard: 12 * sim.Second},
+		},
+		Epochs: []EpochSnapshot{{Island: "ixp", Epoch: 41}, {Island: "x86", Epoch: 17}},
+		Counters: CtrlCounters{
+			Routed: 99, ShedTunes: 4, BoostTunes: 5, Heartbeats: 200,
+			StrayAcks: 1, LeaseExpiries: 2, Rejoins: 1, FlapSuppressed: 3,
+			Unroutable: [unrouteReasonCount]uint64{1, 2, 3},
+		},
+		Baselines: []BaselineSnapshot{{Entity: 1, Weight: 256}, {Entity: 2, Weight: 512}},
+		Endpoints: []EndpointSeqState{
+			{Name: "host-downlink", NextSeq: 120, Floor: 118, Expected: 90},
+			{Name: "ixp-uplink", NextSeq: 90, Floor: 90, Expected: 120},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := testCheckpoint()
+	enc := AppendCheckpoint(nil, ck)
+	dec, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(ck, dec) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", dec, ck)
+	}
+	// Same state must always encode to the same bytes.
+	if again := AppendCheckpoint(nil, ck); string(again) != string(enc) {
+		t.Fatal("checkpoint encoding is not deterministic")
+	}
+}
+
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	enc := AppendCheckpoint(nil, testCheckpoint())
+
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := DecodeCheckpoint([]byte("FLT1xxxxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 0xFF // version byte
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	for _, cut := range []int{len(enc) - 1, len(enc) / 2, 7} {
+		if _, err := DecodeCheckpoint(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Flip every body byte in turn: the CRC must catch each one.
+	for i := 10; i < len(enc); i++ {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		if _, err := DecodeCheckpoint(mut); err == nil {
+			t.Fatalf("corrupt byte %d accepted", i)
+		}
+	}
+	if _, err := DecodeCheckpoint(append(append([]byte(nil), enc...), 0)); err == nil ||
+		!strings.Contains(err.Error(), "body length") {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestSnapshotRestoreControllerState(t *testing.T) {
+	s := sim.New(1)
+	c := NewController()
+	var got []Message
+	if err := c.RegisterIsland(IslandHandle{Name: "x86", Local: func(m Message) { got = append(got, m) }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterEntity(Entity{ID: 1, Name: "web", Home: "x86"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Route(Message{Kind: KindTune, From: "ixp", Target: "x86", Entity: 1, Delta: 8})
+	}
+	c.Route(Message{Kind: KindTune, From: "ixp", Target: "nowhere"}) // unroutable
+
+	ck := c.Snapshot()
+	if ck.Counters.Routed != 5 || ck.Counters.Unroutable[UnrouteUnknownTarget] != 1 {
+		t.Fatalf("snapshot counters = %+v", ck.Counters)
+	}
+	if len(ck.Epochs) != 1 || ck.Epochs[0] != (EpochSnapshot{Island: "x86", Epoch: 5}) {
+		t.Fatalf("snapshot epochs = %+v", ck.Epochs)
+	}
+
+	fresh := NewController()
+	if err := fresh.RegisterIsland(IslandHandle{Name: "x86", Local: func(Message) {}}); err != nil {
+		t.Fatal(err)
+	}
+	fresh.RestoreSnapshot(ck, s.Now())
+	if fresh.Routed() != 5 || fresh.RoutedEpoch("x86") != 5 {
+		t.Fatalf("restored routed=%d epoch=%d", fresh.Routed(), fresh.RoutedEpoch("x86"))
+	}
+	if fresh.UnroutableFor(UnrouteUnknownTarget) != 1 {
+		t.Fatal("restored unroutable counters lost")
+	}
+}
+
+// failoverRig is a minimal two-island controller group for unit tests.
+type failoverRig struct {
+	s     *sim.Simulator
+	g     *ControllerGroup
+	x86   []Message // messages delivered to the x86 island (all controllers)
+	epoch uint64    // the fake agent's authoritative actuation epoch
+}
+
+func newFailoverRig(t *testing.T, cfg FailoverConfig) *failoverRig {
+	t.Helper()
+	r := &failoverRig{s: sim.New(1)}
+	ctrl := NewController()
+	r.g = NewControllerGroup(r.s, ctrl, cfg)
+	if err := r.g.RegisterIsland(IslandHandle{Name: "x86", Local: func(m Message) {
+		r.x86 = append(r.x86, m)
+		r.epoch++
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.g.RegisterEntity(Entity{ID: 1, Name: "web", Home: "x86"}); err != nil {
+		t.Fatal(err)
+	}
+	r.g.SetReconciler("x86", func() uint64 { return r.epoch })
+	r.g.Start()
+	return r
+}
+
+func (r *failoverRig) tune() {
+	r.g.Route(Message{Kind: KindTune, From: "ixp", Target: "x86", Entity: 1, Delta: 8})
+}
+
+func TestFailoverElectionBound(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 3}
+	cfg.applyDefaults()
+	r := newFailoverRig(t, cfg)
+
+	crashAt := 2 * sim.Second
+	r.s.At(crashAt, func() { r.g.CrashReplica(0) })
+	r.s.RunUntil(crashAt)
+	if r.g.PrimaryID() != -1 {
+		t.Fatalf("primary id after crash = %d", r.g.PrimaryID())
+	}
+
+	// The issue's bound: a standby must be promoted within the configured
+	// election window — (ElectionBeats+1) heartbeat intervals — of death.
+	bound := sim.Time(cfg.ElectionBeats+1) * cfg.HeartbeatInterval
+	r.s.RunUntil(crashAt + bound)
+	st := r.g.Stats()
+	if st.Promotions != 1 || r.g.PrimaryID() != 1 {
+		t.Fatalf("after bound: promotions=%d primary=%d (want lowest-id standby 1)", st.Promotions, r.g.PrimaryID())
+	}
+	if st.Term != 1 {
+		t.Fatalf("term = %d", st.Term)
+	}
+	if r.g.Phase(1) != PhasePrimary || r.g.Phase(0) != PhaseDown || r.g.Phase(2) != PhaseStandby {
+		t.Fatalf("phases = %v %v %v", r.g.Phase(0), r.g.Phase(1), r.g.Phase(2))
+	}
+
+	// The promoted controller routes: tunes reach the island again.
+	before := len(r.x86)
+	r.tune()
+	if len(r.x86) != before+1 {
+		t.Fatal("promoted controller did not route")
+	}
+}
+
+func TestFailoverDeterministicElection(t *testing.T) {
+	// Two identical runs must elect identically (no wall clock, no
+	// randomness): compare full stats structs.
+	run := func() FailoverStats {
+		cfg := FailoverConfig{Replicas: 3}
+		r := newFailoverRig(t, cfg)
+		r.s.At(1*sim.Second, func() { r.g.CrashReplica(0) })
+		r.s.At(3*sim.Second, func() { r.g.RestoreReplica(0) })
+		r.s.At(5*sim.Second, func() { r.g.CrashReplica(1) })
+		ticker := r.s.Ticker(100*sim.Millisecond, func() { r.tune() })
+		defer ticker()
+		r.s.RunUntil(10 * sim.Second)
+		return r.g.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("elections diverged:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Promotions != 2 {
+		t.Fatalf("promotions = %d, want 2 (replica 1, then replica 2 or restored 0)", a.Promotions)
+	}
+}
+
+func TestFailoverCheckpointTapAndStaleDrop(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 2}
+	cfg.applyDefaults()
+	r := newFailoverRig(t, cfg)
+
+	// Route 10 tunes, then lose 3 in flight: the agent's authoritative
+	// epoch stays behind the standby's tap view.
+	r.s.At(1*sim.Second, func() {
+		for i := 0; i < 10; i++ {
+			r.tune()
+		}
+		r.epoch -= 3 // pretend the last 3 never reached the agent
+	})
+	r.s.At(2*sim.Second, func() { r.g.CrashReplica(0) })
+	r.s.RunUntil(4 * sim.Second)
+
+	st := r.g.Stats()
+	if st.Promotions != 1 {
+		t.Fatalf("promotions = %d", st.Promotions)
+	}
+	// Anti-entropy: the recovered view (10, from checkpoint + tap) is
+	// ahead of the agent (7) — exactly 3 stale decisions dropped.
+	if st.StaleDropped != 3 || st.Reconciliations == 0 {
+		t.Fatalf("staleDropped=%d reconciliations=%d, want 3 stale", st.StaleDropped, st.Reconciliations)
+	}
+	if got := r.g.Primary().RoutedEpoch("x86"); got != r.epoch {
+		t.Fatalf("post-reconcile view %d != agent epoch %d", got, r.epoch)
+	}
+}
+
+func TestFailoverEpochAdoption(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 2, CheckpointInterval: 10 * sim.Second}
+	r := newFailoverRig(t, cfg)
+
+	// The agent applied decisions the checkpoint never saw (epoch ahead of
+	// any view): the promoted controller must adopt the agent's count.
+	r.s.At(1*sim.Second, func() { r.epoch += 5 })
+	r.s.At(2*sim.Second, func() { r.g.CrashReplica(0) })
+	r.s.RunUntil(4 * sim.Second)
+
+	st := r.g.Stats()
+	if st.EpochAdoptions != 1 {
+		t.Fatalf("epochAdoptions = %d", st.EpochAdoptions)
+	}
+	if got := r.g.Primary().RoutedEpoch("x86"); got != r.epoch {
+		t.Fatalf("adopted epoch %d != agent epoch %d", got, r.epoch)
+	}
+	if st.StaleDropped != 0 {
+		t.Fatalf("staleDropped = %d on an agent-ahead run", st.StaleDropped)
+	}
+}
+
+func TestFailoverNoPrimaryDrops(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 1} // solo: nothing to fail over to
+	cfg.applyDefaults()
+	r := newFailoverRig(t, cfg)
+
+	r.s.At(1*sim.Second, func() { r.g.CrashReplica(0) })
+	r.s.At(1500*sim.Millisecond, func() { r.tune(); r.tune() })
+	r.s.RunUntil(2 * sim.Second)
+
+	st := r.g.Stats()
+	if st.NoPrimaryDrops != 2 {
+		t.Fatalf("noPrimaryDrops = %d", st.NoPrimaryDrops)
+	}
+
+	// Restore: the solo replica recovers from the durable store and
+	// promotes itself one election bound later, counters intact.
+	routedBefore := r.g.Primary().Routed()
+	r.s.At(2*sim.Second, func() { r.g.RestoreReplica(0) })
+	r.s.RunUntil(2*sim.Second + sim.Time(cfg.ElectionBeats+1)*cfg.HeartbeatInterval)
+	st = r.g.Stats()
+	if st.Promotions != 1 || st.Restarts != 1 {
+		t.Fatalf("promotions=%d restarts=%d", st.Promotions, st.Restarts)
+	}
+	if got := r.g.Primary().Routed(); got != routedBefore {
+		t.Fatalf("restored Routed=%d, want %d (checkpointed counters)", got, routedBefore)
+	}
+}
+
+func TestFailoverPartitionSupersedeAndDemote(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 2}
+	cfg.applyDefaults()
+	r := newFailoverRig(t, cfg)
+
+	r.s.At(1*sim.Second, func() { r.g.IsolateReplica(0) })
+	r.s.RunUntil(3 * sim.Second)
+	st := r.g.Stats()
+	if st.Promotions != 1 || r.g.PrimaryID() != 1 {
+		t.Fatalf("standby did not supersede isolated primary: %+v", st)
+	}
+	// Split brain while partitioned: the old primary still believes.
+	if r.g.Phase(0) != PhasePrimary {
+		t.Fatalf("isolated old primary phase = %v", r.g.Phase(0))
+	}
+
+	r.s.At(3*sim.Second, func() { r.g.HealReplica(0) })
+	r.s.RunUntil(4 * sim.Second)
+	st = r.g.Stats()
+	if st.Demotions != 1 || r.g.Phase(0) != PhaseStandby {
+		t.Fatalf("healed superseded primary not demoted: demotions=%d phase=%v", st.Demotions, r.g.Phase(0))
+	}
+	if r.g.PrimaryID() != 1 || st.Term != 1 {
+		t.Fatalf("primary=%d term=%d after heal", r.g.PrimaryID(), st.Term)
+	}
+}
+
+func TestFailoverPartitionHealResumes(t *testing.T) {
+	// Partition shorter than the election bound: the primary heals before
+	// any standby promotes, resumes duties, and reconciles.
+	cfg := FailoverConfig{Replicas: 2}
+	cfg.applyDefaults()
+	r := newFailoverRig(t, cfg)
+
+	r.s.At(1*sim.Second, func() { r.g.IsolateReplica(0) })
+	r.s.At(1*sim.Second+cfg.HeartbeatInterval, func() { r.g.HealReplica(0) })
+	r.s.RunUntil(3 * sim.Second)
+
+	st := r.g.Stats()
+	if st.Promotions != 0 || r.g.PrimaryID() != 0 {
+		t.Fatalf("short partition triggered an election: %+v", st)
+	}
+	if st.Heals != 1 || st.Reconciliations == 0 {
+		t.Fatalf("healed primary did not reconcile: %+v", st)
+	}
+	before := len(r.x86)
+	r.tune()
+	if len(r.x86) != before+1 {
+		t.Fatal("healed primary does not route")
+	}
+}
+
+func TestFailoverIsolatedStandbyCannotWin(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 3}
+	cfg.applyDefaults()
+	r := newFailoverRig(t, cfg)
+
+	// Isolate the would-be winner (replica 1) before killing the primary:
+	// replica 2 must win instead.
+	r.s.At(1*sim.Second, func() { r.g.IsolateReplica(1) })
+	r.s.At(2*sim.Second, func() { r.g.CrashReplica(0) })
+	r.s.RunUntil(4 * sim.Second)
+
+	if r.g.PrimaryID() != 2 {
+		t.Fatalf("primary = %d, want 2 (1 is partitioned)", r.g.PrimaryID())
+	}
+	// Healing replica 1 later makes it a connected standby again, not a
+	// competing primary.
+	r.s.At(4*sim.Second, func() { r.g.HealReplica(1) })
+	r.s.RunUntil(6 * sim.Second)
+	if r.g.Phase(1) != PhaseStandby || r.g.PrimaryID() != 2 {
+		t.Fatalf("healed standby phase=%v primary=%d", r.g.Phase(1), r.g.PrimaryID())
+	}
+}
+
+func TestFailoverCheckpointCadence(t *testing.T) {
+	cfg := FailoverConfig{Replicas: 2, CheckpointInterval: sim.Second}
+	r := newFailoverRig(t, cfg)
+	r.s.RunUntil(5500 * sim.Millisecond)
+	st := r.g.Stats()
+	// One immediate checkpoint at Start plus one per second.
+	if st.Checkpoints != 6 {
+		t.Fatalf("checkpoints = %d, want 6", st.Checkpoints)
+	}
+	if st.CheckpointBytes == 0 {
+		t.Fatal("checkpoint bytes not counted")
+	}
+}

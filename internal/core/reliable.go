@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/overload"
 	"repro/internal/sim"
@@ -27,6 +28,17 @@ type ReliableConfig struct {
 	// sender expired an at-most-once message (default 10ms).
 	ReorderHold sim.Time
 
+	// MaxOutstanding bounds the sender's retransmit queue (default 512):
+	// a send that would exceed it is dropped before a sequence number is
+	// consumed (so no gap forms) and counted as QueueFullDrops. Without
+	// the cap a long partition grows the queue without limit.
+	MaxOutstanding int
+	// MaxReorder bounds the receiver's out-of-order parking buffer
+	// (default 256): an arrival that would exceed it is dropped unacked
+	// (counted as ReorderDrops) so the sender retransmits it once the
+	// buffer drains.
+	MaxReorder int
+
 	// Breaker, when non-nil, arms a circuit breaker on the send path: a
 	// message that exhausts its retries records a failure, an ack records
 	// a success, and while the breaker is open sequenced sends fail fast
@@ -51,6 +63,12 @@ func (c *ReliableConfig) applyDefaults() {
 	if c.ReorderHold == 0 {
 		c.ReorderHold = 10 * sim.Millisecond
 	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 512
+	}
+	if c.MaxReorder == 0 {
+		c.MaxReorder = 256
+	}
 }
 
 // ReliableStats counts a ReliableEndpoint's protocol events.
@@ -64,12 +82,14 @@ type ReliableStats struct {
 	AcksReceived uint64
 
 	BreakerRejected uint64 // sequenced sends refused while the breaker was open
+	QueueFullDrops  uint64 // sends refused because the retransmit queue hit MaxOutstanding
 
-	Delivered  uint64 // sequenced messages handed to the application
-	DupDrops   uint64 // duplicate arrivals of a buffered out-of-order seq
-	StaleDrops uint64 // arrivals at or below the delivery cursor
-	OutOfOrder uint64 // arrivals buffered ahead of the cursor
-	GapSkips   uint64 // sequence numbers skipped after ReorderHold
+	Delivered    uint64 // sequenced messages handed to the application
+	DupDrops     uint64 // duplicate arrivals of a buffered out-of-order seq
+	StaleDrops   uint64 // arrivals at or below the delivery cursor
+	OutOfOrder   uint64 // arrivals buffered ahead of the cursor
+	GapSkips     uint64 // sequence numbers skipped after ReorderHold
+	ReorderDrops uint64 // out-of-order arrivals refused because the buffer hit MaxReorder
 
 	Downs uint64 // up->down transitions
 	Ups   uint64 // down->up transitions
@@ -184,6 +204,53 @@ func (e *ReliableEndpoint) OnStateChange(fn func(up bool)) { e.onState = fn }
 // Outstanding returns the number of unacknowledged sequenced messages.
 func (e *ReliableEndpoint) Outstanding() int { return len(e.outstanding) }
 
+// Buffered returns the number of out-of-order arrivals parked at the
+// receiver.
+func (e *ReliableEndpoint) Buffered() int { return len(e.buffer) }
+
+// EndpointSeqState is the sequence-state summary a controller checkpoint
+// records per reliable endpoint: enough to detect, after a failover, how
+// far the transport had advanced relative to the last checkpoint.
+type EndpointSeqState struct {
+	Name     string
+	NextSeq  uint64 // next sequence number the sender will assign
+	Floor    uint64 // lowest sequence number possibly still outstanding
+	Expected uint64 // next in-order sequence number the receiver will deliver
+}
+
+// SeqState snapshots the endpoint's sequence cursors. Nil-safe.
+func (e *ReliableEndpoint) SeqState() EndpointSeqState {
+	if e == nil {
+		return EndpointSeqState{}
+	}
+	return EndpointSeqState{Name: e.name, NextSeq: e.nextSeq, Floor: e.floor, Expected: e.expected}
+}
+
+// FlushStale cancels every outstanding at-most-once message (Tunes and
+// Sheds) and returns how many were flushed. A promoted controller calls it
+// through the platform so the dead primary's in-flight adjustments stop
+// retransmitting — the receiver's gap-skip machinery steps over the holes
+// exactly as it does for deadline expiry. At-least-once messages (Triggers)
+// keep retrying: they are safe to apply late.
+func (e *ReliableEndpoint) FlushStale() int {
+	if e == nil {
+		return 0
+	}
+	seqs := make([]uint64, 0, len(e.outstanding))
+	for s, p := range e.outstanding {
+		if ClassFor(p.msg.Kind) == ClassAtMostOnce {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		e.outstanding[s].timer.Cancel()
+		delete(e.outstanding, s)
+	}
+	e.advanceFloor()
+	return len(seqs)
+}
+
 // SetReceiver installs the application-level consumer of inbound data
 // (Transport interface).
 func (e *ReliableEndpoint) SetReceiver(fn func(Message)) { e.recv = fn }
@@ -204,6 +271,14 @@ func (e *ReliableEndpoint) Send(msg Message) {
 		// feeds the graceful-degradation hold-down instead of growing the
 		// retransmit queue.
 		e.stats.BreakerRejected++
+		return
+	}
+	if len(e.outstanding) >= e.cfg.MaxOutstanding {
+		// Hard cap on retransmit state: during a long partition the queue
+		// would otherwise grow without bound. Like the breaker rejection,
+		// the drop happens before a sequence number is consumed, so the
+		// receiver never sees a gap from it.
+		e.stats.QueueFullDrops++
 		return
 	}
 	seq := e.nextSeq
@@ -277,15 +352,24 @@ func (e *ReliableEndpoint) onRaw(m Message) {
 	case KindTune, KindTrigger, KindRegister, KindShed:
 	}
 	e.setUp(true)
-	e.onData(m)
+	accepted := e.onData(m)
 	// Acknowledge after delivery bookkeeping so the cumulative mark
-	// reflects this arrival.
+	// reflects this arrival. An arrival refused by the full reorder buffer
+	// must not be selectively acked — the sender keeps retransmitting it
+	// until the buffer drains (seq 0 is never outstanding, so the selective
+	// half becomes a no-op while the cumulative half still flows).
 	e.stats.AcksSent++
-	e.out.Send(Message{Kind: KindAck, From: e.name, Seq: m.Seq, Ack: e.expected - 1})
+	selSeq := m.Seq
+	if !accepted {
+		selSeq = 0
+	}
+	e.out.Send(Message{Kind: KindAck, From: e.name, Seq: selSeq, Ack: e.expected - 1})
 }
 
-// onData runs dedup/reorder delivery for one sequenced arrival.
-func (e *ReliableEndpoint) onData(m Message) {
+// onData runs dedup/reorder delivery for one sequenced arrival. It reports
+// whether the arrival was consumed (delivered, parked, or recognized as
+// stale/duplicate) as opposed to refused by the full reorder buffer.
+func (e *ReliableEndpoint) onData(m Message) bool {
 	switch {
 	case m.Seq < e.expected:
 		// Already delivered or deliberately skipped: a retransmit of a
@@ -298,12 +382,20 @@ func (e *ReliableEndpoint) onData(m Message) {
 	default: // ahead of the cursor: park it
 		if _, dup := e.buffer[m.Seq]; dup {
 			e.stats.DupDrops++
-			return
+			return true
+		}
+		if len(e.buffer) >= e.cfg.MaxReorder {
+			// Hard cap on parked state: refuse the arrival unacked so the
+			// sender retries later instead of the buffer growing without
+			// bound during a reorder storm.
+			e.stats.ReorderDrops++
+			return false
 		}
 		e.buffer[m.Seq] = m
 		e.stats.OutOfOrder++
 		e.armGapTimer()
 	}
+	return true
 }
 
 func (e *ReliableEndpoint) deliver(m Message) {

@@ -29,19 +29,20 @@ type Category uint8
 
 // Event categories.
 const (
-	CatSend    Category = iota // coordination message sent by an island agent
-	CatApply                   // coordination message actuated by an island agent
-	CatWeight                  // credit-scheduler weight change (xen Ctl)
-	CatBoost                   // runqueue boost (Trigger actuation on x86)
-	CatIXP                     // IXP-side adjustment: flow threads, poll interval, gate shed, shed rate
-	CatAdmit                   // admission-queue verdict (served / shed / expired)
-	CatBreaker                 // circuit-breaker state transition
-	CatLease                   // lease transition or quarantine drop
+	CatSend     Category = iota // coordination message sent by an island agent
+	CatApply                    // coordination message actuated by an island agent
+	CatWeight                   // credit-scheduler weight change (xen Ctl)
+	CatBoost                    // runqueue boost (Trigger actuation on x86)
+	CatIXP                      // IXP-side adjustment: flow threads, poll interval, gate shed, shed rate
+	CatAdmit                    // admission-queue verdict (served / shed / expired)
+	CatBreaker                  // circuit-breaker state transition
+	CatLease                    // lease transition or quarantine drop
+	CatFailover                 // controller-replication event: checkpoint, crash, election, reconciliation
 )
 
 // NumCategories sizes per-category state arrays. Deliberately untyped so it
 // is not itself an enum member.
-const NumCategories = 8
+const NumCategories = 9
 
 // String names the category.
 func (c Category) String() string {
@@ -62,6 +63,8 @@ func (c Category) String() string {
 		return "breaker"
 	case CatLease:
 		return "lease"
+	case CatFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -146,6 +149,7 @@ const (
 	LeaseDead       uint8 = 1 // island lease expired
 	LeaseRejoin     uint8 = 2 // dead island rejoined via heartbeat
 	LeaseQuarantine uint8 = 3 // message dropped: target or home island quarantined
+	LeaseFlap       uint8 = 4 // dead island rejoined inside the hysteresis window (suppressed rejoin)
 )
 
 // leaseName renders a lease code.
@@ -159,8 +163,53 @@ func leaseName(code uint8) string {
 		return "rejoin"
 	case LeaseQuarantine:
 		return "quarantine-drop"
+	case LeaseFlap:
+		return "flap-rejoin"
 	default:
 		return fmt.Sprintf("lease(%d)", code)
+	}
+}
+
+// Sub-type codes for CatFailover events. Entity carries the replica ID
+// (-1 when not replica-specific); Arg is code-specific.
+const (
+	FailCheckpoint uint8 = 0 // primary wrote a checkpoint; Arg = encoded bytes
+	FailCrash      uint8 = 1 // replica crashed (volatile state lost)
+	FailRestart    uint8 = 2 // crashed replica restarted from the durable store
+	FailIsolate    uint8 = 3 // replica partitioned from agents and peers
+	FailHeal       uint8 = 4 // replica's partition healed
+	FailPromote    uint8 = 5 // standby promoted to primary; Arg = new term
+	FailDemote     uint8 = 6 // superseded primary demoted on heal; Arg = current term
+	FailReconcile  uint8 = 7 // anti-entropy epoch comparison; Label = island, Arg = view-agent delta
+	FailStaleDrop  uint8 = 8 // stale in-flight decisions discarded; Label = island/endpoint, Arg = count
+	FailNoPrimary  uint8 = 9 // coordination message dropped: no live primary; Arg = message kind
+)
+
+// failName renders a failover code.
+func failName(code uint8) string {
+	switch code {
+	case FailCheckpoint:
+		return "checkpoint"
+	case FailCrash:
+		return "crash"
+	case FailRestart:
+		return "restart"
+	case FailIsolate:
+		return "isolate"
+	case FailHeal:
+		return "heal"
+	case FailPromote:
+		return "promote"
+	case FailDemote:
+		return "demote"
+	case FailReconcile:
+		return "reconcile"
+	case FailStaleDrop:
+		return "stale-drop"
+	case FailNoPrimary:
+		return "no-primary-drop"
+	default:
+		return fmt.Sprintf("failover(%d)", code)
 	}
 }
 
@@ -211,6 +260,11 @@ func (e Event) payload() string {
 		return fmt.Sprintf("%s %s->%s", e.Label, breakerName(uint8(e.Arg)), breakerName(e.Code))
 	case CatLease:
 		return fmt.Sprintf("%s %s", e.Label, leaseName(e.Code))
+	case CatFailover:
+		if e.Label != "" {
+			return fmt.Sprintf("%s %s replica=%d arg=%d", failName(e.Code), e.Label, e.Entity, e.Arg)
+		}
+		return fmt.Sprintf("%s replica=%d arg=%d", failName(e.Code), e.Entity, e.Arg)
 	default:
 		return fmt.Sprintf("%s entity=%d code=%d arg=%d", e.Label, e.Entity, e.Code, e.Arg)
 	}

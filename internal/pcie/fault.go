@@ -70,6 +70,18 @@ func (w CrashWindow) contains(now sim.Time) bool {
 	return now >= w.Start && now < w.Start+w.Duration
 }
 
+// ReplicaWindow marks a controller replica as faulted for
+// [Start, Start+Duration). In a crash window the replica loses its volatile
+// state and restarts from the durable checkpoint store when the window
+// closes; in a partition window it is isolated from the agents, its peers,
+// and the store, then heals. The injector only records the schedule; the
+// platform harness wires it to the controller group.
+type ReplicaWindow struct {
+	Replica  int
+	Start    sim.Time
+	Duration sim.Time
+}
+
 // FaultPlan is a declarative, seeded description of every fault the
 // coordination channel can suffer. The same plan and seed always produce
 // the same per-message decisions, independent of how many channels exist or
@@ -112,6 +124,12 @@ type FaultPlan struct {
 
 	// Crashes are island crash/restart windows.
 	Crashes []CrashWindow
+
+	// ControllerCrashes are controller replica crash/restart windows.
+	ControllerCrashes []ReplicaWindow
+
+	// ControllerPartitions are controller replica isolation windows.
+	ControllerPartitions []ReplicaWindow
 }
 
 // Empty reports whether the plan injects no channel faults at all
@@ -168,6 +186,16 @@ func (p FaultPlan) Validate() error {
 		}
 		if c.Start < 0 || c.Duration <= 0 {
 			return fmt.Errorf("pcie: crash window [%v +%v] for %q invalid", c.Start, c.Duration, c.Island)
+		}
+	}
+	for _, set := range [][]ReplicaWindow{p.ControllerCrashes, p.ControllerPartitions} {
+		for _, w := range set {
+			if w.Replica < 0 {
+				return fmt.Errorf("pcie: controller window with negative replica %d", w.Replica)
+			}
+			if w.Start < 0 || w.Duration <= 0 {
+				return fmt.Errorf("pcie: controller window [%v +%v] for replica %d invalid", w.Start, w.Duration, w.Replica)
+			}
 		}
 	}
 	return nil

@@ -88,6 +88,14 @@ type Config struct {
 	// Each endpoint derives its own probe-jitter seed from Breaker.Seed.
 	Breaker *overload.BreakerConfig
 
+	// Failover, when non-nil, replicates the controller: the group
+	// checkpoints coordination state on a sim-time cadence, standbys follow
+	// a live actuation tap, and a deterministic lease election promotes the
+	// lowest-id live standby within a bounded number of heartbeat intervals
+	// of primary death. The group is also armed (with defaults) whenever
+	// CoordFaults schedules controller crash or partition windows.
+	Failover *core.FailoverConfig
+
 	// OverloadControl, when non-nil, arms the controller's overload
 	// translation: every routed Trigger additionally emits a weight-boost
 	// Tune to the overloaded island and a shed-rate adjustment to the
@@ -176,6 +184,14 @@ type Robustness struct {
 	// Overload-control plane counters (zero unless Config.OverloadControl).
 	ShedTunes  uint64 // upstream shed adjustments the controller issued
 	BoostTunes uint64 // weight boosts the controller issued for triggers
+
+	// FlapSuppressed counts lease rejoins absorbed by the watchdog's
+	// hysteresis window (expire/rejoin churn not counted as real cycles).
+	FlapSuppressed uint64
+
+	// Failover holds the controller group's availability counters (zero
+	// unless Config.Failover or controller fault windows armed the group).
+	Failover core.FailoverStats
 }
 
 // Platform is the assembled testbed.
@@ -187,14 +203,19 @@ type Platform struct {
 	IXP  *ixp.IXP
 	Host *netsim.HostStack
 
-	Mailbox    *pcie.Mailbox
-	Injector   *pcie.Injector // nil when no fault plan is armed
+	Mailbox  *pcie.Mailbox
+	Injector *pcie.Injector // nil when no fault plan is armed
+	// Controller is the live primary's controller; after a failover it is
+	// repointed at the promoted replica's controller.
 	Controller *core.Controller
-	X86Agent   *core.Agent
-	IXPAgent   *core.Agent
-	X86Act     *core.X86Actuator
-	IXPAct     *core.IXPActuator
-	Tracer     *trace.Tracer
+	// Group is the controller replica group (nil unless Config.Failover or
+	// controller fault windows armed it).
+	Group    *core.ControllerGroup
+	X86Agent *core.Agent
+	IXPAgent *core.Agent
+	X86Act   *core.X86Actuator
+	IXPAct   *core.IXPActuator
+	Tracer   *trace.Tracer
 
 	// UplinkEP/DownlinkEP are the reliable mailbox endpoints (nil unless
 	// Config.Reliable). UplinkEP is the IXP side, DownlinkEP the host side.
@@ -251,12 +272,32 @@ func New(cfg Config) *Platform {
 	ctrl := core.NewController()
 	ctrl.SetFlightRecorder(s, cfg.Flight)
 
+	// Controller replication: the group wraps routing and island/entity
+	// registration so a promoted standby can rebuild the same wiring. It is
+	// only built when replication or controller fault windows are asked
+	// for — the plain single-controller path is untouched otherwise.
+	var group *core.ControllerGroup
+	if cfg.Failover != nil || (plan != nil && len(plan.ControllerCrashes)+len(plan.ControllerPartitions) > 0) {
+		fcfg := core.FailoverConfig{}
+		if cfg.Failover != nil {
+			fcfg = *cfg.Failover
+		}
+		group = core.NewControllerGroup(s, ctrl, fcfg)
+		group.SetFlightRecorder(cfg.Flight)
+	}
+	route := ctrl.Route
+	registerIsland := ctrl.RegisterIsland
+	if group != nil {
+		route = group.Route
+		registerIsland = group.RegisterIsland
+	}
+
 	x86Act := core.NewX86Actuator(ctl)
 	x86Act.MinWeight = cfg.MinGuestWeight
 	x86Act.MaxWeight = cfg.MaxGuestWeight
-	x86Agent := core.NewAgent(X86Island, nil, ctrl.Route, x86Act, core.WithTracer(tracer))
+	x86Agent := core.NewAgent(X86Island, nil, route, x86Act, core.WithTracer(tracer))
 	x86Agent.SetFlightRecorder(s, cfg.Flight)
-	if err := ctrl.RegisterIsland(core.IslandHandle{Name: X86Island, Local: x86Agent.Deliver}); err != nil {
+	if err := registerIsland(core.IslandHandle{Name: X86Island, Local: x86Agent.Deliver}); err != nil {
 		panic(fmt.Sprintf("platform: registering x86 island: %v", err))
 	}
 
@@ -272,7 +313,11 @@ func New(cfg Config) *Platform {
 		if oc.Upstream == "" {
 			oc.Upstream = IXPIsland
 		}
-		ctrl.EnableOverloadControl(oc)
+		if group != nil {
+			group.EnableOverloadControl(oc)
+		} else {
+			ctrl.EnableOverloadControl(oc)
+		}
 	}
 
 	var ixpOpts []core.AgentOption
@@ -301,10 +346,10 @@ func New(cfg Config) *Platform {
 		}
 		epDev = core.NewReliableEndpoint(s, "ixp-uplink", rawUp, rawDown, upCfg)
 		epHost = core.NewReliableEndpoint(s, "host-downlink", rawDown, rawUp, downCfg)
-		epHost.SetReceiver(ctrl.Route)
+		epHost.SetReceiver(route)
 		ixpUplink, ixpDownlink = epDev, epHost
 	} else {
-		rawUp.SetReceiver(ctrl.Route)
+		rawUp.SetReceiver(route)
 	}
 	ixpAct := core.NewIXPActuator(s, x)
 	ixpAgent := core.NewAgent(IXPIsland, ixpUplink, nil, ixpAct, ixpOpts...)
@@ -322,7 +367,7 @@ func New(cfg Config) *Platform {
 	} else {
 		rawDown.SetReceiver(ixpAgent.Deliver)
 	}
-	if err := ctrl.RegisterIsland(core.IslandHandle{Name: IXPIsland, Downlink: ixpDownlink}); err != nil {
+	if err := registerIsland(core.IslandHandle{Name: IXPIsland, Downlink: ixpDownlink}); err != nil {
 		panic(fmt.Sprintf("platform: registering IXP island: %v", err))
 	}
 
@@ -337,6 +382,7 @@ func New(cfg Config) *Platform {
 		Mailbox:    mb,
 		Injector:   inj,
 		Controller: ctrl,
+		Group:      group,
 		X86Agent:   x86Agent,
 		IXPAgent:   ixpAgent,
 		X86Act:     x86Act,
@@ -346,10 +392,39 @@ func New(cfg Config) *Platform {
 		cfg:        cfg,
 	}
 
+	if group != nil {
+		// Promotions repoint the platform's controller handle; anti-entropy
+		// reconciles against each agent's authoritative actuation epoch,
+		// and checkpoints capture the actuation baselines plus (when the
+		// reliable layer is armed) the endpoints' sequence cursors.
+		group.OnPromote(func(c *core.Controller) { p.Controller = c })
+		group.SetReconciler(X86Island, x86Agent.ActuationEpoch)
+		group.SetReconciler(IXPIsland, ixpAgent.ActuationEpoch)
+		providers := core.ReplicaProviders{
+			Baselines: x86Act.Baselines,
+			RestoreBaselines: func(bs []core.BaselineSnapshot) {
+				for _, b := range bs {
+					x86Act.SetBaseline(b.Entity, b.Weight)
+				}
+			},
+		}
+		if cfg.Reliable {
+			providers.Endpoints = func() []core.EndpointSeqState {
+				// Sorted by endpoint name: "host-downlink" < "ixp-uplink".
+				return []core.EndpointSeqState{epHost.SeqState(), epDev.SeqState()}
+			}
+			providers.FlushStale = epHost.FlushStale
+		}
+		group.SetProviders(providers)
+	}
+
 	if cfg.HeartbeatInterval > 0 {
 		p.enableWatchdog()
 	}
 	p.scheduleCrashes(plan)
+	if group != nil {
+		group.Start()
+	}
 
 	hv.Start()
 	return p
@@ -357,13 +432,13 @@ func New(cfg Config) *Platform {
 
 // enableWatchdog wires the liveness machinery: IXP heartbeats, the
 // controller's lease watchdog (whose OnDead arms the baseline revert after
-// the hold-down), and the IXP agent's uplink-health monitor.
+// the hold-down), and both agents' uplink-health monitors.
 func (p *Platform) enableWatchdog() {
 	cfg := p.cfg
 	p.IXPAgent.EnableHeartbeat(p.Sim, cfg.HeartbeatInterval)
 
 	var revert *sim.Event
-	p.Controller.EnableWatchdog(p.Sim, core.WatchdogConfig{
+	wcfg := core.WatchdogConfig{
 		CheckPeriod:  cfg.HeartbeatInterval,
 		SuspectAfter: cfg.LeaseSuspectAfter,
 		DeadAfter:    cfg.LeaseDeadAfter,
@@ -386,10 +461,45 @@ func (p *Platform) enableWatchdog() {
 			revert.Cancel()
 			revert = nil
 		},
-	})
+	}
+	if p.Group != nil {
+		// The group stores the config so every promoted primary restarts
+		// the watchdog with the same thresholds and revert hooks.
+		p.Group.EnableWatchdog(wcfg)
+	} else {
+		p.Controller.EnableWatchdog(p.Sim, wcfg)
+	}
 	p.IXPAgent.EnableDegradation(p.Sim, core.DegradeConfig{
 		CheckPeriod:  cfg.HeartbeatInterval,
 		LeaseTimeout: cfg.LeaseDeadAfter,
+	})
+
+	// The x86 agent watches the controller symmetrically: the watchdog
+	// sweep pings co-located islands too, so when the coordination plane
+	// itself goes silent — a dead controller with no standby left — the
+	// host reverts coordination-derived weights to the registration
+	// baselines after the same hold-down. A promoted (or restarted)
+	// primary resumes pings, the agent recovers, and the tune loop
+	// rebuilds actuation from the reconciled state.
+	var x86Revert *sim.Event
+	p.X86Agent.EnableDegradation(p.Sim, core.DegradeConfig{
+		CheckPeriod:  cfg.HeartbeatInterval,
+		LeaseTimeout: cfg.LeaseDeadAfter,
+		OnDegrade: func() {
+			if x86Revert != nil {
+				x86Revert.Cancel()
+			}
+			x86Revert = p.Sim.After(cfg.DegradeHold, func() {
+				x86Revert = nil
+				p.X86Act.RevertToBaseline()
+			})
+		},
+		OnRecover: func() {
+			if x86Revert != nil {
+				x86Revert.Cancel()
+				x86Revert = nil
+			}
+		},
 	})
 }
 
@@ -409,6 +519,22 @@ func (p *Platform) scheduleCrashes(plan *pcie.FaultPlan) {
 		w := cw
 		p.Sim.At(w.Start, func() { a.SetCrashed(true) })
 		p.Sim.At(w.Start+w.Duration, func() { a.SetCrashed(false) })
+	}
+	for _, rw := range plan.ControllerCrashes {
+		w := rw
+		if w.Replica >= p.Group.Replicas() {
+			panic(fmt.Sprintf("platform: controller crash window names replica %d of %d", w.Replica, p.Group.Replicas()))
+		}
+		p.Sim.At(w.Start, func() { p.Group.CrashReplica(w.Replica) })
+		p.Sim.At(w.Start+w.Duration, func() { p.Group.RestoreReplica(w.Replica) })
+	}
+	for _, rw := range plan.ControllerPartitions {
+		w := rw
+		if w.Replica >= p.Group.Replicas() {
+			panic(fmt.Sprintf("platform: controller partition window names replica %d of %d", w.Replica, p.Group.Replicas()))
+		}
+		p.Sim.At(w.Start, func() { p.Group.IsolateReplica(w.Replica) })
+		p.Sim.At(w.Start+w.Duration, func() { p.Group.HealReplica(w.Replica) })
 	}
 }
 
@@ -445,7 +571,21 @@ func (p *Platform) Robustness() Robustness {
 	r.BreakerRejected = r.Uplink.BreakerRejected + r.Downlink.BreakerRejected
 	r.ShedTunes = p.Controller.ShedTunesIssued()
 	r.BoostTunes = p.Controller.BoostTunesIssued()
+	r.FlapSuppressed = p.Controller.FlapSuppressed()
+	if p.Group != nil {
+		r.Failover = p.Group.Stats()
+	}
 	return r
+}
+
+// registerEntity registers a platform entity with the controller — through
+// the replica group when it exists, so promoted controllers re-register the
+// same entities.
+func (p *Platform) registerEntity(e core.Entity) error {
+	if p.Group != nil {
+		return p.Group.RegisterEntity(e)
+	}
+	return p.Controller.RegisterEntity(e)
 }
 
 // AddGuest creates a single-VCPU guest VM, registers it as a platform-wide
@@ -453,7 +593,7 @@ func (p *Platform) Robustness() Robustness {
 // the registration step of §2.3.
 func (p *Platform) AddGuest(name string, weight int) *xen.Domain {
 	d := p.HV.CreateDomain(name, weight, 1)
-	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
+	if err := p.registerEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
 		panic(fmt.Sprintf("platform: registering guest %q: %v", name, err))
 	}
 	p.X86Act.SetBaseline(d.ID(), weight)
@@ -467,7 +607,7 @@ func (p *Platform) AddGuest(name string, weight int) *xen.Domain {
 // controller but gets no IXP flow queue.
 func (p *Platform) AddLocalGuest(name string, weight int) *xen.Domain {
 	d := p.HV.CreateDomain(name, weight, 1)
-	if err := p.Controller.RegisterEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
+	if err := p.registerEntity(core.Entity{ID: d.ID(), Name: name, Home: X86Island}); err != nil {
 		panic(fmt.Sprintf("platform: registering guest %q: %v", name, err))
 	}
 	p.X86Act.SetBaseline(d.ID(), weight)

@@ -3,6 +3,7 @@ package repro
 import (
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flight"
 	"repro/internal/overload"
 	"repro/internal/rubis"
@@ -46,6 +47,14 @@ type RubisConfig struct {
 	// is set (default 250ms).
 	Heartbeat time.Duration
 
+	// Failover, when non-nil, replicates the global controller: state is
+	// checkpointed on a sim-time cadence, standbys follow a live actuation
+	// tap, and a deterministic election promotes the lowest-id live standby
+	// within a bounded number of heartbeat intervals of primary death.
+	// Setting it implies Robust. Crash/partition the replicas with
+	// FaultPlan.ControllerCrashes / ControllerPartitions.
+	Failover *FailoverControl
+
 	// LoadFactor scales the client session population (1.0 = calibrated
 	// default). Values above ~2 drive the deployment past saturation —
 	// the regime the overload-control plane is for.
@@ -69,6 +78,47 @@ type RubisConfig struct {
 	// or `reproflight replay`. For streaming to an arbitrary writer use
 	// RecordRubis instead.
 	FlightLog string `json:",omitempty"`
+}
+
+// FailoverControl is the public face of controller replication. Zero
+// values take the defaults noted on each field.
+type FailoverControl struct {
+	// Replicas is the total controller count including the primary
+	// (default 1: checkpointing without standbys).
+	Replicas int
+	// CheckpointInterval is the snapshot cadence (default 1s).
+	CheckpointInterval time.Duration
+	// Heartbeat is the replica beacon / election tick (default 250ms).
+	Heartbeat time.Duration
+	// ElectionBeats is how many silent beacon intervals a standby waits
+	// before promoting itself (default 3): promotion is bounded by
+	// (ElectionBeats+1) heartbeat intervals after primary death.
+	ElectionBeats int
+}
+
+// FailoverReport surfaces the controller group's availability counters for
+// one run (all zero unless RubisConfig.Failover or controller fault
+// windows armed the group).
+type FailoverReport struct {
+	Checkpoints     uint64 // snapshots written by primaries
+	CheckpointBytes uint64 // total encoded checkpoint bytes
+	Promotions      uint64 // standby -> primary elections
+	Demotions       uint64 // superseded primaries demoted on partition heal
+	Crashes         uint64 // replica crash windows entered
+	Restarts        uint64 // replicas restarted from the durable store
+	Partitions      uint64 // replica isolation windows entered
+	Heals           uint64 // replica isolation windows closed
+
+	Reconciliations uint64 // anti-entropy island epoch comparisons
+	EpochAdoptions  uint64 // islands whose agent outran the recovered view
+	StaleDropped    uint64 // in-flight decisions dropped as stale at promotion
+	EndpointResyncs uint64 // endpoint cursors that moved past the checkpoint
+	EndpointFlushes uint64 // outstanding at-most-once sends flushed at promotion
+
+	NoPrimaryDrops uint64 // coordination messages dropped with no live primary
+
+	Term    uint64 // final election term
+	Primary int    // final primary replica ID (-1 if none at run end)
 }
 
 // OverloadControl is the public face of the overload-control plane.
@@ -179,6 +229,10 @@ type RubisRun struct {
 	// reliable plane is enabled).
 	Robustness RobustnessReport
 
+	// Failover summarises the controller replica group (zero unless
+	// RubisConfig.Failover or controller fault windows armed it).
+	Failover FailoverReport
+
 	// Overload summarises the overload-control plane (zero unless
 	// RubisConfig.Overload was set).
 	Overload OverloadSummary
@@ -199,13 +253,21 @@ func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
 	}
 	ec.Platform.CoordLossRate = c.CoordLossRate
 	ec.Platform.CoordFaults = c.Faults.internal()
-	if c.Robust {
+	if c.Robust || c.Failover != nil {
 		ec.Platform.Reliable = true
 		hb := 250 * time.Millisecond
 		if c.Heartbeat > 0 {
 			hb = c.Heartbeat
 		}
 		ec.Platform.HeartbeatInterval = toSim(hb)
+	}
+	if c.Failover != nil {
+		ec.Platform.Failover = &core.FailoverConfig{
+			Replicas:           c.Failover.Replicas,
+			CheckpointInterval: toSim(c.Failover.CheckpointInterval),
+			HeartbeatInterval:  toSim(c.Failover.Heartbeat),
+			ElectionBeats:      c.Failover.ElectionBeats,
+		}
 	}
 	if c.Duration > 0 {
 		ec.Duration = toSim(c.Duration)
@@ -287,6 +349,7 @@ func runRubis(cfg RubisConfig, coordinated bool, rec *flight.Recorder) *RubisRun
 		TunesApplied:      res.TunesApplied,
 		FinalWeights:      res.FinalWeights,
 		Robustness:        robustnessReport(res.Robust),
+		Failover:          failoverReport(res.Robust.Failover),
 		Overload:          overloadSummary(res),
 	}
 	for _, rt := range rubis.AllRequestTypes() {
@@ -304,6 +367,29 @@ func runRubis(cfg RubisConfig, coordinated bool, rec *flight.Recorder) *RubisRun
 		})
 	}
 	return run
+}
+
+// failoverReport flattens the controller group's counters for the public
+// API.
+func failoverReport(s core.FailoverStats) FailoverReport {
+	return FailoverReport{
+		Checkpoints:     s.Checkpoints,
+		CheckpointBytes: s.CheckpointBytes,
+		Promotions:      s.Promotions,
+		Demotions:       s.Demotions,
+		Crashes:         s.Crashes,
+		Restarts:        s.Restarts,
+		Partitions:      s.Partitions,
+		Heals:           s.Heals,
+		Reconciliations: s.Reconciliations,
+		EpochAdoptions:  s.EpochAdoptions,
+		StaleDropped:    s.StaleDropped,
+		EndpointResyncs: s.EndpointResyncs,
+		EndpointFlushes: s.EndpointFlushes,
+		NoPrimaryDrops:  s.NoPrimaryDrops,
+		Term:            s.Term,
+		Primary:         s.Primary,
+	}
 }
 
 // overloadSummary flattens the internal overload report for the public API.

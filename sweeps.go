@@ -435,3 +435,176 @@ func RunBenchSweep(workers int, progress func(p sweep.Progress)) (*sweep.BenchRe
 	}
 	return sweep.NewBenchReport(BenchSweepName, res.Sweep), nil
 }
+
+// failoverMatrixVersion invalidates cached failover-matrix trials when the
+// experiment's meaning changes.
+const failoverMatrixVersion = "failover-matrix-v1"
+
+// FailoverRow is one trial of the controller-availability matrix: a RUBiS
+// run with a solo or replicated controller under one controller fault
+// scenario.
+type FailoverRow struct {
+	Scenario string `json:"scenario"`
+	// Plane is "solo" (one controller, checkpointing but nothing to fail
+	// over to) or "replicated" (three replicas, deterministic election).
+	Plane string `json:"plane"`
+
+	Throughput float64 `json:"throughput"`
+	MeanMs     float64 `json:"mean_ms"`
+
+	Checkpoints    uint64 `json:"checkpoints"`
+	Promotions     uint64 `json:"promotions"`
+	StaleDropped   uint64 `json:"stale_dropped"`
+	NoPrimaryDrops uint64 `json:"no_primary_drops"`
+
+	// Load is the offered-load multiplier (0 means the calibrated 1×
+	// population with no overload control armed).
+	Load float64 `json:"load,omitempty"`
+	Shed uint64  `json:"shed,omitempty"`
+}
+
+// failoverPointCfg is a failover-matrix point's cache-keyed configuration.
+type failoverPointCfg struct {
+	Scenario   string     `json:"scenario"`
+	Plane      string     `json:"plane"`
+	Replicas   int        `json:"replicas"`
+	DurationNs int64      `json:"duration_ns"`
+	WarmupNs   int64      `json:"warmup_ns"`
+	Plan       *FaultPlan `json:"plan,omitempty"`
+	Load       float64    `json:"load,omitempty"`
+}
+
+// FailoverScenarios returns the canonical controller fault-window matrix
+// for a run of the given duration: the same matrix drives `reprobench -exp
+// ablation-failover` and the failover chaos tests. Replica 0 is the
+// initial primary in every scenario.
+func FailoverScenarios(dur time.Duration) []struct {
+	Name string
+	Plan *FaultPlan
+	Load float64
+} {
+	return []struct {
+		Name string
+		Plan *FaultPlan
+		Load float64
+	}{
+		{"clean", nil, 0},
+		{"primary crash", &FaultPlan{ControllerCrashes: []ReplicaWindow{
+			{Replica: 0, Start: dur / 4, Duration: dur / 4},
+		}}, 0},
+		{"primary partition", &FaultPlan{ControllerPartitions: []ReplicaWindow{
+			{Replica: 0, Start: dur / 4, Duration: dur / 4},
+		}}, 0},
+		// The overload scenario kills the primary while 2x the calibrated
+		// population keeps the shed loop busy — the promoted standby must
+		// pick up both routing and overload translation.
+		{"overload+crash", &FaultPlan{ControllerCrashes: []ReplicaWindow{
+			{Replica: 0, Start: dur / 4, Duration: dur / 4},
+		}}, 2.0},
+	}
+}
+
+// FailoverMatrixPoints expands the scenario matrix into sweep points:
+// every scenario on the solo (1 replica) and replicated (3 replicas)
+// controller plane, in stable order.
+func FailoverMatrixPoints(cfg RubisConfig) []sweep.Point {
+	var points []sweep.Point
+	for _, sc := range FailoverScenarios(cfg.Duration) {
+		for _, plane := range []struct {
+			Name     string
+			Replicas int
+		}{{"solo", 1}, {"replicated", 3}} {
+			points = append(points, sweep.Point{
+				Name: sc.Name + "/" + plane.Name,
+				Config: failoverPointCfg{
+					Scenario:   sc.Name,
+					Plane:      plane.Name,
+					Replicas:   plane.Replicas,
+					DurationNs: int64(cfg.Duration),
+					WarmupNs:   int64(cfg.Warmup),
+					Plan:       sc.Plan,
+					Load:       sc.Load,
+				},
+			})
+		}
+	}
+	return points
+}
+
+// FailoverMatrixResult is one parallel run of the failover matrix.
+type FailoverMatrixResult struct {
+	Sweep *sweep.RunResult
+	Rows  []FailoverRow
+}
+
+// RunFailoverMatrix fans the controller-availability matrix (scenarios ×
+// controller planes, × repetitions) across the sweep worker pool. cfg
+// supplies the run shape (Duration, Warmup); its Seed, Faults, Robust, and
+// Failover fields are overridden per trial.
+func RunFailoverMatrix(cfg RubisConfig, opt SweepOptions) (*FailoverMatrixResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = cfg.Seed
+	}
+	opts, err := opt.options(failoverMatrixVersion)
+	if err != nil {
+		return nil, err
+	}
+	points := FailoverMatrixPoints(cfg)
+	res, err := sweep.Run(points, func(t sweep.Trial) (any, error) {
+		pc, ok := t.Point.Config.(failoverPointCfg)
+		if !ok {
+			return nil, fmt.Errorf("repro: failover-matrix point %q has config %T", t.Point.Name, t.Point.Config)
+		}
+		trialCfg := cfg
+		trialCfg.Seed = t.Seed
+		trialCfg.Faults = pc.Plan
+		trialCfg.Robust = true
+		trialCfg.Failover = &FailoverControl{Replicas: pc.Replicas}
+		if pc.Load > 0 {
+			trialCfg.LoadFactor = pc.Load
+			trialCfg.RequestTimeout = overloadStressTimeout
+			ov := overloadStressKnobs()
+			ov.Coordinated = true
+			ov.Breaker = true
+			trialCfg.Overload = &ov
+		}
+		r := RunRubis(trialCfg, true)
+		fo := r.Failover
+		ov := r.Overload
+		return FailoverRow{
+			Scenario:       pc.Scenario,
+			Plane:          pc.Plane,
+			Throughput:     r.Throughput,
+			MeanMs:         r.MeanOverTypes(),
+			Checkpoints:    fo.Checkpoints,
+			Promotions:     fo.Promotions,
+			StaleDropped:   fo.StaleDropped,
+			NoPrimaryDrops: fo.NoPrimaryDrops,
+			Load:           pc.Load,
+			Shed:           ov.QueueShed + ov.Expired + ov.IXPShed,
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	out := &FailoverMatrixResult{Sweep: res, Rows: make([]FailoverRow, len(res.Trials))}
+	for i := range res.Trials {
+		if err := res.Decode(i, &out.Rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Row returns the first-repetition row for a scenario/plane pair.
+func (r *FailoverMatrixResult) Row(scenario, plane string) (FailoverRow, bool) {
+	for _, row := range r.Rows {
+		if row.Scenario == scenario && row.Plane == plane {
+			return row, true
+		}
+	}
+	return FailoverRow{}, false
+}
