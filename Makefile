@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos overload failover flight check
+.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos overload failover flight scenarios check
 
 all: check
 
@@ -37,6 +37,7 @@ sweep:
 	$(GO) run ./cmd/reprobench -exp ablation-loss -cache .sweepcache
 	$(GO) run ./cmd/reprobench -exp ablation-faults -cache .sweepcache
 	$(GO) run ./cmd/reprobench -exp ablation-overload -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-scenarios -cache .sweepcache
 
 # bench is the regression guard: rerun the pinned sweep and compare against
 # the committed BENCH_sweep.json — exact on simulated metrics, ±10% on
@@ -86,6 +87,22 @@ flight:
 	$(GO) run ./cmd/reproflight diff /tmp/ci.flight /tmp/ci2.flight
 	$(GO) run ./cmd/reproflight inspect /tmp/ci.flight
 	$(GO) test -run FuzzFlightDecoder -fuzz FuzzFlightDecoder -fuzztime 10s ./internal/flight/
+
+# scenarios runs the trace-driven workload conformance suite under the
+# race detector: the .wtrace format golden/round-trip/fuzz-seed tests,
+# the generator property tests, the trace-driven client, scenario
+# validation, worker-count determinism of the scenario matrix, and
+# flight record/replay of a trace-driven run — then smokes the reproscn
+# CLI end to end (generate must be deterministic: diff exits 1 on any
+# divergence between two same-seed traces).
+scenarios:
+	$(GO) test -race ./internal/scenario/
+	$(GO) test -race -run 'TestResolveTrace|TestTrace|TestScaleTraceTimes' ./internal/rubis/
+	$(GO) test -race -run 'TestScenario|TestParseScenario' .
+	$(GO) run ./cmd/reproscn generate -kind flash-crowd -o /tmp/ci-a.wtrace -duration 20s -seed 7
+	$(GO) run ./cmd/reproscn generate -kind flash-crowd -o /tmp/ci-b.wtrace -duration 20s -seed 7
+	$(GO) run ./cmd/reproscn diff /tmp/ci-a.wtrace /tmp/ci-b.wtrace
+	$(GO) run ./cmd/reproscn inspect /tmp/ci-a.wtrace
 
 # check is the full tier-1 gate: what CI runs on every push.
 check: build test lint

@@ -8,7 +8,7 @@
 //	            powercap|scalability|ablation-latency|ablation-mechanisms|
 //	            ablation-threshold|ablation-interrupt|ablation-loss|
 //	            ablation-faults|ablation-overload|ablation-failover|
-//	            sweep-bench]
+//	            ablation-scenarios|sweep-bench]
 //	           [-seed N] [-quick] [-workers N] [-reps N] [-cache DIR]
 //	           [-json FILE] [-baseline FILE] [-ignore-wall]
 //
@@ -195,12 +195,13 @@ func main() {
 		"ablation-faults":     func() { ablationFaults(cfg) },
 		"ablation-overload":   func() { ablationOverload(cfg) },
 		"ablation-failover":   func() { ablationFailover(cfg) },
+		"ablation-scenarios":  func() { ablationScenarios(cfg) },
 	}
 
 	order := []string{"fig2", "fig4", "table1", "table2", "fig5", "fig6", "fig7", "table3",
 		"powercap", "scalability", "ablation-latency", "ablation-mechanisms", "ablation-threshold",
 		"ablation-interrupt", "ablation-loss", "ablation-faults", "ablation-overload",
-		"ablation-failover"}
+		"ablation-failover", "ablation-scenarios"}
 
 	writeJSON := func() {
 		if *jsonPath == "" {
@@ -739,6 +740,69 @@ func aggregateFailoverRows(rows []repro.FailoverRow) aggregatedFailover {
 	agg.StaleDropped = stale / n
 	agg.NoPrimaryDrops = noprim / n
 	agg.Shed = shed / n
+	return agg
+}
+
+// ablationScenarios runs the trace-driven scenario matrix
+// (repro.ScenarioCatalog): one scenario per generator family, each on the
+// base and the coordinated plane. The claim: coordination helps (or at
+// worst matches the baseline) across workload shapes the closed-loop
+// client cannot express — flash crowds, diurnal curves, heavy-tailed
+// sessions, inference serving, and key-value traffic.
+func ablationScenarios(cfg benchConfig) {
+	res, err := repro.RunScenarioMatrix(
+		repro.RubisConfig{Seed: cfg.seed, Duration: cfg.rubisDur},
+		cfg.facadeOptions("ablation-scenarios"),
+	)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Println("Ablation: trace-driven scenarios (base vs coordinated plane)")
+	reps := res.Sweep.Reps
+	fmt.Printf("%-22s | %-5s | %9s %9s %8s | %8s %8s %8s\n",
+		"scenario", "plane", "tput(r/s)", "mean(ms)", "sessions", "shed", "abandon", "retrans")
+	for pi := 0; pi*reps < len(res.Rows); pi++ {
+		row := aggregateScenarioRows(res.Rows[pi*reps : (pi+1)*reps])
+		fmt.Printf("%-22s | %-5s | %s %s %s | %s %s %s\n",
+			row.Scenario, row.Plane,
+			formatCell("%9.1f", row.Throughput, row.tputCI, reps),
+			formatCell("%9.0f", row.MeanMs, row.meanCI, reps),
+			formatCell("%8.0f", float64(row.Sessions), 0, 1),
+			formatCell("%8.0f", float64(row.Shed), 0, 1),
+			formatCell("%8.0f", float64(row.Abandoned), 0, 1),
+			formatCell("%8.0f", float64(row.Retransmits), 0, 1))
+	}
+}
+
+// aggregatedScenario is one scenario-matrix point folded across
+// repetitions.
+type aggregatedScenario struct {
+	repro.ScenarioRow
+	tputCI, meanCI float64
+}
+
+func aggregateScenarioRows(rows []repro.ScenarioRow) aggregatedScenario {
+	var t, m stats.Summary
+	var agg aggregatedScenario
+	agg.ScenarioRow = rows[0]
+	var sessions int
+	var shed, aband, retrans uint64
+	for _, r := range rows {
+		t.Add(r.Throughput)
+		m.Add(r.MeanMs)
+		sessions += r.Sessions
+		shed += r.Shed
+		aband += r.Abandoned
+		retrans += r.Retransmits
+	}
+	n := len(rows)
+	agg.Throughput, agg.tputCI = t.Mean(), t.CI95()
+	agg.MeanMs, agg.meanCI = m.Mean(), m.CI95()
+	agg.Sessions = sessions / n
+	agg.Shed = shed / uint64(n)
+	agg.Abandoned = aband / uint64(n)
+	agg.Retransmits = retrans / uint64(n)
 	return agg
 }
 

@@ -7,9 +7,9 @@ import (
 	"repro/internal/lint/linttest"
 )
 
-func TestDetNonDet(t *testing.T) { linttest.Run(t, lint.DetNonDet, "detnondet") }
+func TestDetNonDet(t *testing.T) { linttest.Run(t, lint.DetNonDet, "detnondet", "scenariogen") }
 
-func TestMapOrder(t *testing.T) { linttest.Run(t, lint.MapOrder, "maporder") }
+func TestMapOrder(t *testing.T) { linttest.Run(t, lint.MapOrder, "maporder", "scenarioenc") }
 
 func TestKindSwitch(t *testing.T) { linttest.Run(t, lint.KindSwitch, "kindswitch") }
 

@@ -1,0 +1,52 @@
+// Package scenarioenc is a trace-encoder-shaped fixture: the .wtrace
+// intern table and per-class summary are built from maps, and emitting
+// them in map-iteration order would make the encoding nondeterministic.
+// The good forms mirror internal/scenario's encoder.
+package scenarioenc
+
+import "sort"
+
+type sink struct{}
+
+func (sink) Emit(string) {}
+
+// badInternTable writes intern-table entries straight out of the map:
+// byte output depends on Go's randomized iteration order.
+func badInternTable(classes map[string]uint64, s sink) {
+	for name := range classes {
+		s.Emit(name) // want `s.Emit inside iteration over map classes`
+	}
+}
+
+// badClassCounts accumulates a rate across a map without ordering the
+// fold; float addition is not associative.
+func badClassCounts(rates map[string]float64) float64 {
+	var total float64
+	for _, r := range rates {
+		total += r // want `floating-point accumulation total \+= ... inside map iteration`
+	}
+	return total
+}
+
+// goodInternTable is the committed-golden-safe shape: collect, sort,
+// then emit, so the same trace always encodes to the same bytes.
+func goodInternTable(classes map[string]uint64, s sink) {
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Emit(name)
+	}
+}
+
+// Integer request counts are order-insensitive; the accumulation is
+// allowed even in map order.
+func goodRequestTotal(counts map[string]int) int {
+	var n int
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

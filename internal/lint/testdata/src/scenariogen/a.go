@@ -1,0 +1,56 @@
+// Package scenariogen is a trace-generator-shaped fixture: workload
+// generators must be pure functions of a seeded spec, so wall-clock
+// reads and global PRNG state are exactly the bugs DetNonDet exists to
+// catch. The good forms mirror internal/scenario's Generate.
+package scenariogen
+
+import (
+	mrand "math/rand" // want `import of math/rand in a simulation package`
+	"time"
+)
+
+type req struct {
+	T       int64
+	Session int
+	Size    int
+}
+
+// badGenerate stamps arrivals from the wall clock and draws sizes from
+// the process-global PRNG: two runs of the same spec produce different
+// traces.
+func badGenerate(n int) []req {
+	start := time.Now() // want `time.Now reads the wall clock`
+	reqs := make([]req, 0, n)
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+		reqs = append(reqs, req{
+			T:    int64(time.Since(start)), // want `time.Since reads the wall clock`
+			Size: mrand.Intn(4096),
+		})
+	}
+	return reqs
+}
+
+// rng is the deterministic-substream shape: the generator owns a seeded
+// source and derives everything from it.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// goodGenerate is a pure function of (seed, n): arrival deltas and
+// payload sizes come from the seeded stream, sim-time is plain integer
+// arithmetic, and duration constants are allowed.
+func goodGenerate(seed uint64, n int) []req {
+	r := &rng{state: seed}
+	gap := int64(250 * time.Millisecond)
+	reqs := make([]req, 0, n)
+	var t int64
+	for i := 0; i < n; i++ {
+		t += gap + int64(r.next()%uint64(gap))
+		reqs = append(reqs, req{T: t, Session: i % 8, Size: int(r.next() % 4096)})
+	}
+	return reqs
+}

@@ -98,11 +98,26 @@ type OverloadReport struct {
 	ServedP95Ms float64 // p95 served-response latency, milliseconds
 }
 
+// TraceDriver replaces the closed-loop client with an open-loop trace
+// replay (see TraceClient): every resolved request is injected at its
+// trace arrival time regardless of how the platform is keeping up.
+type TraceDriver struct {
+	// Reqs is the resolved trace (rubis.ResolveTrace), sorted by arrival.
+	Reqs []TraceReq
+	// Timeout, when positive, discards responses arriving later than this
+	// after the send (abandoned work, as in ClientConfig.Timeout).
+	Timeout sim.Time
+}
+
 // ExperimentConfig describes one RUBiS run on the two-island testbed.
 type ExperimentConfig struct {
 	Platform platform.Config
 	Server   ServerConfig
 	Client   ClientConfig
+
+	// Trace, when non-nil, drives the run from a workload trace instead
+	// of the closed-loop Client; the Client field is then ignored.
+	Trace *TraceDriver
 
 	// Overload, when non-nil, bounds the tier admission queues and (when
 	// Overload.Coordinated) closes the cross-island shed loop. It is
@@ -269,10 +284,25 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 	cfg.Server.Flight = cfg.Platform.Flight
 	srv := NewServer(p.Sim, cfg.Server, web, app, db, p.Host)
 
-	clientCfg := cfg.Client
-	clientCfg.WebVM = web.ID()
-	clientCfg.Warmup = cfg.Warmup
-	client := NewClient(p.Sim, clientCfg, p.IXP)
+	// Both workload drivers expose the same minimal surface; everything
+	// below this point is driver-agnostic.
+	var client interface {
+		Start()
+		Metrics() *Metrics
+	}
+	if cfg.Trace != nil {
+		client = NewTraceClient(p.Sim, TraceClientConfig{
+			Reqs:    cfg.Trace.Reqs,
+			WebVM:   web.ID(),
+			Warmup:  cfg.Warmup,
+			Timeout: cfg.Trace.Timeout,
+		}, p.IXP)
+	} else {
+		clientCfg := cfg.Client
+		clientCfg.WebVM = web.ID()
+		clientCfg.Warmup = cfg.Warmup
+		client = NewClient(p.Sim, clientCfg, p.IXP)
+	}
 
 	if ov != nil && ov.Coordinated {
 		// Close the cross-island loop. Host side: a tier tripping its

@@ -1,0 +1,275 @@
+package rubis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ixp"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// TraceReq is one resolved trace request: a scenario.Req whose class has
+// been mapped onto a concrete RUBiS request type and whose session id has
+// been densified. Seq numbers requests within a session in arrival order,
+// mirroring the closed-loop client's (session, seq) addressing so the
+// server and shed paths need no changes.
+type TraceReq struct {
+	T       sim.Time
+	Type    RequestType
+	Session int
+	Seq     int
+	Size    int // request payload bytes; 0 selects the catalog default
+}
+
+// ResolveTrace maps a workload trace onto the RUBiS catalog. Classes
+// resolve through overrides first, then scenario.DefaultClassMap, then
+// directly as RUBiS type names (so recorded RUBiS traces replay without
+// a map); an unresolvable class is a diagnosable error, not a panic.
+// Arbitrary int64 session ids are renumbered densely in order of first
+// appearance.
+func ResolveTrace(tr *scenario.Trace, overrides map[string]string) ([]TraceReq, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	defaults := scenario.DefaultClassMap()
+	byName := make(map[string]RequestType, NumRequestTypes)
+	for _, rt := range AllRequestTypes() {
+		byName[rt.String()] = rt
+	}
+	resolve := func(class string) (RequestType, error) {
+		name := class
+		if mapped, ok := overrides[class]; ok {
+			name = mapped
+		} else if mapped, ok := defaults[class]; ok {
+			name = mapped
+		}
+		rt, ok := byName[name]
+		if !ok {
+			if name != class {
+				return 0, fmt.Errorf("rubis: request class %q maps to %q, which is not a RUBiS request type", class, name)
+			}
+			return 0, fmt.Errorf("rubis: unknown request class %q (not in the class map and not a RUBiS request type)", class)
+		}
+		return rt, nil
+	}
+
+	types := make(map[string]RequestType)
+	dense := make(map[int64]int)
+	seq := make(map[int]int)
+	out := make([]TraceReq, 0, len(tr.Reqs))
+	for _, r := range tr.Reqs {
+		rt, ok := types[r.Class]
+		if !ok {
+			var err error
+			if rt, err = resolve(r.Class); err != nil {
+				return nil, err
+			}
+			types[r.Class] = rt
+		}
+		sess, ok := dense[r.Session]
+		if !ok {
+			sess = len(dense)
+			dense[r.Session] = sess
+		}
+		out = append(out, TraceReq{
+			T:       r.T,
+			Type:    rt,
+			Session: sess,
+			Seq:     seq[sess],
+			Size:    int(r.Size),
+		})
+		seq[sess]++
+	}
+	return out, nil
+}
+
+// ScaleTraceTimes compresses (factor > 1) or stretches (factor < 1) a
+// resolved trace's arrival times in place — the open-loop analogue of the
+// closed-loop client's LoadFactor session scaling. Relative order is
+// preserved exactly.
+func ScaleTraceTimes(reqs []TraceReq, factor float64) {
+	if factor <= 0 || factor == 1 {
+		return
+	}
+	for i := range reqs {
+		reqs[i].T = sim.Time(float64(reqs[i].T) / factor)
+	}
+}
+
+// TraceClientConfig shapes the trace-driven client.
+type TraceClientConfig struct {
+	Reqs   []TraceReq // resolved trace, nondecreasing T
+	WebVM  int        // destination VM for request traffic
+	Warmup sim.Time   // responses to requests sent before this are not recorded
+
+	// Timeout, when positive, discards responses that arrive later than
+	// this after the send (the open-loop analogue of the closed-loop
+	// client's page abandonment: the server's work is wasted).
+	Timeout sim.Time
+}
+
+// pendKey addresses one in-flight trace request.
+type pendKey struct {
+	session int
+	seq     int
+}
+
+// TraceClient replays a recorded or generated workload trace into the
+// IXP: every request is injected at its trace arrival time, open loop —
+// unlike the closed-loop Client, arrivals do not slow down when the
+// platform does, which is exactly what makes trace-driven overload
+// reproducible. Responses are matched back by (session, seq); a session
+// completes when its last request has been answered, shed, or timed out.
+type TraceClient struct {
+	sim *sim.Simulator
+	cfg TraceClientConfig
+	x   *ixp.IXP
+
+	metrics *Metrics
+	pending map[pendKey]*Request
+	// remaining counts each session's outstanding requests; started is
+	// its first send time, for session-duration accounting.
+	remaining map[int]int
+	started   map[int]sim.Time
+	next      int // cursor into cfg.Reqs
+	pktID     uint64
+	issued    uint64
+}
+
+// NewTraceClient builds a trace-driven client injecting at IXP x and
+// registers itself as the wire's egress consumer. The trace must be
+// sorted by arrival time (ResolveTrace preserves trace order, which the
+// format guarantees nondecreasing). Call Start to begin the replay.
+func NewTraceClient(s *sim.Simulator, cfg TraceClientConfig, x *ixp.IXP) *TraceClient {
+	if !sort.SliceIsSorted(cfg.Reqs, func(i, j int) bool { return cfg.Reqs[i].T < cfg.Reqs[j].T }) {
+		panic("rubis: trace requests are not sorted by arrival time")
+	}
+	c := &TraceClient{
+		sim:       s,
+		cfg:       cfg,
+		x:         x,
+		metrics:   NewMetrics(cfg.Warmup),
+		pending:   make(map[pendKey]*Request),
+		remaining: make(map[int]int),
+		started:   make(map[int]sim.Time),
+	}
+	for _, r := range cfg.Reqs {
+		c.remaining[r.Session]++
+	}
+	x.ConnectWire(c.onResponse)
+	return c
+}
+
+// Metrics returns the client-side measurements.
+func (c *TraceClient) Metrics() *Metrics { return c.metrics }
+
+// Issued returns the number of requests sent so far.
+func (c *TraceClient) Issued() uint64 { return c.issued }
+
+// Outstanding returns the number of requests awaiting a response.
+func (c *TraceClient) Outstanding() int { return len(c.pending) }
+
+// Start schedules the replay. A single walker steps through the sorted
+// trace, so the event heap holds at most one arrival at a time no matter
+// how long the trace is.
+func (c *TraceClient) Start() {
+	if len(c.cfg.Reqs) > 0 {
+		c.sim.At(c.cfg.Reqs[0].T, c.step)
+	}
+}
+
+// step injects every request due now and schedules the next arrival.
+func (c *TraceClient) step() {
+	now := c.sim.Now()
+	for c.next < len(c.cfg.Reqs) && c.cfg.Reqs[c.next].T <= now {
+		c.send(c.cfg.Reqs[c.next])
+		c.next++
+	}
+	if c.next < len(c.cfg.Reqs) {
+		c.sim.At(c.cfg.Reqs[c.next].T, c.step)
+	}
+}
+
+// send injects one trace request into the IXP.
+func (c *TraceClient) send(r TraceReq) {
+	c.pktID++
+	c.issued++
+	now := c.sim.Now()
+	if _, ok := c.started[r.Session]; !ok {
+		c.started[r.Session] = now
+	}
+	req := &Request{Type: r.Type, Session: r.Session, Seq: r.Seq, SentAt: now}
+	key := pendKey{session: r.Session, seq: r.Seq}
+	c.pending[key] = req
+	size := r.Size
+	if size == 0 {
+		size = DefaultCatalog()[r.Type].ReqBytes
+	}
+	c.x.Receive(&netsim.Packet{
+		ID:      c.pktID,
+		Size:    size,
+		DstVM:   c.cfg.WebVM,
+		SrcVM:   -1,
+		Class:   netsim.Class(r.Type.String()),
+		Payload: req,
+		Created: now,
+	})
+	if c.cfg.Timeout > 0 {
+		c.sim.After(c.cfg.Timeout, func() { c.abandon(key) })
+	}
+}
+
+// abandon gives up on a request still unanswered at the timeout; the
+// eventual response is discarded as stale.
+func (c *TraceClient) abandon(key pendKey) {
+	req, ok := c.pending[key]
+	if !ok {
+		return // answered (or shed) in time
+	}
+	delete(c.pending, key)
+	if req.SentAt >= c.cfg.Warmup {
+		c.metrics.RecordAbandon()
+	}
+	c.settle(key.session)
+}
+
+// onResponse consumes response packets leaving the IXP toward the wire.
+// Only the final MTU segment of a response carries the request payload;
+// earlier segments are plain data.
+func (c *TraceClient) onResponse(p *netsim.Packet) {
+	req, ok := p.Payload.(*Request)
+	if !ok {
+		return
+	}
+	key := pendKey{session: req.Session, seq: req.Seq}
+	if cur, ok := c.pending[key]; !ok || cur != req {
+		return // stale response to an abandoned request
+	}
+	delete(c.pending, key)
+	if req.Shed {
+		if req.SentAt >= c.cfg.Warmup {
+			c.metrics.RecordShed()
+		}
+	} else if req.SentAt >= c.cfg.Warmup {
+		c.metrics.RecordResponse(req.Type, c.sim.Now()-req.SentAt)
+	}
+	c.settle(key.session)
+}
+
+// settle retires one request of a session and records the session's
+// completion when its last request settles.
+func (c *TraceClient) settle(session int) {
+	c.remaining[session]--
+	if c.remaining[session] > 0 {
+		return
+	}
+	delete(c.remaining, session)
+	if start, ok := c.started[session]; ok {
+		delete(c.started, session)
+		if start >= c.cfg.Warmup {
+			c.metrics.RecordSession(c.sim.Now() - start)
+		}
+	}
+}

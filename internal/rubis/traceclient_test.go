@@ -1,0 +1,156 @@
+package rubis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func TestResolveTrace(t *testing.T) {
+	tr := &scenario.Trace{Reqs: []scenario.Req{
+		{T: 0, Class: "browse", Session: 900},
+		{T: sim.Millisecond, Class: "kv-set", Session: 7, Size: 512},
+		{T: 2 * sim.Millisecond, Class: "browse", Session: 900},
+		{T: 3 * sim.Millisecond, Class: "PutBid", Session: 900}, // direct type name
+		{T: 4 * sim.Millisecond, Class: "view", Session: 7},
+	}}
+	reqs, err := ResolveTrace(tr, map[string]string{"view": "AboutMe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceReq{
+		{T: 0, Type: Browse, Session: 0, Seq: 0},
+		{T: sim.Millisecond, Type: BuyNow, Session: 1, Seq: 0, Size: 512},
+		{T: 2 * sim.Millisecond, Type: Browse, Session: 0, Seq: 1},
+		{T: 3 * sim.Millisecond, Type: PutBid, Session: 0, Seq: 2},
+		{T: 4 * sim.Millisecond, Type: AboutMe, Session: 1, Seq: 1}, // override beats default map
+	}
+	if len(reqs) != len(want) {
+		t.Fatalf("resolved %d requests, want %d", len(reqs), len(want))
+	}
+	for i := range want {
+		if reqs[i] != want[i] {
+			t.Errorf("req %d = %+v, want %+v", i, reqs[i], want[i])
+		}
+	}
+}
+
+func TestResolveTraceErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		trace     *scenario.Trace
+		overrides map[string]string
+		want      string
+	}{
+		{"unknown class", &scenario.Trace{Reqs: []scenario.Req{{T: 0, Class: "mystery"}}}, nil, "unknown request class"},
+		{"bad map target", &scenario.Trace{Reqs: []scenario.Req{{T: 0, Class: "browse"}}},
+			map[string]string{"browse": "NotAType"}, "not a RUBiS request type"},
+		{"invalid trace", &scenario.Trace{Reqs: []scenario.Req{{T: 5, Class: "browse"}, {T: 1, Class: "browse"}}}, nil, "before"},
+	}
+	for _, tc := range cases {
+		_, err := ResolveTrace(tc.trace, tc.overrides)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// traceExperiment runs a short trace-driven experiment for tests.
+func traceExperiment(t *testing.T, seed int64, timeout sim.Time) (*Result, []TraceReq) {
+	t.Helper()
+	tr, err := scenario.Generate(scenario.GenSpec{
+		Kind: scenario.FlashCrowd, Duration: 8 * sim.Second, Rate: 25, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := ResolveTrace(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ExperimentConfig{
+		Trace:    &TraceDriver{Reqs: reqs, Timeout: timeout},
+		Warmup:   sim.Second,
+		Duration: 12 * sim.Second,
+	}
+	cfg.Platform.Seed = seed
+	return RunExperiment(cfg), reqs
+}
+
+// TestTraceDrivenExperiment: a generated trace drives the full platform
+// and the served counts are consistent with the trace contents.
+func TestTraceDrivenExperiment(t *testing.T) {
+	res, reqs := traceExperiment(t, 1, 0)
+	if res.Metrics.Responses() == 0 {
+		t.Fatal("trace-driven run served nothing")
+	}
+	if got := res.Metrics.Responses(); got > uint64(len(reqs)) {
+		t.Fatalf("served %d responses from a %d-request trace", got, len(reqs))
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput measured")
+	}
+	// Only classes present in the trace may appear in the per-type stats.
+	inTrace := make(map[RequestType]bool)
+	for _, r := range reqs {
+		inTrace[r.Type] = true
+	}
+	for _, rt := range AllRequestTypes() {
+		if !inTrace[rt] && res.Metrics.TypeSummary(rt).Count() != 0 {
+			t.Errorf("served %d %v requests the trace never issued", res.Metrics.TypeSummary(rt).Count(), rt)
+		}
+	}
+}
+
+// TestTraceDrivenDeterminism: two runs of the same trace and seed agree
+// on every client-observed metric.
+func TestTraceDrivenDeterminism(t *testing.T) {
+	a, _ := traceExperiment(t, 3, 500*sim.Millisecond)
+	b, _ := traceExperiment(t, 3, 500*sim.Millisecond)
+	if a.Metrics.Responses() != b.Metrics.Responses() ||
+		a.Metrics.Abandoned() != b.Metrics.Abandoned() ||
+		a.Metrics.SessionsCompleted() != b.Metrics.SessionsCompleted() ||
+		a.Throughput != b.Throughput || a.TotalUtil != b.TotalUtil {
+		t.Fatalf("identical configs diverged: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestTraceClientAccounting drives the client directly on a platform and
+// checks request conservation: everything issued is eventually served,
+// shed, abandoned, or still pending.
+func TestTraceClientAccounting(t *testing.T) {
+	res, reqs := traceExperiment(t, 5, 400*sim.Millisecond)
+	m := res.Metrics
+	settled := m.Responses() + m.ShedResponses() + m.Abandoned()
+	if settled > uint64(len(reqs)) {
+		t.Fatalf("settled %d requests from a %d-request trace", settled, len(reqs))
+	}
+	// With a timeout armed every request settles one way or another by
+	// run end (duration exceeds the trace span plus the timeout), except
+	// those sent before warmup, whose settlement is unrecorded.
+	if settled == 0 {
+		t.Fatal("nothing settled")
+	}
+}
+
+// TestScaleTraceTimes pins the open-loop load-factor transform.
+func TestScaleTraceTimes(t *testing.T) {
+	reqs := []TraceReq{{T: 10 * sim.Second}, {T: 20 * sim.Second}}
+	ScaleTraceTimes(reqs, 2)
+	if reqs[0].T != 5*sim.Second || reqs[1].T != 10*sim.Second {
+		t.Fatalf("2x compression gave %v, %v", reqs[0].T, reqs[1].T)
+	}
+	ScaleTraceTimes(reqs, 0) // no-op
+	if reqs[0].T != 5*sim.Second {
+		t.Fatal("factor 0 must not rescale")
+	}
+	unsorted := []TraceReq{{T: 5}, {T: 1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTraceClient accepted an unsorted trace")
+		}
+	}()
+	NewTraceClient(sim.New(1), TraceClientConfig{Reqs: unsorted}, nil)
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzTraceDecoder feeds arbitrary bytes to Decode. The decoder must
+// never panic and never allocate proportionally to a corrupted length
+// field; a successful decode must satisfy the format's own invariants
+// (structurally valid, re-encodable, request count bounded by input
+// size).
+func FuzzTraceDecoder(f *testing.F) {
+	if golden, err := os.ReadFile(goldenPath(FlashCrowd)); err == nil {
+		f.Add(golden)
+		// Truncations and single-byte corruptions of the golden trace seed
+		// the interesting error paths.
+		for _, n := range []int{0, 4, 8, 16, len(golden) / 2, len(golden) - 1} {
+			if n <= len(golden) {
+				f.Add(golden[:n])
+			}
+		}
+		for _, i := range []int{0, 5, 17, len(golden) / 2, len(golden) - 2} {
+			b := append([]byte(nil), golden...)
+			b[i] ^= 0x80
+			f.Add(b)
+		}
+	}
+	f.Add([]byte("WTR1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("decode error with empty message")
+			}
+			return
+		}
+		if len(tr.Reqs) > len(data) {
+			t.Fatalf("decoded %d requests from %d bytes", len(tr.Reqs), len(data))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder accepted a structurally invalid trace: %v", err)
+		}
+		// Anything the decoder accepts must survive a round trip.
+		var re countWriter
+		if err := Encode(&re, tr.Seed, tr.Meta, tr.Reqs, DefaultSegmentReqs); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// goldenSpec returns the pinned spec behind one committed golden trace.
+// Short durations keep the fixtures small while still exercising every
+// class and the interning/delta machinery.
+func goldenSpec(kind Kind) GenSpec {
+	return GenSpec{Kind: kind, Duration: 10 * sim.Second, Rate: 30, Seed: 1}
+}
+
+func goldenPath(kind Kind) string {
+	return filepath.Join("testdata", fmt.Sprintf("%s.wtrace", kind))
+}
+
+// TestGoldenTraces pins both the generators and the on-disk format: for
+// every family the committed testdata/<kind>.wtrace must equal the
+// current generator+encoder output byte-for-byte, decode to a valid
+// trace, and re-encode byte-identically. Set SCENARIO_WRITE_GOLDEN=1 to
+// regenerate after a deliberate change (a format change must also bump
+// Version).
+func TestGoldenTraces(t *testing.T) {
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			tr, err := Generate(goldenSpec(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tr.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			want := buf.Bytes()
+			path := goldenPath(kind)
+			if os.Getenv("SCENARIO_WRITE_GOLDEN") == "1" {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden fixture (regenerate with SCENARIO_WRITE_GOLDEN=1): %v", err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("golden %s (%d bytes) does not match current generator output (%d bytes); a deliberate change must regenerate the fixture", path, len(data), len(want))
+			}
+			dec, err := Decode(data)
+			if err != nil {
+				t.Fatalf("golden fixture no longer decodes: %v", err)
+			}
+			if err := dec.Validate(); err != nil {
+				t.Fatalf("golden fixture decodes to an invalid trace: %v", err)
+			}
+			var re bytes.Buffer
+			if err := dec.Encode(&re); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re.Bytes(), data) {
+				t.Fatal("golden fixture does not round-trip byte-identically")
+			}
+			if meta, ok := ParseGenMeta(dec.Meta); !ok || meta.Reqs != len(dec.Reqs) {
+				t.Fatalf("golden meta %+v disagrees with %d decoded requests", meta, len(dec.Reqs))
+			}
+		})
+	}
+}
+
+// TestGoldenCrossVersionRejection guards the compatibility contract: a
+// trace whose header declares any other version is refused outright
+// rather than half-read.
+func TestGoldenCrossVersionRejection(t *testing.T) {
+	data, err := os.ReadFile(goldenPath(FlashCrowd))
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	for _, v := range []uint16{0, Version + 1, 0xFFFF} {
+		b := append([]byte(nil), data...)
+		b[4] = byte(v)
+		b[5] = byte(v >> 8)
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("decoder accepted version %d", v)
+		}
+	}
+}

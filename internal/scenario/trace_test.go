@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleReqs() []Req {
+	return []Req{
+		{T: 0, Class: "browse", Session: 0},
+		{T: 10 * sim.Millisecond, Class: "view", Session: 1, Size: 300},
+		{T: 10 * sim.Millisecond, Class: "browse", Session: 0},
+		{T: 25 * sim.Millisecond, Class: "bid", Session: 1, Size: 700},
+		{T: 40 * sim.Millisecond, Class: "view", Session: 2},
+	}
+}
+
+func encodeTrace(t *testing.T, tr *Trace, segment int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr.Seed, tr.Meta, tr.Reqs, segment); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTrip pins the core conformance contract: Decode inverts Encode
+// exactly, and re-encoding the decoded trace reproduces the bytes.
+func TestRoundTrip(t *testing.T) {
+	tr := &Trace{Seed: 42, Meta: []byte(`{"k":"v"}`), Reqs: sampleReqs()}
+	for _, segment := range []int{0, 1, 2, 1024} {
+		data := encodeTrace(t, tr, segment)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("segment=%d: Decode: %v", segment, err)
+		}
+		if got.Seed != tr.Seed || string(got.Meta) != string(tr.Meta) {
+			t.Fatalf("segment=%d: header got seed=%d meta=%q", segment, got.Seed, got.Meta)
+		}
+		if len(got.Reqs) != len(tr.Reqs) {
+			t.Fatalf("segment=%d: decoded %d reqs, want %d", segment, len(got.Reqs), len(tr.Reqs))
+		}
+		for i := range tr.Reqs {
+			if got.Reqs[i] != tr.Reqs[i] {
+				t.Fatalf("segment=%d: req %d = %+v, want %+v", segment, i, got.Reqs[i], tr.Reqs[i])
+			}
+		}
+		re := encodeTrace(t, got, segment)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("segment=%d: re-encode is not byte-identical (%d vs %d bytes)", segment, len(re), len(data))
+		}
+	}
+}
+
+// TestEmptyTrace: a trace with no requests still frames and round-trips.
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{Seed: 7}
+	data := encodeTrace(t, tr, 0)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Reqs) != 0 || got.Seed != 7 {
+		t.Fatalf("got %d reqs seed %d", len(got.Reqs), got.Seed)
+	}
+}
+
+// TestEncodeRejectsInvalid: the encoder refuses structurally invalid
+// traces with diagnosable errors rather than emitting undecodable bytes.
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		reqs []Req
+		want string
+	}{
+		{"time backwards", []Req{{T: 10, Class: "a"}, {T: 5, Class: "a"}}, "backwards"},
+		{"empty class", []Req{{T: 1}}, "empty class"},
+		{"negative session", []Req{{T: 1, Class: "a", Session: -1}}, "negative session"},
+		{"negative size", []Req{{T: 1, Class: "a", Size: -3}}, "negative size"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := Encode(&buf, 1, nil, tc.reqs, 0)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// Validate reports the same defects without encoding. The first case
+	// needs a class on the out-of-order request so only ordering fails.
+	bad := &Trace{Reqs: []Req{{T: 10, Class: "a"}, {T: 5, Class: "a"}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "before") {
+		t.Errorf("Validate out-of-order: got %v", err)
+	}
+	if err := (&Trace{Reqs: sampleReqs()}).Validate(); err != nil {
+		t.Errorf("Validate of valid trace: %v", err)
+	}
+}
+
+// TestDecodeRejectsCorruption spot-checks the decoder's corruption
+// handling beyond what the fuzzer explores: CRC damage, truncation, a
+// tampered trailer count, and trailing garbage all fail diagnosably.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tr := &Trace{Seed: 3, Reqs: sampleReqs()}
+	data := encodeTrace(t, tr, 0)
+
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x40
+	if _, err := Decode(flip); err == nil {
+		t.Error("decoder accepted a corrupted trace")
+	}
+	if _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Error("decoder accepted a truncated trace")
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0x00)); err == nil {
+		t.Error("decoder accepted trailing garbage")
+	}
+	if _, err := Decode([]byte("not a trace")); err == nil {
+		t.Error("decoder accepted a bad magic")
+	}
+}
+
+// TestInfo checks the inspection summary on a known trace.
+func TestInfo(t *testing.T) {
+	tr := &Trace{Seed: 9, Reqs: sampleReqs()}
+	data := encodeTrace(t, tr, 0)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := got.Info()
+	if info.Reqs != 5 || info.Sessions != 3 || info.Bytes != len(data) {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.First != 0 || info.Last != 40*sim.Millisecond {
+		t.Fatalf("span [%v, %v]", info.First, info.Last)
+	}
+	want := []ClassCount{{"bid", 1}, {"browse", 2}, {"view", 2}}
+	if len(info.Classes) != len(want) {
+		t.Fatalf("classes = %v", info.Classes)
+	}
+	for i, c := range want {
+		if info.Classes[i] != c {
+			t.Fatalf("classes[%d] = %v, want %v", i, info.Classes[i], c)
+		}
+	}
+}
+
+// TestFileRoundTrip covers the WriteFile/ReadFile convenience pair.
+func TestFileRoundTrip(t *testing.T) {
+	tr := &Trace{Seed: 11, Reqs: sampleReqs()}
+	path := t.TempDir() + "/t.wtrace"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Reqs) != len(tr.Reqs) || got.Seed != tr.Seed {
+		t.Fatalf("file round trip lost data: %+v", got.Info())
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Error("ReadFile of a missing path succeeded")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tr, err := Generate(GenSpec{Kind: KVTier, Duration: 30 * sim.Second, Rate: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink countWriter
+	for i := 0; i < b.N; i++ {
+		sink = 0
+		if err := tr.Encode(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(sink))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	tr, err := Generate(GenSpec{Kind: KVTier, Duration: 30 * sim.Second, Rate: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(buf.Len()))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// countWriter counts bytes without keeping them.
+type countWriter int
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	*w += countWriter(len(p))
+	return len(p), nil
+}

@@ -45,6 +45,28 @@ func NewBenchReport(name string, res *RunResult) *BenchReport {
 	}
 }
 
+// MergeBenchReports concatenates several sweep runs into one pinned
+// report under a single name, in argument order: the guard can then pin
+// multiple experiment matrices in one committed baseline. Seed, Reps,
+// and Workers are taken from the first report (the pinned configuration
+// runs every matrix with the same options); wall-clock totals sum, so
+// the merged TrialsPerSec is the whole-suite throughput.
+func MergeBenchReports(name string, reports ...*BenchReport) *BenchReport {
+	out := &BenchReport{Name: name}
+	for i, r := range reports {
+		if i == 0 {
+			out.Seed, out.Reps, out.Workers = r.Seed, r.Reps, r.Workers
+		}
+		out.Trials += r.Trials
+		out.ElapsedSec += r.ElapsedSec
+		out.Results = append(out.Results, r.Results...)
+	}
+	if out.ElapsedSec > 0 {
+		out.TrialsPerSec = float64(out.Trials) / out.ElapsedSec
+	}
+	return out
+}
+
 // LoadBenchReport reads a report written by Write.
 func LoadBenchReport(path string) (*BenchReport, error) {
 	data, err := os.ReadFile(path)

@@ -22,6 +22,14 @@ type RubisConfig struct {
 	Sessions int    // concurrent client sessions (default 80)
 	Mix      string // "bid" (default, read-write) or "browsing" (read-only)
 
+	// Workload, when non-nil, selects what drives the run: the
+	// closed-loop client (kind "sessions"), a recorded .wtrace replay
+	// (kind "trace"), or a deterministic trace generator. Because the
+	// spec travels inside the config, trace-driven runs record/replay
+	// through the flight recorder like every other experiment. See
+	// docs/scenarios.md.
+	Workload *Workload `json:",omitempty"`
+
 	// IntrModeration, when positive, enables the IXP's host-interrupt
 	// moderation at that period (packets batch until the interrupt fires).
 	IntrModeration time.Duration
@@ -274,6 +282,25 @@ func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
 	}
 	if c.Warmup > 0 {
 		ec.Warmup = toSim(c.Warmup)
+	}
+	if c.Workload != nil {
+		if c.Workload.closedLoop() {
+			if c.Workload.Sessions > 0 {
+				c.Sessions = c.Workload.Sessions
+			}
+			if c.Workload.Mix != "" {
+				c.Mix = c.Workload.Mix
+			}
+		} else {
+			// Scenario.Compile pre-flights the same pure derivation, so a
+			// failure here is API misuse (bad direct config), like
+			// ParsePolicy below.
+			d, err := c.Workload.driver(c)
+			if err != nil {
+				panic("repro: " + err.Error())
+			}
+			ec.Trace = d
+		}
 	}
 	client := rubis.DefaultExperimentClient()
 	if c.Sessions > 0 {

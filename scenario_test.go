@@ -1,0 +1,219 @@
+package repro
+
+// Scenario conformance: the declarative workload DSL must validate with
+// diagnosable errors, compile to deterministic runs, sweep
+// byte-identically across worker counts, and record/replay through the
+// flight recorder like every other experiment.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func scenarioMatrixCfg() RubisConfig {
+	// Short runs: 10 matrix points at 6 simulated seconds keep the test
+	// within a few wall-clock seconds per sweep.
+	return RubisConfig{Seed: 1, Duration: 6 * time.Second}
+}
+
+// TestScenarioMatrixParallelDeterminism runs the scenario matrix
+// sequentially and with an 8-worker pool and requires byte-identical
+// canonical JSON — trial order, seeds, and every simulated metric. The
+// trace is re-derived inside each trial, so this also pins that
+// generation is a pure function of the spec and seed.
+func TestScenarioMatrixParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	run := func(workers int) (*ScenarioMatrixResult, []byte) {
+		res, err := RunScenarioMatrix(scenarioMatrixCfg(), SweepOptions{Workers: workers, Seed: 1})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := res.Sweep.DeterministicJSON()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, blob
+	}
+
+	seq, seqJSON := run(1)
+	par, parJSON := run(8)
+	if string(seqJSON) != string(parJSON) {
+		t.Fatalf("parallel sweep diverged from sequential:\nworkers=1:\n%s\nworkers=8:\n%s", seqJSON, parJSON)
+	}
+	if len(par.Rows) != len(ScenarioMatrixPoints(scenarioMatrixCfg())) {
+		t.Fatalf("matrix produced %d rows, want %d", len(par.Rows), len(ScenarioMatrixPoints(scenarioMatrixCfg())))
+	}
+	_ = seq
+
+	// The matrix must actually exercise the machinery each scenario arms,
+	// or the byte-compare proves nothing interesting.
+	flash, ok := par.Row("flash-crowd+overload", "coord")
+	if !ok {
+		t.Fatal("matrix lost its flash-crowd+overload/coord point")
+	}
+	if flash.Shed == 0 && flash.Abandoned == 0 {
+		t.Error("flash crowd shed and abandoned nothing; overload scenario is near-vacuous")
+	}
+	tail, ok := par.Row("heavy-tail+partition", "coord")
+	if !ok {
+		t.Fatal("matrix lost its heavy-tail+partition/coord point")
+	}
+	if tail.Retransmits == 0 {
+		t.Error("partition scenario drove no retransmits; fault composition is near-vacuous")
+	}
+	for _, row := range par.Rows {
+		if row.Throughput <= 0 {
+			t.Errorf("scenario %s/%s served nothing", row.Scenario, row.Plane)
+		}
+	}
+}
+
+// TestScenarioFlightReplay pins trace-driven runs to the flight
+// recorder: a generated-workload scenario with faults armed must record
+// and replay with zero divergence. The workload spec travels inside the
+// recorded config, so the replay re-derives the identical trace.
+func TestScenarioFlightReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	sc := Scenario{
+		Name: "replay", Seed: 1,
+		Duration: 6 * time.Second, Warmup: 2 * time.Second,
+		Workload: &Workload{Kind: "kv-tier", Rate: 60},
+		Faults:   &FaultPlan{LossRate: 0.2},
+		Robust:   true,
+	}
+	cfg, err := sc.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+
+	var buf bytes.Buffer
+	run, err := RecordRubis(cfg, true, &buf)
+	if err != nil {
+		t.Fatalf("RecordRubis: %v", err)
+	}
+	if run.Throughput <= 0 {
+		t.Error("trace-driven run served nothing; replay check is near-vacuous")
+	}
+	if run.Robustness.FaultDrops == 0 {
+		t.Error("loss plan dropped nothing; replay check is near-vacuous")
+	}
+	rep, err := ReplayRubis(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReplayRubis: %v", err)
+	}
+	if rep.Divergence != nil {
+		t.Errorf("trace-driven run does not replay deterministically: %v", rep.Divergence)
+	}
+	if rep.Events == 0 {
+		t.Error("trace-driven run recorded no flight events")
+	}
+}
+
+// TestScenarioValidation: malformed scenarios are diagnosable errors
+// from Validate/Compile, never panics.
+func TestScenarioValidation(t *testing.T) {
+	dur := 10 * time.Second
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"unknown kind", Scenario{Workload: &Workload{Kind: "mystery"}}, "unknown generator kind"},
+		{"negative rate", Scenario{Workload: &Workload{Kind: "diurnal", Rate: -3}}, "negative"},
+		{"negative duration", Scenario{Duration: -dur}, "negative duration"},
+		{"warmup swallows run", Scenario{Duration: dur, Warmup: dur}, "no measurement window"},
+		{"negative load", Scenario{LoadFactor: -1}, "negative load factor"},
+		{"trace without path", Scenario{Workload: &Workload{Kind: "trace"}}, "requires a path"},
+		{"path on closed loop", Scenario{Workload: &Workload{Kind: "sessions", Path: "x.wtrace"}}, "does not take a trace path"},
+		{"bad mix", Scenario{Workload: &Workload{Mix: "replay"}}, "unknown workload mix"},
+		{"bad shed policy", Scenario{Overload: &OverloadControl{Policy: "random"}}, "unknown shed policy"},
+		{"negative replicas", Scenario{Failover: &FailoverControl{Replicas: -1}}, "negative replica count"},
+		{"overlapping crashes", Scenario{Faults: &FaultPlan{Crashes: []CrashWindow{
+			{Island: "ixp", Start: time.Second, Duration: 2 * time.Second},
+			{Island: "ixp", Start: 2 * time.Second, Duration: time.Second},
+		}}}, "overlaps"},
+		{"overlapping replica windows", Scenario{Faults: &FaultPlan{
+			ControllerCrashes:    []ReplicaWindow{{Replica: 0, Start: time.Second, Duration: 2 * time.Second}},
+			ControllerPartitions: []ReplicaWindow{{Replica: 0, Start: 2 * time.Second, Duration: time.Second}},
+		}}, "overlaps"},
+		{"overlapping partitions", Scenario{Faults: &FaultPlan{Partitions: []Partition{
+			{Start: time.Second, Duration: 2 * time.Second, Channels: []string{"mailbox:to-host"}},
+			{Start: 2 * time.Second, Duration: time.Second},
+		}}}, "overlaps"},
+	}
+	for _, tc := range cases {
+		err := tc.sc.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Disjoint windows on distinct targets validate fine.
+	ok := Scenario{Faults: &FaultPlan{
+		Crashes: []CrashWindow{
+			{Island: "ixp", Start: time.Second, Duration: time.Second},
+			{Island: "x86", Start: time.Second, Duration: time.Second},
+			{Island: "ixp", Start: 3 * time.Second, Duration: time.Second},
+		},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("disjoint windows rejected: %v", err)
+	}
+
+	// Compile pre-flights trace materialization: a missing file and an
+	// unresolvable class map are errors here, not panics at run time.
+	missing := Scenario{Workload: &Workload{Kind: "trace", Path: "/nonexistent/x.wtrace"}}
+	if _, err := missing.Compile(); err == nil {
+		t.Error("Compile accepted a missing trace file")
+	}
+	badMap := Scenario{Workload: &Workload{
+		Kind: "diurnal", ClassMap: map[string]string{"browse": "NotAType"},
+	}}
+	if _, err := badMap.Compile(); err == nil || !strings.Contains(err.Error(), "not a RUBiS request type") {
+		t.Errorf("Compile of a bad class map: %v", err)
+	}
+}
+
+// TestParseScenario: the JSON form decodes strictly — typoed knobs are
+// errors, not silent defaults.
+func TestParseScenario(t *testing.T) {
+	good := []byte(`{"name":"x","duration":10000000000,"workload":{"kind":"flash-crowd","rate":20}}`)
+	sc, err := ParseScenario(good)
+	if err != nil {
+		t.Fatalf("ParseScenario: %v", err)
+	}
+	if sc.Name != "x" || sc.Workload.Kind != "flash-crowd" || sc.Workload.Rate != 20 {
+		t.Fatalf("decoded %+v", sc)
+	}
+	if _, err := ParseScenario([]byte(`{"workload":{"kimd":"flash-crowd"}}`)); err == nil {
+		t.Error("ParseScenario accepted an unknown field")
+	}
+	if _, err := ParseScenario([]byte(`{"workload":{"kind":"mystery"}}`)); err == nil {
+		t.Error("ParseScenario accepted an invalid spec")
+	}
+}
+
+// TestScenarioCatalogCoverage: the catalog stays in sync with the
+// generator families — every family appears exactly once.
+func TestScenarioCatalogCoverage(t *testing.T) {
+	seen := make(map[string]int)
+	for _, sc := range ScenarioCatalog(20 * time.Second) {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("catalog scenario %q does not validate: %v", sc.Name, err)
+		}
+		seen[sc.Workload.Kind]++
+	}
+	for _, k := range scenario.Kinds() {
+		if seen[string(k)] != 1 {
+			t.Errorf("generator family %q appears %d times in the catalog, want 1", k, seen[string(k)])
+		}
+	}
+}

@@ -416,24 +416,31 @@ func (r *OverloadMatrixResult) Row(control string, load float64) (OverloadRow, b
 // means the models changed; the wall-clock trial throughput seeds the
 // perf trajectory.
 const (
-	BenchSweepName = "rubis-fault-matrix"
+	BenchSweepName = "rubis-matrix"
 	benchSweepSeed = 1
 	benchSweepReps = 2
 	benchSweepDur  = 20 * time.Second
 )
 
-// RunBenchSweep executes the pinned benchmark sweep and returns its
-// report. The cache is deliberately not used: the guard measures real
-// trial throughput.
+// RunBenchSweep executes the pinned benchmark suite — the fault matrix
+// followed by the trace-driven scenario matrix, merged into one report —
+// and returns it. The cache is deliberately not used: the guard measures
+// real trial throughput.
 func RunBenchSweep(workers int, progress func(p sweep.Progress)) (*sweep.BenchReport, error) {
-	res, err := RunFaultMatrix(
-		RubisConfig{Seed: benchSweepSeed, Duration: benchSweepDur},
-		SweepOptions{Workers: workers, Reps: benchSweepReps, Seed: benchSweepSeed, Progress: progress},
-	)
+	cfg := RubisConfig{Seed: benchSweepSeed, Duration: benchSweepDur}
+	opt := SweepOptions{Workers: workers, Reps: benchSweepReps, Seed: benchSweepSeed, Progress: progress}
+	faults, err := RunFaultMatrix(cfg, opt)
 	if err != nil {
 		return nil, err
 	}
-	return sweep.NewBenchReport(BenchSweepName, res.Sweep), nil
+	scenarios, err := RunScenarioMatrix(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.MergeBenchReports(BenchSweepName,
+		sweep.NewBenchReport(BenchSweepName, faults.Sweep),
+		sweep.NewBenchReport(BenchSweepName, scenarios.Sweep),
+	), nil
 }
 
 // failoverMatrixVersion invalidates cached failover-matrix trials when the
