@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos overload failover flight scenarios check
+.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos chaos-search overload failover flight scenarios check
 
 all: check
 
@@ -46,16 +46,30 @@ sweep:
 bench:
 	$(GO) run ./cmd/reprobench -exp sweep-bench -json /tmp/BENCH_sweep.json -baseline BENCH_sweep.json
 
-# fuzz gives the reliability-protocol fuzzer a short budget; CI and local
-# smoke runs share the checked-in corpus under testdata.
+# fuzz gives the reliability-protocol and fault-plan-generator fuzzers a
+# short budget each; CI and local smoke runs share the checked-in corpus
+# under testdata.
 fuzz:
 	$(GO) test -run FuzzReliableEndpoint -fuzz FuzzReliableEndpoint -fuzztime 30s ./internal/core/
+	$(GO) test -run FuzzFaultPlanGen -fuzz FuzzFaultPlanGen -fuzztime 30s ./internal/chaos/
 
 # chaos runs the fault-injection suites: the root RUBiS chaos tests plus
 # the coordination-plane protocol tests under the race detector.
 chaos:
 	$(GO) test -run 'TestChaos' .
 	$(GO) test -race ./internal/core/... ./internal/pcie/... ./internal/sweep/...
+
+# chaos-search pins the property-guided search plane: the generator/
+# shrinker/search engine under the race detector, the root acceptance
+# tests (worker-count determinism, planted-violation shrinking, corruption
+# containment), a small fixed-budget seeded search via the CLI, and a
+# replay of every committed corpus entry — each testdata/chaos/*.json
+# must still pass its oracle. See docs/chaos-search.md.
+chaos-search:
+	$(GO) test -race ./internal/chaos/
+	$(GO) test -run 'TestChaosSearchDeterminism|TestChaosShrinkPlantedViolation|TestChaosCorruptionContainment|TestChaosCorpusReplay' .
+	$(GO) run ./cmd/reprochaos search -seed 1 -budget 4 -duration 8s -warmup 2s
+	$(GO) run ./cmd/reprochaos replay testdata/chaos/*.json
 
 # failover pins the controller-availability contract under the race
 # detector: a mid-run primary crash costs at most the election bound

@@ -1,0 +1,378 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sweep"
+)
+
+// This file is the public face of the chaos search plane: property-guided
+// exploration of the fault-plan space with invariant oracles and automatic
+// shrinking. The generic engine lives in internal/chaos; this file wires
+// it to real RUBiS runs, the CheckInvariants oracle catalog, and the
+// scenario DSL (minimized repros are emitted as ordinary Scenarios, so
+// `reproscn` and the corpus tooling can replay them). See
+// docs/chaos-search.md and cmd/reprochaos.
+
+// ChaosSearchOptions shapes one chaos search. Zero values take the
+// defaults noted on each field.
+type ChaosSearchOptions struct {
+	// Seed drives the trial generator (default 1).
+	Seed int64
+	// Budget is the number of generated trials (default 16).
+	Budget int
+	// Workers sizes the sweep pool (default NumCPU); the result is
+	// byte-identical for every worker count.
+	Workers int
+
+	// Duration and Warmup shape each trial run (defaults 16s / 4s —
+	// deliberately short: a search runs dozens of full experiments).
+	Duration time.Duration
+	Warmup   time.Duration
+
+	// Loads, Kinds, MaxWindows, and MaxReplicas shape the sample space
+	// (see chaos.GenConfig for the defaults).
+	Loads       []float64
+	Kinds       []string
+	MaxWindows  int
+	MaxReplicas int
+
+	// MaxFindings bounds how many violating trials are shrunk (default 3).
+	MaxFindings int
+	// MaxShrinkTrials caps candidate runs per shrink (default 48; each
+	// candidate is a full coordinated+baseline experiment).
+	MaxShrinkTrials int
+
+	// Replay arms the record->replay oracle on every trial (one extra
+	// replay pass per run).
+	Replay bool
+
+	// CacheDir, when set, memoizes trial outcomes on disk so repeated
+	// searches skip already-judged specs.
+	CacheDir string
+
+	// Progress, when non-nil, observes trial completion.
+	Progress func(done, total int)
+}
+
+func (o ChaosSearchOptions) normalized() ChaosSearchOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Budget <= 0 {
+		o.Budget = 16
+	}
+	if o.Duration <= 0 {
+		o.Duration = 16 * time.Second
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 4 * time.Second
+	}
+	if o.MaxShrinkTrials <= 0 {
+		o.MaxShrinkTrials = 48
+	}
+	return o
+}
+
+// ChaosFinding is one minimized violation, expressed as runnable
+// scenarios.
+type ChaosFinding struct {
+	// Oracle is the invariant the trial broke.
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail,omitempty"`
+	// Trial is the original generated scenario; Minimized is the shrunk
+	// repro, still violating Oracle with strictly fewer ingredients
+	// (unless Trial was already minimal).
+	Trial     Scenario `json:"trial"`
+	Minimized Scenario `json:"minimized"`
+	// ShrinkSteps counts accepted removals; ShrinkTrials all candidate
+	// experiments the shrinker spent.
+	ShrinkSteps  int `json:"shrink_steps"`
+	ShrinkTrials int `json:"shrink_trials"`
+}
+
+// ChaosSearchResult is the outcome of one chaos search.
+type ChaosSearchResult struct {
+	Seed      int64          `json:"seed"`
+	Trials    int            `json:"trials"`
+	Violating int            `json:"violating"`
+	Findings  []ChaosFinding `json:"findings,omitempty"`
+}
+
+// chaosTemplate is the run shape every generated trial starts from: the
+// coordinated reliable plane, judged against a local baseline.
+func chaosTemplate(o ChaosSearchOptions) Scenario {
+	return Scenario{
+		Duration:    o.Duration,
+		Warmup:      o.Warmup,
+		Coordinated: true,
+		Robust:      true,
+	}
+}
+
+// chaosApplySpec overlays an engine spec's shrinkable ingredients onto a
+// template scenario, preserving everything the shrinker does not touch
+// (robustness, durations, tuned overload knobs). Template and spec
+// round-trip: scenarioChaosSpec(chaosApplySpec(tmpl, spec)) == spec.
+func chaosApplySpec(tmpl Scenario, spec chaos.TrialSpec) Scenario {
+	s := tmpl
+	s.Name = spec.Name
+	s.Seed = spec.Seed
+	s.Faults = fromInternalPlan(spec.Plan)
+	s.LoadFactor = spec.Load
+	if spec.Load > 1 && s.RequestTimeout == 0 {
+		s.RequestTimeout = overloadStressTimeout
+	}
+	switch {
+	case !spec.Overload:
+		s.Overload = nil
+	case s.Overload == nil:
+		ov := overloadStressKnobs()
+		ov.Coordinated = true
+		s.Overload = &ov
+	}
+	switch {
+	case spec.Replicas <= 1:
+		s.Failover = nil
+	default:
+		f := FailoverControl{Replicas: spec.Replicas}
+		if s.Failover != nil {
+			f = *s.Failover
+			f.Replicas = spec.Replicas
+		}
+		s.Failover = &f
+	}
+	switch {
+	case spec.Kind == "" || spec.Kind == "sessions":
+		if s.Workload != nil && !s.Workload.closedLoop() {
+			s.Workload = nil
+		}
+	case s.Workload == nil || s.Workload.Kind != spec.Kind:
+		s.Workload = &Workload{Kind: spec.Kind}
+	}
+	return s
+}
+
+// scenarioChaosSpec projects a scenario onto the engine's spec — the
+// shrinkable ingredient list.
+func scenarioChaosSpec(s Scenario) chaos.TrialSpec {
+	spec := chaos.TrialSpec{
+		Name:     s.Name,
+		Seed:     s.Seed,
+		Load:     s.LoadFactor,
+		Overload: s.Overload != nil,
+	}
+	if s.Workload != nil {
+		spec.Kind = s.Workload.Kind
+	}
+	if s.Failover != nil {
+		spec.Replicas = s.Failover.Replicas
+	}
+	if s.Faults != nil {
+		spec.Plan = *s.Faults.internal()
+	}
+	return spec
+}
+
+// runChaosJudged compiles and runs the scenario on the coordinated plane,
+// runs the local-only baseline under the same fault plan (shorn of
+// controller-replica machinery, which only exists when coordinating), and
+// returns the bundle the oracles judge. When replay is set the
+// coordinated run is recorded and replayed for the zero-divergence
+// oracle.
+func runChaosJudged(s Scenario, replay bool) (ChaosRun, error) {
+	cfg, err := s.Compile()
+	if err != nil {
+		return ChaosRun{}, err
+	}
+	cr := ChaosRun{Config: cfg, Coordinated: true}
+	if replay {
+		var log bytes.Buffer
+		run, err := RecordRubis(cfg, true, &log)
+		if err != nil {
+			return ChaosRun{}, err
+		}
+		rep, err := ReplayRubis(log.Bytes())
+		if err != nil {
+			return ChaosRun{}, err
+		}
+		cr.Run, cr.Replay = run, rep
+	} else {
+		cr.Run = RunRubis(cfg, true)
+	}
+
+	base := cfg
+	base.Failover = nil
+	if base.Faults != nil {
+		fp := *base.Faults
+		fp.ControllerCrashes = nil
+		fp.ControllerPartitions = nil
+		base.Faults = &fp
+	}
+	if base.Overload != nil {
+		ov := *base.Overload
+		ov.Coordinated = false
+		base.Overload = &ov
+	}
+	cr.Baseline = RunRubis(base, false)
+	return cr, nil
+}
+
+// chaosRunner adapts the judged run to the engine's Runner contract.
+func chaosRunner(tmpl Scenario, replay bool) chaos.Runner {
+	return func(spec chaos.TrialSpec) (chaos.Result, error) {
+		cr, err := runChaosJudged(chaosApplySpec(tmpl, spec), replay)
+		if err != nil {
+			return chaos.Result{}, err
+		}
+		var res chaos.Result
+		for _, v := range FailedOracles(CheckInvariants(cr)) {
+			res.Violations = append(res.Violations, chaos.Violation{Oracle: v.Oracle, Detail: v.Detail})
+		}
+		return res, nil
+	}
+}
+
+// RunChaosSearch samples Budget random fault plans crossed with load
+// levels and workload kinds, runs each through the sweep engine, judges
+// every outcome with the invariant-oracle catalog, and shrinks each
+// violation to a minimal repro. The result is a pure function of the
+// options: same seed and budget yield byte-identical results for any
+// worker count.
+func RunChaosSearch(o ChaosSearchOptions) (*ChaosSearchResult, error) {
+	o = o.normalized()
+	copts := chaos.Options{
+		Seed:    o.Seed,
+		Budget:  o.Budget,
+		Workers: o.Workers,
+		Gen: chaos.GenConfig{
+			Duration:    toSim(o.Duration),
+			WindowStart: toSim(o.Warmup),
+			MaxWindows:  o.MaxWindows,
+			MaxReplicas: o.MaxReplicas,
+			Loads:       o.Loads,
+			Kinds:       o.Kinds,
+		},
+		MaxFindings:     o.MaxFindings,
+		MaxShrinkTrials: o.MaxShrinkTrials,
+		CacheVersion:    "chaos-v1",
+	}
+	if o.CacheDir != "" {
+		c, err := sweep.OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		copts.Cache = c
+	}
+	if o.Progress != nil {
+		copts.Progress = func(p sweep.Progress) { o.Progress(p.Done, p.Total) }
+	}
+
+	tmpl := chaosTemplate(o)
+	res, err := chaos.Search(chaosRunner(tmpl, o.Replay), copts)
+	if err != nil {
+		return nil, err
+	}
+	out := &ChaosSearchResult{Seed: o.Seed, Trials: res.Trials, Violating: res.Violating}
+	for _, f := range res.Findings {
+		out.Findings = append(out.Findings, ChaosFinding{
+			Oracle:       f.Oracle,
+			Detail:       f.Detail,
+			Trial:        chaosApplySpec(tmpl, f.Spec),
+			Minimized:    chaosApplySpec(tmpl, f.Minimized),
+			ShrinkSteps:  f.ShrinkSteps,
+			ShrinkTrials: f.ShrinkTrials,
+		})
+	}
+	return out, nil
+}
+
+// ShrinkChaosScenario minimizes a scenario known to violate oracle: each
+// candidate removes one fault ingredient and is kept only if re-running
+// it still violates the same oracle. It returns the minimized scenario
+// plus the accepted-step and trial counts. maxTrials caps the candidate
+// experiments (0 means 48).
+func ShrinkChaosScenario(s Scenario, oracle string, maxTrials int) (Scenario, int, int, error) {
+	if maxTrials <= 0 {
+		maxTrials = 48
+	}
+	spec := scenarioChaosSpec(s)
+	run := chaosRunner(s, false)
+	// Pre-flight: the input must actually violate the oracle, otherwise
+	// "minimal" is meaningless.
+	res, err := run(spec)
+	if err != nil {
+		return Scenario{}, 0, 0, err
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Oracle == oracle {
+			found = true
+		}
+	}
+	if !found {
+		return Scenario{}, 0, 0, fmt.Errorf("repro: scenario %q does not violate oracle %q", s.Name, oracle)
+	}
+	shr, err := chaos.Shrink(run, spec, oracle, maxTrials)
+	if err != nil {
+		return Scenario{}, 0, 0, err
+	}
+	return chaosApplySpec(s, shr.Spec), len(shr.Steps), shr.Trials + 1, nil
+}
+
+// ChaosRepro is the corpus interchange format: a minimized scenario plus
+// the oracle it once violated and where it came from. Committed corpus
+// entries must replay clean — they document defenses that now hold, and
+// CI re-judges them on every run.
+type ChaosRepro struct {
+	// Oracle is the invariant this repro stresses (and once violated).
+	Oracle string `json:"oracle"`
+	// Detail describes the original violation and what fixed it.
+	Detail string `json:"detail,omitempty"`
+	// Found records provenance (search seed, date, or by-hand note).
+	Found string `json:"found,omitempty"`
+	// Scenario is the minimized, runnable repro.
+	Scenario Scenario `json:"scenario"`
+}
+
+// ParseChaosRepro decodes a corpus entry, rejecting unknown fields so
+// typos in hand-edited repros surface as errors.
+func ParseChaosRepro(data []byte) (ChaosRepro, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r ChaosRepro
+	if err := dec.Decode(&r); err != nil {
+		return ChaosRepro{}, fmt.Errorf("repro: parsing chaos repro: %w", err)
+	}
+	if r.Oracle == "" {
+		return ChaosRepro{}, fmt.Errorf("repro: chaos repro %q names no oracle", r.Scenario.Name)
+	}
+	known := false
+	for _, o := range ChaosOracles() {
+		if o == r.Oracle {
+			known = true
+		}
+	}
+	if !known {
+		return ChaosRepro{}, fmt.Errorf("repro: chaos repro %q names unknown oracle %q", r.Scenario.Name, r.Oracle)
+	}
+	if err := r.Scenario.Validate(); err != nil {
+		return ChaosRepro{}, err
+	}
+	return r, nil
+}
+
+// ReplayChaosRepro re-runs a corpus entry and returns the full verdict
+// list (record->replay divergence included). A committed repro passes
+// when no verdict is a violation.
+func ReplayChaosRepro(r ChaosRepro) ([]OracleVerdict, error) {
+	cr, err := runChaosJudged(r.Scenario, true)
+	if err != nil {
+		return nil, err
+	}
+	return CheckInvariants(cr), nil
+}

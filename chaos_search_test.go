@@ -1,0 +1,186 @@
+package repro
+
+// Chaos-search tests: the property-guided search plane must itself be
+// deterministic (same seed and budget, byte-identical results for any
+// worker count), its shrinker must reduce a planted violation to a
+// strictly smaller repro that still violates the same oracle, corruption
+// injection must degrade and never misactuate, and every committed corpus
+// entry must replay clean against the full oracle catalog.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestChaosSearchDeterminism runs the same small fixed-budget search with
+// one worker and with eight and requires byte-identical JSON, findings
+// included — the acceptance contract for running searches under the
+// content-hash cache and across machines.
+func TestChaosSearchDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	run := func(workers int) []byte {
+		res, err := RunChaosSearch(ChaosSearchOptions{
+			Seed: 5, Budget: 4, Workers: workers,
+			Duration: 8 * time.Second, Warmup: 2 * time.Second,
+			MaxShrinkTrials: 6,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return blob
+	}
+	seq, par := run(1), run(8)
+	if string(seq) != string(par) {
+		t.Fatalf("search diverged across worker counts:\nworkers=1: %s\nworkers=8: %s", seq, par)
+	}
+}
+
+// plantedDupScenario is a hand-planted at-most-once violation: on the
+// fragile plane (Robust off) duplicated Tunes are applied twice, and the
+// reorder rate, spike rate, and partition window are red herrings the
+// shrinker must strip (non-dropping faults, so they cannot mask the
+// double-apply the way loss would).
+func plantedDupScenario() Scenario {
+	return Scenario{
+		Name: "planted-fragile-dup", Seed: 1,
+		Duration: 16 * time.Second, Warmup: 4 * time.Second,
+		Coordinated: true,
+		Faults: &FaultPlan{
+			DupRate:     0.3,
+			ReorderRate: 0.2,
+			SpikeRate:   0.1,
+			Partitions: []Partition{
+				{Start: 6 * time.Second, Duration: 2 * time.Second},
+			},
+		},
+	}
+}
+
+// TestChaosShrinkPlantedViolation shrinks the planted violation and
+// requires a strictly smaller repro that still violates the same oracle:
+// duplication alone explains the double-apply, so the reorder and spike
+// rates and the partition must all be stripped.
+func TestChaosShrinkPlantedViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	s := plantedDupScenario()
+	min, steps, trials, err := ShrinkChaosScenario(s, OracleAtMostOnce, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 3 {
+		t.Errorf("shrinker accepted %d removals, want >= 3 (reorder, spike, and partition are red herrings)", steps)
+	}
+	if trials <= steps {
+		t.Errorf("shrink spent %d trials for %d accepted steps; rejected candidates were never re-run", trials, steps)
+	}
+	fp := min.Faults
+	if fp == nil || fp.DupRate == 0 {
+		t.Fatalf("minimized repro lost the duplication that causes the violation: %+v", fp)
+	}
+	if fp.ReorderRate != 0 || fp.SpikeRate != 0 || len(fp.Partitions) != 0 {
+		t.Errorf("minimized repro kept red herrings: reorder=%g spike=%g partitions=%d",
+			fp.ReorderRate, fp.SpikeRate, len(fp.Partitions))
+	}
+	// Soundness: the minimized scenario still violates the same oracle.
+	cr, err := runChaosJudged(min, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated := false
+	for _, v := range FailedOracles(CheckInvariants(cr)) {
+		if v.Oracle == OracleAtMostOnce {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("minimized repro no longer violates at-most-once")
+	}
+}
+
+// TestChaosCorruptionContainment drives a nonzero corruption rate through
+// both planes and requires degradation without misactuation: every
+// corrupted frame that arrives is checksum-dropped, on the fragile plane
+// just as on the reliable one, and the run stays deterministic.
+func TestChaosCorruptionContainment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	for _, robust := range []bool{false, true} {
+		name := "fragile"
+		if robust {
+			name = "robust"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := RubisConfig{
+				Seed: 3, Duration: 16 * time.Second, Warmup: 4 * time.Second,
+				Robust: robust,
+				Faults: &FaultPlan{CorruptRate: 0.25},
+			}
+			r := RunRubis(cfg, true)
+			rb := r.Robustness
+			if rb.Corrupted == 0 || rb.CorruptArrived == 0 {
+				t.Fatalf("corruption never exercised: injected=%d arrived=%d", rb.Corrupted, rb.CorruptArrived)
+			}
+			requireInvariants(t, ChaosRun{Config: cfg, Coordinated: true, Run: r})
+			if again := RunRubis(cfg, true); !reflect.DeepEqual(r, again) {
+				t.Error("identical corrupted runs diverged")
+			}
+		})
+	}
+}
+
+// TestChaosCorpusReplay re-judges every committed minimized repro: corpus
+// entries document defenses that now hold, so each must pass the full
+// oracle catalog (record->replay divergence included).
+func TestChaosCorpusReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long integration test")
+	}
+	paths, err := filepath.Glob(filepath.Join("testdata", "chaos", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed chaos corpus entries under testdata/chaos/")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := ParseChaosRepro(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verdicts, err := ReplayChaosRepro(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range FailedOracles(verdicts) {
+				t.Errorf("oracle %s violated: %s", v.Oracle, v.Detail)
+			}
+			// The entry's named oracle must actually have been judged, not
+			// skipped — a corpus repro that no longer arms its own invariant
+			// is dead weight.
+			for _, v := range verdicts {
+				if v.Oracle == rep.Oracle && v.Skipped {
+					t.Errorf("entry's oracle %s was skipped: %s", v.Oracle, v.Detail)
+				}
+			}
+		})
+	}
+}

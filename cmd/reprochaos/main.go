@@ -1,0 +1,251 @@
+// Command reprochaos runs property-guided chaos searches over the
+// fault-plan space, shrinks violating scenarios to minimal repros, and
+// replays committed corpus entries (see docs/chaos-search.md).
+//
+// Usage:
+//
+//	reprochaos search [-seed N] [-budget N] [-workers N] [-duration 16s]
+//	                  [-warmup 4s] [-findings N] [-shrink-trials N]
+//	                  [-replay] [-cache DIR] [-out DIR]
+//	reprochaos shrink -oracle NAME [-max-trials N] [-o FILE] scenario.json
+//	reprochaos replay repro.json...
+//
+// search samples random fault plans crossed with load levels and workload
+// kinds, judges every trial with the invariant-oracle catalog, and shrinks
+// each violation to a minimal repro; -out writes one ChaosRepro JSON (and
+// a .flight recording of the minimized run) per finding. shrink minimizes
+// a single scenario known to violate -oracle; the input may be a plain
+// scenario or a ChaosRepro (whose oracle then becomes the default).
+// replay re-judges corpus entries and exits 1 if any oracle fails —
+// committed repros document defenses that now hold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+func newFlags(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ExitOnError)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "search":
+		search(os.Args[2:])
+	case "shrink":
+		shrink(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: reprochaos search|shrink|replay [flags] [files]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reprochaos:", err)
+	os.Exit(1)
+}
+
+func search(args []string) {
+	fs := newFlags("search")
+	seed := fs.Int64("seed", 1, "generator seed")
+	budget := fs.Int("budget", 16, "number of generated trials")
+	workers := fs.Int("workers", 0, "sweep workers (0 = NumCPU; result is identical for any count)")
+	duration := fs.Duration("duration", 16*time.Second, "simulated length of each trial")
+	warmup := fs.Duration("warmup", 4*time.Second, "measurement warmup of each trial")
+	findings := fs.Int("findings", 3, "max violating trials to shrink")
+	shrinkTrials := fs.Int("shrink-trials", 48, "max candidate runs per shrink")
+	replayOracle := fs.Bool("replay", false, "arm the record->replay divergence oracle on every trial")
+	cache := fs.String("cache", "", "content-hash cache directory (skips already-judged trials)")
+	out := fs.String("out", "", "write one repro JSON + .flight per finding into this directory")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		usage()
+	}
+
+	res, err := repro.RunChaosSearch(repro.ChaosSearchOptions{
+		Seed:            *seed,
+		Budget:          *budget,
+		Workers:         *workers,
+		Duration:        *duration,
+		Warmup:          *warmup,
+		MaxFindings:     *findings,
+		MaxShrinkTrials: *shrinkTrials,
+		Replay:          *replayOracle,
+		CacheDir:        *cache,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rtrial %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("searched %d trials (seed=%d): %d violating, %d shrunk\n",
+		res.Trials, res.Seed, res.Violating, len(res.Findings))
+	for i, f := range res.Findings {
+		fmt.Printf("  [%d] %s: %s\n", i, f.Oracle, f.Detail)
+		fmt.Printf("      trial %s -> minimized in %d steps (%d runs)\n",
+			f.Trial.Name, f.ShrinkSteps, f.ShrinkTrials)
+		if *out != "" {
+			if err := writeFinding(*out, i, f, *seed); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeFinding emits one finding as a corpus-format repro JSON plus a
+// flight recording of the minimized run.
+func writeFinding(dir string, i int, f repro.ChaosFinding, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("finding-%02d-%s", i, f.Oracle)
+	rep := repro.ChaosRepro{
+		Oracle:   f.Oracle,
+		Detail:   f.Detail,
+		Found:    fmt.Sprintf("reprochaos search -seed %d", seed),
+		Scenario: f.Minimized,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	cfg, err := f.Minimized.Compile()
+	if err != nil {
+		return err
+	}
+	fl, err := os.Create(filepath.Join(dir, name+".flight"))
+	if err != nil {
+		return err
+	}
+	if _, err := repro.RecordRubis(cfg, true, fl); err != nil {
+		fl.Close()
+		return err
+	}
+	fmt.Printf("      wrote %s.json + .flight\n", filepath.Join(dir, name))
+	return fl.Close()
+}
+
+func shrink(args []string) {
+	fs := newFlags("shrink")
+	oracle := fs.String("oracle", "", "invariant the scenario violates (required unless the input is a repro)")
+	maxTrials := fs.Int("max-trials", 48, "max candidate runs")
+	out := fs.String("o", "", "write the minimized repro JSON here (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	var s repro.Scenario
+	detail := ""
+	if rep, err := repro.ParseChaosRepro(data); err == nil {
+		s, detail = rep.Scenario, rep.Detail
+		if *oracle == "" {
+			*oracle = rep.Oracle
+		}
+	} else if s, err = repro.ParseScenario(data); err != nil {
+		fail(err)
+	}
+	if *oracle == "" {
+		fail(fmt.Errorf("plain scenario input needs -oracle (one of %v)", repro.ChaosOracles()))
+	}
+
+	min, steps, trials, err := repro.ShrinkChaosScenario(s, *oracle, *maxTrials)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "shrunk %q for %s: %d removals accepted over %d runs\n",
+		s.Name, *oracle, steps, trials)
+	rep := repro.ChaosRepro{
+		Oracle:   *oracle,
+		Detail:   detail,
+		Found:    fmt.Sprintf("reprochaos shrink %s", filepath.Base(fs.Arg(0))),
+		Scenario: min,
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func replay(args []string) {
+	fs := newFlags("replay")
+	verbose := fs.Bool("v", false, "print every verdict, not just failures")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := repro.ParseChaosRepro(data)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		verdicts, err := repro.ReplayChaosRepro(rep)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		bad := repro.FailedOracles(verdicts)
+		status := "ok"
+		if len(bad) > 0 {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-4s %s (%s)\n", status, path, rep.Oracle)
+		for _, v := range verdicts {
+			if !v.Ok {
+				fmt.Printf("     FAIL %s: %s\n", v.Oracle, v.Detail)
+			} else if *verbose {
+				state := "ok"
+				if v.Skipped {
+					state = "skip"
+				}
+				fmt.Printf("     %-4s %s %s\n", state, v.Oracle, v.Detail)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -99,11 +99,12 @@ func TestChaosControllerCrash(t *testing.T) {
 	}
 
 	// 1x contract: a primary death costs a bounded election window, so the
-	// run stays within 5% of crash-free coordinated goodput.
-	if crash.Throughput < clean.Throughput*0.95 {
-		t.Errorf("goodput with primary crash %.1f r/s, >5%% below crash-free coordinated %.1f r/s",
-			crash.Throughput, clean.Throughput)
-	}
+	// run stays within the oracle catalog's goodput floor (and bounded
+	// mean) of the crash-free coordinated run.
+	crashCfg := chaosRubisCfg(1)
+	crashCfg.Failover = &FailoverControl{Replicas: 3}
+	crashCfg.Faults = failoverChaosPlan()
+	requireInvariants(t, ChaosRun{Config: crashCfg, Coordinated: true, Run: &crash, Baseline: &clean})
 
 	// The failover really happened: replica 0 died, the lowest-id live
 	// standby (1) was promoted, state came from checkpoints, and the new
@@ -170,9 +171,9 @@ func TestChaosFailoverReplay(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReplayRubis: %v", err)
 	}
-	if rep.Divergence != nil {
-		t.Errorf("failover run does not replay deterministically: %v", rep.Divergence)
-	}
+	// Zero-divergence is the replay oracle; lease monotonicity and weight
+	// clamping ride along.
+	requireInvariants(t, ChaosRun{Config: cfg, Coordinated: true, Run: coord, Replay: rep})
 	if coord.Failover.Promotions < 1 {
 		t.Error("recorded run had no promotion; replay check is vacuous")
 	}

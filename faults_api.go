@@ -40,8 +40,17 @@ type FaultPlan struct {
 	BurstRate float64
 	BurstLen  int
 
+	// CorruptRate corrupts a message's payload in flight with seeded bit
+	// flips; the receiving layer detects the damage via the frame checksum
+	// and drops the frame (counted as CorruptDrops), never acts on it.
+	CorruptRate float64 `json:",omitempty"`
+
 	// Partitions are timed total-loss windows on the coordination link.
 	Partitions []Partition
+
+	// Corruptions are timed payload-corruption windows; inside a window
+	// the window's rate applies when it exceeds CorruptRate.
+	Corruptions []CorruptWindow `json:",omitempty"`
 
 	// Crashes are island crash/restart windows: the named island's agent
 	// goes silent (its lease expires) and drops all input for the window.
@@ -65,6 +74,16 @@ type Partition struct {
 	Start    time.Duration
 	Duration time.Duration
 	Channels []string
+}
+
+// CorruptWindow corrupts messages offered during the window with
+// probability Rate (in (0, 1]). An empty Channels list covers every
+// coordination channel.
+type CorruptWindow struct {
+	Start    time.Duration
+	Duration time.Duration
+	Rate     float64
+	Channels []string `json:",omitempty"`
 }
 
 // CrashWindow crashes an island ("ixp" or "x86") for the window.
@@ -98,11 +117,20 @@ func (p *FaultPlan) internal() *pcie.FaultPlan {
 		JitterMax:    toSim(p.JitterMax),
 		BurstRate:    p.BurstRate,
 		BurstLen:     p.BurstLen,
+		CorruptRate:  p.CorruptRate,
 	}
 	for _, w := range p.Partitions {
 		fp.Partitions = append(fp.Partitions, pcie.Partition{
 			Start:    toSim(w.Start),
 			Duration: toSim(w.Duration),
+			Channels: append([]string(nil), w.Channels...),
+		})
+	}
+	for _, w := range p.Corruptions {
+		fp.Corruptions = append(fp.Corruptions, pcie.CorruptWindow{
+			Start:    toSim(w.Start),
+			Duration: toSim(w.Duration),
+			Rate:     w.Rate,
 			Channels: append([]string(nil), w.Channels...),
 		})
 	}
@@ -135,6 +163,62 @@ func (p FaultPlan) Validate() error {
 	return p.internal().Validate()
 }
 
+// fromInternalPlan converts a pcie-layer plan back to the public
+// representation (the inverse of FaultPlan.internal). The chaos search
+// engine uses it to emit generated plans as scenario JSON.
+func fromInternalPlan(fp pcie.FaultPlan) *FaultPlan {
+	p := &FaultPlan{
+		Seed:         fp.Seed,
+		LossRate:     fp.LossRate,
+		DupRate:      fp.DupRate,
+		ReorderRate:  fp.ReorderRate,
+		ReorderDelay: time.Duration(fp.ReorderDelay),
+		SpikeRate:    fp.SpikeRate,
+		SpikeLatency: time.Duration(fp.SpikeLatency),
+		JitterMax:    time.Duration(fp.JitterMax),
+		BurstRate:    fp.BurstRate,
+		BurstLen:     fp.BurstLen,
+		CorruptRate:  fp.CorruptRate,
+	}
+	for _, w := range fp.Partitions {
+		p.Partitions = append(p.Partitions, Partition{
+			Start:    time.Duration(w.Start),
+			Duration: time.Duration(w.Duration),
+			Channels: append([]string(nil), w.Channels...),
+		})
+	}
+	for _, w := range fp.Corruptions {
+		p.Corruptions = append(p.Corruptions, CorruptWindow{
+			Start:    time.Duration(w.Start),
+			Duration: time.Duration(w.Duration),
+			Rate:     w.Rate,
+			Channels: append([]string(nil), w.Channels...),
+		})
+	}
+	for _, c := range fp.Crashes {
+		p.Crashes = append(p.Crashes, CrashWindow{
+			Island:   c.Island,
+			Start:    time.Duration(c.Start),
+			Duration: time.Duration(c.Duration),
+		})
+	}
+	for _, w := range fp.ControllerCrashes {
+		p.ControllerCrashes = append(p.ControllerCrashes, ReplicaWindow{
+			Replica:  w.Replica,
+			Start:    time.Duration(w.Start),
+			Duration: time.Duration(w.Duration),
+		})
+	}
+	for _, w := range fp.ControllerPartitions {
+		p.ControllerPartitions = append(p.ControllerPartitions, ReplicaWindow{
+			Replica:  w.Replica,
+			Start:    time.Duration(w.Start),
+			Duration: time.Duration(w.Duration),
+		})
+	}
+	return p
+}
+
 // RobustnessReport surfaces the coordination plane's reliability counters
 // for one run: what the fault harness injected and how each defensive
 // layer responded.
@@ -162,6 +246,15 @@ type RobustnessReport struct {
 	Duplicated uint64
 	Reordered  uint64
 	Spiked     uint64
+	Corrupted  uint64 // payloads bit-flipped in flight by the plan
+
+	// CorruptArrived counts corrupted frames the mailbox delivered (a
+	// frame still in flight at run end was injected but never arrived);
+	// CorruptDrops counts frames every verifying layer discarded on
+	// checksum mismatch. The two reconcile exactly: every corrupted frame
+	// that arrives is detected and dropped, never actuated.
+	CorruptArrived uint64
+	CorruptDrops   uint64
 
 	// Liveness plane.
 	Heartbeats     uint64
@@ -202,10 +295,13 @@ func robustnessReport(r platform.Robustness) RobustnessReport {
 		QueueFullDrops: r.Uplink.QueueFullDrops + r.Downlink.QueueFullDrops,
 		ReorderDrops:   r.Uplink.ReorderDrops + r.Downlink.ReorderDrops,
 
-		FaultDrops: r.MailboxDropped,
-		Duplicated: r.Faults.Duplicated,
-		Reordered:  r.Faults.Reordered,
-		Spiked:     r.Faults.Spiked,
+		FaultDrops:     r.MailboxDropped,
+		Duplicated:     r.Faults.Duplicated,
+		Reordered:      r.Faults.Reordered,
+		Spiked:         r.Faults.Spiked,
+		Corrupted:      r.Faults.Corrupted,
+		CorruptArrived: r.CorruptArrived,
+		CorruptDrops:   r.CorruptDrops,
 
 		Heartbeats:     r.Heartbeats,
 		LeaseExpiries:  r.LeaseExpiries,

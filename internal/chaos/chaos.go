@@ -1,0 +1,156 @@
+// Package chaos implements property-guided fault-plan exploration: a
+// seeded generator samples random fault plans crossed with load levels and
+// workload kinds, every trial is run through the deterministic sweep
+// engine, and each outcome is judged by a library of invariant oracles.
+// When a trial violates an oracle, a delta-debugging shrinker minimizes
+// the trial — each shrink step is re-run and kept only if the same
+// violation persists — so the engine emits the smallest reproduction it
+// can find, not the random monster it stumbled on.
+//
+// The package is deliberately generic: it knows how to generate, search,
+// and shrink TrialSpecs, but not how to run one. The caller supplies a
+// Runner that executes a spec and reports which oracles it violated; the
+// root repro package wires the runner to real RUBiS runs and the
+// CheckInvariants oracle catalog. This keeps the engine free of an import
+// cycle and testable with fast synthetic runners.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/pcie"
+)
+
+// TrialSpec is one point in the chaos search space: a fault plan plus the
+// run shape it is applied to. Specs are plain data — they marshal to JSON
+// (the sweep cache key and the repro interchange format) and are a pure
+// function of the generator seed.
+type TrialSpec struct {
+	// Name identifies the trial inside one search ("trial-0007").
+	Name string `json:"name"`
+
+	// Seed drives the trial's workload (the fault schedule has its own
+	// seed inside Plan, so faults and load vary independently).
+	Seed int64 `json:"seed"`
+
+	// Plan is the fault schedule under test.
+	Plan pcie.FaultPlan `json:"plan"`
+
+	// Load scales the offered load (0 = the calibrated baseline; values
+	// above 1 drive the deployment toward saturation).
+	Load float64 `json:"load,omitempty"`
+
+	// Kind selects the workload family ("" = closed-loop sessions).
+	Kind string `json:"kind,omitempty"`
+
+	// Overload arms the overload-control plane for the trial.
+	Overload bool `json:"overload,omitempty"`
+
+	// Replicas is the controller replica count (0 or 1 = single
+	// controller). Any controller fault window in Plan requires
+	// Replicas > the replica index it names.
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// Size is the spec's structural complexity: the number of independent
+// fault ingredients it arms. The shrinker only accepts candidates with
+// strictly smaller Size, which guarantees termination and makes "minimal
+// repro" well-defined (no ingredient can be removed without losing the
+// violation).
+func (s TrialSpec) Size() int {
+	n := 0
+	p := s.Plan
+	for _, r := range []float64{p.LossRate, p.DupRate, p.ReorderRate, p.SpikeRate, p.BurstRate, p.CorruptRate} {
+		if r > 0 {
+			n++
+		}
+	}
+	if p.JitterMax > 0 {
+		n++
+	}
+	n += len(p.Partitions) + len(p.Corruptions) + len(p.Crashes)
+	n += len(p.ControllerCrashes) + len(p.ControllerPartitions)
+	if s.Overload {
+		n++
+	}
+	if s.Load > 0 {
+		n++
+	}
+	if s.Kind != "" {
+		n++
+	}
+	if s.Replicas > 0 {
+		n++
+	}
+	return n
+}
+
+// clone deep-copies the spec so shrink candidates never alias each
+// other's window slices.
+func (s TrialSpec) clone() TrialSpec {
+	c := s
+	c.Plan.Partitions = append([]pcie.Partition(nil), s.Plan.Partitions...)
+	c.Plan.Corruptions = append([]pcie.CorruptWindow(nil), s.Plan.Corruptions...)
+	c.Plan.Crashes = append([]pcie.CrashWindow(nil), s.Plan.Crashes...)
+	c.Plan.ControllerCrashes = append([]pcie.ReplicaWindow(nil), s.Plan.ControllerCrashes...)
+	c.Plan.ControllerPartitions = append([]pcie.ReplicaWindow(nil), s.Plan.ControllerPartitions...)
+	return c
+}
+
+// Validate reports the first configuration error in the spec, including
+// the shared window-overlap rules.
+func (s TrialSpec) Validate() error {
+	if err := s.Plan.Validate(); err != nil {
+		return err
+	}
+	if err := s.Plan.ValidateDisjoint(); err != nil {
+		return err
+	}
+	if s.Load < 0 {
+		return fmt.Errorf("chaos: trial %q has negative load %g", s.Name, s.Load)
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("chaos: trial %q has negative replica count %d", s.Name, s.Replicas)
+	}
+	max := -1
+	for _, w := range s.Plan.ControllerCrashes {
+		if w.Replica > max {
+			max = w.Replica
+		}
+	}
+	for _, w := range s.Plan.ControllerPartitions {
+		if w.Replica > max {
+			max = w.Replica
+		}
+	}
+	if max >= 0 && s.Replicas <= max {
+		return fmt.Errorf("chaos: trial %q faults controller replica %d but arms only %d replicas", s.Name, max, s.Replicas)
+	}
+	return nil
+}
+
+// Violation is one oracle the trial broke.
+type Violation struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Result is a runner's judgment of one trial.
+type Result struct {
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// violates reports whether the result broke the named oracle.
+func (r Result) violates(oracle string) bool {
+	for _, v := range r.Violations {
+		if v.Oracle == oracle {
+			return true
+		}
+	}
+	return false
+}
+
+// Runner executes one trial and reports which oracles it violated. It
+// must be deterministic in the spec (the search engine byte-compares
+// outcomes across worker counts) and safe for concurrent use.
+type Runner func(spec TrialSpec) (Result, error)

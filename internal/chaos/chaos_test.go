@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestGenerateValid pins that every generated spec passes both the plan
+// validation and the shared window-overlap rules by construction.
+func TestGenerateValid(t *testing.T) {
+	rng := sim.NewRand(7)
+	for i := 0; i < 500; i++ {
+		spec := Generate(rng, GenConfig{}, i)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v\n%+v", i, err, spec)
+		}
+		for _, w := range spec.Plan.ControllerCrashes {
+			if spec.Replicas <= w.Replica {
+				t.Fatalf("spec %d crashes replica %d with only %d replicas", i, w.Replica, spec.Replicas)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic pins that (seed, index) fully determines the
+// spec.
+func TestGenerateDeterministic(t *testing.T) {
+	a := sim.NewRand(42)
+	b := sim.NewRand(42)
+	for i := 0; i < 50; i++ {
+		sa := Generate(a, GenConfig{}, i)
+		sb := Generate(b, GenConfig{}, i)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("spec %d differs across identical rngs:\n%+v\n%+v", i, sa, sb)
+		}
+	}
+}
+
+// syntheticRunner violates "loss-and-partition" when both LossRate and a
+// partition window are armed, and "corrupt" when CorruptRate is armed —
+// a fast deterministic stand-in for the real RUBiS runner.
+func syntheticRunner(spec TrialSpec) (Result, error) {
+	var res Result
+	if spec.Plan.LossRate > 0 && len(spec.Plan.Partitions) > 0 {
+		res.Violations = append(res.Violations, Violation{Oracle: "loss-and-partition"})
+	}
+	if spec.Plan.CorruptRate > 0 {
+		res.Violations = append(res.Violations, Violation{Oracle: "corrupt"})
+	}
+	return res, nil
+}
+
+// TestShrinkMinimal pins that a hand-planted violating spec shrinks to a
+// strictly smaller minimal repro still violating the same oracle.
+func TestShrinkMinimal(t *testing.T) {
+	rng := sim.NewRand(3)
+	var spec TrialSpec
+	for i := 0; ; i++ {
+		spec = Generate(rng, GenConfig{}, i)
+		if r, _ := syntheticRunner(spec); r.violates("loss-and-partition") && spec.Size() > 2 {
+			break
+		}
+	}
+	shr, err := Shrink(syntheticRunner, spec, "loss-and-partition", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shr.Spec.Size() >= spec.Size() {
+		t.Fatalf("shrink did not reduce: %d -> %d", spec.Size(), shr.Spec.Size())
+	}
+	if r, _ := syntheticRunner(shr.Spec); !r.violates("loss-and-partition") {
+		t.Fatalf("minimized spec no longer violates: %+v", shr.Spec)
+	}
+	// The synthetic oracle needs exactly loss + one partition: the
+	// greedy shrinker must find that 2-ingredient minimum.
+	if got := shr.Spec.Size(); got != 2 {
+		t.Fatalf("minimized size = %d, want 2: %+v", got, shr.Spec)
+	}
+	if shr.Spec.Plan.LossRate == 0 || len(shr.Spec.Plan.Partitions) != 1 {
+		t.Fatalf("unexpected minimum: %+v", shr.Spec)
+	}
+}
+
+// TestShrinkSound is the soundness property: every accepted shrink step's
+// output still violates the oracle its input violated, and sizes strictly
+// decrease along the chain.
+func TestShrinkSound(t *testing.T) {
+	rng := sim.NewRand(11)
+	idx := 0
+	prop := func() bool {
+		spec := Generate(rng, GenConfig{}, idx)
+		idx++
+		r, _ := syntheticRunner(spec)
+		if len(r.Violations) == 0 {
+			return true // vacuous draw; the generator arms faults often enough
+		}
+		oracle := r.Violations[0].Oracle
+		shr, err := Shrink(syntheticRunner, spec, oracle, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevSize := spec.Size()
+		for _, step := range shr.Steps {
+			sr, _ := syntheticRunner(step)
+			if !sr.violates(oracle) {
+				t.Errorf("accepted step lost the %q violation: %+v", oracle, step)
+				return false
+			}
+			if step.Size() >= prevSize {
+				t.Errorf("step size %d did not decrease from %d", step.Size(), prevSize)
+				return false
+			}
+			prevSize = step.Size()
+		}
+		// And the result is locally minimal: no candidate still violates.
+		for _, cand := range candidates(shr.Spec) {
+			if cand.Size() >= shr.Spec.Size() {
+				continue
+			}
+			if cr, _ := syntheticRunner(cand); cr.violates(oracle) {
+				t.Errorf("result not minimal: candidate %+v still violates %q", cand, oracle)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchDeterministicAcrossWorkers pins the headline determinism
+// claim: the same seed and budget yield byte-identical results for any
+// sweep worker count.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		res, err := Search(syntheticRunner, Options{Seed: 5, Budget: 40, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(1)
+	eight := run(8)
+	if string(one) != string(eight) {
+		t.Fatalf("search result differs across worker counts:\n%s\n%s", one, eight)
+	}
+	var res SearchResult
+	if err := json.Unmarshal(one, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Violating == 0 || len(res.Findings) == 0 {
+		t.Fatalf("vacuous search: %+v", res)
+	}
+	for _, f := range res.Findings {
+		if f.Minimized.Size() > f.Spec.Size() {
+			t.Fatalf("finding grew during shrink: %+v", f)
+		}
+	}
+}
+
+// TestTrialSpecJSONRoundTrip pins the interchange format the sweep cache
+// and the repro corpus depend on.
+func TestTrialSpecJSONRoundTrip(t *testing.T) {
+	rng := sim.NewRand(9)
+	for i := 0; i < 50; i++ {
+		spec := Generate(rng, GenConfig{}, i)
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back TrialSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip changed spec:\n%+v\n%+v", spec, back)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzFaultPlanGen pins that the generator only ever produces plans
+// passing FaultPlan validation *including* the window-overlap rules the
+// scenario DSL shares — for any seed, index, and window budget.
+func FuzzFaultPlanGen(f *testing.F) {
+	f.Add(int64(1), 0, 3)
+	f.Add(int64(42), 7, 1)
+	f.Add(int64(-9), 99, 6)
+	f.Fuzz(func(t *testing.T, seed int64, idx, maxWindows int) {
+		if idx < 0 || idx > 1000 {
+			return
+		}
+		if maxWindows < 0 || maxWindows > 16 {
+			return
+		}
+		rng := sim.NewRand(seed)
+		cfg := GenConfig{MaxWindows: maxWindows}
+		spec := Generate(rng, cfg, idx)
+		if err := spec.Plan.Validate(); err != nil {
+			t.Fatalf("generated plan invalid: %v\n%+v", err, spec.Plan)
+		}
+		if err := spec.Plan.ValidateDisjoint(); err != nil {
+			t.Fatalf("generated plan has overlapping windows: %v\n%+v", err, spec.Plan)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("generated spec invalid: %v\n%+v", err, spec)
+		}
+	})
+}

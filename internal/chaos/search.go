@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Options shapes one chaos search.
+type Options struct {
+	// Seed drives the trial generator (default 1).
+	Seed int64
+	// Budget is the number of generated trials (default 16).
+	Budget int
+	// Workers sizes the sweep pool (default NumCPU); the outcome is
+	// byte-identical for every worker count.
+	Workers int
+	// Gen shapes the sample space.
+	Gen GenConfig
+	// MaxFindings bounds how many violating trials are shrunk, in stable
+	// trial order (default 3; the rest are still counted).
+	MaxFindings int
+	// MaxShrinkTrials caps the candidate runs per shrink (default 256).
+	MaxShrinkTrials int
+	// Cache, when non-nil, memoizes trial outcomes across searches.
+	Cache *sweep.Cache
+	// CacheVersion invalidates cached outcomes when the runner changes.
+	CacheVersion string
+	// Progress, when non-nil, observes sweep progress.
+	Progress func(p sweep.Progress)
+}
+
+// Finding is one minimized violation.
+type Finding struct {
+	// Oracle is the invariant the trial broke (the first violation when a
+	// trial breaks several; the others are listed in Detail).
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail,omitempty"`
+	// Spec is the original generated trial.
+	Spec TrialSpec `json:"spec"`
+	// Minimized is the shrunk repro: strictly no larger than Spec, still
+	// violating Oracle.
+	Minimized TrialSpec `json:"minimized"`
+	// ShrinkSteps counts accepted removals; ShrinkTrials counts all
+	// candidate runs the shrinker spent.
+	ShrinkSteps  int `json:"shrink_steps"`
+	ShrinkTrials int `json:"shrink_trials"`
+}
+
+// SearchResult is the outcome of one chaos search.
+type SearchResult struct {
+	Trials    int       `json:"trials"`
+	Violating int       `json:"violating"`
+	Findings  []Finding `json:"findings,omitempty"`
+}
+
+// Search samples Budget trials, runs them through the sweep engine, and
+// greedily shrinks the first MaxFindings violating trials. The result is
+// a pure function of (Options.Seed, Gen, Budget, runner): generation
+// happens before the sweep, the sweep's trial order is stable regardless
+// of Workers, and shrinking is sequential.
+func Search(run Runner, opts Options) (*SearchResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 16
+	}
+	if opts.MaxFindings == 0 {
+		opts.MaxFindings = 3
+	}
+
+	rng := sim.NewRand(opts.Seed)
+	specs := make([]TrialSpec, opts.Budget)
+	points := make([]sweep.Point, opts.Budget)
+	for i := range specs {
+		specs[i] = Generate(rng, opts.Gen, i)
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: generator produced invalid spec: %w", err)
+		}
+		points[i] = sweep.Point{Name: specs[i].Name, Config: specs[i]}
+	}
+
+	sres, err := sweep.Run(points, func(t sweep.Trial) (any, error) {
+		return run(t.Point.Config.(TrialSpec))
+	}, sweep.Options{
+		Workers:      opts.Workers,
+		Reps:         1,
+		Seed:         opts.Seed,
+		Cache:        opts.Cache,
+		CacheVersion: opts.CacheVersion,
+		Progress:     opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SearchResult{Trials: len(sres.Trials)}
+	for i := range sres.Trials {
+		var res Result
+		if err := sres.Decode(i, &res); err != nil {
+			return nil, err
+		}
+		if len(res.Violations) == 0 {
+			continue
+		}
+		out.Violating++
+		if len(out.Findings) >= opts.MaxFindings {
+			continue
+		}
+		f := Finding{
+			Oracle: res.Violations[0].Oracle,
+			Detail: res.Violations[0].Detail,
+			Spec:   specs[i],
+		}
+		for _, v := range res.Violations[1:] {
+			f.Detail += fmt.Sprintf("; also %s: %s", v.Oracle, v.Detail)
+		}
+		shr, err := Shrink(run, specs[i], f.Oracle, opts.MaxShrinkTrials)
+		if err != nil {
+			return nil, err
+		}
+		f.Minimized = shr.Spec
+		f.ShrinkSteps = len(shr.Steps)
+		f.ShrinkTrials = shr.Trials
+		out.Findings = append(out.Findings, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package chaos
+
+// Shrinking is greedy delta debugging over the spec's ingredient list:
+// every candidate removes exactly one ingredient (a rate zeroed, a window
+// dropped, a shape knob reset), so each accepted step strictly reduces
+// Size and the loop terminates in at most Size(spec) rounds. A candidate
+// is accepted only if re-running it still violates the same oracle —
+// soundness is by construction, and the accepted chain is returned so
+// tests can re-verify every step independently.
+
+// ShrinkResult is the outcome of minimizing one violating spec.
+type ShrinkResult struct {
+	// Spec is the minimized spec: no single ingredient can be removed
+	// without losing the violation (within the trial budget).
+	Spec TrialSpec
+	// Steps is the accepted chain, in order; the last entry equals Spec.
+	// Empty means the input was already minimal.
+	Steps []TrialSpec
+	// Trials is how many candidate runs the shrinker executed.
+	Trials int
+}
+
+// candidates enumerates every one-ingredient-smaller spec, in a fixed
+// deterministic order. Candidates that would be invalid (a controller
+// window outliving its replicas) are never emitted.
+func candidates(s TrialSpec) []TrialSpec {
+	var out []TrialSpec
+	emit := func(mut func(*TrialSpec)) {
+		c := s.clone()
+		mut(&c)
+		out = append(out, c)
+	}
+
+	if s.Plan.LossRate > 0 {
+		emit(func(c *TrialSpec) { c.Plan.LossRate = 0 })
+	}
+	if s.Plan.DupRate > 0 {
+		emit(func(c *TrialSpec) { c.Plan.DupRate = 0 })
+	}
+	if s.Plan.ReorderRate > 0 {
+		emit(func(c *TrialSpec) { c.Plan.ReorderRate = 0 })
+	}
+	if s.Plan.SpikeRate > 0 {
+		emit(func(c *TrialSpec) { c.Plan.SpikeRate = 0 })
+	}
+	if s.Plan.BurstRate > 0 {
+		emit(func(c *TrialSpec) { c.Plan.BurstRate = 0 })
+	}
+	if s.Plan.CorruptRate > 0 {
+		emit(func(c *TrialSpec) { c.Plan.CorruptRate = 0 })
+	}
+	if s.Plan.JitterMax > 0 {
+		emit(func(c *TrialSpec) { c.Plan.JitterMax = 0 })
+	}
+	for i := range s.Plan.Partitions {
+		i := i
+		emit(func(c *TrialSpec) {
+			c.Plan.Partitions = append(c.Plan.Partitions[:i], c.Plan.Partitions[i+1:]...)
+		})
+	}
+	for i := range s.Plan.Corruptions {
+		i := i
+		emit(func(c *TrialSpec) {
+			c.Plan.Corruptions = append(c.Plan.Corruptions[:i], c.Plan.Corruptions[i+1:]...)
+		})
+	}
+	for i := range s.Plan.Crashes {
+		i := i
+		emit(func(c *TrialSpec) {
+			c.Plan.Crashes = append(c.Plan.Crashes[:i], c.Plan.Crashes[i+1:]...)
+		})
+	}
+	for i := range s.Plan.ControllerCrashes {
+		i := i
+		emit(func(c *TrialSpec) {
+			c.Plan.ControllerCrashes = append(c.Plan.ControllerCrashes[:i], c.Plan.ControllerCrashes[i+1:]...)
+		})
+	}
+	for i := range s.Plan.ControllerPartitions {
+		i := i
+		emit(func(c *TrialSpec) {
+			c.Plan.ControllerPartitions = append(c.Plan.ControllerPartitions[:i], c.Plan.ControllerPartitions[i+1:]...)
+		})
+	}
+	if s.Replicas > 0 && len(s.Plan.ControllerCrashes) == 0 && len(s.Plan.ControllerPartitions) == 0 {
+		emit(func(c *TrialSpec) { c.Replicas = 0 })
+	}
+	if s.Overload {
+		emit(func(c *TrialSpec) { c.Overload = false })
+	}
+	if s.Load > 0 {
+		emit(func(c *TrialSpec) { c.Load = 0; c.Overload = false })
+	}
+	if s.Kind != "" {
+		emit(func(c *TrialSpec) { c.Kind = "" })
+	}
+	return out
+}
+
+// Shrink minimizes a spec known to violate oracle. Each candidate is
+// re-run; the first (in deterministic order) that still violates the same
+// oracle is accepted and the round restarts from it. maxTrials caps the
+// candidate runs (0 means 256); hitting the cap returns the best spec so
+// far, which is still sound — every accepted step was re-verified.
+func Shrink(run Runner, spec TrialSpec, oracle string, maxTrials int) (ShrinkResult, error) {
+	if maxTrials <= 0 {
+		maxTrials = 256
+	}
+	res := ShrinkResult{Spec: spec.clone()}
+	for {
+		accepted := false
+		for _, cand := range candidates(res.Spec) {
+			if res.Trials >= maxTrials {
+				return res, nil
+			}
+			if cand.Size() >= res.Spec.Size() {
+				continue // removal must strictly reduce complexity
+			}
+			res.Trials++
+			out, err := run(cand)
+			if err != nil {
+				return res, err
+			}
+			if out.violates(oracle) {
+				res.Spec = cand
+				res.Steps = append(res.Steps, cand.clone())
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return res, nil
+		}
+	}
+}

@@ -23,7 +23,11 @@
 // mailbox in the prototype) and are routed by the controller.
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
 
 // Kind discriminates coordination message types.
 type Kind int
@@ -130,6 +134,48 @@ type Message struct {
 	// message Seq acknowledges one delivery and Ack is cumulative.
 	Seq uint64
 	Ack uint64
+
+	// Sum is the frame checksum over every other field, stamped by the
+	// wire-level transports just before a message leaves and verified on
+	// arrival. Zero means unstamped (locally wired test messages skip
+	// verification); PayloadSum never returns zero.
+	Sum uint32
+}
+
+// PayloadSum computes the message's frame checksum (FNV-1a over every
+// field except Sum itself). The zero value is reserved for "unstamped",
+// so a real checksum is never zero.
+func (m Message) PayloadSum() uint32 {
+	h := fnv.New32a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	writeU64(uint64(int64(m.Kind)))
+	_, _ = h.Write([]byte(m.From))
+	_, _ = h.Write([]byte{0}) // field separator: From/Target must not blur
+	_, _ = h.Write([]byte(m.Target))
+	writeU64(uint64(int64(m.Entity)))
+	writeU64(uint64(int64(m.Delta)))
+	writeU64(m.Seq)
+	writeU64(m.Ack)
+	s := h.Sum32()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// CorruptPayload models in-flight bit flips (pcie.Corruptible): it returns
+// a copy of the message with payload bits flipped under mask, leaving the
+// stamped checksum alone so the damage is detectable downstream. The mask's
+// low bit is always set by the injector, so the copy always differs.
+func (m Message) CorruptPayload(mask uint64) any {
+	m.Entity ^= int(int16(mask))
+	m.Delta ^= int(int16(mask >> 16))
+	m.Seq ^= mask >> 32
+	return m
 }
 
 // String renders the message for tracing.

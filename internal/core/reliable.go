@@ -85,6 +85,7 @@ type ReliableStats struct {
 	QueueFullDrops  uint64 // sends refused because the retransmit queue hit MaxOutstanding
 
 	Delivered    uint64 // sequenced messages handed to the application
+	CorruptDrops uint64 // stamped arrivals discarded on checksum mismatch
 	DupDrops     uint64 // duplicate arrivals of a buffered out-of-order seq
 	StaleDrops   uint64 // arrivals at or below the delivery cursor
 	OutOfOrder   uint64 // arrivals buffered ahead of the cursor
@@ -331,6 +332,17 @@ func (e *ReliableEndpoint) retransmit(seq uint64) {
 
 // onRaw consumes every arrival on the inbound raw direction.
 func (e *ReliableEndpoint) onRaw(m Message) {
+	// A stamped frame whose checksum no longer matches its contents was
+	// corrupted in flight: drop it unacked, so a sequenced original simply
+	// retransmits and redelivers clean. Acting on it — even to ack — could
+	// turn bit flips into misactuation. Unstamped frames (Sum zero: locally
+	// wired test traffic) skip verification. In the assembled platform the
+	// wire transports verify first, so this is the endpoint's own defense
+	// when it is wired over an unverified transport.
+	if m.Sum != 0 && m.Sum != m.PayloadSum() {
+		e.stats.CorruptDrops++
+		return
+	}
 	switch m.Kind {
 	case KindAck:
 		e.stats.AcksReceived++

@@ -27,6 +27,7 @@ type MailboxTransport struct {
 
 	tracer   *trace.Tracer
 	nonCoord uint64
+	corrupt  uint64
 }
 
 // NewDeviceUplink returns the IXP-side transport sending toward the host
@@ -47,8 +48,19 @@ func (t *MailboxTransport) SetTracer(tr *trace.Tracer) { t.tracer = tr }
 // mailbox and were discarded.
 func (t *MailboxTransport) NonCoordDropped() uint64 { return t.nonCoord }
 
-// Send conveys msg over the mailbox after its one-way latency.
+// CorruptDropped returns how many arrivals failed checksum verification
+// and were discarded. Nil-safe.
+func (t *MailboxTransport) CorruptDropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.corrupt
+}
+
+// Send conveys msg over the mailbox after its one-way latency, stamping
+// the frame checksum so in-flight corruption is detectable on arrival.
 func (t *MailboxTransport) Send(msg Message) {
+	msg.Sum = msg.PayloadSum()
 	if t.toHost {
 		t.mb.SendToHost(msg)
 	} else {
@@ -57,8 +69,9 @@ func (t *MailboxTransport) Send(msg Message) {
 }
 
 // SetReceiver installs the consumer on the receiving end of this direction.
-// A payload that is not a coordination message is counted and dropped — a
-// hostile or corrupt mailbox message must not crash the control plane.
+// A payload that is not a coordination message, or one whose checksum no
+// longer matches its contents, is counted and dropped — a hostile or
+// corrupt mailbox message must degrade the control plane, never drive it.
 func (t *MailboxTransport) SetReceiver(fn func(Message)) {
 	h := func(m pcie.Message) {
 		cm, ok := m.(Message)
@@ -66,6 +79,13 @@ func (t *MailboxTransport) SetReceiver(fn func(Message)) {
 			t.nonCoord++
 			if t.tracer.Enabled(trace.CatCoord) {
 				t.tracer.Emit(trace.CatCoord, "drop non-coordination mailbox message %T", m)
+			}
+			return
+		}
+		if cm.Sum != 0 && cm.Sum != cm.PayloadSum() {
+			t.corrupt++
+			if t.tracer.Enabled(trace.CatCoord) {
+				t.tracer.Emit(trace.CatCoord, "drop corrupt mailbox frame %v", cm.Kind)
 			}
 			return
 		}
@@ -91,9 +111,10 @@ type SimTransport struct {
 	faults  *pcie.ChannelFaults
 	tracer  *trace.Tracer
 
-	sent      uint64
-	dropped   uint64 // messages with no receiver installed
-	faultLost uint64 // messages consumed by fault injection
+	sent        uint64
+	dropped     uint64 // messages with no receiver installed
+	faultLost   uint64 // messages consumed by fault injection
+	corruptLost uint64 // arrivals discarded on checksum mismatch
 }
 
 // NewSimTransport returns a transport delivering after latency.
@@ -114,10 +135,14 @@ func (t *SimTransport) SetTracer(tr *trace.Tracer) { t.tracer = tr }
 // receiver is installed is counted in Dropped instead of vanishing.
 func (t *SimTransport) Send(msg Message) {
 	t.sent++
+	msg.Sum = msg.PayloadSum()
 	v := t.faults.Apply(t.sim.Now())
 	if v.Drop {
 		t.faultLost++
 		return
+	}
+	if v.Corrupt {
+		msg, _ = msg.CorruptPayload(v.CorruptMask).(Message)
 	}
 	for i := 0; i < v.Copies; i++ {
 		t.sim.After(t.latency+v.Delay, func() {
@@ -125,6 +150,13 @@ func (t *SimTransport) Send(msg Message) {
 				t.dropped++
 				if t.tracer.Enabled(trace.CatCoord) {
 					t.tracer.Emit(trace.CatCoord, "drop (no receiver) %v", msg)
+				}
+				return
+			}
+			if msg.Sum != 0 && msg.Sum != msg.PayloadSum() {
+				t.corruptLost++
+				if t.tracer.Enabled(trace.CatCoord) {
+					t.tracer.Emit(trace.CatCoord, "drop corrupt frame %v", msg.Kind)
 				}
 				return
 			}
@@ -144,3 +176,6 @@ func (t *SimTransport) Dropped() uint64 { return t.dropped }
 
 // FaultLost returns messages consumed by the fault process.
 func (t *SimTransport) FaultLost() uint64 { return t.faultLost }
+
+// CorruptDropped returns arrivals discarded on checksum mismatch.
+func (t *SimTransport) CorruptDropped() uint64 { return t.corruptLost }

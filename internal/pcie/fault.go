@@ -20,6 +20,7 @@ const (
 	FaultDup                        // message delivered twice
 	FaultReorder                    // message held back so successors overtake
 	FaultSpike                      // latency spike on one message
+	FaultCorrupt                    // payload corrupted in flight (seeded bit flips)
 )
 
 // String names the fault kind.
@@ -37,6 +38,8 @@ func (k FaultKind) String() string {
 		return "reorder"
 	case FaultSpike:
 		return "spike"
+	case FaultCorrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -67,6 +70,22 @@ type CrashWindow struct {
 }
 
 func (w CrashWindow) contains(now sim.Time) bool {
+	return now >= w.Start && now < w.Start+w.Duration
+}
+
+// CorruptWindow is a timed payload-corruption window: messages offered
+// during [Start, Start+Duration) on the named channels (empty = every
+// channel) are corrupted with probability Rate. Corruption flips payload
+// bits under a seeded per-channel mask; the receiving layer must detect
+// the damage via its checksum and drop the frame, never act on it.
+type CorruptWindow struct {
+	Start    sim.Time
+	Duration sim.Time
+	Rate     float64 // per-message corruption probability in (0, 1]
+	Channels []string
+}
+
+func (w CorruptWindow) contains(now sim.Time) bool {
 	return now >= w.Start && now < w.Start+w.Duration
 }
 
@@ -119,8 +138,16 @@ type FaultPlan struct {
 	BurstRate float64
 	BurstLen  int
 
+	// CorruptRate is the iid probability that a message's payload is
+	// corrupted in flight (seeded bit flips under a per-channel mask).
+	CorruptRate float64
+
 	// Partitions are timed total-loss windows.
 	Partitions []Partition
+
+	// Corruptions are timed payload-corruption windows; inside a window
+	// the window's Rate applies when it exceeds CorruptRate.
+	Corruptions []CorruptWindow
 
 	// Crashes are island crash/restart windows.
 	Crashes []CrashWindow
@@ -137,7 +164,7 @@ type FaultPlan struct {
 func (p FaultPlan) Empty() bool {
 	return p.LossRate == 0 && p.DupRate == 0 && p.ReorderRate == 0 &&
 		p.SpikeRate == 0 && p.JitterMax == 0 && p.BurstRate == 0 &&
-		len(p.Partitions) == 0
+		p.CorruptRate == 0 && len(p.Partitions) == 0 && len(p.Corruptions) == 0
 }
 
 func (p *FaultPlan) applyDefaults() {
@@ -163,7 +190,7 @@ func (p FaultPlan) Validate() error {
 	}{
 		{"LossRate", p.LossRate}, {"DupRate", p.DupRate},
 		{"ReorderRate", p.ReorderRate}, {"SpikeRate", p.SpikeRate},
-		{"BurstRate", p.BurstRate},
+		{"BurstRate", p.BurstRate}, {"CorruptRate", p.CorruptRate},
 	} {
 		if r.v < 0 || r.v >= 1 {
 			return fmt.Errorf("pcie: fault plan %s %v out of [0, 1)", r.name, r.v)
@@ -178,6 +205,14 @@ func (p FaultPlan) Validate() error {
 	for _, w := range p.Partitions {
 		if w.Start < 0 || w.Duration <= 0 {
 			return fmt.Errorf("pcie: partition window [%v +%v] invalid", w.Start, w.Duration)
+		}
+	}
+	for _, w := range p.Corruptions {
+		if w.Start < 0 || w.Duration <= 0 {
+			return fmt.Errorf("pcie: corruption window [%v +%v] invalid", w.Start, w.Duration)
+		}
+		if w.Rate <= 0 || w.Rate > 1 {
+			return fmt.Errorf("pcie: corruption window rate %v out of (0, 1]", w.Rate)
 		}
 	}
 	for _, c := range p.Crashes {
@@ -201,12 +236,78 @@ func (p FaultPlan) Validate() error {
 	return nil
 }
 
+// disjointWindow is one keyed [start, start+len) interval for the
+// overlap check of ValidateDisjoint.
+type disjointWindow struct {
+	key   string
+	start sim.Time
+	len   sim.Time
+	what  string
+}
+
+// ValidateDisjoint rejects overlapping fault windows that the injector
+// would otherwise silently compose: two crash windows on one island, two
+// controller windows on one replica, or two partition/corruption windows
+// cutting a common channel. The scenario DSL and the chaos generator share
+// this rule, so every plan either layer accepts schedules unambiguously.
+func (p FaultPlan) ValidateDisjoint() error {
+	var ws []disjointWindow
+	for _, c := range p.Crashes {
+		ws = append(ws, disjointWindow{"island " + c.Island, c.Start, c.Duration, "crash"})
+	}
+	for _, w := range p.ControllerCrashes {
+		ws = append(ws, disjointWindow{fmt.Sprintf("replica %d", w.Replica), w.Start, w.Duration, "controller crash"})
+	}
+	for _, w := range p.ControllerPartitions {
+		ws = append(ws, disjointWindow{fmt.Sprintf("replica %d", w.Replica), w.Start, w.Duration, "controller partition"})
+	}
+	channelWindows := func(what string, start, dur sim.Time, channels []string) {
+		if len(channels) == 0 {
+			ws = append(ws, disjointWindow{"channel *", start, dur, what})
+			return
+		}
+		for _, ch := range channels {
+			ws = append(ws, disjointWindow{"channel " + ch, start, dur, what})
+		}
+	}
+	for _, pt := range p.Partitions {
+		channelWindows("partition", pt.Start, pt.Duration, pt.Channels)
+	}
+	for _, cw := range p.Corruptions {
+		channelWindows("corruption", cw.Start, cw.Duration, cw.Channels)
+	}
+	for i := range ws {
+		for j := i + 1; j < len(ws); j++ {
+			a, b := ws[i], ws[j]
+			keyed := a.key == b.key ||
+				// An all-channel window overlaps every named channel.
+				(a.key == "channel *" && len(b.key) > 8 && b.key[:8] == "channel ") ||
+				(b.key == "channel *" && len(a.key) > 8 && a.key[:8] == "channel ")
+			if !keyed {
+				continue
+			}
+			if a.start < b.start+b.len && b.start < a.start+a.len {
+				return fmt.Errorf("%s window [%v, %v) overlaps %s window [%v, %v) on %s",
+					a.what, a.start, a.start+a.len, b.what, b.start, b.start+b.len, b.key)
+			}
+		}
+	}
+	return nil
+}
+
 // Verdict is the injector's decision for one offered message.
 type Verdict struct {
 	Drop   bool
 	Why    FaultKind // valid when Drop is set
 	Copies int       // deliveries (1 normally, 2 when duplicated)
 	Delay  sim.Time  // extra one-way delay (reorder/spike/jitter)
+
+	// Corrupt marks the payload for in-flight bit flips under CorruptMask
+	// (never zero when Corrupt is set, so at least one bit always flips).
+	// A corrupted message is never also duplicated: the checksum ledger
+	// stays exact (every corrupted frame is one detectable drop).
+	Corrupt     bool
+	CorruptMask uint64
 }
 
 // FaultStats counts one channel's injected faults.
@@ -219,6 +320,7 @@ type FaultStats struct {
 	Duplicated     uint64
 	Reordered      uint64
 	Spiked         uint64
+	Corrupted      uint64
 }
 
 func (s *FaultStats) add(o FaultStats) {
@@ -230,6 +332,7 @@ func (s *FaultStats) add(o FaultStats) {
 	s.Duplicated += o.Duplicated
 	s.Reordered += o.Reordered
 	s.Spiked += o.Spiked
+	s.Corrupted += o.Corrupted
 }
 
 // Injector compiles a FaultPlan into per-channel fault processes. Channels
@@ -273,11 +376,25 @@ func (in *Injector) Channel(name string) *ChannelFaults {
 			}
 		}
 	}
+	var corrs []CorruptWindow
+	for _, w := range in.plan.Corruptions {
+		if len(w.Channels) == 0 {
+			corrs = append(corrs, w)
+			continue
+		}
+		for _, n := range w.Channels {
+			if n == name {
+				corrs = append(corrs, w)
+				break
+			}
+		}
+	}
 	c := &ChannelFaults{
-		name:       name,
-		plan:       in.plan,
-		partitions: parts,
-		rng:        sim.NewRand(channelSeed(in.plan.Seed, name)),
+		name:        name,
+		plan:        in.plan,
+		partitions:  parts,
+		corruptions: corrs,
+		rng:         sim.NewRand(channelSeed(in.plan.Seed, name)),
 	}
 	in.chans[name] = c
 	return c
@@ -336,12 +453,13 @@ func channelSeed(seed int64, name string) int64 {
 // once per offered message; draws happen in a fixed order (burst, loss,
 // dup, reorder, spike, jitter) so a plan's decisions are reproducible.
 type ChannelFaults struct {
-	name       string
-	plan       FaultPlan
-	partitions []Partition
-	rng        *sim.Rand
-	burstLeft  int
-	stats      FaultStats
+	name        string
+	plan        FaultPlan
+	partitions  []Partition
+	corruptions []CorruptWindow
+	rng         *sim.Rand
+	burstLeft   int
+	stats       FaultStats
 }
 
 // Name returns the channel's name.
@@ -387,7 +505,17 @@ func (c *ChannelFaults) Apply(now sim.Time) Verdict {
 		return Verdict{Drop: true, Why: FaultLoss}
 	}
 	v := Verdict{Copies: 1}
-	if c.plan.DupRate > 0 && c.rng.Bool(c.plan.DupRate) {
+	// Corruption draws before duplication and suppresses it: each corrupted
+	// frame is exactly one detectable drop downstream, so the injector's
+	// Corrupted count and the receivers' CorruptDrops ledger reconcile
+	// exactly. The draw only happens while corruption is armed at this
+	// instant, so plans without corruption keep their historical rng streams.
+	if rate := c.corruptRateAt(now); rate > 0 && c.rng.Bool(rate) {
+		v.Corrupt = true
+		v.CorruptMask = c.rng.Uint64() | 1
+		c.stats.Corrupted++
+	}
+	if !v.Corrupt && c.plan.DupRate > 0 && c.rng.Bool(c.plan.DupRate) {
 		v.Copies = 2
 		c.stats.Duplicated++
 	}
@@ -403,4 +531,16 @@ func (c *ChannelFaults) Apply(now sim.Time) Verdict {
 		v.Delay += sim.Time(c.rng.Float64() * float64(c.plan.JitterMax))
 	}
 	return v
+}
+
+// corruptRateAt returns the corruption probability in force at now: the
+// plan's base rate, raised by any corruption window covering the instant.
+func (c *ChannelFaults) corruptRateAt(now sim.Time) float64 {
+	rate := c.plan.CorruptRate
+	for _, w := range c.corruptions {
+		if w.contains(now) && w.Rate > rate {
+			rate = w.Rate
+		}
+	}
+	return rate
 }

@@ -12,6 +12,14 @@ type Message interface{}
 // Handler consumes messages on the receiving side of a Mailbox.
 type Handler func(Message)
 
+// Corruptible is implemented by payloads that can model in-flight bit
+// flips: CorruptPayload returns a damaged copy of the message under the
+// injector's mask. Payloads that do not implement it pass through
+// corruption verdicts untouched (the fault is still counted).
+type Corruptible interface {
+	CorruptPayload(mask uint64) any
+}
+
 // Injector channel names for the two mailbox directions.
 const (
 	MailboxToHost   = "mailbox:to-host"
@@ -37,9 +45,10 @@ type Mailbox struct {
 	hostFaults   *ChannelFaults // device->host direction
 	deviceFaults *ChannelFaults // host->device direction
 
-	hostRx   uint64
-	deviceRx uint64
-	dropped  uint64
+	hostRx    uint64
+	deviceRx  uint64
+	dropped   uint64
+	corruptRx uint64
 }
 
 // NewMailbox returns a mailbox with the given one-way message latency.
@@ -83,12 +92,28 @@ func (m *Mailbox) SetFaults(inj *Injector) {
 // Dropped returns messages lost to fault injection (both directions).
 func (m *Mailbox) Dropped() uint64 { return m.dropped }
 
+// CorruptArrived returns corrupted frames actually delivered to a
+// handler (both directions); frames corrupted in flight when the run
+// ends are excluded.
+func (m *Mailbox) CorruptArrived() uint64 { return m.corruptRx }
+
 // send runs one direction's fault process and schedules the deliveries.
 func (m *Mailbox) send(msg Message, faults *ChannelFaults, deliver func(Message)) {
 	v := faults.Apply(m.sim.Now())
 	if v.Drop {
 		m.dropped++
 		return
+	}
+	if v.Corrupt {
+		if c, ok := msg.(Corruptible); ok {
+			msg = c.CorruptPayload(v.CorruptMask)
+		}
+		// Count corrupted frames at arrival, not injection: a frame still
+		// in flight when the run ends was injected but can never be
+		// dropped downstream, so the detect-and-drop ledger reconciles
+		// against arrivals.
+		inner := deliver
+		deliver = func(msg Message) { m.corruptRx++; inner(msg) }
 	}
 	for i := 0; i < v.Copies; i++ {
 		m.sim.After(m.latency+v.Delay, func() { deliver(msg) })

@@ -158,6 +158,16 @@ type Robustness struct {
 	Faults         pcie.FaultStats
 	MailboxDropped uint64 // messages consumed by injected loss
 
+	// CorruptDrops counts frames discarded on checksum mismatch across
+	// every verifying layer (both mailbox transports plus the reliable
+	// endpoints' own defense). CorruptArrived counts corrupted frames the
+	// mailbox actually delivered (a frame still in flight at run end was
+	// injected but never arrived). The two reconcile exactly: every
+	// corrupted frame that arrives is detected, counted, and dropped —
+	// never actuated.
+	CorruptDrops   uint64
+	CorruptArrived uint64
+
 	// Controller-side watchdog and routing counters.
 	Heartbeats     uint64
 	LeaseExpiries  uint64
@@ -221,6 +231,11 @@ type Platform struct {
 	// Config.Reliable). UplinkEP is the IXP side, DownlinkEP the host side.
 	UplinkEP   *core.ReliableEndpoint
 	DownlinkEP *core.ReliableEndpoint
+
+	// rawUp/rawDown are the wire-level mailbox transports both planes send
+	// through; they stamp and verify the frame checksum, so their corrupt
+	// counters cover robust and non-robust runs alike.
+	rawUp, rawDown *core.MailboxTransport
 
 	cfg    Config
 	guests []*xen.Domain
@@ -389,6 +404,8 @@ func New(cfg Config) *Platform {
 		IXPAct:     ixpAct,
 		UplinkEP:   epDev,
 		DownlinkEP: epHost,
+		rawUp:      rawUp,
+		rawDown:    rawDown,
 		cfg:        cfg,
 	}
 
@@ -553,6 +570,9 @@ func (p *Platform) Robustness() Robustness {
 		Quarantined:    p.Controller.UnroutableFor(core.UnrouteQuarantined),
 		BaselineRevert: p.X86Act.Reverts(),
 	}
+	r.CorruptDrops = p.rawUp.CorruptDropped() + p.rawDown.CorruptDropped() +
+		r.Uplink.CorruptDrops + r.Downlink.CorruptDrops
+	r.CorruptArrived = p.Mailbox.CorruptArrived()
 	if p.Injector != nil {
 		r.Faults = p.Injector.TotalStats()
 	}

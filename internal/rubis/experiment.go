@@ -201,9 +201,13 @@ type Result struct {
 	Throughput float64
 	Efficiency float64
 
-	// Coordination-plane counters.
-	TunesSent    uint64
-	TunesApplied uint64
+	// Coordination-plane counters. TunesSent counts the IXP agent's
+	// demand-driven Tunes; TunesSelfSent the x86 agent's own boosts (the
+	// overload plane's delay-only pressure valve routes through the
+	// controller back to x86).
+	TunesSent     uint64
+	TunesSelfSent uint64
+	TunesApplied  uint64
 	// Final weights, to inspect where the policy drove the scheduler.
 	FinalWeights map[string]int
 
@@ -466,6 +470,7 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 	res.Efficiency = stats.PlatformEfficiency(res.Throughput, res.TotalUtil)
 	if coordinating {
 		res.TunesSent = p.IXPAgent.Stats().TunesSent
+		res.TunesSelfSent = p.X86Agent.Stats().TunesSent
 		res.TunesApplied = p.X86Agent.Stats().TunesApplied
 	}
 	for _, d := range []*xen.Domain{web, app, db} {

@@ -228,10 +228,14 @@ type RubisRun struct {
 	// Figure 5 metrics (percent of one CPU).
 	WebUtil, AppUtil, DBUtil, Dom0Util, TotalUtil float64
 
-	// Coordination-plane counters (coordinated runs only).
-	TunesSent    uint64
-	TunesApplied uint64
-	FinalWeights map[string]int
+	// Coordination-plane counters (coordinated runs only). TunesSent
+	// counts the IXP agent's demand-driven Tunes; TunesSelfSent the x86
+	// agent's own overload boosts (routed through the controller back to
+	// itself).
+	TunesSent     uint64
+	TunesSelfSent uint64
+	TunesApplied  uint64
+	FinalWeights  map[string]int
 
 	// Robustness counters (meaningful when faults are injected or the
 	// reliable plane is enabled).
@@ -373,6 +377,7 @@ func runRubis(cfg RubisConfig, coordinated bool, rec *flight.Recorder) *RubisRun
 		Dom0Util:          res.Dom0Util,
 		TotalUtil:         res.TotalUtil,
 		TunesSent:         res.TunesSent,
+		TunesSelfSent:     res.TunesSelfSent,
 		TunesApplied:      res.TunesApplied,
 		FinalWeights:      res.FinalWeights,
 		Robustness:        robustnessReport(res.Robust),

@@ -240,54 +240,13 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
-// window is one [start, start+len) fault interval for overlap checking.
-type window struct {
-	key   string
-	start time.Duration
-	len   time.Duration
-	what  string
-}
-
 // validateFaultWindows rejects overlapping windows that the pcie layer
 // would silently compose: two crash windows on one island, two replica
-// windows on one replica, or two partitions cutting a common channel.
+// windows on one replica, or two partition/corruption windows sharing a
+// channel. The overlap rules live on the pcie plan (shared with the chaos
+// search generator) so the DSL and the generator can never disagree.
 func validateFaultWindows(p *FaultPlan) error {
-	var ws []window
-	for _, c := range p.Crashes {
-		ws = append(ws, window{"island " + c.Island, c.Start, c.Duration, "crash"})
-	}
-	for _, w := range p.ControllerCrashes {
-		ws = append(ws, window{fmt.Sprintf("replica %d", w.Replica), w.Start, w.Duration, "controller crash"})
-	}
-	for _, w := range p.ControllerPartitions {
-		ws = append(ws, window{fmt.Sprintf("replica %d", w.Replica), w.Start, w.Duration, "controller partition"})
-	}
-	for _, pt := range p.Partitions {
-		if len(pt.Channels) == 0 {
-			ws = append(ws, window{"channel *", pt.Start, pt.Duration, "partition"})
-			continue
-		}
-		for _, ch := range pt.Channels {
-			ws = append(ws, window{"channel " + ch, pt.Start, pt.Duration, "partition"})
-		}
-	}
-	for i := range ws {
-		for j := i + 1; j < len(ws); j++ {
-			a, b := ws[i], ws[j]
-			keyed := a.key == b.key ||
-				// An all-channel partition overlaps every named channel.
-				(a.key == "channel *" && len(b.key) > 8 && b.key[:8] == "channel ") ||
-				(b.key == "channel *" && len(a.key) > 8 && a.key[:8] == "channel ")
-			if !keyed {
-				continue
-			}
-			if a.start < b.start+b.len && b.start < a.start+a.len {
-				return fmt.Errorf("%s window [%v, %v) overlaps %s window [%v, %v) on %s",
-					a.what, a.start, a.start+a.len, b.what, b.start, b.start+b.len, b.key)
-			}
-		}
-	}
-	return nil
+	return p.internal().ValidateDisjoint()
 }
 
 // Compile validates the scenario and lowers it to a runnable RubisConfig,
