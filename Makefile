@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos chaos-search overload failover flight scenarios check
+.PHONY: all build test race vet lint lint-graph microbench sweep bench fuzz chaos chaos-search overload failover flight scenarios energy check
 
 all: check
 
@@ -25,7 +25,7 @@ lint-graph:
 	$(GO) run ./cmd/reprolint -graph ./...
 
 microbench:
-	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/flight/ ./internal/sim/
+	$(GO) test -bench=. -benchmem -run=^$$ . ./internal/flight/ ./internal/sim/ ./internal/energy/
 
 # sweep runs every ablation matrix through the parallel sweep engine with
 # the content-hash cache warm across invocations.
@@ -38,6 +38,7 @@ sweep:
 	$(GO) run ./cmd/reprobench -exp ablation-faults -cache .sweepcache
 	$(GO) run ./cmd/reprobench -exp ablation-overload -cache .sweepcache
 	$(GO) run ./cmd/reprobench -exp ablation-scenarios -cache .sweepcache
+	$(GO) run ./cmd/reprobench -exp ablation-energy -cache .sweepcache
 
 # bench is the regression guard: rerun the pinned sweep and compare against
 # the committed BENCH_sweep.json — exact on simulated metrics, ±10% on
@@ -117,6 +118,17 @@ scenarios:
 	$(GO) run ./cmd/reproscn generate -kind flash-crowd -o /tmp/ci-b.wtrace -duration 20s -seed 7
 	$(GO) run ./cmd/reproscn diff /tmp/ci-a.wtrace /tmp/ci-b.wtrace
 	$(GO) run ./cmd/reproscn inspect /tmp/ci-a.wtrace
+
+# energy pins the energy subsystem's contracts under the race detector:
+# the DVFS/meter/governor unit and property layer, the energy-matrix
+# worker-count determinism and flight record/replay acceptance tests, the
+# conservation and power-cap oracles, and the quick energy ablation —
+# whose headline line asserts coordinated ≥10% fewer joules than ondemand
+# at equal QoS at the calibrated 1x load.
+energy:
+	$(GO) test -race ./internal/energy/
+	$(GO) test -race -run 'TestEnergy|TestPowerCap' .
+	$(GO) run ./cmd/reprobench -exp ablation-energy -quick
 
 # check is the full tier-1 gate: what CI runs on every push.
 check: build test lint

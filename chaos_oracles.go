@@ -28,6 +28,10 @@ type ChaosRun struct {
 	Baseline *RubisRun
 	// Replay, when non-nil, is a record->replay divergence check of Run.
 	Replay *FlightReplay
+	// PowerCap, when non-nil, is a power-cap run judged by the cap oracle
+	// (the budgeter reads the same metered watts the energy ledgers
+	// integrate, so its series is the authoritative platform power).
+	PowerCap *PowerCapRun
 }
 
 // OracleVerdict is one oracle's judgment.
@@ -48,6 +52,8 @@ const (
 	OracleLeaseMonotonic = "lease-monotonic"
 	OracleCorruption     = "corruption-contained"
 	OracleWeightsClamped = "weights-clamped"
+	OracleEnergyConserve = "energy-conserve"
+	OraclePowerCap       = "power-cap"
 	OracleReplay         = "replay-divergence"
 )
 
@@ -56,7 +62,8 @@ func ChaosOracles() []string {
 	return []string{
 		OracleOverloadLedger, OracleAtMostOnce, OracleGoodputFloor,
 		OracleBoundedMean, OracleBoundedP95, OracleLeaseMonotonic,
-		OracleCorruption, OracleWeightsClamped, OracleReplay,
+		OracleCorruption, OracleWeightsClamped, OracleEnergyConserve,
+		OraclePowerCap, OracleReplay,
 	}
 }
 
@@ -75,6 +82,8 @@ func CheckInvariants(cr ChaosRun) []OracleVerdict {
 		checkLeaseMonotonic(cr),
 		checkCorruptionContained(cr),
 		checkWeightsClamped(cr),
+		checkEnergyConserve(cr),
+		checkPowerCap(cr),
 		checkReplay(cr),
 	}
 }
@@ -293,6 +302,70 @@ func checkWeightsClamped(cr ChaosRun) OracleVerdict {
 		}
 	}
 	return pass(OracleWeightsClamped)
+}
+
+// energyConserveEps absorbs the float64 rounding of converting exact
+// integer-nanojoule ledgers to joules; the underlying meter charges the
+// identical increment to the island and platform ledgers, so any larger
+// discrepancy is a real conservation bug.
+const energyConserveEps = 1e-6
+
+// checkEnergyConserve verifies the energy ledgers conserve: the island
+// joules must sum to the platform joules. The meter charges both ledgers
+// from the same integration, so no fault plan — crashes, partitions,
+// governor churn — may create or destroy energy.
+func checkEnergyConserve(cr ChaosRun) OracleVerdict {
+	if cr.Config.Energy == nil || cr.Run == nil {
+		return skip(OracleEnergyConserve, "energy subsystem not armed")
+	}
+	e := cr.Run.Energy
+	sum := e.X86Joules + e.IXPJoules
+	if diff := sum - e.PlatformJoules; diff > energyConserveEps || diff < -energyConserveEps {
+		return fail(OracleEnergyConserve,
+			"island joules %.9f + %.9f = %.9f != platform %.9f (diff %.3g)",
+			e.X86Joules, e.IXPJoules, sum, e.PlatformJoules, diff)
+	}
+	return pass(OracleEnergyConserve)
+}
+
+// powerCapMaxStreak bounds consecutive over-cap control periods after
+// convergence: one period for the excursion to show in the metered window
+// plus one for the throttle Tune to land — "never above the cap for longer
+// than one control period" once detection and actuation latency are
+// accounted. The initial convergence ramp (before the budgeter first
+// brings the platform under its cap) is excluded: a cold start against a
+// saturating workload lawfully spends several periods throttling down.
+const powerCapMaxStreak = 2
+
+// checkPowerCap verifies the cap promise on a power-cap run: after first
+// convergence, platform power never stays above CapWatts for more than
+// powerCapMaxStreak consecutive control periods.
+func checkPowerCap(cr ChaosRun) OracleVerdict {
+	pc := cr.PowerCap
+	if pc == nil {
+		return skip(OraclePowerCap, "no power-cap run supplied")
+	}
+	converged, streak := false, 0
+	for _, pt := range pc.Series {
+		if pt.Value <= pc.CapWatts {
+			converged = true
+			streak = 0
+			continue
+		}
+		if !converged {
+			continue
+		}
+		streak++
+		if streak > powerCapMaxStreak {
+			return fail(OraclePowerCap,
+				"platform stayed over the %.0fW cap for %d consecutive periods (> %d) around t=%.1fs",
+				pc.CapWatts, streak, powerCapMaxStreak, pt.Seconds)
+		}
+	}
+	if !converged {
+		return fail(OraclePowerCap, "platform never came under the %.0fW cap", pc.CapWatts)
+	}
+	return pass(OraclePowerCap)
 }
 
 // checkReplay verifies record->replay zero-divergence: replaying the

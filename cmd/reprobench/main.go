@@ -7,8 +7,8 @@
 //	reprobench [-exp all|fig2|fig4|table1|table2|fig5|fig6|fig7|table3|
 //	            powercap|scalability|ablation-latency|ablation-mechanisms|
 //	            ablation-threshold|ablation-interrupt|ablation-loss|
-//	            ablation-faults|ablation-overload|ablation-failover|
-//	            ablation-scenarios|sweep-bench]
+//	            ablation-faults|ablation-overload|ablation-energy|
+//	            ablation-failover|ablation-scenarios|sweep-bench]
 //	           [-seed N] [-quick] [-workers N] [-reps N] [-cache DIR]
 //	           [-json FILE] [-baseline FILE] [-ignore-wall]
 //
@@ -194,6 +194,7 @@ func main() {
 		"ablation-loss":       func() { ablationLoss(cfg) },
 		"ablation-faults":     func() { ablationFaults(cfg) },
 		"ablation-overload":   func() { ablationOverload(cfg) },
+		"ablation-energy":     func() { ablationEnergy(cfg) },
 		"ablation-failover":   func() { ablationFailover(cfg) },
 		"ablation-scenarios":  func() { ablationScenarios(cfg) },
 	}
@@ -201,7 +202,7 @@ func main() {
 	order := []string{"fig2", "fig4", "table1", "table2", "fig5", "fig6", "fig7", "table3",
 		"powercap", "scalability", "ablation-latency", "ablation-mechanisms", "ablation-threshold",
 		"ablation-interrupt", "ablation-loss", "ablation-faults", "ablation-overload",
-		"ablation-failover", "ablation-scenarios"}
+		"ablation-energy", "ablation-failover", "ablation-scenarios"}
 
 	writeJSON := func() {
 		if *jsonPath == "" {
@@ -643,6 +644,84 @@ func ablationOverload(cfg benchConfig) {
 			formatCell("%8.0f", float64(row.Abandoned), 0, 1),
 			formatCell("%8.0f", float64(row.Triggers), 0, 1))
 	}
+}
+
+// ablationEnergy sweeps the energy ablation: no governor vs per-island
+// latency-blind ondemand governors vs the coordinated QoS-constrained
+// governor, at offered loads from half the calibrated population to 1.5×.
+// The claim: at the calibrated 1× point the x86 island reads ~100% busy,
+// so utilization-driven governors are frozen at the top frequency — only
+// the governor that senses the end-to-end p95 can see that the SLO has
+// slack and convert it into platform energy savings.
+func ablationEnergy(cfg benchConfig) {
+	res, err := repro.RunEnergyMatrix(
+		repro.RubisConfig{Seed: cfg.seed, Duration: cfg.rubisDur},
+		cfg.facadeOptions("ablation-energy"),
+	)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Println("Ablation: energy governor (RUBiS; off vs ondemand vs coordinated)")
+	reps := res.Sweep.Reps
+	fmt.Printf("%-12s | %5s | %10s %9s %9s %8s | %8s %7s %6s\n",
+		"governor", "load", "joules", "x86(J)", "ixp(J)", "J/req", "p95(ms)", "qosviol", "trans")
+	for pi := 0; pi*reps < len(res.Rows); pi++ {
+		row := aggregateEnergyRows(res.Rows[pi*reps : (pi+1)*reps])
+		fmt.Printf("%-12s | %4gx | %s %s %s %s | %s %4d/%-4d %6d\n",
+			row.Governor, row.Load,
+			formatCell("%10.1f", row.PlatformJoules, row.jCI, reps),
+			formatCell("%9.1f", row.X86Joules, 0, 1),
+			formatCell("%9.1f", row.IXPJoules, 0, 1),
+			formatCell("%8.3f", row.JoulesPerRequest, 0, 1),
+			formatCell("%8.0f", row.ServedP95Ms, row.p95CI, reps),
+			row.QoSViolations, row.QoSWindows, row.Transitions)
+	}
+
+	// The headline number: coordinated savings over the uncoordinated
+	// governors at the calibrated 1× point, valid only while the SLO holds.
+	if od, ok1 := res.Row("ondemand", 1); ok1 {
+		if co, ok2 := res.Row("coordinated", 1); ok2 && od.PlatformJoules > 0 {
+			saving := 100 * (1 - co.PlatformJoules/od.PlatformJoules)
+			fmt.Printf("\ncoordinated vs ondemand at 1x: %.1f%% fewer joules (p95 %.0fms vs %.0fms, target %.0fms)\n",
+				saving, co.ServedP95Ms, od.ServedP95Ms, float64(repro.DefaultQoSTargetP95/time.Millisecond))
+		}
+	}
+}
+
+// aggregatedEnergy is one energy-matrix point folded across repetitions:
+// mean joules/p95 with CI, counters averaged.
+type aggregatedEnergy struct {
+	repro.EnergyRow
+	jCI, p95CI float64
+}
+
+func aggregateEnergyRows(rows []repro.EnergyRow) aggregatedEnergy {
+	var j, p stats.Summary
+	var agg aggregatedEnergy
+	agg.EnergyRow = rows[0]
+	var x86, ixp, jpr float64
+	var viol, win, trans int
+	for _, r := range rows {
+		j.Add(r.PlatformJoules)
+		p.Add(r.ServedP95Ms)
+		x86 += r.X86Joules
+		ixp += r.IXPJoules
+		jpr += r.JoulesPerRequest
+		viol += r.QoSViolations
+		win += r.QoSWindows
+		trans += r.Transitions
+	}
+	n := float64(len(rows))
+	agg.PlatformJoules, agg.jCI = j.Mean(), j.CI95()
+	agg.ServedP95Ms, agg.p95CI = p.Mean(), p.CI95()
+	agg.X86Joules = x86 / n
+	agg.IXPJoules = ixp / n
+	agg.JoulesPerRequest = jpr / n
+	agg.QoSViolations = viol / len(rows)
+	agg.QoSWindows = win / len(rows)
+	agg.Transitions = trans / len(rows)
+	return agg
 }
 
 // aggregatedOverload is one overload-matrix point folded across

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/energy"
 	"repro/internal/ixp"
 	"repro/internal/sim"
 	"repro/internal/xen"
@@ -331,6 +332,39 @@ func (a *IXPActuator) ApplyTrigger(entity int) error {
 		// Best effort; the flow may have been retuned meanwhile.
 		_ = a.x.SetFlowThreads(entity, n)
 	})
+	return nil
+}
+
+// DVFSActuator extends the Tune vocabulary to island operating points: a
+// Tune delta steps the island's DVFS ladder that many rungs (positive =
+// faster / more pools ungated, negative = slower / more gated), and a
+// Trigger jumps straight to the top point (the "as soon as possible"
+// semantics of §3.3 applied to frequency). The actuator is addressed
+// through an island-wide synthetic entity, since an operating point is a
+// property of the island, not of any one guest; the entity argument is
+// therefore ignored.
+//
+// Requests are best-effort by design: a step that lands while a voltage
+// ramp is still in flight is dropped, not queued, so a burst of Tunes
+// cannot build a backlog of stale frequency decisions.
+type DVFSActuator struct {
+	m *energy.Machine
+}
+
+// NewDVFSActuator wraps an island's DVFS state machine.
+func NewDVFSActuator(m *energy.Machine) *DVFSActuator { return &DVFSActuator{m: m} }
+
+// ApplyTune steps the island's operating point by delta rungs, clamped to
+// the table ends. Dropped requests (transition in flight, already at the
+// clamp) are not errors.
+func (a *DVFSActuator) ApplyTune(entity, delta int) error {
+	a.m.Step(delta)
+	return nil
+}
+
+// ApplyTrigger jumps the island to its top operating point.
+func (a *DVFSActuator) ApplyTrigger(entity int) error {
+	a.m.SetIndex(len(a.m.Points()) - 1)
 	return nil
 }
 

@@ -1,0 +1,130 @@
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Machine is one island's DVFS state machine: a ladder of discrete
+// operating points with a transition latency between them. A transition is
+// requested with Step or SetIndex, stays "in flight" for the target point's
+// latency (further requests are rejected meanwhile, like a busy voltage
+// regulator), and commits by invoking the apply callback — the island-side
+// actuation site that performs the real change and taps the flight
+// recorder. The machine itself records no flight events, so each transition
+// appears exactly once in the flight stream.
+type Machine struct {
+	island string
+	sim    *sim.Simulator
+	points []OperatingPoint
+	apply  func(p OperatingPoint) error
+
+	cur      int
+	inFlight bool
+
+	residency   []sim.Time // accumulated time per point, excluding the open interval
+	lastChange  sim.Time
+	transitions int
+}
+
+// NewMachine builds a state machine over pts (validated, lowest level
+// first) starting at point startIdx. apply commits a transition on the
+// island; it must be deterministic and may reject (the machine then stays
+// in its old state).
+func NewMachine(island string, s *sim.Simulator, pts []OperatingPoint, startIdx int, apply func(p OperatingPoint) error) (*Machine, error) {
+	if err := ValidateTable(island, pts); err != nil {
+		return nil, err
+	}
+	if startIdx < 0 || startIdx >= len(pts) {
+		return nil, fmt.Errorf("energy: %s start index %d out of range", island, startIdx)
+	}
+	return &Machine{
+		island:     island,
+		sim:        s,
+		points:     append([]OperatingPoint(nil), pts...),
+		apply:      apply,
+		cur:        startIdx,
+		residency:  make([]sim.Time, len(pts)),
+		lastChange: s.Now(),
+	}, nil
+}
+
+// Island returns the machine's island name.
+func (m *Machine) Island() string { return m.island }
+
+// Points returns the operating-point table.
+func (m *Machine) Points() []OperatingPoint { return m.points }
+
+// Index returns the committed operating-point index.
+func (m *Machine) Index() int { return m.cur }
+
+// Current returns the committed operating point.
+func (m *Machine) Current() OperatingPoint { return m.points[m.cur] }
+
+// AtTop and AtBottom report whether the machine sits at the ladder ends.
+func (m *Machine) AtTop() bool { return m.cur == len(m.points)-1 }
+
+// AtBottom reports whether the machine sits at the lowest operating point.
+func (m *Machine) AtBottom() bool { return m.cur == 0 }
+
+// InFlight reports whether a transition is pending commit.
+func (m *Machine) InFlight() bool { return m.inFlight }
+
+// Transitions returns the number of committed transitions.
+func (m *Machine) Transitions() int { return m.transitions }
+
+// SetIndex requests a transition to point idx. It returns false if the
+// request was dropped (out of range, already there, or a transition is in
+// flight). The transition commits after the target point's latency.
+func (m *Machine) SetIndex(idx int) bool {
+	if idx < 0 || idx >= len(m.points) || idx == m.cur || m.inFlight {
+		return false
+	}
+	target := m.points[idx]
+	m.inFlight = true
+	m.sim.After(target.Latency, func() {
+		m.inFlight = false
+		if err := m.apply(target); err != nil {
+			return // island rejected; stay at the old point
+		}
+		now := m.sim.Now()
+		m.residency[m.cur] += now - m.lastChange
+		m.lastChange = now
+		m.cur = idx
+		m.transitions++
+	})
+	return true
+}
+
+// Step requests a transition delta rungs up (+) or down (-) the ladder,
+// clamped to the table ends.
+func (m *Machine) Step(delta int) bool {
+	idx := m.cur + delta
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(m.points) {
+		idx = len(m.points) - 1
+	}
+	return m.SetIndex(idx)
+}
+
+// StateResidency is the time an island spent in one operating point.
+type StateResidency struct {
+	Island string
+	State  string
+	Time   sim.Time
+}
+
+// Residency returns per-point residency up to now, including the open
+// interval at the current point. The entries sum to the time elapsed since
+// the machine was built.
+func (m *Machine) Residency() []StateResidency {
+	out := make([]StateResidency, len(m.points))
+	for i, p := range m.points {
+		out[i] = StateResidency{Island: m.island, State: p.Name, Time: m.residency[i]}
+	}
+	out[m.cur].Time += m.sim.Now() - m.lastChange
+	return out
+}

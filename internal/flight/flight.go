@@ -38,11 +38,12 @@ const (
 	CatBreaker                  // circuit-breaker state transition
 	CatLease                    // lease transition or quarantine drop
 	CatFailover                 // controller-replication event: checkpoint, crash, election, reconciliation
+	CatEnergy                   // energy-plane event: DVFS commit, pool gating, governor decision
 )
 
 // NumCategories sizes per-category state arrays. Deliberately untyped so it
 // is not itself an enum member.
-const NumCategories = 9
+const NumCategories = 10
 
 // String names the category.
 func (c Category) String() string {
@@ -65,6 +66,8 @@ func (c Category) String() string {
 		return "lease"
 	case CatFailover:
 		return "failover"
+	case CatEnergy:
+		return "energy"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
@@ -213,6 +216,38 @@ func failName(code uint8) string {
 	}
 }
 
+// Sub-type codes for CatEnergy events.
+const (
+	// EnergyFreq: the x86 island committed a DVFS operating point; Label =
+	// island, Arg = new core frequency in MHz.
+	EnergyFreq uint8 = 0
+	// EnergyPools: the IXP island gated or ungated microengine pools;
+	// Label = island, Arg = active pool count.
+	EnergyPools uint8 = 1
+	// EnergyGovernor: an energy governor armed; Label = mode, Arg = QoS
+	// target (ns; 0 for latency-blind per-island governors).
+	EnergyGovernor uint8 = 2
+	// EnergyQoS: a governor control window observed p95 latency above the
+	// QoS target; Label = "governor", Arg = windowed p95 (ns).
+	EnergyQoS uint8 = 3
+)
+
+// energyName renders an energy code.
+func energyName(code uint8) string {
+	switch code {
+	case EnergyFreq:
+		return "freq"
+	case EnergyPools:
+		return "pools"
+	case EnergyGovernor:
+		return "governor"
+	case EnergyQoS:
+		return "qos-violation"
+	default:
+		return fmt.Sprintf("energy(%d)", code)
+	}
+}
+
 // Event is one flight record. The fields are deliberately all integers plus
 // one interned string so the encoding stays compact and comparisons during
 // replay are exact.
@@ -265,6 +300,19 @@ func (e Event) payload() string {
 			return fmt.Sprintf("%s %s replica=%d arg=%d", failName(e.Code), e.Label, e.Entity, e.Arg)
 		}
 		return fmt.Sprintf("%s replica=%d arg=%d", failName(e.Code), e.Entity, e.Arg)
+	case CatEnergy:
+		switch e.Code {
+		case EnergyFreq:
+			return fmt.Sprintf("freq %s mhz=%d", e.Label, e.Arg)
+		case EnergyPools:
+			return fmt.Sprintf("pools %s active=%d", e.Label, e.Arg)
+		case EnergyGovernor:
+			return fmt.Sprintf("governor %s target=%s", e.Label, sim.Time(e.Arg))
+		case EnergyQoS:
+			return fmt.Sprintf("qos-violation p95=%s", sim.Time(e.Arg))
+		default:
+			return fmt.Sprintf("%s %s arg=%d", energyName(e.Code), e.Label, e.Arg)
+		}
 	default:
 		return fmt.Sprintf("%s entity=%d code=%d arg=%d", e.Label, e.Entity, e.Code, e.Arg)
 	}

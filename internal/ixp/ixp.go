@@ -48,6 +48,12 @@ const (
 // weighted schedulers after the PCI engines take their microengines.
 const MaxSchedulableThreads = (NumMicroengines - reservedMEs) * ThreadsPerME
 
+// NumMEPools is the number of clock-gating domains the schedulable
+// microengines are grouped into — the IXP island's DVFS analogue. Gating a
+// pool keeps thread allocations intact but leaves fewer powered engines
+// behind them, stretching per-packet service times by the pool ratio.
+const NumMEPools = 4
+
 // Cycles converts a microengine cycle count into simulated time at the
 // 1.4 GHz clock.
 func Cycles(n int) sim.Time {
@@ -130,6 +136,12 @@ type IXP struct {
 	threads int    // threads currently allocated (rx flows + tx)
 	mes     *MEMap // thread placement onto physical microengines
 
+	// activePools is the number of ungated microengine pools (the energy
+	// plane's actuation). Per-packet costs scale by NumMEPools/activePools;
+	// with every pool active the scaling is the exact identity.
+	//lint:decision
+	activePools int
+
 	txThreads int
 
 	rxSeen    uint64
@@ -143,11 +155,12 @@ type IXP struct {
 func New(s *sim.Simulator, cfg Config, hostChan *pcie.Channel, deliver func(*netsim.Packet)) *IXP {
 	cfg.applyDefaults()
 	x := &IXP{
-		sim:      s,
-		cfg:      cfg,
-		flows:    make(map[int]*FlowQueue),
-		hostChan: hostChan,
-		toHost:   deliver,
+		sim:         s,
+		cfg:         cfg,
+		flows:       make(map[int]*FlowQueue),
+		hostChan:    hostChan,
+		toHost:      deliver,
+		activePools: NumMEPools,
 	}
 	x.xsc = newXScale(x)
 	x.mes = NewMEMap()
@@ -285,6 +298,36 @@ func (x *IXP) FlowPollInterval(vmID int) sim.Time {
 		return q.PollInterval()
 	}
 	return 0
+}
+
+// ActivePools returns the number of ungated microengine pools.
+func (x *IXP) ActivePools() int { return x.activePools }
+
+// SetActivePools gates or ungates microengine pools — the IXP island's
+// DVFS-style energy actuation. Thread allocations are untouched; per-packet
+// classify/dequeue/tx costs stretch by NumMEPools/activePools so a gated
+// island trades packet latency for static power.
+func (x *IXP) SetActivePools(n int) error {
+	if n < 1 || n > NumMEPools {
+		return fmt.Errorf("ixp: active pools %d outside [1, %d]", n, NumMEPools)
+	}
+	if n == x.activePools {
+		return nil
+	}
+	x.activePools = n
+	if x.rec != nil {
+		x.rec.Record(flight.Event{
+			T: x.sim.Now(), Cat: flight.CatEnergy, Code: flight.EnergyPools,
+			Label: "ixp", Entity: -1, Arg: int64(n),
+		})
+	}
+	return nil
+}
+
+// scaledCost stretches a per-packet service cost by the clock-gating ratio.
+// With every pool active the multiply-then-divide is the exact identity.
+func (x *IXP) scaledCost(c sim.Time) sim.Time {
+	return c * sim.Time(NumMEPools) / sim.Time(x.activePools)
 }
 
 // MEOccupancy returns the per-microengine thread placement (-1 marks the

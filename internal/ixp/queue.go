@@ -163,7 +163,7 @@ func (q *FlowQueue) workerLoop(id int) {
 	} else {
 		cost = q.x.cfg.DequeueCost
 	}
-	q.x.sim.After(cost, func() {
+	q.x.sim.After(q.x.scaledCost(cost), func() {
 		if q.vmID == -1 {
 			if q.x.toWire != nil {
 				q.x.toWire(p)

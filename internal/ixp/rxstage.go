@@ -80,7 +80,7 @@ func (st *rxStage) workerLoop(id int) {
 		st.x.sim.After(st.x.cfg.PollInterval, func() { st.workerLoop(id) })
 		return
 	}
-	st.x.sim.After(st.x.cfg.ClassifyCost, func() {
+	st.x.sim.After(st.x.scaledCost(st.x.cfg.ClassifyCost), func() {
 		st.x.classify(p)
 		st.workerLoop(id)
 	})

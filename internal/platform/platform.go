@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/flight"
 	"repro/internal/ixp"
 	"repro/internal/netsim"
@@ -120,6 +121,13 @@ type Config struct {
 	// dies before reverting guest weights to their registration baselines
 	// (default 500ms). A rejoin inside the window cancels the revert.
 	DegradeHold sim.Time
+
+	// Energy, when non-nil, arms the energy subsystem: per-island DVFS
+	// state machines registered as coordination islands, the integrating
+	// energy meter, and the configured governor. Nil leaves the platform
+	// bit-for-bit identical to the pre-energy behavior (both islands
+	// pinned at their top operating points, no metering).
+	Energy *EnergyConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -226,6 +234,16 @@ type Platform struct {
 	X86Act   *core.X86Actuator
 	IXPAct   *core.IXPActuator
 	Tracer   *trace.Tracer
+
+	// Energy subsystem handles (nil unless Config.Energy): the per-island
+	// DVFS state machines, the integrating meter, and — in coordinated
+	// mode — the QoS-constrained governor awaiting its p95 sensor.
+	X86DVFS     *energy.Machine
+	IXPDVFS     *energy.Machine
+	EnergyMeter *energy.Meter
+	EnergyGov   *energy.Coordinated
+	// EnergyCfg is the applied (defaulted) energy configuration.
+	EnergyCfg *EnergyConfig
 
 	// UplinkEP/DownlinkEP are the reliable mailbox endpoints (nil unless
 	// Config.Reliable). UplinkEP is the IXP side, DownlinkEP the host side.
@@ -435,6 +453,9 @@ func New(cfg Config) *Platform {
 		group.SetProviders(providers)
 	}
 
+	if cfg.Energy != nil {
+		p.enableEnergy(*cfg.Energy)
+	}
 	if cfg.HeartbeatInterval > 0 {
 		p.enableWatchdog()
 	}

@@ -29,6 +29,29 @@ type Model interface {
 	Sample(now sim.Time) float64
 }
 
+// MeterModel adapts an externally metered power reading (the energy
+// subsystem's integrating meter) into a Model: cap enforcement then reads
+// the same modeled watts the energy ledgers integrate, instead of keeping
+// a second sampling path that could disagree with the joules report. The
+// closure keeps this package free of an energy dependency.
+type MeterModel struct {
+	name  string
+	watts func() float64
+}
+
+// NewMeterModel wraps a watts reading (typically energy.Meter.Watts bound
+// to one island) as a Model.
+func NewMeterModel(name string, watts func() float64) *MeterModel {
+	return &MeterModel{name: name, watts: watts}
+}
+
+// Name implements Model.
+func (m *MeterModel) Name() string { return m.name }
+
+// Sample implements Model by reading the metered watts; the meter keeps
+// the utilization state, so this model is stateless.
+func (m *MeterModel) Sample(now sim.Time) float64 { return m.watts() }
+
 // X86Model converts the Xen island's CPU utilization into power: an idle
 // floor plus a dynamic term linear in the utilization of the host's cores
 // (the usual server power proxy).

@@ -2,6 +2,7 @@ package rubis
 
 import (
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/netsim"
 	"repro/internal/overload"
 	"repro/internal/platform"
@@ -96,6 +97,35 @@ type OverloadReport struct {
 	BoostTunes       uint64 // translated weight boosts issued
 
 	ServedP95Ms float64 // p95 served-response latency, milliseconds
+}
+
+// EnergyReport aggregates the energy subsystem's measurements. Joules
+// cover the measurement interval (warmup excluded, via ledger snapshots at
+// the warmup boundary); residency covers the whole run.
+type EnergyReport struct {
+	Enabled  bool
+	Governor string // energy.ModeOff / ModeOndemand / ModeCoordinated
+
+	PlatformJoules float64
+	X86Joules      float64
+	IXPJoules      float64
+	// JoulesPerRequest is platform energy divided by served responses —
+	// the ablation's headline efficiency metric.
+	JoulesPerRequest float64
+
+	// QoS accounting against the configured p95 target, counted per
+	// governor control window for every mode (the equal-QoS comparison
+	// needs violation counts for the off and ondemand runs too).
+	QoSTargetP95Ms float64
+	QoSWindows     int // post-warmup windows that observed responses
+	QoSViolations  int // windows whose p95 exceeded the target
+
+	GovernorActions int // coordinated-governor actuations
+	Transitions     int // committed DVFS transitions, both islands
+
+	// Residency is the full-run per-operating-point residency of both
+	// islands' state machines (x86 points first).
+	Residency []energy.StateResidency
 }
 
 // TraceDriver replaces the closed-loop client with an open-loop trace
@@ -218,6 +248,10 @@ type Result struct {
 	// Overload aggregates the overload-control plane's counters (queue
 	// sheds and expiries, NIC-side early sheds, trigger translation).
 	Overload OverloadReport
+
+	// Energy aggregates the energy subsystem's measurements (zero value
+	// with Enabled=false unless Platform.Energy armed the subsystem).
+	Energy EnergyReport
 }
 
 // utilWindow measures a domain's utilization over [from, to) using busy
@@ -440,13 +474,59 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 		}
 	}
 
+	// Energy control loop: one experiment-level ticker owns the
+	// windowed-p95 drain. It counts QoS windows and violations for every
+	// governor mode (the equal-QoS ablation needs violation counts for the
+	// off and ondemand runs too) and, in coordinated mode, feeds the
+	// governor's Step. The client only records post-warmup responses, so
+	// the governor sees no signal — and takes no action — during warmup.
+	var qosWindows, qosViolations int
+	if p.EnergyMeter != nil {
+		ecfg := p.EnergyCfg
+		metrics := client.Metrics()
+		p.Sim.Ticker(ecfg.Period, func() {
+			p95ms, n := metrics.WindowP95()
+			p95 := sim.Time(p95ms * float64(sim.Millisecond))
+			if n > 0 {
+				qosWindows++
+				if p95 > ecfg.QoSTargetP95 {
+					qosViolations++
+				}
+			}
+			if p.EnergyGov != nil {
+				p.EnergyGov.Step(p95, n)
+			}
+		})
+		if p.EnergyGov != nil {
+			// The last escalation rung: when both islands already run flat
+			// out, boost the credit weight of the tier with the deepest
+			// admission queue — the same joint actuator vocabulary the
+			// overload plane uses.
+			p.EnergyGov.SetBoostBottleneck(func() {
+				worst, depth := TierWeb, -1
+				for t := TierWeb; t < NumTiers; t++ {
+					if d := srv.Queue(t).Waiting(); d > depth {
+						worst, depth = t, d
+					}
+				}
+				p.X86Agent.SendTune(platform.X86Island, srv.TierDomain(worst).ID(), 64)
+			})
+		}
+	}
+
 	// Utilization windows snapshot at warmup so Figure 5 reflects steady
-	// state only.
+	// state only; the energy ledgers snapshot at the same boundary so
+	// joules cover the measurement interval.
 	windows := []*utilWindow{{dom: web}, {dom: app}, {dom: db}, {dom: p.Dom0}}
+	var energyWarm map[string]int64
 	p.Sim.At(cfg.Warmup, func() {
 		for _, w := range windows {
 			p.HV.TotalUtilization(0, w.dom) // folds in-progress run intervals into the meter
 			w.snapshot(p.Sim.Now())
+		}
+		if p.EnergyMeter != nil {
+			p.EnergyMeter.Flush() // close the partial accrual window at the boundary
+			energyWarm = p.EnergyMeter.Snapshot()
 		}
 	})
 
@@ -493,5 +573,29 @@ func RunExperiment(cfg ExperimentConfig) *Result {
 	res.Overload.ShedTunes = res.Robust.ShedTunes
 	res.Overload.BoostTunes = res.Robust.BoostTunes
 	res.Overload.ServedP95Ms = client.Metrics().ServedP95()
+
+	if p.EnergyMeter != nil {
+		p.EnergyMeter.Flush()
+		end := p.EnergyMeter.Snapshot()
+		rep := EnergyReport{
+			Enabled:        true,
+			Governor:       p.EnergyCfg.Governor,
+			QoSTargetP95Ms: p.EnergyCfg.QoSTargetP95.Milliseconds(),
+			QoSWindows:     qosWindows,
+			QoSViolations:  qosViolations,
+			Transitions:    p.X86DVFS.Transitions() + p.IXPDVFS.Transitions(),
+			Residency:      append(p.X86DVFS.Residency(), p.IXPDVFS.Residency()...),
+		}
+		rep.PlatformJoules = energy.Joules(end["platform"] - energyWarm["platform"])
+		rep.X86Joules = energy.Joules(end[platform.X86Island] - energyWarm[platform.X86Island])
+		rep.IXPJoules = energy.Joules(end[platform.IXPIsland] - energyWarm[platform.IXPIsland])
+		if n := client.Metrics().Responses(); n > 0 {
+			rep.JoulesPerRequest = rep.PlatformJoules / float64(n)
+		}
+		if p.EnergyGov != nil {
+			rep.GovernorActions = p.EnergyGov.Actions()
+		}
+		res.Energy = rep
+	}
 	return res
 }

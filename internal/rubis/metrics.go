@@ -14,6 +14,7 @@ type Metrics struct {
 	perType   [NumRequestTypes]stats.Sample
 	summaries [NumRequestTypes]stats.Summary
 	overall   stats.Sample
+	window    []float64 // served latencies since the last WindowP95 drain
 	responses uint64
 	sheds     uint64
 	abandoned uint64
@@ -35,7 +36,25 @@ func (m *Metrics) RecordResponse(t RequestType, latency sim.Time) {
 	m.perType[t].Add(msVal)
 	m.summaries[t].Add(msVal)
 	m.overall.Add(msVal)
+	m.window = append(m.window, msVal)
 	m.responses++
+}
+
+// WindowP95 drains the responses recorded since the previous call and
+// returns their p95 latency (milliseconds) with the window's response
+// count. The energy governor's control loop owns this window — it is kept
+// separate from the overall sample, whose Percentile sorts in place.
+func (m *Metrics) WindowP95() (float64, int) {
+	n := len(m.window)
+	if n == 0 {
+		return 0, 0
+	}
+	var s stats.Sample
+	for _, v := range m.window {
+		s.Add(v)
+	}
+	m.window = m.window[:0]
+	return s.Percentile(95), n
 }
 
 // RecordShed records one shed (admission-control error) response.

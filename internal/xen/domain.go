@@ -86,6 +86,12 @@ type VCPU struct {
 	current   *Task    // task being executed
 	sliceEv   *sim.Event
 	queuedSeq uint64 // FIFO ordering within a priority class
+
+	// freqResidue carries the remainder of the DVFS progress division
+	// (units of MHz*ns, always < maxMHz) so scaled task retirement stays
+	// exact across charge boundaries. Zero whenever the island runs at its
+	// top frequency.
+	freqResidue int64
 }
 
 // Domain returns the owning domain.
@@ -195,7 +201,7 @@ func (d *Domain) Backlog() sim.Time {
 			total += v.current.remaining
 			if v.state == stateRunning {
 				// Subtract progress made since the run interval began.
-				total -= d.hv.sim.Now() - v.runStart
+				total -= d.hv.runProgress(v, d.hv.sim.Now())
 			}
 		}
 	}

@@ -17,6 +17,7 @@ type Options struct {
 	AcctPeriod   sim.Time // credit re-allotment period (default 30ms)
 	SamplePeriod sim.Time // utilization sampling period (default 1s; 0 disables)
 	BoostWindow  sim.Time // how long a VCPU may run at BOOST before demotion (default one tick)
+	MaxFreqMHz   int      // top DVFS operating frequency (default 2666, the 2.66 GHz Xeon)
 }
 
 func (o *Options) applyDefaults() {
@@ -37,6 +38,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.BoostWindow == 0 {
 		o.BoostWindow = 10 * sim.Millisecond
+	}
+	if o.MaxFreqMHz == 0 {
+		o.MaxFreqMHz = 2666
 	}
 }
 
@@ -65,6 +69,16 @@ type Hypervisor struct {
 	seq     uint64
 	started bool
 
+	// DVFS: freqMHz/maxMHz form the island-wide operating point as an exact
+	// integer rational. Task progress retires at ran*freq/max (per-VCPU
+	// residues keep the division exact across charge boundaries) while
+	// credits and utilization always burn wall-clock time; at
+	// freqMHz == maxMHz the arithmetic reduces to the unscaled identity
+	// byte-for-byte.
+	//lint:decision
+	freqMHz int64
+	maxMHz  int64
+
 	stopFns []func()
 	tracer  *trace.Tracer
 
@@ -79,7 +93,8 @@ func (hv *Hypervisor) SetTracer(t *trace.Tracer) { hv.tracer = t }
 // the initial domains.
 func New(s *sim.Simulator, opts Options) *Hypervisor {
 	opts.applyDefaults()
-	hv := &Hypervisor{sim: s, opts: opts}
+	hv := &Hypervisor{sim: s, opts: opts,
+		freqMHz: int64(opts.MaxFreqMHz), maxMHz: int64(opts.MaxFreqMHz)}
 	for i := 0; i < opts.NumPCPUs; i++ {
 		hv.pcpus = append(hv.pcpus, &PCPU{id: i})
 	}
@@ -200,12 +215,87 @@ func (hv *Hypervisor) chargeRun(v *VCPU, now sim.Time) {
 		v.dom.chargeLabel(v.current.Label, ran)
 	}
 	if v.current != nil {
-		v.current.remaining -= ran
+		progress := ran
+		if hv.freqMHz != hv.maxMHz {
+			// Scaled retirement: carry the division remainder in the VCPU's
+			// residue so progress is exact across charge boundaries.
+			num := int64(ran)*hv.freqMHz + v.freqResidue
+			progress = sim.Time(num / hv.maxMHz)
+			v.freqResidue = num % hv.maxMHz
+		}
+		v.current.remaining -= progress
 		if v.current.remaining < 0 {
 			v.current.remaining = 0
 		}
 	}
 	v.runStart = now
+}
+
+// runProgress returns the task progress of v's in-flight run interval at
+// now without committing it (the read-only view Backlog needs).
+func (hv *Hypervisor) runProgress(v *VCPU, now sim.Time) sim.Time {
+	ran := now - v.runStart
+	if ran <= 0 {
+		return 0
+	}
+	if hv.freqMHz == hv.maxMHz {
+		return ran
+	}
+	return sim.Time((int64(ran)*hv.freqMHz + v.freqResidue) / hv.maxMHz)
+}
+
+// wallFor returns the wall-clock time v needs on a PCPU to retire its
+// current task's remaining demand at the island's operating frequency: the
+// smallest interval whose scaled progress covers the remainder.
+func (hv *Hypervisor) wallFor(v *VCPU) sim.Time {
+	rem := v.current.remaining
+	if hv.freqMHz == hv.maxMHz {
+		return rem
+	}
+	num := int64(rem)*hv.maxMHz - v.freqResidue
+	if num <= 0 {
+		return 1
+	}
+	return sim.Time((num + hv.freqMHz - 1) / hv.freqMHz)
+}
+
+// FrequencyMHz returns the island's current operating frequency.
+func (hv *Hypervisor) FrequencyMHz() int { return int(hv.freqMHz) }
+
+// MaxFrequencyMHz returns the island's top operating frequency.
+func (hv *Hypervisor) MaxFrequencyMHz() int { return int(hv.maxMHz) }
+
+// setFrequency commits a new island-wide operating frequency: every
+// in-progress run interval is charged at the old frequency first, then the
+// running VCPUs' slice events are re-armed at the new retirement rate.
+// Actuate through Ctl.SetFrequencyMHz, which taps the transition into the
+// flight recorder.
+func (hv *Hypervisor) setFrequency(mhz int) error {
+	if mhz <= 0 || int64(mhz) > hv.maxMHz {
+		return fmt.Errorf("xen: frequency %d MHz outside (0, %d]", mhz, hv.maxMHz)
+	}
+	if int64(mhz) == hv.freqMHz {
+		return nil
+	}
+	now := hv.sim.Now()
+	for _, p := range hv.pcpus {
+		if p.current != nil {
+			hv.chargeRun(p.current, now)
+		}
+	}
+	hv.freqMHz = int64(mhz)
+	for _, p := range hv.pcpus {
+		v := p.current
+		if v == nil || v.current == nil {
+			continue
+		}
+		if v.sliceEv != nil {
+			v.sliceEv.Cancel()
+			v.sliceEv = nil
+		}
+		hv.armSliceEvent(p, v)
+	}
+	return nil
 }
 
 // enqueue inserts a runnable VCPU at the tail of its priority class.
@@ -297,8 +387,8 @@ func (hv *Hypervisor) startRun(p *PCPU, v *VCPU) {
 // armSliceEvent schedules the earlier of task completion and slice expiry.
 func (hv *Hypervisor) armSliceEvent(p *PCPU, v *VCPU) {
 	runFor := hv.opts.Timeslice
-	if v.current.remaining < runFor {
-		runFor = v.current.remaining
+	if need := hv.wallFor(v); need < runFor {
+		runFor = need
 	}
 	if runFor <= 0 {
 		runFor = 1 // degenerate: finish on the next instant

@@ -81,6 +81,27 @@ func (c *Ctl) AdjustWeight(id, delta, min, max int) (int, error) {
 	return w, nil
 }
 
+// FrequencyMHz returns the island's current DVFS operating frequency.
+func (c *Ctl) FrequencyMHz() int { return c.hv.FrequencyMHz() }
+
+// SetFrequencyMHz commits an island-wide DVFS operating frequency (the
+// xenpm set-scaling-speed equivalent) and taps the transition into the
+// flight recorder. In-progress run intervals are charged at the old
+// frequency before the new retirement rate takes effect.
+func (c *Ctl) SetFrequencyMHz(mhz int) error {
+	prev := c.hv.FrequencyMHz()
+	if err := c.hv.setFrequency(mhz); err != nil {
+		return err
+	}
+	if c.rec != nil && mhz != prev {
+		c.rec.Record(flight.Event{
+			T: c.hv.sim.Now(), Cat: flight.CatEnergy, Code: flight.EnergyFreq,
+			Label: "x86", Entity: -1, Arg: int64(mhz),
+		})
+	}
+	return nil
+}
+
 // SetCap sets the CPU cap of domain id in percent of one CPU (0 = uncapped).
 func (c *Ctl) SetCap(id, cap int) error {
 	if cap < 0 {

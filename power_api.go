@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -46,6 +47,21 @@ type PowerCapRun struct {
 	ThrottleActions int
 	FinalGuestCaps  map[string]int // xm-style CPU caps after convergence
 	Series          []SeriesPoint  // total platform power over time
+
+	// Energy ledgers for the capped run, integrated by the energy meter —
+	// the same integration cap enforcement samples its watts from.
+	PlatformJoules float64
+	X86Joules      float64
+	IXPJoules      float64
+}
+
+// joulesOrZero converts an island ledger lookup to joules, treating a
+// missing island as an empty ledger.
+func joulesOrZero(nj int64, err error) float64 {
+	if err != nil {
+		return 0
+	}
+	return energy.Joules(nj)
 }
 
 // RunPowerCap saturates a two-island platform and lets the power budgeter
@@ -54,7 +70,13 @@ func RunPowerCap(cfg PowerCapConfig) *PowerCapRun {
 	cfg.applyDefaults()
 
 	build := func(withBudgeter bool) (*platform.Platform, *power.Budgeter) {
-		p := platform.New(platform.Config{Seed: cfg.Seed})
+		// The energy subsystem's meter (governor off: metering only) is the
+		// single source of modeled watts — cap enforcement and the joules
+		// ledgers read the same integration, no separate sampling path.
+		p := platform.New(platform.Config{
+			Seed:   cfg.Seed,
+			Energy: &platform.EnergyConfig{Governor: "off"},
+		})
 		var guests []*xen.Domain
 		for i := 0; i < cfg.Guests; i++ {
 			guests = append(guests, p.AddGuest("hog", 256))
@@ -78,9 +100,13 @@ func RunPowerCap(cfg PowerCapConfig) *PowerCapRun {
 		for _, g := range guests {
 			targets = append(targets, power.Target{Island: "x86-power", Entity: g.ID(), Step: 10})
 		}
+		meter := p.EnergyMeter
 		b := power.NewBudgeter(p.Sim, power.BudgeterConfig{CapWatts: cfg.CapWatts},
 			p.X86Agent, p.HV,
-			[]power.Model{power.NewX86Model(p.HV), power.NewIXPModel(p.IXP)},
+			[]power.Model{
+				power.NewMeterModel("x86", func() float64 { return meter.Watts(platform.X86Island) }),
+				power.NewMeterModel("ixp", func() float64 { return meter.Watts(platform.IXPIsland) }),
+			},
 			targets)
 		b.Start()
 		return p, b
@@ -88,17 +114,20 @@ func RunPowerCap(cfg PowerCapConfig) *PowerCapRun {
 
 	// Reference run without the budgeter for the uncapped draw.
 	ref, _ := build(false)
-	refModelX := power.NewX86Model(ref.HV)
-	refModelI := power.NewIXPModel(ref.IXP)
 	ref.Sim.RunUntil(toSim(cfg.Duration))
-	uncapped := refModelX.Sample(ref.Sim.Now()) + refModelI.Sample(ref.Sim.Now())
+	ref.EnergyMeter.Flush()
+	uncapped := ref.EnergyMeter.PlatformWatts()
 
 	p, b := build(true)
 	p.Sim.RunUntil(toSim(cfg.Duration))
 
+	p.EnergyMeter.Flush()
 	run := &PowerCapRun{
 		CapWatts:        cfg.CapWatts,
 		UncappedWatts:   uncapped,
+		PlatformJoules:  energy.Joules(p.EnergyMeter.PlatformNJ()),
+		X86Joules:       joulesOrZero(p.EnergyMeter.IslandNJ(platform.X86Island)),
+		IXPJoules:       joulesOrZero(p.EnergyMeter.IslandNJ(platform.IXPIsland)),
 		OverCapPeriods:  b.OverCapPeriods(),
 		ThrottleActions: b.Actions(),
 		FinalGuestCaps:  map[string]int{},

@@ -1,11 +1,15 @@
 package repro
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/flight"
+	"repro/internal/ixp"
 	"repro/internal/overload"
+	"repro/internal/platform"
 	"repro/internal/rubis"
 )
 
@@ -81,11 +85,86 @@ type RubisConfig struct {
 	// the NIC before it crosses PCIe. See docs/overload.md.
 	Overload *OverloadControl
 
+	// Energy, when non-nil, arms the energy subsystem: per-island DVFS
+	// state machines, the integrating energy model, and the selected
+	// governor. See docs/energy.md.
+	Energy *EnergyControl `json:",omitempty"`
+
 	// FlightLog, when set, records the run's coordination-event flight log
 	// to this file (see docs/flightrecorder.md); replay it with ReplayRubis
 	// or `reproflight replay`. For streaming to an arbitrary writer use
 	// RecordRubis instead.
 	FlightLog string `json:",omitempty"`
+}
+
+// DefaultQoSTargetP95 is the coordinated energy governor's default
+// end-to-end p95 latency SLO, calibrated against the testbed's ~1.4s p95
+// at the 1x calibrated load.
+const DefaultQoSTargetP95 = 2 * time.Second
+
+// Energy governor modes accepted by EnergyControl.Governor.
+const (
+	EnergyGovOff         = "off"
+	EnergyGovOndemand    = "ondemand"
+	EnergyGovCoordinated = "coordinated"
+)
+
+// EnergyControl is the public face of the energy subsystem. Zero values
+// take the defaults noted on each field.
+type EnergyControl struct {
+	// Governor selects the policy: "off" (default; islands pinned at
+	// their top operating points, metering only), "ondemand" (per-island
+	// latency-blind utilization governors — the uncoordinated ablation),
+	// or "coordinated" (the QoS-constrained cross-island governor).
+	Governor string
+	// QoSTargetP95 is the coordinated governor's end-to-end p95 latency
+	// SLO (default 2s, calibrated against the testbed's ~1.4s p95 at the
+	// 1x calibrated load).
+	QoSTargetP95 time.Duration
+	// Period is the governor control window (default 500ms).
+	Period time.Duration
+	// X86Points overrides the x86 DVFS table as frequency/voltage pairs,
+	// lowest frequency first. A table topping out below the hardware
+	// maximum caps the island's speed for the whole run.
+	X86Points []DVFSPoint `json:",omitempty"`
+	// IXPMaxPools caps the IXP's microengine pools at this count for the
+	// whole run (0 = all pools available).
+	IXPMaxPools int `json:",omitempty"`
+}
+
+// DVFSPoint is one public x86 operating point: a core frequency and its
+// supply voltage relative to nominal (1.0 at the hardware maximum).
+type DVFSPoint struct {
+	MHz     int
+	Voltage float64
+}
+
+// StateResidency is the time one island spent in one operating point.
+type StateResidency struct {
+	Island  string
+	State   string
+	Seconds float64
+}
+
+// EnergyReport summarises the energy subsystem for one run. All fields
+// are zero (and Governor empty) unless RubisConfig.Energy was set. Joules
+// cover the measurement interval; residency covers the whole run.
+type EnergyReport struct {
+	Governor string
+
+	PlatformJoules   float64
+	X86Joules        float64
+	IXPJoules        float64
+	JoulesPerRequest float64
+
+	QoSTargetP95Ms float64
+	QoSWindows     int
+	QoSViolations  int
+
+	GovernorActions int
+	Transitions     int
+
+	Residency []StateResidency
 }
 
 // FailoverControl is the public face of controller replication. Zero
@@ -248,6 +327,10 @@ type RubisRun struct {
 	// Overload summarises the overload-control plane (zero unless
 	// RubisConfig.Overload was set).
 	Overload OverloadSummary
+
+	// Energy summarises the energy subsystem (zero unless
+	// RubisConfig.Energy was set).
+	Energy EnergyReport
 }
 
 // internalRubisConfig translates the public config.
@@ -346,7 +429,90 @@ func (c RubisConfig) internal(coordinated bool) rubis.ExperimentConfig {
 			ec.Overload.Threshold = -1
 		}
 	}
+	if c.Energy != nil {
+		pcfg, err := c.Energy.internal()
+		if err != nil {
+			panic("repro: " + err.Error())
+		}
+		ec.Platform.Energy = pcfg
+	}
 	return ec
+}
+
+// internal translates the public energy control into the platform config.
+// Scenario.Compile pre-flights the same derivation, so errors escaping
+// here (via the panic above) indicate direct-config API misuse.
+func (e *EnergyControl) internal() (*platform.EnergyConfig, error) {
+	pcfg := &platform.EnergyConfig{}
+	switch e.Governor {
+	case "", energy.ModeOff, energy.ModeOndemand, energy.ModeCoordinated:
+		pcfg.Governor = e.Governor
+	default:
+		return nil, fmt.Errorf("energy: unknown governor %q (want off, ondemand, or coordinated)", e.Governor)
+	}
+	if e.QoSTargetP95 < 0 {
+		return nil, fmt.Errorf("energy: negative QoS target %v", e.QoSTargetP95)
+	}
+	if e.Period < 0 {
+		return nil, fmt.Errorf("energy: negative period %v", e.Period)
+	}
+	if e.QoSTargetP95 > 0 {
+		pcfg.QoSTargetP95 = toSim(e.QoSTargetP95)
+	}
+	if e.Period > 0 {
+		pcfg.Period = toSim(e.Period)
+	}
+	if len(e.X86Points) > 0 {
+		pts := make([]energy.OperatingPoint, 0, len(e.X86Points))
+		for _, dp := range e.X86Points {
+			if dp.MHz <= 0 || dp.MHz > energy.DefaultX86MaxMHz {
+				return nil, fmt.Errorf("energy: x86 point %d MHz outside (0, %d]", dp.MHz, energy.DefaultX86MaxMHz)
+			}
+			if dp.Voltage <= 0 || dp.Voltage > 1 {
+				return nil, fmt.Errorf("energy: x86 point %d MHz voltage %v outside (0, 1]", dp.MHz, dp.Voltage)
+			}
+			pts = append(pts, energy.X86Point(dp.MHz, energy.DefaultX86MaxMHz, dp.Voltage))
+		}
+		if err := energy.ValidateTable("x86", pts); err != nil {
+			return nil, err
+		}
+		pcfg.X86Table = pts
+	}
+	if e.IXPMaxPools != 0 {
+		if e.IXPMaxPools < 1 || e.IXPMaxPools > ixp.NumMEPools {
+			return nil, fmt.Errorf("energy: IXP pool cap %d outside [1, %d]", e.IXPMaxPools, ixp.NumMEPools)
+		}
+		var pts []energy.OperatingPoint
+		for n := 1; n <= e.IXPMaxPools; n++ {
+			pts = append(pts, energy.IXPPoint(n))
+		}
+		pcfg.IXPTable = pts
+	}
+	return pcfg, nil
+}
+
+// energySummary flattens the internal energy report for the public API.
+func energySummary(er rubis.EnergyReport) EnergyReport {
+	rep := EnergyReport{
+		Governor:         er.Governor,
+		PlatformJoules:   er.PlatformJoules,
+		X86Joules:        er.X86Joules,
+		IXPJoules:        er.IXPJoules,
+		JoulesPerRequest: er.JoulesPerRequest,
+		QoSTargetP95Ms:   er.QoSTargetP95Ms,
+		QoSWindows:       er.QoSWindows,
+		QoSViolations:    er.QoSViolations,
+		GovernorActions:  er.GovernorActions,
+		Transitions:      er.Transitions,
+	}
+	for _, r := range er.Residency {
+		rep.Residency = append(rep.Residency, StateResidency{
+			Island:  r.Island,
+			State:   r.State,
+			Seconds: r.Time.Seconds(),
+		})
+	}
+	return rep
 }
 
 // RunRubis executes one RUBiS run, with or without coordination.
@@ -383,6 +549,9 @@ func runRubis(cfg RubisConfig, coordinated bool, rec *flight.Recorder) *RubisRun
 		Robustness:        robustnessReport(res.Robust),
 		Failover:          failoverReport(res.Robust.Failover),
 		Overload:          overloadSummary(res),
+	}
+	if res.Energy.Enabled {
+		run.Energy = energySummary(res.Energy)
 	}
 	for _, rt := range rubis.AllRequestTypes() {
 		s := res.Metrics.TypeSummary(rt)

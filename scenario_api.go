@@ -199,6 +199,7 @@ type Scenario struct {
 	Faults   *FaultPlan       `json:"faults,omitempty"`
 	Overload *OverloadControl `json:"overload,omitempty"`
 	Failover *FailoverControl `json:"failover,omitempty"`
+	Energy   *EnergyControl   `json:"energy,omitempty"`
 }
 
 // Validate reports the first configuration error in the scenario:
@@ -237,6 +238,11 @@ func (s Scenario) Validate() error {
 	if s.Failover != nil && s.Failover.Replicas < 0 {
 		return fmt.Errorf("repro: scenario %q has negative replica count %d", s.Name, s.Failover.Replicas)
 	}
+	if s.Energy != nil {
+		if _, err := s.Energy.internal(); err != nil {
+			return fmt.Errorf("repro: scenario %q: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -269,6 +275,7 @@ func (s Scenario) Compile() (RubisConfig, error) {
 		Faults:         s.Faults,
 		Overload:       s.Overload,
 		Failover:       s.Failover,
+		Energy:         s.Energy,
 	}
 	if s.Workload != nil {
 		if _, err := s.Workload.driver(cfg); err != nil {
@@ -310,12 +317,12 @@ func ParseScenario(data []byte) (Scenario, error) {
 
 // scenarioMatrixVersion invalidates cached scenario-matrix trials when
 // the experiment's meaning changes.
-const scenarioMatrixVersion = "scenario-matrix-v1"
+const scenarioMatrixVersion = "scenario-matrix-v2"
 
 // ScenarioCatalog returns the canonical trace-driven scenario matrix for
 // a run of the given duration: one scenario per generator family, each
-// composed with the fault or overload machinery its workload shape
-// stresses. The same catalog drives `reprobench -exp ablation-scenarios`,
+// composed with the fault, overload, or energy machinery its workload
+// shape stresses. The same catalog drives `reprobench -exp ablation-scenarios`,
 // the parallel-determinism test, and the pinned bench sweep.
 func ScenarioCatalog(dur time.Duration) []Scenario {
 	warm := dur / 4
@@ -350,6 +357,13 @@ func ScenarioCatalog(dur time.Duration) []Scenario {
 			Overload:       &stress,
 		},
 		{
+			// The day/night curve again, with the coordinated energy governor
+			// converting night-time QoS slack into DVFS downshifts.
+			Name: "diurnal+energy", Duration: dur, Warmup: warm,
+			Workload: &Workload{Kind: "diurnal", Rate: 30},
+			Energy:   &EnergyControl{Governor: EnergyGovCoordinated},
+		},
+		{
 			// A high-rate key-value stream while the IXP crashes and rejoins.
 			Name: "kv-tier+crash", Duration: dur, Warmup: warm,
 			Workload: &Workload{Kind: "kv-tier", Rate: 60},
@@ -375,6 +389,10 @@ type ScenarioRow struct {
 	Shed        uint64 `json:"shed,omitempty"`
 	Abandoned   uint64 `json:"abandoned,omitempty"`
 	Retransmits uint64 `json:"retransmits,omitempty"`
+
+	// Joules is the platform energy over the measurement interval; zero
+	// unless the scenario arms the energy subsystem.
+	Joules float64 `json:"joules,omitempty"`
 }
 
 // scenarioPointCfg is a scenario-matrix point's cache-keyed
@@ -448,6 +466,7 @@ func RunScenarioMatrix(cfg RubisConfig, opt SweepOptions) (*ScenarioMatrixResult
 			Shed:        ov.QueueShed + ov.Expired + ov.IXPShed,
 			Abandoned:   ov.Abandoned,
 			Retransmits: r.Robustness.Retransmits,
+			Joules:      r.Energy.PlatformJoules,
 		}, nil
 	}, opts)
 	if err != nil {

@@ -410,6 +410,142 @@ func (r *OverloadMatrixResult) Row(control string, load float64) (OverloadRow, b
 	return OverloadRow{}, false
 }
 
+// energyMatrixVersion invalidates cached energy-matrix trials when the
+// experiment's meaning changes.
+const energyMatrixVersion = "energy-matrix-v1"
+
+// EnergyLoads is the offered-load axis of the energy ablation: half the
+// calibrated population (latency slack on both islands), the calibrated
+// 1× point (the x86 island saturated, slack visible only to a
+// latency-aware governor), and 1.5× (past saturation, where no governor
+// can meet the SLO and every plane converges on the top points).
+var EnergyLoads = []float64{0.5, 1, 1.5}
+
+// EnergyGovernors is the policy axis of the energy ablation, weakest
+// first: no governor (both islands pinned at their top operating points),
+// per-island latency-blind ondemand governors (the uncoordinated
+// ablation), and the QoS-constrained coordinated governor.
+var EnergyGovernors = []string{"off", "ondemand", "coordinated"}
+
+// EnergyRow is one trial of the energy ablation: a RUBiS run at one
+// offered-load multiplier under one governor policy.
+type EnergyRow struct {
+	Governor string  `json:"governor"`
+	Load     float64 `json:"load"`
+
+	PlatformJoules   float64 `json:"platform_joules"`
+	X86Joules        float64 `json:"x86_joules"`
+	IXPJoules        float64 `json:"ixp_joules"`
+	JoulesPerRequest float64 `json:"joules_per_request"`
+
+	Throughput  float64 `json:"throughput"`
+	ServedP95Ms float64 `json:"served_p95_ms"`
+
+	// QoSViolations counts control windows whose p95 exceeded the SLO
+	// (out of QoSWindows observed); Transitions counts operating-point
+	// changes committed across both islands.
+	QoSViolations int `json:"qos_violations"`
+	QoSWindows    int `json:"qos_windows"`
+	Transitions   int `json:"transitions"`
+}
+
+// energyPointCfg is an energy-matrix point's cache-keyed configuration.
+type energyPointCfg struct {
+	Governor   string  `json:"governor"`
+	Load       float64 `json:"load"`
+	DurationNs int64   `json:"duration_ns"`
+	WarmupNs   int64   `json:"warmup_ns"`
+}
+
+// EnergyMatrixPoints expands the energy ablation into sweep points in
+// stable order: every governor policy at every offered-load multiplier.
+func EnergyMatrixPoints(cfg RubisConfig) []sweep.Point {
+	var points []sweep.Point
+	for _, gov := range EnergyGovernors {
+		for _, load := range EnergyLoads {
+			points = append(points, sweep.Point{
+				Name: fmt.Sprintf("%s/%gx", gov, load),
+				Config: energyPointCfg{
+					Governor:   gov,
+					Load:       load,
+					DurationNs: int64(cfg.Duration),
+					WarmupNs:   int64(cfg.Warmup),
+				},
+			})
+		}
+	}
+	return points
+}
+
+// EnergyMatrixResult is one parallel run of the energy ablation.
+type EnergyMatrixResult struct {
+	Sweep *sweep.RunResult
+	Rows  []EnergyRow
+}
+
+// RunEnergyMatrix fans the energy ablation (governors × loads ×
+// repetitions) across the sweep worker pool. The paper's weight-tuning
+// scheme stays on for every trial so the matrix isolates the energy
+// governor; every other knob is the calibrated default.
+func RunEnergyMatrix(cfg RubisConfig, opt SweepOptions) (*EnergyMatrixResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = cfg.Seed
+	}
+	opts, err := opt.options(energyMatrixVersion)
+	if err != nil {
+		return nil, err
+	}
+	points := EnergyMatrixPoints(cfg)
+	res, err := sweep.Run(points, func(t sweep.Trial) (any, error) {
+		pc, ok := t.Point.Config.(energyPointCfg)
+		if !ok {
+			return nil, fmt.Errorf("repro: energy-matrix point %q has config %T", t.Point.Name, t.Point.Config)
+		}
+		trialCfg := cfg
+		trialCfg.Seed = t.Seed
+		trialCfg.LoadFactor = pc.Load
+		trialCfg.Energy = &EnergyControl{Governor: pc.Governor}
+		r := RunRubis(trialCfg, true)
+		e := r.Energy
+		return EnergyRow{
+			Governor:         pc.Governor,
+			Load:             pc.Load,
+			PlatformJoules:   e.PlatformJoules,
+			X86Joules:        e.X86Joules,
+			IXPJoules:        e.IXPJoules,
+			JoulesPerRequest: e.JoulesPerRequest,
+			Throughput:       r.Throughput,
+			ServedP95Ms:      r.Overload.ServedP95Ms,
+			QoSViolations:    e.QoSViolations,
+			QoSWindows:       e.QoSWindows,
+			Transitions:      e.Transitions,
+		}, nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	out := &EnergyMatrixResult{Sweep: res, Rows: make([]EnergyRow, len(res.Trials))}
+	for i := range res.Trials {
+		if err := res.Decode(i, &out.Rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Row returns the first-repetition row for a governor/load pair.
+func (r *EnergyMatrixResult) Row(governor string, load float64) (EnergyRow, bool) {
+	for _, row := range r.Rows {
+		if row.Governor == governor && math.Abs(row.Load-load) < 1e-9 {
+			return row, true
+		}
+	}
+	return EnergyRow{}, false
+}
+
 // Pinned bench-sweep configuration: the regression guard reruns exactly
 // this sweep and compares against the committed BENCH_sweep.json. The
 // simulated metrics are a pure function of these values, so any drift
@@ -422,10 +558,10 @@ const (
 	benchSweepDur  = 20 * time.Second
 )
 
-// RunBenchSweep executes the pinned benchmark suite — the fault matrix
-// followed by the trace-driven scenario matrix, merged into one report —
-// and returns it. The cache is deliberately not used: the guard measures
-// real trial throughput.
+// RunBenchSweep executes the pinned benchmark suite — the fault matrix,
+// the trace-driven scenario matrix, and the energy matrix, merged into one
+// report — and returns it. The cache is deliberately not used: the guard
+// measures real trial throughput.
 func RunBenchSweep(workers int, progress func(p sweep.Progress)) (*sweep.BenchReport, error) {
 	cfg := RubisConfig{Seed: benchSweepSeed, Duration: benchSweepDur}
 	opt := SweepOptions{Workers: workers, Reps: benchSweepReps, Seed: benchSweepSeed, Progress: progress}
@@ -437,9 +573,14 @@ func RunBenchSweep(workers int, progress func(p sweep.Progress)) (*sweep.BenchRe
 	if err != nil {
 		return nil, err
 	}
+	energy, err := RunEnergyMatrix(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
 	return sweep.MergeBenchReports(BenchSweepName,
 		sweep.NewBenchReport(BenchSweepName, faults.Sweep),
 		sweep.NewBenchReport(BenchSweepName, scenarios.Sweep),
+		sweep.NewBenchReport(BenchSweepName, energy.Sweep),
 	), nil
 }
 
